@@ -1,0 +1,47 @@
+// Ablation: correspondence-selection strategy (Section 6 outlines the
+// options; the paper's evaluation uses maximum total similarity [17]).
+// Hungarian vs greedy vs mutual-best on the same EMS similarities.
+#include "bench_common.h"
+
+using namespace ems;
+using namespace ems::bench;
+
+int main() {
+  PrintHeader("Ablation", "correspondence selection strategies");
+  RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
+
+  const std::vector<std::pair<const char*, std::vector<const LogPair*>>>
+      testbeds = {{"DS-F", Pointers(ds.ds_f)},
+                  {"DS-B", Pointers(ds.ds_b)},
+                  {"DS-FB", Pointers(ds.ds_fb)}};
+  const struct {
+    const char* name;
+    SelectionStrategy strategy;
+  } strategies[] = {
+      {"hungarian", SelectionStrategy::kMaxTotalSimilarity},
+      {"greedy", SelectionStrategy::kGreedy},
+      {"mutual-best", SelectionStrategy::kMutualBest},
+  };
+
+  TextTable table({"testbed", "hungarian", "greedy", "mutual-best"});
+  for (const auto& [name, pairs] : testbeds) {
+    std::vector<std::string> row = {name};
+    for (const auto& s : strategies) {
+      QualityAccumulator acc;
+      for (const LogPair* pair : pairs) {
+        MatchOptions opts;
+        opts.min_edge_frequency = 0.05;
+        opts.selection = s.strategy;
+        Matcher matcher(opts);
+        Result<MatchResult> result = matcher.Match(pair->log1, pair->log2);
+        if (result.ok()) {
+          acc.Add(Evaluate(pair->truth, result->correspondences));
+        }
+      }
+      row.push_back(Cell(acc.Mean().f_measure));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared machinery of the figure-reproduction benches: each binary
+// regenerates the corpus deterministically, runs the methods of
+// Section 5, and prints the same series the paper's figure plots.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "synth/dataset.h"
+#include "util/timer.h"
+
+namespace ems {
+namespace bench {
+
+/// Aggregated outcome of running one method over a group of log pairs.
+struct GroupResult {
+  MatchQuality quality;       // macro-averaged
+  double mean_millis = 0.0;
+  int dnf = 0;                // pairs the method could not finish (OPQ)
+  uint64_t formula_evaluations = 0;
+  int pairs = 0;
+};
+
+inline GroupResult RunGroup(Method method,
+                            const std::vector<const LogPair*>& pairs,
+                            const HarnessOptions& options) {
+  GroupResult group;
+  QualityAccumulator acc;
+  double total_ms = 0.0;
+  for (const LogPair* pair : pairs) {
+    MethodRun run = RunMethod(method, *pair, options);
+    total_ms += run.millis;
+    if (run.dnf) {
+      ++group.dnf;
+      continue;
+    }
+    acc.Add(run.quality);
+    group.formula_evaluations += run.ems_stats.formula_evaluations +
+                                 run.composite_stats.formula_evaluations;
+  }
+  group.quality = acc.Mean();
+  group.pairs = static_cast<int>(pairs.size());
+  group.mean_millis =
+      pairs.empty() ? 0.0 : total_ms / static_cast<double>(pairs.size());
+  return group;
+}
+
+inline std::vector<const LogPair*> Pointers(const std::vector<LogPair>& v) {
+  std::vector<const LogPair*> out;
+  out.reserve(v.size());
+  for (const auto& p : v) out.push_back(&p);
+  return out;
+}
+
+/// "0.812" or "DNF" when no pair finished.
+inline std::string FCell(const GroupResult& r) {
+  if (r.dnf == r.pairs && r.pairs > 0) return "DNF";
+  std::string cell = Cell(r.quality.f_measure);
+  if (r.dnf > 0) cell += "*";  // some pairs timed out
+  return cell;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("=====================================================\n");
+}
+
+/// The corpus used by the singleton-matching figures. Scaled by the
+/// EMS_BENCH_SCALE environment variable (1 = the paper's 149 pairs;
+/// smaller values shrink groups proportionally for quick runs).
+inline RealisticDatasetOptions ScaledDatasetOptions() {
+  RealisticDatasetOptions opts;
+  const char* scale_env = std::getenv("EMS_BENCH_SCALE");
+  double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  if (scale <= 0.0 || scale > 1.0) scale = 1.0;
+  auto scaled = [scale](int n) {
+    int v = static_cast<int>(n * scale);
+    return v < 1 ? 1 : v;
+  };
+  opts.ds_f_pairs = scaled(opts.ds_f_pairs);
+  opts.ds_b_pairs = scaled(opts.ds_b_pairs);
+  opts.ds_fb_pairs = scaled(opts.ds_fb_pairs);
+  opts.composite_pairs = scaled(opts.composite_pairs);
+  return opts;
+}
+
+}  // namespace bench
+}  // namespace ems

@@ -1,0 +1,44 @@
+// Figure 4: singleton matching with typographic (q-gram cosine) label
+// similarity integrated (alpha < 1). Same corpus and series as Figure 3;
+// OPQ does not consume labels (its published form matches opaque values
+// only), mirroring the paper's observation that OPQ does not benefit.
+#include "bench_common.h"
+
+using namespace ems;
+using namespace ems::bench;
+
+int main() {
+  PrintHeader("Figure 4",
+              "matching singleton events + typographic similarity");
+  RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
+
+  HarnessOptions options;
+  options.use_labels = true;
+  options.alpha_with_labels = 0.5;
+  options.opq_max_expansions = 200'000;
+
+  const std::vector<std::pair<const char*, std::vector<const LogPair*>>>
+      testbeds = {{"DS-F", Pointers(ds.ds_f)},
+                  {"DS-B", Pointers(ds.ds_b)},
+                  {"DS-FB", Pointers(ds.ds_fb)}};
+  const std::vector<Method> methods = {Method::kEms, Method::kEmsEstimated,
+                                       Method::kGed, Method::kOpq,
+                                       Method::kBhv};
+
+  TextTable f_table({"testbed", "EMS", "EMS+es", "GED", "OPQ", "BHV"});
+  TextTable t_table({"testbed", "EMS", "EMS+es", "GED", "OPQ", "BHV"});
+  for (const auto& [name, pairs] : testbeds) {
+    std::vector<std::string> f_row = {name};
+    std::vector<std::string> t_row = {name};
+    for (Method m : methods) {
+      GroupResult r = RunGroup(m, pairs, options);
+      f_row.push_back(FCell(r));
+      t_row.push_back(MillisCell(r.mean_millis));
+    }
+    f_table.AddRow(f_row);
+    t_table.AddRow(t_row);
+  }
+  std::printf("(a) accuracy (f-measure)\n%s\n", f_table.ToString().c_str());
+  std::printf("(b) mean time per log pair\n%s", t_table.ToString().c_str());
+  return 0;
+}

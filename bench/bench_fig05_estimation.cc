@@ -1,0 +1,38 @@
+// Figure 5: the estimation trade-off — f-measure and time of EMS+es as
+// the number of exact iterations I grows from 0 to MAX (exact EMS),
+// with BHV as the reference the paper compares the I = 0 point against.
+#include "bench_common.h"
+
+using namespace ems;
+using namespace ems::bench;
+
+int main() {
+  PrintHeader("Figure 5", "trade-off of the similarity estimation (vary I)");
+  RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
+  std::vector<const LogPair*> pairs = Pointers(ds.ds_fb);
+
+  TextTable table({"I", "f-measure", "mean time", "formula evals"});
+  for (int iterations : {0, 1, 2, 5, 10, 20}) {
+    HarnessOptions options;
+    options.estimation_iterations = iterations;
+    GroupResult r = RunGroup(Method::kEmsEstimated, pairs, options);
+    table.AddRow({std::to_string(iterations), Cell(r.quality.f_measure),
+                  MillisCell(r.mean_millis),
+                  std::to_string(r.formula_evaluations)});
+  }
+  {
+    HarnessOptions options;
+    GroupResult r = RunGroup(Method::kEms, pairs, options);
+    table.AddRow({"MAX (exact)", Cell(r.quality.f_measure),
+                  MillisCell(r.mean_millis),
+                  std::to_string(r.formula_evaluations)});
+  }
+  {
+    HarnessOptions options;
+    GroupResult r = RunGroup(Method::kBhv, pairs, options);
+    table.AddRow({"BHV (ref)", Cell(r.quality.f_measure),
+                  MillisCell(r.mean_millis), "-"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

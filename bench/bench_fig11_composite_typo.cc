@@ -1,0 +1,29 @@
+// Figure 11: matching composite events with typographic similarity
+// integrated (alpha < 1).
+#include "bench_common.h"
+
+using namespace ems;
+using namespace ems::bench;
+
+int main() {
+  PrintHeader("Figure 11",
+              "matching composite events + typographic similarity");
+  RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
+  std::vector<const LogPair*> pairs = Pointers(ds.composite);
+
+  TextTable table({"method", "f-measure", "precision", "recall",
+                   "mean time"});
+  for (Method m : {Method::kEms, Method::kEmsEstimated, Method::kGed,
+                   Method::kOpq, Method::kBhv, Method::kIcop}) {
+    HarnessOptions options;
+    options.use_labels = true;
+    options.opq_max_expansions = 200'000;
+    options.composites =
+        (m == Method::kEms || m == Method::kEmsEstimated);
+    GroupResult r = RunGroup(m, pairs, options);
+    table.AddRow({MethodName(m), FCell(r), Cell(r.quality.precision),
+                  Cell(r.quality.recall), MillisCell(r.mean_millis)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

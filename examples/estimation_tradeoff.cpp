@@ -1,0 +1,40 @@
+// The estimation knob in practice: how many exact iterations I to spend
+// before extrapolating (Section 3.5). Run on one larger generated pair;
+// prints accuracy and cost per I so users can pick their own trade-off.
+#include <cstdio>
+
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "synth/dataset.h"
+
+int main() {
+  using namespace ems;
+
+  PairOptions pair_opts;
+  pair_opts.num_activities = 60;
+  pair_opts.num_traces = 200;
+  pair_opts.dislocation = 2;
+  pair_opts.seed = 7;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, pair_opts);
+
+  std::printf("pair: %zu vs %zu events, %zu traces each\n\n",
+              pair.log1.NumEvents(), pair.log2.NumEvents(),
+              pair.log1.NumTraces());
+
+  TextTable table({"I", "f-measure", "time", "formula evaluations"});
+  for (int iterations : {0, 1, 2, 5, 10, 20}) {
+    HarnessOptions opts;
+    opts.estimation_iterations = iterations;
+    MethodRun run = RunMethod(Method::kEmsEstimated, pair, opts);
+    table.AddRow({std::to_string(iterations), Cell(run.quality.f_measure),
+                  MillisCell(run.millis),
+                  std::to_string(run.ems_stats.formula_evaluations)});
+  }
+  HarnessOptions exact_opts;
+  MethodRun exact = RunMethod(Method::kEms, pair, exact_opts);
+  table.AddRow({"exact", Cell(exact.quality.f_measure),
+                MillisCell(exact.millis),
+                std::to_string(exact.ems_stats.formula_evaluations)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

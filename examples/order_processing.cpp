@@ -1,0 +1,102 @@
+// The paper's running example (Figure 1): two turbine-order-processing
+// logs from different subsidiaries — opaque names, a dislocated payment
+// step, and a composite "Inventory Checking & Validation" event. Shows
+// the full pipeline including composite (m:n) matching and prints the
+// similarity matrix the algorithms reason over.
+//
+// Note: on logs this tiny (10 near-identical traces) the conservative
+// composite objective usually accepts no merge — the candidate pool is
+// evaluated but the greedy gain stays below delta. See
+// examples/subsidiary_integration.cpp for composite recovery on the
+// generated corpus, where injected composites are found.
+#include <cstdio>
+
+#include "core/matcher.h"
+
+namespace {
+
+ems::EventLog BuildLog1() {
+  ems::EventLog log;
+  // 10 orders: 40% paid cash, 60% by card; shipping and the confirmation
+  // email happen concurrently.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> t;
+    t.push_back(i < 4 ? "Paid by Cash" : "Paid by Credit Card");
+    t.push_back("Check Inventory");
+    t.push_back("Validate");
+    if (i % 2 == 0) {
+      t.push_back("Ship Goods");
+      t.push_back("Email Customer");
+    } else {
+      t.push_back("Email Customer");
+      t.push_back("Ship Goods");
+    }
+    log.AddTrace(t);
+  }
+  return log;
+}
+
+ems::EventLog BuildLog2() {
+  ems::EventLog log;
+  // The other subsidiary accepts the order first (dislocation), performs
+  // inventory checking and validation as ONE step (composite), and one
+  // event name is garbled by an encoding problem (opaque).
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> t;
+    t.push_back("Order Accepted");
+    t.push_back(i < 4 ? "Paid by Cash" : "Paid by Credit Card");
+    t.push_back("Inventory Checking & Validation");
+    t.push_back("??????");  // garbled "Delivery"
+    t.push_back("Email");
+    log.AddTrace(t);
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ems;
+  EventLog log1 = BuildLog1();
+  EventLog log2 = BuildLog2();
+
+  // Pipeline with labels integrated (alpha = 0.5) and composite matching.
+  MatchOptions options;
+  options.ems.alpha = 0.5;
+  options.label_measure = LabelMeasure::kQGramCosine;
+  options.match_composites = true;
+  options.composite.delta = 0.001;
+
+  Matcher matcher(options);
+  Result<MatchResult> result = matcher.Match(log1, log2);
+  if (!result.ok()) {
+    std::fprintf(stderr, "matching failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Turbine order processing: L1 (%zu events) vs L2 (%zu "
+              "events)\n\n",
+              log1.NumEvents(), log2.NumEvents());
+  std::printf("correspondences:\n");
+  for (const Correspondence& c : result->correspondences) {
+    std::string left, right;
+    for (size_t i = 0; i < c.events1.size(); ++i) {
+      if (i > 0) left += " + ";
+      left += c.events1[i];
+    }
+    for (size_t i = 0; i < c.events2.size(); ++i) {
+      if (i > 0) right += " + ";
+      right += c.events2[i];
+    }
+    std::printf("  %-38s <-> %-34s (%.3f)\n", left.c_str(), right.c_str(),
+                c.similarity);
+  }
+  std::printf("\ncomposite matcher: %d candidates evaluated, %d merges\n",
+              result->composite_stats.candidates_evaluated,
+              result->composite_stats.merges_accepted);
+  std::printf("\nfinal similarity matrix:\n%s",
+              result->similarity.DebugString(result->graph1, result->graph2)
+                  .c_str());
+  return 0;
+}

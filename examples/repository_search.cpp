@@ -1,0 +1,73 @@
+// Process-warehouse search (the paper's motivating application): load a
+// repository of subsidiary processes and query it with a new log — the
+// best hits come back with full event correspondences, so analyses can
+// immediately join data across systems.
+#include <cstdio>
+
+#include "core/repository.h"
+#include "synth/dataset.h"
+
+int main() {
+  using namespace ems;
+
+  // A repository of eight distinct subsidiary processes.
+  MatchOptions match_opts;
+  match_opts.ems.alpha = 0.6;
+  match_opts.label_measure = LabelMeasure::kQGramCosine;
+  LogRepository repo(match_opts);
+  const char* names[] = {"orders_north", "orders_south", "claims",
+                         "procurement", "hr_onboarding", "billing",
+                         "maintenance", "logistics"};
+  for (int i = 0; i < 8; ++i) {
+    PairOptions opts;
+    opts.num_activities = 12 + i;
+    opts.num_traces = 80;
+    opts.dislocation = 0;
+    opts.opaque = false;
+    opts.seed = 1000 + static_cast<uint64_t>(i) * 17;
+    Status s = repo.Add(names[i], MakeLogPair(Testbed::kDsFB, opts).log1);
+    if (!s.ok()) {
+      std::fprintf(stderr, "add failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The query: the "claims" process as run (and renamed) by another
+  // subsidiary — drifted probabilities, typographic name variants.
+  PairOptions query_opts;
+  query_opts.num_activities = 14;  // matches the repository's "claims"
+  query_opts.num_traces = 80;
+  query_opts.dislocation = 1;
+  query_opts.opaque_fraction = 0.2;
+  query_opts.seed = 1000 + 2 * 17;
+  EventLog query = MakeLogPair(Testbed::kDsB, query_opts).log2;
+
+  Result<std::vector<RepositoryHit>> hits = repo.Query(query, 3);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 hits.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query: %zu events, %zu traces — top %zu of %zu processes:\n\n",
+              query.NumEvents(), query.NumTraces(), hits->size(),
+              repo.size());
+  for (size_t rank = 0; rank < hits->size(); ++rank) {
+    const RepositoryHit& hit = (*hits)[rank];
+    std::printf("%zu. %-16s score %.3f (%zu correspondences)\n", rank + 1,
+                hit.name.c_str(), hit.score,
+                hit.match.correspondences.size());
+  }
+
+  // Drill into the winner's correspondences.
+  const RepositoryHit& best = (*hits)[0];
+  std::printf("\nbest hit '%s' — first correspondences:\n",
+              best.name.c_str());
+  size_t shown = 0;
+  for (const Correspondence& c : best.match.correspondences) {
+    if (++shown > 6) break;
+    std::printf("  %-28s <-> %-28s (%.3f)\n", c.events1[0].c_str(),
+                c.events2[0].c_str(), c.similarity);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Subsidiary integration at scale: generates the 149-log-pair corpus that
+// stands in for the paper's bus-manufacturer dataset, matches every pair
+// with EMS, and prints a per-testbed quality report — the workflow a
+// process-data-warehouse team would run before consolidating systems.
+//
+// Optionally pass a directory to also export every pair as XES:
+//   ./build/examples/subsidiary_integration /tmp/corpus
+#include <cstdio>
+#include <string>
+
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "log/xes.h"
+#include "synth/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace ems;
+
+  RealisticDatasetOptions corpus_opts;
+  corpus_opts.ds_f_pairs = 8;  // scaled down for an example run
+  corpus_opts.ds_b_pairs = 8;
+  corpus_opts.ds_fb_pairs = 8;
+  corpus_opts.composite_pairs = 6;
+  RealisticDataset corpus = MakeRealisticDataset(corpus_opts);
+
+  if (argc > 1) {
+    std::string dir = argv[1];
+    int exported = 0;
+    auto export_group = [&](const std::vector<LogPair>& group) {
+      for (const LogPair& pair : group) {
+        std::string base = dir + "/pair" + std::to_string(exported++);
+        if (!WriteXesFile(pair.log1, base + "_a.xes").ok() ||
+            !WriteXesFile(pair.log2, base + "_b.xes").ok()) {
+          std::fprintf(stderr, "export to %s failed\n", dir.c_str());
+          return false;
+        }
+      }
+      return true;
+    };
+    if (export_group(corpus.ds_f) && export_group(corpus.ds_b) &&
+        export_group(corpus.ds_fb) && export_group(corpus.composite)) {
+      std::printf("exported %d XES pairs to %s\n\n", exported, dir.c_str());
+    }
+  }
+
+  HarnessOptions harness;
+  harness.use_labels = true;  // subsidiary names are only partly garbled
+
+  TextTable table({"group", "pairs", "precision", "recall", "f-measure",
+                   "mean time"});
+  auto report = [&](const char* name, const std::vector<LogPair>& group,
+                    bool composites) {
+    HarnessOptions opts = harness;
+    opts.composites = composites;
+    QualityAccumulator acc;
+    double ms = 0.0;
+    for (const LogPair& pair : group) {
+      MethodRun run = RunMethod(Method::kEms, pair, opts);
+      acc.Add(run.quality);
+      ms += run.millis;
+    }
+    MatchQuality mean = acc.Mean();
+    table.AddRow({name, std::to_string(group.size()), Cell(mean.precision),
+                  Cell(mean.recall), Cell(mean.f_measure),
+                  MillisCell(ms / static_cast<double>(group.size()))});
+  };
+  report("DS-F (tail dislocations)", corpus.ds_f, false);
+  report("DS-B (head dislocations)", corpus.ds_b, false);
+  report("DS-FB (both)", corpus.ds_fb, false);
+  report("composite events", corpus.composite, true);
+
+  std::printf("EMS matching quality across the subsidiary corpus:\n%s",
+              table.ToString().c_str());
+  std::printf("\n(rerun with a directory argument to export the corpus "
+              "as XES)\n");
+  return 0;
+}

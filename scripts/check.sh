@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test and every bench.
+# Usage: scripts/check.sh [--quick]   (--quick scales the bench corpora down)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ "${1:-}" == "--quick" ]]; then
+  export EMS_BENCH_SCALE=0.2
+  export EMS_BENCH_PAIRS_PER_SIZE=2
+fi
+for b in build/bench/*; do
+  [[ -f "$b" && -x "$b" ]] && "$b"
+done
+echo "all checks passed"

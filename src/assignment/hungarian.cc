@@ -1,0 +1,100 @@
+#include "assignment/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/status.h"
+
+namespace ems {
+
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weights) {
+  const size_t rows = weights.size();
+  if (rows == 0) return {};
+  const size_t cols = weights[0].size();
+#ifndef NDEBUG
+  for (const auto& row : weights) EMS_DCHECK(row.size() == cols);
+#endif
+  if (cols == 0) return std::vector<int>(rows, -1);
+
+  // Square cost matrix: cost = -weight (minimization), padded with zeros
+  // to (rows + cols) so every row can route to a padding column and every
+  // column can be covered by a padding row. A row matched to padding is
+  // "unassigned"; since padding costs 0 and beneficial real pairs cost
+  // negative, the optimum takes exactly the profitable pairs and is never
+  // forced into negative-weight assignments.
+  const size_t n = rows + cols;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) cost[i][j] = -weights[i][j];
+  }
+
+  // Jonker-Volgenant style shortest augmenting path with potentials,
+  // 1-indexed internal arrays (classic formulation).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);    // p[j] = row matched to column j
+  std::vector<size_t> way(n + 1, 0);  // back-pointers along the alternating path
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the path.
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(rows, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    size_t i = p[j];
+    if (i >= 1 && i <= rows && j <= cols) {
+      assignment[i - 1] = static_cast<int>(j - 1);
+    }
+  }
+  return assignment;
+}
+
+double AssignmentWeight(const std::vector<std::vector<double>>& weights,
+                        const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= 0) {
+      total += weights[i][static_cast<size_t>(assignment[i])];
+    }
+  }
+  return total;
+}
+
+}  // namespace ems

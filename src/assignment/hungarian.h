@@ -1,0 +1,28 @@
+// Maximum-weight bipartite assignment (Munkres/Hungarian [17]) — the
+// paper's "maximum total similarity selection method" for turning a
+// pair-wise similarity matrix into 1:1 event correspondences.
+#pragma once
+
+#include <vector>
+
+namespace ems {
+
+/// \brief Solves max-weight assignment on a rectangular weight matrix.
+///
+/// `weights[i][j]` is the benefit of assigning row i to column j (weights
+/// may be any finite doubles; the solver internally pads to a square
+/// zero-benefit matrix, so leaving an entity unassigned has benefit 0 and
+/// negative-weight pairs are never forced).
+///
+/// Returns assignment[i] = column of row i, or -1 if row i is unassigned
+/// (possible when columns are scarcer or only negative weights remain).
+/// Runs in O(max(n,m)^3) via the Jonker-Volgenant shortest augmenting
+/// path formulation with potentials.
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weights);
+
+/// Total weight of an assignment returned by MaxWeightAssignment.
+double AssignmentWeight(const std::vector<std::vector<double>>& weights,
+                        const std::vector<int>& assignment);
+
+}  // namespace ems

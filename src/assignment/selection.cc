@@ -1,0 +1,91 @@
+#include "assignment/selection.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "assignment/hungarian.h"
+#include "util/status.h"
+
+namespace ems {
+
+std::vector<Match> SelectMaxTotalSimilarity(
+    const std::vector<std::vector<double>>& similarity,
+    const SelectionOptions& options) {
+  std::vector<int> assignment = MaxWeightAssignment(similarity);
+  std::vector<Match> out;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    int j = assignment[i];
+    if (j < 0) continue;
+    double s = similarity[i][static_cast<size_t>(j)];
+    if (s < options.min_similarity) continue;
+    out.push_back(Match{static_cast<int>(i), j, s});
+  }
+  return out;
+}
+
+std::vector<Match> SelectGreedy(
+    const std::vector<std::vector<double>>& similarity,
+    const SelectionOptions& options) {
+  std::vector<std::tuple<double, int, int>> pairs;
+  for (size_t i = 0; i < similarity.size(); ++i) {
+    for (size_t j = 0; j < similarity[i].size(); ++j) {
+      if (similarity[i][j] >= options.min_similarity) {
+        pairs.emplace_back(similarity[i][j], static_cast<int>(i),
+                           static_cast<int>(j));
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    // Highest similarity first; deterministic tie-break on indices.
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) < std::get<1>(b);
+    return std::get<2>(a) < std::get<2>(b);
+  });
+  std::vector<bool> row_used(similarity.size(), false);
+  std::vector<bool> col_used(
+      similarity.empty() ? 0 : similarity[0].size(), false);
+  std::vector<Match> out;
+  for (const auto& [s, i, j] : pairs) {
+    if (row_used[static_cast<size_t>(i)] || col_used[static_cast<size_t>(j)]) {
+      continue;
+    }
+    row_used[static_cast<size_t>(i)] = true;
+    col_used[static_cast<size_t>(j)] = true;
+    out.push_back(Match{i, j, s});
+  }
+  return out;
+}
+
+std::vector<Match> SelectMutualBest(
+    const std::vector<std::vector<double>>& similarity,
+    const SelectionOptions& options) {
+  const size_t rows = similarity.size();
+  if (rows == 0) return {};
+  const size_t cols = similarity[0].size();
+  std::vector<int> best_col(rows, -1);
+  std::vector<int> best_row(cols, -1);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (best_col[i] < 0 ||
+          similarity[i][j] > similarity[i][static_cast<size_t>(best_col[i])]) {
+        best_col[i] = static_cast<int>(j);
+      }
+      if (best_row[j] < 0 ||
+          similarity[i][j] > similarity[static_cast<size_t>(best_row[j])][j]) {
+        best_row[j] = static_cast<int>(i);
+      }
+    }
+  }
+  std::vector<Match> out;
+  for (size_t i = 0; i < rows; ++i) {
+    int j = best_col[i];
+    if (j < 0) continue;
+    if (best_row[static_cast<size_t>(j)] != static_cast<int>(i)) continue;
+    double s = similarity[i][static_cast<size_t>(j)];
+    if (s < options.min_similarity) continue;
+    out.push_back(Match{static_cast<int>(i), j, s});
+  }
+  return out;
+}
+
+}  // namespace ems

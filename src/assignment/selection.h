@@ -1,0 +1,51 @@
+// Correspondence selection: turning a pair-wise similarity matrix into a
+// set of matches (Section 2, "Selecting matching correspondences" /
+// Section 6). The paper's evaluation uses maximum total similarity
+// selection [17]; greedy and threshold-based selection are provided as
+// alternatives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ems {
+
+/// One selected correspondence between row entity i and column entity j.
+struct Match {
+  int row;
+  int col;
+  double similarity;
+
+  bool operator==(const Match& other) const {
+    return row == other.row && col == other.col;
+  }
+};
+
+/// Options shared by the selection strategies.
+struct SelectionOptions {
+  /// Pairs with similarity < threshold are never selected. The paper's
+  /// pipeline needs this because the Hungarian solver would otherwise
+  /// assign every row somewhere, destroying precision when the true
+  /// mapping is partial.
+  double min_similarity = 1e-9;
+};
+
+/// Maximum total similarity selection: the 1:1 matching maximizing the sum
+/// of similarities (Hungarian / Munkres), then filtered by the threshold.
+std::vector<Match> SelectMaxTotalSimilarity(
+    const std::vector<std::vector<double>>& similarity,
+    const SelectionOptions& options = {});
+
+/// Greedy selection: repeatedly picks the globally best remaining pair
+/// whose row and column are both unused.
+std::vector<Match> SelectGreedy(
+    const std::vector<std::vector<double>>& similarity,
+    const SelectionOptions& options = {});
+
+/// Symmetric best-match selection: keeps (i, j) iff j is i's best column
+/// AND i is j's best row (ties broken by lower index).
+std::vector<Match> SelectMutualBest(
+    const std::vector<std::vector<double>>& similarity,
+    const SelectionOptions& options = {});
+
+}  // namespace ems

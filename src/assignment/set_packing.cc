@@ -1,0 +1,130 @@
+#include "assignment/set_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ems {
+
+namespace {
+
+struct SearchState {
+  const std::vector<WeightedSet>* candidates;
+  std::vector<size_t> order;        // candidate indices, best weight first
+  std::vector<double> suffix_sum;   // sum of weights from position k on
+  std::vector<bool> used_elements;
+  std::vector<size_t> current;
+  std::vector<size_t> best;
+  double current_weight = 0.0;
+  double best_weight = 0.0;
+  uint64_t nodes = 0;
+  uint64_t max_nodes = 0;
+  bool exhausted = false;
+
+  void Search(size_t pos) {
+    if (exhausted) return;
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return;
+    }
+    if (pos == order.size()) {
+      if (current_weight > best_weight) {
+        best_weight = current_weight;
+        best = current;
+      }
+      return;
+    }
+    // Bound: even taking every remaining candidate cannot beat the best.
+    if (current_weight + suffix_sum[pos] <= best_weight) return;
+
+    const WeightedSet& cand = (*candidates)[order[pos]];
+    bool feasible = cand.weight > 0.0;
+    if (feasible) {
+      for (int e : cand.elements) {
+        if (used_elements[static_cast<size_t>(e)]) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    if (feasible) {
+      // Take.
+      for (int e : cand.elements) used_elements[static_cast<size_t>(e)] = true;
+      current.push_back(order[pos]);
+      current_weight += cand.weight;
+      Search(pos + 1);
+      current_weight -= cand.weight;
+      current.pop_back();
+      for (int e : cand.elements) used_elements[static_cast<size_t>(e)] = false;
+    }
+    // Skip.
+    Search(pos + 1);
+  }
+};
+
+}  // namespace
+
+Result<PackingResult> MaxWeightSetPacking(
+    const std::vector<WeightedSet>& candidates, int universe_size,
+    uint64_t max_nodes) {
+  for (const WeightedSet& s : candidates) {
+    for (int e : s.elements) {
+      if (e < 0 || e >= universe_size) {
+        return Status::InvalidArgument(
+            "set packing: element outside the universe");
+      }
+    }
+  }
+  SearchState state;
+  state.candidates = &candidates;
+  state.order.resize(candidates.size());
+  std::iota(state.order.begin(), state.order.end(), size_t{0});
+  std::sort(state.order.begin(), state.order.end(), [&](size_t a, size_t b) {
+    return candidates[a].weight > candidates[b].weight;
+  });
+  state.suffix_sum.assign(candidates.size() + 1, 0.0);
+  for (size_t k = candidates.size(); k-- > 0;) {
+    double w = std::max(0.0, candidates[state.order[k]].weight);
+    state.suffix_sum[k] = state.suffix_sum[k + 1] + w;
+  }
+  state.used_elements.assign(static_cast<size_t>(universe_size), false);
+  state.max_nodes = max_nodes;
+  state.Search(0);
+  if (state.exhausted) {
+    return Status::ResourceExhausted(
+        "set packing search exceeded the node budget");
+  }
+  PackingResult result;
+  result.chosen = std::move(state.best);
+  result.total_weight = state.best_weight;
+  result.nodes_expanded = state.nodes;
+  return result;
+}
+
+PackingResult GreedySetPacking(const std::vector<WeightedSet>& candidates,
+                               int universe_size) {
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a].weight > candidates[b].weight;
+  });
+  std::vector<bool> used(static_cast<size_t>(universe_size), false);
+  PackingResult result;
+  for (size_t idx : order) {
+    const WeightedSet& cand = candidates[idx];
+    if (cand.weight <= 0.0) break;
+    bool feasible = true;
+    for (int e : cand.elements) {
+      if (used[static_cast<size_t>(e)]) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    for (int e : cand.elements) used[static_cast<size_t>(e)] = true;
+    result.chosen.push_back(idx);
+    result.total_weight += cand.weight;
+  }
+  return result;
+}
+
+}  // namespace ems

@@ -1,0 +1,44 @@
+// Exact maximum-weight set packing via branch and bound. The composite
+// event matching problem reduces from maximum set packing (Theorem 3);
+// this exact solver provides ground truth on small instances to measure
+// the quality of the greedy heuristic (Section 4.1), and documents the
+// exponential blow-up the heuristic avoids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ems {
+
+/// One candidate set with a weight.
+struct WeightedSet {
+  std::vector<int> elements;  // universe element ids, distinct
+  double weight = 0.0;
+};
+
+/// Result of a packing search.
+struct PackingResult {
+  std::vector<size_t> chosen;  // indices into the candidate vector
+  double total_weight = 0.0;
+  uint64_t nodes_expanded = 0;  // search-tree size, for cost reporting
+};
+
+/// \brief Exact maximum-weight set packing.
+///
+/// Finds a subfamily of pairwise-disjoint candidate sets maximizing total
+/// weight. Branch and bound: candidates sorted by weight, bound = optimum
+/// of the fractional remainder. `max_nodes` caps the search; if exceeded,
+/// returns ResourceExhausted (callers fall back to the greedy heuristic).
+/// Universe elements must be >= 0 and < universe_size.
+Result<PackingResult> MaxWeightSetPacking(
+    const std::vector<WeightedSet>& candidates, int universe_size,
+    uint64_t max_nodes = 10'000'000);
+
+/// Greedy set packing baseline: repeatedly takes the feasible candidate
+/// with the highest weight. Used in tests to quantify the optimality gap.
+PackingResult GreedySetPacking(const std::vector<WeightedSet>& candidates,
+                               int universe_size);
+
+}  // namespace ems

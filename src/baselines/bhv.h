@@ -1,0 +1,38 @@
+// BHV: behavioral similarity in the style of Nejati et al. [19] — the
+// SimRank-like baseline the paper compares against. Differences from EMS
+// that the paper exploits experimentally:
+//   * no artificial event: pairs of "source" events (empty pre-sets) get
+//     structural similarity 1, a source paired with a non-source gets 0
+//     (the paper's Example 2: BHV(A, 2) = 0 but BHV(A, 1) = 1);
+//   * forward-only propagation (predecessors), so dislocations at the
+//     beginning of traces (testbed DS-B) defeat it;
+//   * no edge-frequency coefficient; a plain decay constant c.
+#pragma once
+
+#include "core/similarity_matrix.h"
+#include "graph/dependency_graph.h"
+
+namespace ems {
+
+/// Parameters of the BHV baseline.
+struct BhvOptions {
+  /// Structural vs label weight, as in EMS.
+  double alpha = 1.0;
+
+  /// Propagation decay.
+  double c = 0.8;
+
+  double epsilon = 1e-4;
+  int max_iterations = 100;
+};
+
+/// Computes the BHV similarity matrix between the real nodes of two
+/// dependency graphs built WITHOUT artificial events. If the graphs carry
+/// artificial events they are ignored (rows/columns stay zero).
+/// `label_similarity`, if provided, must match the graphs' node counts.
+SimilarityMatrix ComputeBhvSimilarity(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const BhvOptions& options = {},
+    const std::vector<std::vector<double>>* label_similarity = nullptr);
+
+}  // namespace ems

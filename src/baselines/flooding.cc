@@ -1,0 +1,104 @@
+#include "baselines/flooding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ems {
+
+SimilarityMatrix ComputeSimilarityFlooding(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const FloodingOptions& options,
+    const std::vector<std::vector<double>>* label_similarity) {
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+
+  auto real_nodes = [](const DependencyGraph& g) {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+      if (!g.IsArtificial(v)) out.push_back(v);
+    }
+    return out;
+  };
+  std::vector<NodeId> nodes1 = real_nodes(g1);
+  std::vector<NodeId> nodes2 = real_nodes(g2);
+
+  auto real_succ = [](const DependencyGraph& g, NodeId v) {
+    std::vector<NodeId> out;
+    for (NodeId w : g.Successors(v)) {
+      if (!g.IsArtificial(w)) out.push_back(w);
+    }
+    return out;
+  };
+  auto real_pred = [](const DependencyGraph& g, NodeId v) {
+    std::vector<NodeId> out;
+    for (NodeId w : g.Predecessors(v)) {
+      if (!g.IsArtificial(w)) out.push_back(w);
+    }
+    return out;
+  };
+
+  // sigma^0: labels when available, else a uniform constant.
+  SimilarityMatrix sigma0(n1, n2, 0.0);
+  for (NodeId a : nodes1) {
+    for (NodeId x : nodes2) {
+      double v = label_similarity != nullptr
+                     ? (*label_similarity)[static_cast<size_t>(a)]
+                                          [static_cast<size_t>(x)]
+                     : options.initial;
+      sigma0.set(a, x, v);
+    }
+  }
+
+  SimilarityMatrix prev = sigma0;
+  SimilarityMatrix next(n1, n2, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // phi(p) = sigma0(p) + sigma_i(p) + incoming flooded mass. Mass
+    // flows along pairwise-connectivity edges: (a, x) receives from
+    // predecessors (b, y) with b -> a and y -> x, weighted by
+    // 1 / (|succ(b)| * |succ(y)|), and symmetrically from successors
+    // with the inverse weighting.
+    double max_value = 0.0;
+    for (NodeId a : nodes1) {
+      std::vector<NodeId> preds_a = real_pred(g1, a);
+      std::vector<NodeId> succs_a = real_succ(g1, a);
+      for (NodeId x : nodes2) {
+        double value = sigma0.at(a, x) + prev.at(a, x);
+        for (NodeId b : preds_a) {
+          double out_b = static_cast<double>(real_succ(g1, b).size());
+          for (NodeId y : real_pred(g2, x)) {
+            double out_y = static_cast<double>(real_succ(g2, y).size());
+            if (out_b > 0 && out_y > 0) {
+              value += prev.at(b, y) / (out_b * out_y);
+            }
+          }
+        }
+        for (NodeId b : succs_a) {
+          double in_b = static_cast<double>(real_pred(g1, b).size());
+          for (NodeId y : real_succ(g2, x)) {
+            double in_y = static_cast<double>(real_pred(g2, y).size());
+            if (in_b > 0 && in_y > 0) {
+              value += prev.at(b, y) / (in_b * in_y);
+            }
+          }
+        }
+        next.set(a, x, value);
+        max_value = std::max(max_value, value);
+      }
+    }
+    // Normalize by the maximum (the fixpoint normalization of [14]).
+    if (max_value <= 0.0) break;
+    double delta = 0.0;
+    for (NodeId a : nodes1) {
+      for (NodeId x : nodes2) {
+        double v = next.at(a, x) / max_value;
+        delta = std::max(delta, std::fabs(v - prev.at(a, x)));
+        next.set(a, x, v);
+      }
+    }
+    std::swap(prev, next);
+    if (delta <= options.epsilon) break;
+  }
+  return prev;
+}
+
+}  // namespace ems

@@ -1,0 +1,33 @@
+// Similarity Flooding (Melnik, Garcia-Molina, Rahm [14]) adapted to event
+// dependency graphs — the versatile graph-matching algorithm the paper's
+// related work contrasts with (restricted to 1:1 correspondences). The
+// pairwise connectivity graph has a node per event pair (a, x); an edge
+// connects (a, x) -> (b, y) whenever a -> b in G1 and x -> y in G2.
+// Similarity floods along these edges with propagation coefficients
+// inversely proportional to out-degrees, iterated to fixpoint with
+// per-iteration normalization.
+#pragma once
+
+#include "core/similarity_matrix.h"
+#include "graph/dependency_graph.h"
+
+namespace ems {
+
+struct FloodingOptions {
+  /// Initial similarity for every pair when no label similarity is given.
+  double initial = 1.0;
+
+  double epsilon = 1e-4;
+  int max_iterations = 200;
+};
+
+/// Computes similarity-flooding scores between the real nodes of two
+/// dependency graphs (artificial nodes ignored). Scores are normalized
+/// to [0, 1] by the maximum. `label_similarity`, if given, seeds and
+/// re-injects sigma^0 (the basic "C" fixpoint variant of [14]).
+SimilarityMatrix ComputeSimilarityFlooding(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const FloodingOptions& options = {},
+    const std::vector<std::vector<double>>* label_similarity = nullptr);
+
+}  // namespace ems

@@ -1,0 +1,204 @@
+#include "baselines/ged.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ems {
+
+namespace {
+
+// Real-node views of a graph: contiguous indices 0..n-1 with adjacency.
+struct RealGraph {
+  std::vector<NodeId> nodes;              // real NodeIds in index order
+  std::vector<std::vector<int>> out;      // adjacency by real index
+  std::vector<std::vector<int>> in;       // reverse adjacency
+  size_t num_edges = 0;
+
+  explicit RealGraph(const DependencyGraph& g) {
+    const NodeId start = g.has_artificial() ? 1 : 0;
+    for (NodeId v = start; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+      nodes.push_back(v);
+    }
+    out.resize(nodes.size());
+    in.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (NodeId w : g.Successors(nodes[i])) {
+        if (g.IsArtificial(w)) continue;
+        out[i].push_back(static_cast<int>(w - start));
+        in[static_cast<size_t>(w - start)].push_back(static_cast<int>(i));
+        ++num_edges;
+      }
+    }
+  }
+};
+
+// Local substitution similarity for opaque names: compares the node
+// frequencies (the only per-node statistic the published GED adaptation
+// can anchor on when labels carry no signal — Example 2 of the event
+// matching paper evaluates GED on opaque graphs with exactly this kind of
+// local statistic).
+double StructuralNodeSimilarity(const DependencyGraph& g1, NodeId a,
+                                const DependencyGraph& g2, NodeId b) {
+  double x = g1.NodeFrequency(a);
+  double y = g2.NodeFrequency(b);
+  double denom = x + y;
+  return denom <= 0.0 ? 1.0 : 1.0 - std::fabs(x - y) / denom;
+}
+
+struct GedContext {
+  RealGraph r1;
+  RealGraph r2;
+  std::vector<std::vector<double>> sim;  // node substitution similarity
+  GedOptions options;
+
+  GedContext(const DependencyGraph& g1, const DependencyGraph& g2,
+             const GedOptions& opts)
+      : r1(g1), r2(g2), options(opts) {
+    sim.assign(r1.nodes.size(), std::vector<double>(r2.nodes.size(), 0.0));
+    for (size_t i = 0; i < r1.nodes.size(); ++i) {
+      for (size_t j = 0; j < r2.nodes.size(); ++j) {
+        if (opts.label_measure != nullptr) {
+          sim[i][j] = opts.label_measure->Similarity(
+              g1.NodeName(r1.nodes[i]), g2.NodeName(r2.nodes[j]));
+        } else {
+          sim[i][j] =
+              StructuralNodeSimilarity(g1, r1.nodes[i], g2, r2.nodes[j]);
+        }
+      }
+    }
+  }
+
+  // Distance of a mapping given precomputed aggregates.
+  double Distance(size_t mapped_count, double substitution_sum,
+                  size_t matched_edges) const {
+    const double n_total =
+        static_cast<double>(r1.nodes.size() + r2.nodes.size());
+    const double e_total = static_cast<double>(r1.num_edges + r2.num_edges);
+    double snv = n_total <= 0.0
+                     ? 0.0
+                     : (n_total - 2.0 * static_cast<double>(mapped_count)) /
+                           n_total;
+    double sev =
+        e_total <= 0.0
+            ? 0.0
+            : (e_total - 2.0 * static_cast<double>(matched_edges)) / e_total;
+    double subn = mapped_count == 0
+                      ? 0.0
+                      : substitution_sum / static_cast<double>(mapped_count);
+    double wn = options.weight_skip_nodes;
+    double we = options.weight_skip_edges;
+    double ws = options.weight_substitution;
+    return (wn * snv + we * sev + ws * subn) / (wn + we + ws);
+  }
+
+  // Matched edges contributed by adding pair (i, j) to `mapping`:
+  // edges (i, x) / (x, i) in G1 whose counterpart under the mapping is an
+  // edge of G2.
+  size_t MatchedEdgesDelta(const std::vector<int>& mapping, size_t i,
+                           size_t j) const {
+    size_t matched = 0;
+    for (int x : r1.out[i]) {
+      int mx = mapping[static_cast<size_t>(x)];
+      if (mx < 0) continue;
+      if (HasEdge2(j, static_cast<size_t>(mx))) ++matched;
+    }
+    for (int x : r1.in[i]) {
+      int mx = mapping[static_cast<size_t>(x)];
+      if (mx < 0) continue;
+      if (HasEdge2(static_cast<size_t>(mx), j)) ++matched;
+    }
+    return matched;
+  }
+
+  bool HasEdge2(size_t a, size_t b) const {
+    const auto& adj = r2.out[a];
+    return std::find(adj.begin(), adj.end(), static_cast<int>(b)) !=
+           adj.end();
+  }
+};
+
+}  // namespace
+
+GedResult ComputeGedMatching(const DependencyGraph& g1,
+                             const DependencyGraph& g2,
+                             const GedOptions& options) {
+  GedContext ctx(g1, g2, options);
+  const size_t n1 = ctx.r1.nodes.size();
+  const size_t n2 = ctx.r2.nodes.size();
+
+  GedResult result;
+  result.mapping.assign(n1, -1);
+  result.node_similarity = ctx.sim;
+
+  std::vector<bool> used2(n2, false);
+  size_t mapped = 0;
+  double substitution_sum = 0.0;
+  size_t matched_edges = 0;
+  double current = ctx.Distance(mapped, substitution_sum, matched_edges);
+
+  // Greedy: repeatedly add the pair that lowers the distance the most.
+  while (true) {
+    double best_distance = current;
+    int best_i = -1;
+    int best_j = -1;
+    size_t best_edges = 0;
+    for (size_t i = 0; i < n1; ++i) {
+      if (result.mapping[i] >= 0) continue;
+      for (size_t j = 0; j < n2; ++j) {
+        if (used2[j]) continue;
+        size_t edge_delta = ctx.MatchedEdgesDelta(result.mapping, i, j);
+        double cand = ctx.Distance(mapped + 1,
+                                   substitution_sum + (1.0 - ctx.sim[i][j]),
+                                   matched_edges + edge_delta);
+        if (cand < best_distance - options.min_improvement) {
+          best_distance = cand;
+          best_i = static_cast<int>(i);
+          best_j = static_cast<int>(j);
+          best_edges = edge_delta;
+        }
+      }
+    }
+    if (best_i < 0) break;
+    result.mapping[static_cast<size_t>(best_i)] = best_j;
+    used2[static_cast<size_t>(best_j)] = true;
+    ++mapped;
+    substitution_sum +=
+        1.0 - ctx.sim[static_cast<size_t>(best_i)][static_cast<size_t>(best_j)];
+    matched_edges += best_edges;
+    current = best_distance;
+  }
+
+  result.distance = current;
+  return result;
+}
+
+double GedDistance(const DependencyGraph& g1, const DependencyGraph& g2,
+                   const std::vector<int>& mapping,
+                   const GedOptions& options) {
+  GedContext ctx(g1, g2, options);
+  EMS_DCHECK(mapping.size() == ctx.r1.nodes.size());
+  size_t mapped = 0;
+  double substitution_sum = 0.0;
+  size_t matched_edges = 0;
+  // Count matched edges directly: an edge (x, y) of G1 is matched when
+  // both endpoints are mapped and (M(x), M(y)) is an edge of G2.
+  for (size_t x = 0; x < ctx.r1.out.size(); ++x) {
+    if (mapping[x] < 0) continue;
+    for (int y : ctx.r1.out[x]) {
+      int my = mapping[static_cast<size_t>(y)];
+      if (my < 0) continue;
+      if (ctx.HasEdge2(static_cast<size_t>(mapping[x]),
+                       static_cast<size_t>(my))) {
+        ++matched_edges;
+      }
+    }
+  }
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    if (mapping[i] < 0) continue;
+    ++mapped;
+    substitution_sum += 1.0 - ctx.sim[i][static_cast<size_t>(mapping[i])];
+  }
+  return ctx.Distance(mapped, substitution_sum, matched_edges);
+}
+
+}  // namespace ems

@@ -1,0 +1,105 @@
+#include "baselines/icop.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ems {
+
+namespace {
+
+struct Candidate {
+  std::vector<EventId> left;
+  std::vector<EventId> right;
+  double score = 0.0;
+};
+
+// m:1 searcher: for the target event `target` on one side, collect the
+// other side's events whose label similarity to the target clears the
+// member threshold; a group of >= 2 becomes an m:1 candidate scored by
+// the mean member similarity.
+void AddGroupCandidates(const std::vector<std::string>& names_grouped,
+                        const std::vector<std::string>& names_target,
+                        const LabelSimilarity& measure,
+                        const IcopOptions& options, bool grouped_is_left,
+                        std::vector<Candidate>* out) {
+  for (EventId t = 0; t < static_cast<EventId>(names_target.size()); ++t) {
+    std::vector<std::pair<double, EventId>> members;
+    for (EventId g = 0; g < static_cast<EventId>(names_grouped.size()); ++g) {
+      double sim = measure.Similarity(names_grouped[static_cast<size_t>(g)],
+                                      names_target[static_cast<size_t>(t)]);
+      if (sim >= options.min_member_similarity) {
+        members.emplace_back(sim, g);
+      }
+    }
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (static_cast<int>(members.size()) > options.max_group_size) {
+      members.resize(static_cast<size_t>(options.max_group_size));
+    }
+    Candidate cand;
+    double total = 0.0;
+    for (const auto& [sim, g] : members) {
+      cand.left.push_back(g);
+      total += sim;
+    }
+    cand.right.push_back(t);
+    cand.score = total / static_cast<double>(members.size());
+    if (!grouped_is_left) std::swap(cand.left, cand.right);
+    out->push_back(std::move(cand));
+  }
+}
+
+}  // namespace
+
+std::vector<Correspondence> IcopMatch(const EventLog& log1,
+                                      const EventLog& log2,
+                                      const LabelSimilarity& measure,
+                                      const IcopOptions& options) {
+  const std::vector<std::string>& names1 = log1.event_names();
+  const std::vector<std::string>& names2 = log2.event_names();
+
+  std::vector<Candidate> candidates;
+  // 1:1 searcher.
+  for (EventId a = 0; a < static_cast<EventId>(names1.size()); ++a) {
+    for (EventId b = 0; b < static_cast<EventId>(names2.size()); ++b) {
+      double sim = measure.Similarity(names1[static_cast<size_t>(a)],
+                                      names2[static_cast<size_t>(b)]);
+      if (sim >= options.min_pair_similarity) {
+        candidates.push_back(Candidate{{a}, {b}, sim});
+      }
+    }
+  }
+  // m:1 and 1:n searchers.
+  AddGroupCandidates(names1, names2, measure, options,
+                     /*grouped_is_left=*/true, &candidates);
+  AddGroupCandidates(names2, names1, measure, options,
+                     /*grouped_is_left=*/false, &candidates);
+
+  // Selector: best score first, events used at most once per side.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  std::vector<bool> used1(names1.size(), false);
+  std::vector<bool> used2(names2.size(), false);
+  std::vector<Correspondence> out;
+  for (const Candidate& cand : candidates) {
+    bool free = true;
+    for (EventId e : cand.left) free = free && !used1[static_cast<size_t>(e)];
+    for (EventId e : cand.right) free = free && !used2[static_cast<size_t>(e)];
+    if (!free) continue;
+    for (EventId e : cand.left) used1[static_cast<size_t>(e)] = true;
+    for (EventId e : cand.right) used2[static_cast<size_t>(e)] = true;
+    Correspondence corr;
+    corr.similarity = cand.score;
+    for (EventId e : cand.left) corr.events1.push_back(names1[static_cast<size_t>(e)]);
+    for (EventId e : cand.right) corr.events2.push_back(names2[static_cast<size_t>(e)]);
+    out.push_back(std::move(corr));
+  }
+  return out;
+}
+
+}  // namespace ems

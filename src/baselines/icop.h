@@ -1,0 +1,38 @@
+// ICoP-style matcher (Weidlich, Dijkman, Mendling [23]): identification
+// of 1:1 and m:n correspondences from label similarity alone — the
+// composite-events baseline the paper's related work contrasts ("it uses
+// label similarity of events to judge m:n matching, which is
+// non-effective on opaque event names"). Structure is ignored entirely:
+// searchers propose candidate group pairs from term overlap, a selector
+// greedily picks non-overlapping correspondences by score.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "log/event_log.h"
+#include "text/label_similarity.h"
+
+namespace ems {
+
+struct IcopOptions {
+  /// Minimum label similarity for a 1:1 candidate.
+  double min_pair_similarity = 0.5;
+
+  /// Minimum per-member label similarity for joining an m:1 group: each
+  /// grouped event must be at least this similar to the target event.
+  double min_member_similarity = 0.3;
+
+  /// Maximum members on the grouped side of an m:1 / 1:n candidate.
+  int max_group_size = 3;
+};
+
+/// Runs the ICoP-style matching and returns the selected
+/// correspondences (singletons and groups).
+std::vector<Correspondence> IcopMatch(const EventLog& log1,
+                                      const EventLog& log2,
+                                      const LabelSimilarity& measure,
+                                      const IcopOptions& options = {});
+
+}  // namespace ems

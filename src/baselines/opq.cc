@@ -1,0 +1,319 @@
+#include "baselines/opq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/graph_algorithms.h"
+#include "util/random.h"
+
+namespace ems {
+
+namespace {
+
+struct OpqContext {
+  std::vector<std::vector<double>> w1;  // weighted dependency matrices
+  std::vector<std::vector<double>> w2;
+  size_t n1 = 0;
+  size_t n2 = 0;
+  bool swapped = false;  // true if roles were exchanged so n1 <= n2
+
+  OpqContext(const DependencyGraph& g1, const DependencyGraph& g2) {
+    // The matching operates on the dependency (direct-follows) mass only
+    // — the event-data analogue of the attribute-dependency matrices of
+    // [11]. Node frequencies are deliberately not placed on the diagonal:
+    // the published technique matches structure, and a frequency
+    // fingerprint would grant OPQ an advantage it does not have in the
+    // paper's evaluation.
+    w1 = FrequencyMatrix(g1);
+    w2 = FrequencyMatrix(g2);
+    n1 = w1.size();
+    n2 = w2.size();
+    if (n1 > n2) {
+      std::swap(w1, w2);
+      std::swap(n1, n2);
+      swapped = true;
+    }
+  }
+
+  // Cost contribution of assigning i -> p on top of `mapping` (entries
+  // >= 0 are already assigned; only indices < i are considered assigned).
+  double AssignDelta(const std::vector<int>& mapping, size_t i,
+                     size_t p) const {
+    double d = Sq(w1[i][i] - w2[p][p]);
+    for (size_t j = 0; j < i; ++j) {
+      size_t q = static_cast<size_t>(mapping[j]);
+      d += Sq(w1[i][j] - w2[p][q]);
+      d += Sq(w1[j][i] - w2[q][p]);
+    }
+    return d;
+  }
+
+  // Residual mass of graph-2 entries not covered by the mapping.
+  double UncoveredPenalty(const std::vector<bool>& used2) const {
+    double d = 0.0;
+    for (size_t p = 0; p < n2; ++p) {
+      for (size_t q = 0; q < n2; ++q) {
+        if (!used2[p] || !used2[q]) d += Sq(w2[p][q]);
+      }
+    }
+    return d;
+  }
+
+  double FullDistance(const std::vector<int>& mapping) const {
+    double d = 0.0;
+    std::vector<bool> used2(n2, false);
+    for (size_t i = 0; i < n1; ++i) {
+      if (mapping[i] >= 0) used2[static_cast<size_t>(mapping[i])] = true;
+    }
+    for (size_t i = 0; i < n1; ++i) {
+      for (size_t j = 0; j < n1; ++j) {
+        double a = w1[i][j];
+        double b = (mapping[i] >= 0 && mapping[j] >= 0)
+                       ? w2[static_cast<size_t>(mapping[i])]
+                            [static_cast<size_t>(mapping[j])]
+                       : 0.0;
+        d += Sq(a - b);
+      }
+    }
+    return d + UncoveredPenalty(used2);
+  }
+
+  // Normal-score style: co-present weight mass explained by the mapping.
+  double Score(const std::vector<int>& mapping) const {
+    double s = 0.0;
+    for (size_t i = 0; i < n1; ++i) {
+      if (mapping[i] < 0) continue;
+      for (size_t j = 0; j < n1; ++j) {
+        if (mapping[j] < 0) continue;
+        double a = w1[i][j];
+        double b = w2[static_cast<size_t>(mapping[i])]
+                     [static_cast<size_t>(mapping[j])];
+        if (a > 0.0 && b > 0.0) s += (a + b) / 2.0;
+      }
+    }
+    return s;
+  }
+
+  // Reorders graph-1 nodes by decreasing incident weight so the branch
+  // and bound fixes the most constrained nodes first.
+  std::vector<size_t> SearchOrder() const {
+    std::vector<double> mass(n1, 0.0);
+    for (size_t i = 0; i < n1; ++i) {
+      for (size_t j = 0; j < n1; ++j) mass[i] += w1[i][j] + w1[j][i];
+    }
+    std::vector<size_t> order(n1);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return mass[a] > mass[b]; });
+    return order;
+  }
+
+  static double Sq(double x) { return x * x; }
+};
+
+struct BnbState {
+  const OpqContext* ctx;
+  std::vector<size_t> order;
+  std::vector<int> mapping;       // by graph-1 node index
+  std::vector<bool> used2;
+  double partial = 0.0;
+  double best_distance = 0.0;
+  std::vector<int> best_mapping;
+  uint64_t expansions = 0;
+  uint64_t max_expansions = 0;
+  bool exhausted = false;
+
+  // `pos` indexes into `order`; cost deltas must be computed against the
+  // set of already-assigned nodes, so AssignDelta uses a dense prefix:
+  // we maintain `assigned` as the list of (node, target) fixed so far.
+  std::vector<std::pair<size_t, size_t>> assigned;
+
+  double PairDelta(size_t i, size_t p) const {
+    double d = OpqContext::Sq(ctx->w1[i][i] - ctx->w2[p][p]);
+    for (const auto& [j, q] : assigned) {
+      d += OpqContext::Sq(ctx->w1[i][j] - ctx->w2[p][q]);
+      d += OpqContext::Sq(ctx->w1[j][i] - ctx->w2[q][p]);
+    }
+    return d;
+  }
+
+  void Search(size_t pos) {
+    if (exhausted) return;
+    if (++expansions > max_expansions) {
+      exhausted = true;
+      return;
+    }
+    if (partial >= best_distance) return;  // bound (remaining terms >= 0)
+    if (pos == order.size()) {
+      double total = partial + ctx->UncoveredPenalty(used2);
+      if (total < best_distance) {
+        best_distance = total;
+        best_mapping = mapping;
+      }
+      return;
+    }
+    size_t i = order[pos];
+    // Try targets in increasing delta order for faster incumbent.
+    std::vector<std::pair<double, size_t>> cands;
+    cands.reserve(ctx->n2);
+    for (size_t p = 0; p < ctx->n2; ++p) {
+      if (used2[p]) continue;
+      cands.emplace_back(PairDelta(i, p), p);
+    }
+    std::sort(cands.begin(), cands.end());
+    for (const auto& [delta, p] : cands) {
+      if (partial + delta >= best_distance) break;  // sorted: all worse
+      mapping[i] = static_cast<int>(p);
+      used2[p] = true;
+      assigned.emplace_back(i, p);
+      partial += delta;
+      Search(pos + 1);
+      partial -= delta;
+      assigned.pop_back();
+      used2[p] = false;
+      mapping[i] = -1;
+      if (exhausted) return;
+    }
+  }
+};
+
+std::vector<int> InvertMapping(const std::vector<int>& mapping, size_t n_to) {
+  std::vector<int> inv(n_to, -1);
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    if (mapping[i] >= 0) inv[static_cast<size_t>(mapping[i])] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+OpqResult FinishResult(const OpqContext& ctx, std::vector<int> mapping,
+                       uint64_t expansions, bool exact) {
+  OpqResult result;
+  result.distance = ctx.FullDistance(mapping);
+  result.score = ctx.Score(mapping);
+  result.expansions = expansions;
+  result.exact = exact;
+  if (ctx.swapped) {
+    result.mapping = InvertMapping(mapping, ctx.n2);
+  } else {
+    result.mapping = std::move(mapping);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<OpqResult> ComputeOpqExact(const DependencyGraph& g1,
+                                  const DependencyGraph& g2,
+                                  const OpqOptions& options) {
+  OpqContext ctx(g1, g2);
+  BnbState state;
+  state.ctx = &ctx;
+  state.order = ctx.SearchOrder();
+  state.mapping.assign(ctx.n1, -1);
+  state.used2.assign(ctx.n2, false);
+  // Incumbent from hill climbing makes the bound effective immediately.
+  OpqResult warm = ComputeOpqHillClimb(g1, g2, options);
+  // warm.mapping is in original orientation; restate in context terms.
+  std::vector<int> warm_ctx = ctx.swapped
+                                  ? InvertMapping(warm.mapping, ctx.n1)
+                                  : warm.mapping;
+  // InvertMapping above inverts g1->g2 into g2-indexed; when swapped the
+  // context's "graph 1" is the original graph 2, whose size is ctx.n1.
+  state.best_distance = ctx.FullDistance(warm_ctx);
+  state.best_mapping = warm_ctx;
+  state.max_expansions = options.max_expansions;
+  state.Search(0);
+  if (state.exhausted) {
+    return Status::ResourceExhausted(
+        "OPQ branch and bound exceeded " +
+        std::to_string(options.max_expansions) + " expansions");
+  }
+  return FinishResult(ctx, std::move(state.best_mapping), state.expansions,
+                      /*exact=*/true);
+}
+
+OpqResult ComputeOpqHillClimb(const DependencyGraph& g1,
+                              const DependencyGraph& g2,
+                              const OpqOptions& options) {
+  OpqContext ctx(g1, g2);
+  Rng rng(options.seed);
+
+  std::vector<int> best_mapping;
+  double best_distance = std::numeric_limits<double>::infinity();
+  uint64_t evals = 0;
+
+  for (int restart = 0; restart <= options.hill_climb_restarts; ++restart) {
+    // Init: frequency-rank alignment (restart 0), random otherwise.
+    std::vector<size_t> order1(ctx.n1), order2(ctx.n2);
+    std::iota(order1.begin(), order1.end(), size_t{0});
+    std::iota(order2.begin(), order2.end(), size_t{0});
+    if (restart == 0) {
+      std::sort(order1.begin(), order1.end(), [&](size_t a, size_t b) {
+        return ctx.w1[a][a] > ctx.w1[b][b];
+      });
+      std::sort(order2.begin(), order2.end(), [&](size_t a, size_t b) {
+        return ctx.w2[a][a] > ctx.w2[b][b];
+      });
+    } else {
+      rng.Shuffle(&order2);
+    }
+    std::vector<int> mapping(ctx.n1, -1);
+    for (size_t k = 0; k < ctx.n1; ++k) {
+      mapping[order1[k]] = static_cast<int>(order2[k]);
+    }
+
+    double current = ctx.FullDistance(mapping);
+    ++evals;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // 2-opt: swap the targets of two graph-1 nodes, or retarget a node
+      // to an unused graph-2 node.
+      std::vector<bool> used2(ctx.n2, false);
+      for (int m : mapping) {
+        if (m >= 0) used2[static_cast<size_t>(m)] = true;
+      }
+      for (size_t i = 0; i < ctx.n1 && !improved; ++i) {
+        for (size_t j = i + 1; j < ctx.n1 && !improved; ++j) {
+          std::swap(mapping[i], mapping[j]);
+          double cand = ctx.FullDistance(mapping);
+          ++evals;
+          if (cand + 1e-12 < current) {
+            current = cand;
+            improved = true;
+          } else {
+            std::swap(mapping[i], mapping[j]);
+          }
+        }
+        for (size_t p = 0; p < ctx.n2 && !improved; ++p) {
+          if (used2[p]) continue;
+          int old = mapping[i];
+          mapping[i] = static_cast<int>(p);
+          double cand = ctx.FullDistance(mapping);
+          ++evals;
+          if (cand + 1e-12 < current) {
+            current = cand;
+            improved = true;
+          } else {
+            mapping[i] = old;
+          }
+        }
+      }
+    }
+    if (current < best_distance) {
+      best_distance = current;
+      best_mapping = mapping;
+    }
+  }
+  return FinishResult(ctx, std::move(best_mapping), evals, /*exact=*/false);
+}
+
+double OpqDistance(const DependencyGraph& g1, const DependencyGraph& g2,
+                   const std::vector<int>& mapping) {
+  OpqContext ctx(g1, g2);
+  if (!ctx.swapped) return ctx.FullDistance(mapping);
+  return ctx.FullDistance(InvertMapping(mapping, ctx.n1));
+}
+
+}  // namespace ems

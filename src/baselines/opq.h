@@ -1,0 +1,66 @@
+// OPQ baseline: matching with opaque names in the style of Kang and
+// Naughton [11]. Events are matched purely by the statistical structure
+// of their dependency graphs: the search looks for the injective mapping
+// M minimizing the distance between the two weighted dependency matrices
+// (node frequencies on the diagonal, direct-follows frequencies off it).
+// The exact search enumerates mappings (O(n!)) with branch-and-bound
+// pruning; the paper's evaluation shows it cannot finish beyond ~30
+// events, which the expansion budget reproduces. A 2-opt hill-climbing
+// fallback serves larger inputs when exactness is not required.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "util/status.h"
+
+namespace ems {
+
+struct OpqOptions {
+  /// Search-tree node budget for the exact branch-and-bound search; when
+  /// exceeded the search gives up with ResourceExhausted (the paper's
+  /// "cannot finish" regime).
+  uint64_t max_expansions = 50'000'000;
+
+  /// Random restarts of the hill-climbing fallback.
+  int hill_climb_restarts = 4;
+
+  /// Seed for hill-climbing restarts.
+  uint64_t seed = 42;
+};
+
+struct OpqResult {
+  /// mapping[i] = real-node index of graph 2 matched to real node i of
+  /// graph 1, or -1 (only when graph 2 has fewer nodes).
+  std::vector<int> mapping;
+
+  /// Squared Euclidean distance between the permuted matrices; lower is
+  /// better.
+  double distance = 0.0;
+
+  /// Normal-score style similarity (higher is better): the total matrix
+  /// mass explained by the mapping.
+  double score = 0.0;
+
+  uint64_t expansions = 0;
+  bool exact = false;  // true if the branch and bound completed
+};
+
+/// Exact OPQ matching via branch and bound. Returns ResourceExhausted
+/// when the expansion budget is exceeded.
+Result<OpqResult> ComputeOpqExact(const DependencyGraph& g1,
+                                  const DependencyGraph& g2,
+                                  const OpqOptions& options = {});
+
+/// Hill-climbing OPQ: greedy initialization + 2-opt swaps until a local
+/// optimum, with random restarts. Always succeeds; approximate.
+OpqResult ComputeOpqHillClimb(const DependencyGraph& g1,
+                              const DependencyGraph& g2,
+                              const OpqOptions& options = {});
+
+/// Distance of an explicit mapping under the OPQ objective.
+double OpqDistance(const DependencyGraph& g1, const DependencyGraph& g2,
+                   const std::vector<int>& mapping);
+
+}  // namespace ems

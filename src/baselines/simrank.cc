@@ -1,0 +1,71 @@
+#include "baselines/simrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ems {
+
+SimilarityMatrix ComputeSimRank(const DependencyGraph& g1,
+                                const DependencyGraph& g2,
+                                const SimRankOptions& options) {
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+
+  auto real_preds = [](const DependencyGraph& g, NodeId v) {
+    std::vector<NodeId> out;
+    for (NodeId u : g.Predecessors(v)) {
+      if (!g.IsArtificial(u)) out.push_back(u);
+    }
+    return out;
+  };
+  std::vector<std::vector<NodeId>> preds1(n1), preds2(n2);
+  for (NodeId v = 0; v < static_cast<NodeId>(n1); ++v) {
+    if (!g1.IsArtificial(v)) preds1[static_cast<size_t>(v)] = real_preds(g1, v);
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(n2); ++v) {
+    if (!g2.IsArtificial(v)) preds2[static_cast<size_t>(v)] = real_preds(g2, v);
+  }
+
+  SimilarityMatrix prev(n1, n2, 0.0);
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(n1); ++v1) {
+    if (g1.IsArtificial(v1)) continue;
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(n2); ++v2) {
+      if (g2.IsArtificial(v2)) continue;
+      prev.set(v1, v2, 1.0);  // cross-graph base case
+    }
+  }
+
+  SimilarityMatrix next = prev;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (NodeId v1 = 0; v1 < static_cast<NodeId>(n1); ++v1) {
+      if (g1.IsArtificial(v1)) continue;
+      const auto& p1 = preds1[static_cast<size_t>(v1)];
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(n2); ++v2) {
+        if (g2.IsArtificial(v2)) continue;
+        const auto& p2 = preds2[static_cast<size_t>(v2)];
+        double value;
+        if (p1.empty() && p2.empty()) {
+          value = 1.0;  // both sources: maximally similar, as in [10]
+        } else if (p1.empty() || p2.empty()) {
+          value = 0.0;
+        } else {
+          double sum = 0.0;
+          for (NodeId u1 : p1) {
+            for (NodeId u2 : p2) sum += prev.at(u1, u2);
+          }
+          value = options.c * sum /
+                  (static_cast<double>(p1.size()) *
+                   static_cast<double>(p2.size()));
+        }
+        next.set(v1, v2, value);
+        max_delta = std::max(max_delta, std::fabs(value - prev.at(v1, v2)));
+      }
+    }
+    std::swap(prev, next);
+    if (max_delta <= options.epsilon) break;
+  }
+  return prev;
+}
+
+}  // namespace ems

@@ -1,0 +1,29 @@
+// Classic SimRank [10], adapted minimally to cross-graph matching: used
+// as an ablation reference showing why plain SimRank is insufficient for
+// event data (no edge-frequency coefficients, no artificial events, no
+// label integration — Section 3's motivation).
+#pragma once
+
+#include "core/similarity_matrix.h"
+#include "graph/dependency_graph.h"
+
+namespace ems {
+
+struct SimRankOptions {
+  /// SimRank decay constant.
+  double c = 0.8;
+
+  double epsilon = 1e-4;
+  int max_iterations = 100;
+};
+
+/// Cross-graph SimRank: S^0(a, b) = 1 for every real pair (the cross-graph
+/// analogue of SimRank's S(a, a) = 1 base case), then
+///   S(a, b) = c / (|I(a)||I(b)|) * sum over in-neighbor pairs of S,
+/// with S(a, b) pinned to 1 when both in-neighborhoods are empty and 0
+/// when exactly one is. Artificial nodes, if present, are ignored.
+SimilarityMatrix ComputeSimRank(const DependencyGraph& g1,
+                                const DependencyGraph& g2,
+                                const SimRankOptions& options = {});
+
+}  // namespace ems

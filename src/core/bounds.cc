@@ -1,0 +1,52 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ems {
+
+double SimilarityUpperBound(double s_at_k, int k, double alpha, double c) {
+  const double r = alpha * c;
+  EMS_DCHECK(r >= 0.0 && r < 1.0);
+  return std::min(1.0, s_at_k + r * std::pow(r, k) / (1.0 - r));
+}
+
+double PaperUpperBound(double s_at_k, int k, double alpha, double c) {
+  const double r = alpha * c;
+  EMS_DCHECK(r >= 0.0 && r < 1.0);
+  return std::min(1.0, s_at_k + std::pow(r, k) / (1.0 - r));
+}
+
+double HorizonUpperBound(double s_at_k, int k, int horizon, double alpha,
+                         double c) {
+  if (horizon == kInfiniteDistance) {
+    return SimilarityUpperBound(s_at_k, k, alpha, c);
+  }
+  if (horizon <= k) return s_at_k;  // already converged (Proposition 2)
+  const double r = alpha * c;
+  EMS_DCHECK(r >= 0.0 && r < 1.0);
+  double tail = r * (std::pow(r, k) - std::pow(r, horizon)) / (1.0 - r);
+  return std::min(1.0, s_at_k + tail);
+}
+
+double AverageUpperBound(const EmsSimilarity& ems, Direction direction,
+                         const SimilarityMatrix& s_at_k, int k,
+                         const DependencyGraph& g1,
+                         const DependencyGraph& g2) {
+  const double alpha = ems.options().alpha;
+  const double c = ems.options().c;
+  double total = 0.0;
+  size_t count = 0;
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1.NumNodes()); ++v1) {
+    if (g1.IsArtificial(v1)) continue;
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2.NumNodes()); ++v2) {
+      if (g2.IsArtificial(v2)) continue;
+      int h = ems.ConvergenceHorizon(direction, v1, v2);
+      total += HorizonUpperBound(s_at_k.at(v1, v2), k, h, alpha, c);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace ems

@@ -1,0 +1,40 @@
+// Upper bounds on EMS similarities (Section 4.3): the per-iteration
+// increment bound of Lemma 5 gives an upper bound on the converged
+// similarity from any intermediate S^k (Proposition 6), tightened for
+// pairs with a finite convergence horizon (Corollary 7). The composite
+// matcher uses these to abandon candidates early (pruning "Bd").
+#pragma once
+
+#include "core/ems_similarity.h"
+
+namespace ems {
+
+/// Upper bound on S(v1, v2) given its value after k iterations
+/// (Proposition 6, tightened):
+///   S <= S^k + sum_{i=k+1..inf} (alpha*c)^i
+///      = S^k + alpha*c * (alpha*c)^k / (1 - alpha*c).
+/// The paper states the looser S^k + (alpha*c)^k / (1 - alpha*c); both are
+/// valid, and PaperUpperBound below reproduces the published form.
+double SimilarityUpperBound(double s_at_k, int k, double alpha, double c);
+
+/// The bound exactly as printed in Proposition 6 (looser by a factor
+/// alpha*c on the tail). Retained for fidelity tests.
+double PaperUpperBound(double s_at_k, int k, double alpha, double c);
+
+/// Horizon-aware bound (Corollary 7): for a pair converging after h
+/// iterations, only increments k+1..h can occur:
+///   S <= S^k + alpha*c * ((alpha*c)^k - (alpha*c)^h) / (1 - alpha*c).
+/// `horizon` may be kInfiniteDistance, which degenerates to
+/// SimilarityUpperBound.
+double HorizonUpperBound(double s_at_k, int k, int horizon, double alpha,
+                         double c);
+
+/// Upper bound on the average of all real-pair similarities of a matrix
+/// after k iterations, each pair bounded with its own horizon. `ems` must
+/// be the EmsSimilarity that produced `s_at_k` (for horizons), and
+/// `direction` the direction it was iterated in.
+double AverageUpperBound(const EmsSimilarity& ems, Direction direction,
+                         const SimilarityMatrix& s_at_k, int k,
+                         const DependencyGraph& g1, const DependencyGraph& g2);
+
+}  // namespace ems

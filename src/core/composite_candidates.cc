@@ -1,0 +1,98 @@
+#include "core/composite_candidates.h"
+
+#include <algorithm>
+#include <map>
+
+#include "log/log_stats.h"
+
+namespace ems {
+
+std::vector<CompositeCandidate> DiscoverCandidates(
+    const EventLog& log, const CandidateOptions& options) {
+  LogStats stats(log);
+  const size_t n = log.NumEvents();
+
+  // SEQ pairs: b is a's unique, near-certain immediate successor and vice
+  // versa. Confidence = min of the two conditional frequencies.
+  struct Pair {
+    EventId a, b;
+    double confidence;
+  };
+  std::vector<Pair> pairs;
+  std::vector<int> next_of(n, kInvalidEvent);  // chain pointers
+  std::vector<int> prev_of(n, kInvalidEvent);
+  for (const auto& [key, _] : stats.follows_trace_counts()) {
+    auto [a, b] = key;
+    if (a == b) continue;
+    size_t ab = stats.FollowsOccurrences(a, b);
+    if (ab < static_cast<size_t>(options.min_support)) continue;
+    double fwd = static_cast<double>(ab) /
+                 static_cast<double>(stats.EventOccurrences(a));
+    double bwd = static_cast<double>(ab) /
+                 static_cast<double>(stats.EventOccurrences(b));
+    double conf = std::min(fwd, bwd);
+    if (conf < options.min_confidence) continue;
+    pairs.push_back(Pair{a, b, conf});
+  }
+
+  // An event may qualify in several pairs when min_confidence < 1; keep
+  // the strongest chain pointer per endpoint for chaining, but keep every
+  // qualifying pair as its own candidate.
+  std::vector<double> next_conf(n, -1.0), prev_conf(n, -1.0);
+  for (const Pair& p : pairs) {
+    if (p.confidence > next_conf[static_cast<size_t>(p.a)]) {
+      next_conf[static_cast<size_t>(p.a)] = p.confidence;
+      next_of[static_cast<size_t>(p.a)] = p.b;
+    }
+    if (p.confidence > prev_conf[static_cast<size_t>(p.b)]) {
+      prev_conf[static_cast<size_t>(p.b)] = p.confidence;
+      prev_of[static_cast<size_t>(p.b)] = p.a;
+    }
+  }
+
+  std::vector<CompositeCandidate> out;
+  for (const Pair& p : pairs) {
+    out.push_back(CompositeCandidate{{p.a, p.b}, p.confidence});
+  }
+
+  // Chain extension: follow mutually-consistent strongest pointers.
+  for (const Pair& p : pairs) {
+    if (options.max_size < 3) break;
+    std::vector<EventId> chain = {p.a, p.b};
+    double conf = p.confidence;
+    EventId tail = p.b;
+    while (static_cast<int>(chain.size()) < options.max_size) {
+      int nxt = next_of[static_cast<size_t>(tail)];
+      if (nxt == kInvalidEvent || prev_of[static_cast<size_t>(nxt)] != tail) {
+        break;
+      }
+      if (std::find(chain.begin(), chain.end(), static_cast<EventId>(nxt)) !=
+          chain.end()) {
+        break;  // avoid cycles
+      }
+      chain.push_back(static_cast<EventId>(nxt));
+      conf = std::min(conf, next_conf[static_cast<size_t>(tail)]);
+      tail = static_cast<EventId>(nxt);
+      out.push_back(CompositeCandidate{chain, conf});
+    }
+  }
+
+  // De-duplicate and order: highest confidence, then smaller, then lexic.
+  std::sort(out.begin(), out.end(), [](const CompositeCandidate& x,
+                                       const CompositeCandidate& y) {
+    if (x.confidence != y.confidence) return x.confidence > y.confidence;
+    if (x.events.size() != y.events.size()) {
+      return x.events.size() < y.events.size();
+    }
+    return x.events < y.events;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+
+  if (options.max_candidates > 0 &&
+      out.size() > static_cast<size_t>(options.max_candidates)) {
+    out.resize(static_cast<size_t>(options.max_candidates));
+  }
+  return out;
+}
+
+}  // namespace ems

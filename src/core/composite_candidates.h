@@ -1,0 +1,53 @@
+// Discovery of composite event candidates (Section 4 / Section 5.1):
+// "Candidates of composite events are obtained by grouping singleton
+// events that always appear consecutively, following the convention of
+// SEQ pattern in CEP [6]". A pair (a, b) is a SEQ candidate when, within
+// the log, occurrences of a are (almost) always immediately followed by b
+// and occurrences of b are (almost) always immediately preceded by a;
+// chains close transitively into longer candidates. Different candidates
+// may overlap (the matcher resolves overlap greedily).
+#pragma once
+
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace ems {
+
+/// Parameters of SEQ-pattern candidate discovery.
+struct CandidateOptions {
+  /// Minimum fraction of a's occurrences immediately followed by b (and of
+  /// b's occurrences immediately preceded by a). 1.0 = strict "always".
+  double min_confidence = 1.0;
+
+  /// Maximum number of singleton events in one candidate.
+  int max_size = 4;
+
+  /// Minimum number of occurrences of the pair for statistical relevance.
+  int min_support = 1;
+
+  /// Upper bound on the number of candidates returned (best-confidence
+  /// first); 0 = unlimited. This is the knob Figure 14 sweeps.
+  int max_candidates = 0;
+};
+
+/// One candidate: the member events in sequence order, plus the fraction
+/// of member occurrences respecting the SEQ pattern (the candidate score
+/// used for ordering).
+struct CompositeCandidate {
+  std::vector<EventId> events;
+  double confidence = 0.0;
+
+  bool operator==(const CompositeCandidate& other) const {
+    return events == other.events;
+  }
+};
+
+/// Discovers SEQ composite candidates in `log`. Pairs are found first;
+/// adjacent pairs sharing an endpoint chain into longer candidates up to
+/// max_size. Candidates are returned with size >= 2, highest confidence
+/// first (deterministic order).
+std::vector<CompositeCandidate> DiscoverCandidates(
+    const EventLog& log, const CandidateOptions& options = {});
+
+}  // namespace ems

@@ -1,0 +1,485 @@
+#include "core/composite_matcher.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "assignment/selection.h"
+#include "core/bounds.h"
+#include "core/estimation.h"
+
+namespace ems {
+
+namespace {
+
+// True if candidate members intersect any accepted composite.
+bool Overlaps(const std::vector<EventId>& candidate,
+              const std::vector<std::vector<EventId>>& accepted) {
+  for (const auto& w : accepted) {
+    for (EventId e : candidate) {
+      if (std::find(w.begin(), w.end(), e) != w.end()) return true;
+    }
+  }
+  return false;
+}
+
+// Node of `g` whose member set equals `members` (order-insensitive), or
+// -1 if absent.
+NodeId FindNodeByMembers(const DependencyGraph& g,
+                         const std::vector<EventId>& members) {
+  std::vector<EventId> wanted = members;
+  std::sort(wanted.begin(), wanted.end());
+  for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+    if (g.IsArtificial(v)) continue;
+    std::vector<EventId> have = g.Members(v);
+    std::sort(have.begin(), have.end());
+    if (have == wanted) return v;
+  }
+  return -1;
+}
+
+std::unordered_map<std::string, NodeId> NameIndex(const DependencyGraph& g) {
+  std::unordered_map<std::string, NodeId> idx;
+  for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+    if (g.IsArtificial(v)) continue;
+    idx.emplace(g.NodeName(v), v);
+  }
+  return idx;
+}
+
+double CombinedAverage(const SimilarityMatrix& fwd,
+                       const SimilarityMatrix& bwd) {
+  // Averages are linear, so combining first is unnecessary.
+  return (fwd.Average(1, 1) + bwd.Average(1, 1)) / 2.0;
+}
+
+SimilarityMatrix CombineMatrices(const SimilarityMatrix& fwd,
+                                 const SimilarityMatrix& bwd) {
+  SimilarityMatrix out(fwd.rows(), fwd.cols(), 0.0);
+  for (NodeId r = 0; r < static_cast<NodeId>(fwd.rows()); ++r) {
+    for (NodeId c = 0; c < static_cast<NodeId>(fwd.cols()); ++c) {
+      out.set(r, c, (fwd.at(r, c) + bwd.at(r, c)) / 2.0);
+    }
+  }
+  return out;
+}
+
+// Quality mass of the best 1:1 alignment: the Hungarian total over
+// matched pairs with similarity >= `threshold`, divided by `denominator`
+// (min of the original singleton vocabulary sizes — fixed across merges
+// so the objective is comparable between greedy steps).
+double MatchedTotalObjective(const SimilarityMatrix& combined,
+                             double threshold, size_t denominator) {
+  if (denominator == 0) return 0.0;
+  std::vector<std::vector<double>> sub =
+      combined.RealSubmatrix(true, true);
+  double total = 0.0;
+  for (const Match& m : SelectMaxTotalSimilarity(sub)) {
+    if (m.similarity >= threshold) total += m.similarity;
+  }
+  return total / static_cast<double>(denominator);
+}
+
+// Upper bound on the matched-total objective given per-pair similarity
+// upper bounds supplied by `pair_bound(v1, v2)`: counted matched pairs
+// sit in distinct rows and there are at most K = min(real sizes) of
+// them, each bounded by its row maximum, so (sum of the K largest row
+// maxima) / denominator dominates the objective. The threshold and the
+// column constraint only lower the true value. Sound, if loose.
+template <typename PairBound>
+double MatchedTotalBound(const DependencyGraph& g1, const DependencyGraph& g2,
+                         size_t denominator, PairBound pair_bound) {
+  if (denominator == 0) return 0.0;
+  std::vector<double> row_max;
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1.NumNodes()); ++v1) {
+    if (g1.IsArtificial(v1)) continue;
+    double best = 0.0;
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2.NumNodes()); ++v2) {
+      if (g2.IsArtificial(v2)) continue;
+      best = std::max(best, pair_bound(v1, v2));
+    }
+    row_max.push_back(best);
+  }
+  size_t real1 = g1.NumNodes() - (g1.has_artificial() ? 1 : 0);
+  size_t real2 = g2.NumNodes() - (g2.has_artificial() ? 1 : 0);
+  size_t k = std::min(real1, real2);
+  std::sort(row_max.begin(), row_max.end(), std::greater<double>());
+  double total = 0.0;
+  for (size_t i = 0; i < std::min(k, row_max.size()); ++i) {
+    total += row_max[i];
+  }
+  return total / static_cast<double>(denominator);
+}
+
+}  // namespace
+
+CompositeMatcher::CompositeMatcher(const EventLog& log1, const EventLog& log2,
+                                   const CompositeOptions& options,
+                                   const LabelSimilarity* label_measure)
+    : log1_(log1), log2_(log2), options_(options),
+      label_measure_(label_measure) {}
+
+void CompositeMatcher::SetCandidates(
+    std::vector<CompositeCandidate> candidates1,
+    std::vector<CompositeCandidate> candidates2) {
+  candidates1_ = std::move(candidates1);
+  candidates2_ = std::move(candidates2);
+  explicit_candidates_ = true;
+}
+
+Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
+    const std::vector<std::vector<EventId>>& w1,
+    const std::vector<std::vector<EventId>>& w2, const GraphState* previous,
+    bool merged_on_side1, const std::vector<EventId>* new_composite,
+    double incumbent_average, bool* pruned_out) {
+  if (pruned_out != nullptr) *pruned_out = false;
+  GraphState state;
+  DependencyGraphOptions graph_opts = options_.graph;
+  graph_opts.add_artificial_event = true;
+  EMS_ASSIGN_OR_RETURN(
+      state.g1, DependencyGraph::BuildWithComposites(log1_, w1, graph_opts));
+  EMS_ASSIGN_OR_RETURN(
+      state.g2, DependencyGraph::BuildWithComposites(log2_, w2, graph_opts));
+
+  std::vector<std::vector<double>> labels;
+  const std::vector<std::vector<double>>* labels_ptr = nullptr;
+  if (label_measure_ != nullptr) {
+    labels = LabelSimilarityMatrix(state.g1, state.g2, *label_measure_);
+    labels_ptr = &labels;
+  }
+  const size_t denom = std::min(log1_.NumEvents(), log2_.NumEvents());
+
+  if (options_.use_estimation) {
+    // EMS+es path: estimated similarities per direction, no Uc/Bd.
+    EstimationOptions est;
+    est.exact_iterations = options_.estimation_iterations;
+    est.ems = options_.ems;
+    est.ems.direction = Direction::kForward;
+    EstimatedEmsSimilarity fwd(state.g1, state.g2, est, labels_ptr);
+    state.forward = fwd.Compute();
+    stats_.formula_evaluations += fwd.stats().formula_evaluations;
+    est.ems.direction = Direction::kBackward;
+    EstimatedEmsSimilarity bwd(state.g1, state.g2, est, labels_ptr);
+    state.backward = bwd.Compute();
+    stats_.formula_evaluations += bwd.stats().formula_evaluations;
+    if (options_.objective == CompositeObjective::kAveragePairs) {
+      state.average = CombinedAverage(state.forward, state.backward);
+    } else {
+      state.average = MatchedTotalObjective(
+          CombineMatrices(state.forward, state.backward),
+          options_.objective_threshold, denom);
+    }
+    return state;
+  }
+
+
+  EmsSimilarity sim(state.g1, state.g2, options_.ems, labels_ptr);
+
+  // --- Uc (Proposition 4): freeze rows/columns whose similarities cannot
+  // have changed relative to the previous state.
+  const bool use_uc = previous != nullptr && new_composite != nullptr &&
+                      options_.prune_unchanged;
+  std::vector<bool> frozen_fwd, frozen_bwd;
+  SimilarityMatrix frozen_fwd_vals, frozen_bwd_vals;
+  if (use_uc) {
+    const DependencyGraph& g_new = merged_on_side1 ? state.g1 : state.g2;
+    const DependencyGraph& g_old = merged_on_side1 ? previous->g1
+                                                   : previous->g2;
+    NodeId merged = FindNodeByMembers(g_new, *new_composite);
+    EMS_DCHECK(merged >= 0);
+    // Forward similarity changes only for the merged node and everything
+    // downstream of it; backward, upstream.
+    std::vector<bool> affected_fwd(g_new.NumNodes(), false);
+    std::vector<bool> affected_bwd(g_new.NumNodes(), false);
+    affected_fwd[static_cast<size_t>(merged)] = true;
+    affected_bwd[static_cast<size_t>(merged)] = true;
+    for (NodeId v : g_new.Descendants(merged)) {
+      affected_fwd[static_cast<size_t>(v)] = true;
+    }
+    for (NodeId v : g_new.Ancestors(merged)) {
+      affected_bwd[static_cast<size_t>(v)] = true;
+    }
+    auto old_index = NameIndex(g_old);
+    frozen_fwd.assign(g_new.NumNodes(), false);
+    frozen_bwd.assign(g_new.NumNodes(), false);
+    std::vector<NodeId> old_of(g_new.NumNodes(), -1);
+    for (NodeId v = 0; v < static_cast<NodeId>(g_new.NumNodes()); ++v) {
+      if (g_new.IsArtificial(v)) continue;
+      auto it = old_index.find(g_new.NodeName(v));
+      if (it == old_index.end()) continue;
+      old_of[static_cast<size_t>(v)] = it->second;
+      if (!affected_fwd[static_cast<size_t>(v)]) {
+        frozen_fwd[static_cast<size_t>(v)] = true;
+        ++stats_.rows_frozen;
+      }
+      if (!affected_bwd[static_cast<size_t>(v)]) {
+        frozen_bwd[static_cast<size_t>(v)] = true;
+        ++stats_.rows_frozen;
+      }
+    }
+    // Previous-state values remapped into the new graph's indexing. The
+    // unchanged side keeps identical node ids (deterministic builds).
+    frozen_fwd_vals = SimilarityMatrix(state.g1.NumNodes(),
+                                       state.g2.NumNodes(), 0.0);
+    frozen_bwd_vals = frozen_fwd_vals;
+    for (NodeId v = 0; v < static_cast<NodeId>(g_new.NumNodes()); ++v) {
+      NodeId old_v = old_of[static_cast<size_t>(v)];
+      if (old_v < 0) continue;
+      const size_t other_n = merged_on_side1 ? state.g2.NumNodes()
+                                             : state.g1.NumNodes();
+      for (NodeId u = 0; u < static_cast<NodeId>(other_n); ++u) {
+        if (merged_on_side1) {
+          frozen_fwd_vals.set(v, u, previous->forward.at(old_v, u));
+          frozen_bwd_vals.set(v, u, previous->backward.at(old_v, u));
+        } else {
+          frozen_fwd_vals.set(u, v, previous->forward.at(u, old_v));
+          frozen_bwd_vals.set(u, v, previous->backward.at(u, old_v));
+        }
+      }
+    }
+  }
+
+  // --- Bd (Section 4.3): abandon the candidate when the upper bound of
+  // its objective cannot reach the incumbent.
+  const bool use_bd = options_.prune_bounds && incumbent_average > 0.0;
+  bool aborted = false;
+
+  // Objective upper bound after iteration k of one direction, with the
+  // other direction either unknown (capped per pair at 1) or final.
+  auto objective_bound = [&](Direction dir, int k, const SimilarityMatrix& cur,
+                             const SimilarityMatrix* fwd_final) {
+    const double alpha = options_.ems.alpha;
+    const double c = options_.ems.c;
+    if (options_.objective == CompositeObjective::kAveragePairs) {
+      double bound = AverageUpperBound(sim, dir, cur, k, state.g1, state.g2);
+      double other = fwd_final != nullptr ? fwd_final->Average(1, 1) : 1.0;
+      return (bound + other) / 2.0;
+    }
+    return MatchedTotalBound(
+        state.g1, state.g2, denom, [&](NodeId v1, NodeId v2) {
+          int h = sim.ConvergenceHorizon(dir, v1, v2);
+          double ub = HorizonUpperBound(cur.at(v1, v2), k, h, alpha, c);
+          double other = fwd_final != nullptr ? fwd_final->at(v1, v2) : 1.0;
+          return (ub + other) / 2.0;
+        });
+  };
+
+  auto make_controls = [&](Direction dir, const SimilarityMatrix* fwd_final,
+                           const std::vector<bool>* frz,
+                           const SimilarityMatrix* vals) {
+    RunControls controls;
+    if (use_uc) {
+      if (merged_on_side1) {
+        controls.frozen_rows = frz;
+      } else {
+        controls.frozen_cols = frz;
+      }
+      controls.frozen_values = vals;
+    }
+    if (use_bd) {
+      controls.should_abort = [&objective_bound, dir, fwd_final,
+                               incumbent_average](
+                                  int k, const SimilarityMatrix& cur) {
+        return objective_bound(dir, k, cur, fwd_final) < incumbent_average;
+      };
+    }
+    controls.aborted = &aborted;
+    return controls;
+  };
+
+  RunControls fwd_controls = make_controls(
+      Direction::kForward, /*fwd_final=*/nullptr,
+      use_uc ? &frozen_fwd : nullptr, use_uc ? &frozen_fwd_vals : nullptr);
+  state.forward = sim.ComputeControlled(Direction::kForward, fwd_controls);
+  stats_.formula_evaluations += sim.stats().formula_evaluations;
+  if (aborted) {
+    if (pruned_out != nullptr) *pruned_out = true;
+    return state;
+  }
+
+  RunControls bwd_controls = make_controls(
+      Direction::kBackward, /*fwd_final=*/&state.forward,
+      use_uc ? &frozen_bwd : nullptr, use_uc ? &frozen_bwd_vals : nullptr);
+  state.backward = sim.ComputeControlled(Direction::kBackward, bwd_controls);
+  stats_.formula_evaluations += sim.stats().formula_evaluations;
+  if (aborted) {
+    if (pruned_out != nullptr) *pruned_out = true;
+    return state;
+  }
+
+  if (options_.objective == CompositeObjective::kAveragePairs) {
+    state.average = CombinedAverage(state.forward, state.backward);
+  } else {
+    state.average = MatchedTotalObjective(
+        CombineMatrices(state.forward, state.backward),
+        options_.objective_threshold, denom);
+  }
+  return state;
+}
+
+Result<CompositeMatchResult> CompositeMatcher::Match() {
+  stats_ = CompositeStats{};
+  if (!explicit_candidates_) {
+    candidates1_ = DiscoverCandidates(log1_, options_.candidates);
+    candidates2_ = DiscoverCandidates(log2_, options_.candidates);
+  }
+
+  std::vector<std::vector<EventId>> w1, w2;
+  EMS_ASSIGN_OR_RETURN(
+      GraphState state,
+      Evaluate(w1, w2, nullptr, false, nullptr, /*incumbent=*/-1.0, nullptr));
+
+  for (int step = 0; step < options_.max_steps; ++step) {
+    double best_avg = -1.0;
+    int best_side = 0;
+    const CompositeCandidate* best_candidate = nullptr;
+    GraphState best_state;
+
+    for (int side = 1; side <= 2; ++side) {
+      const auto& candidates = side == 1 ? candidates1_ : candidates2_;
+      const auto& accepted = side == 1 ? w1 : w2;
+      for (const CompositeCandidate& cand : candidates) {
+        if (cand.events.size() < 2) continue;
+        if (Overlaps(cand.events, accepted)) continue;
+
+        auto try_w1 = w1;
+        auto try_w2 = w2;
+        (side == 1 ? try_w1 : try_w2).push_back(cand.events);
+
+        double incumbent = std::max(state.average + options_.delta, best_avg);
+        bool pruned = false;
+        ++stats_.candidates_evaluated;
+        EMS_ASSIGN_OR_RETURN(
+            GraphState eval,
+            Evaluate(try_w1, try_w2, &state, side == 1, &cand.events,
+                     incumbent, &pruned));
+        if (pruned) {
+          ++stats_.candidates_pruned_by_bound;
+          continue;
+        }
+        if (eval.average > best_avg) {
+          best_avg = eval.average;
+          best_side = side;
+          best_candidate = &cand;
+          best_state = std::move(eval);
+        }
+      }
+    }
+
+    // Algorithm 2 line 9: stop when the best improvement is below delta.
+    if (best_candidate == nullptr ||
+        best_avg - state.average < options_.delta) {
+      break;
+    }
+    (best_side == 1 ? w1 : w2).push_back(best_candidate->events);
+    state = std::move(best_state);
+    ++stats_.merges_accepted;
+  }
+
+  CompositeMatchResult result;
+  result.composites1 = std::move(w1);
+  result.composites2 = std::move(w2);
+  result.similarity = CombineMatrices(state.forward, state.backward);
+  result.average_similarity = state.average;
+  result.graph1 = std::move(state.g1);
+  result.graph2 = std::move(state.g2);
+  result.stats = stats_;
+  return result;
+}
+
+namespace {
+
+// All subfamilies of pairwise-disjoint candidates (indices), including
+// the empty family.
+void EnumerateDisjointFamilies(const std::vector<CompositeCandidate>& cands,
+                               size_t idx, std::vector<size_t>* current,
+                               std::vector<EventId>* used,
+                               std::vector<std::vector<size_t>>* out) {
+  if (idx == cands.size()) {
+    out->push_back(*current);
+    return;
+  }
+  // Skip candidate idx.
+  EnumerateDisjointFamilies(cands, idx + 1, current, used, out);
+  // Take candidate idx if disjoint from used events.
+  for (EventId e : cands[idx].events) {
+    if (std::find(used->begin(), used->end(), e) != used->end()) return;
+  }
+  size_t mark = used->size();
+  for (EventId e : cands[idx].events) used->push_back(e);
+  current->push_back(idx);
+  EnumerateDisjointFamilies(cands, idx + 1, current, used, out);
+  current->pop_back();
+  used->resize(mark);
+}
+
+}  // namespace
+
+Result<CompositeMatchResult> ExactCompositeMatch(
+    const EventLog& log1, const EventLog& log2,
+    const std::vector<CompositeCandidate>& candidates1,
+    const std::vector<CompositeCandidate>& candidates2,
+    const CompositeOptions& options, const LabelSimilarity* label_measure,
+    uint64_t max_combinations) {
+  std::vector<std::vector<size_t>> families1, families2;
+  {
+    std::vector<size_t> current;
+    std::vector<EventId> used;
+    EnumerateDisjointFamilies(candidates1, 0, &current, &used, &families1);
+    current.clear();
+    used.clear();
+    EnumerateDisjointFamilies(candidates2, 0, &current, &used, &families2);
+  }
+  uint64_t combos = static_cast<uint64_t>(families1.size()) *
+                    static_cast<uint64_t>(families2.size());
+  if (combos > max_combinations) {
+    return Status::ResourceExhausted(
+        "exact composite matching: " + std::to_string(combos) +
+        " combinations exceed the budget");
+  }
+
+  CompositeMatchResult best;
+  best.average_similarity = -1.0;
+  for (const auto& f1 : families1) {
+    std::vector<std::vector<EventId>> w1;
+    for (size_t i : f1) w1.push_back(candidates1[i].events);
+    for (const auto& f2 : families2) {
+      std::vector<std::vector<EventId>> w2;
+      for (size_t j : f2) w2.push_back(candidates2[j].events);
+
+      DependencyGraphOptions graph_opts = options.graph;
+      graph_opts.add_artificial_event = true;
+      EMS_ASSIGN_OR_RETURN(DependencyGraph g1, DependencyGraph::BuildWithComposites(
+                                                   log1, w1, graph_opts));
+      EMS_ASSIGN_OR_RETURN(DependencyGraph g2, DependencyGraph::BuildWithComposites(
+                                                   log2, w2, graph_opts));
+      std::vector<std::vector<double>> labels;
+      const std::vector<std::vector<double>>* labels_ptr = nullptr;
+      if (label_measure != nullptr) {
+        labels = LabelSimilarityMatrix(g1, g2, *label_measure);
+        labels_ptr = &labels;
+      }
+      EmsOptions ems_opts = options.ems;
+      ems_opts.direction = Direction::kBoth;
+      EmsSimilarity sim(g1, g2, ems_opts, labels_ptr);
+      SimilarityMatrix combined = sim.Compute();
+      double avg =
+          options.objective == CompositeObjective::kAveragePairs
+              ? combined.Average(1, 1)
+              : MatchedTotalObjective(combined, options.objective_threshold,
+                                      std::min(log1.NumEvents(),
+                                               log2.NumEvents()));
+      if (avg > best.average_similarity) {
+        best.average_similarity = avg;
+        best.composites1 = w1;
+        best.composites2 = w2;
+        best.similarity = std::move(combined);
+        best.graph1 = std::move(g1);
+        best.graph2 = std::move(g2);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ems

@@ -1,0 +1,281 @@
+#include "core/ems_similarity.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+namespace ems {
+
+EmsSimilarity::EmsSimilarity(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const EmsOptions& options,
+    const std::vector<std::vector<double>>* label_similarity)
+    : g1_(g1), g2_(g2), options_(options), label_(label_similarity) {
+  EMS_DCHECK(g1.has_artificial() && g2.has_artificial());
+  EMS_DCHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
+  EMS_DCHECK(options.c > 0.0 && options.c < 1.0);
+#ifndef NDEBUG
+  if (label_ != nullptr) {
+    EMS_DCHECK(label_->size() == g1.NumNodes());
+    for (const auto& row : *label_) EMS_DCHECK(row.size() == g2.NumNodes());
+  }
+#endif
+}
+
+double EmsSimilarity::EdgeCoefficient(double fa, double fb) const {
+  EMS_DCHECK(fa > 0.0 || fb > 0.0);
+  return options_.c * (1.0 - std::fabs(fa - fb) / (fa + fb));
+}
+
+double EmsSimilarity::LabelAt(NodeId v1, NodeId v2) const {
+  if (label_ == nullptr) return 0.0;
+  return (*label_)[static_cast<size_t>(v1)][static_cast<size_t>(v2)];
+}
+
+int EmsSimilarity::ConvergenceHorizon(Direction direction, NodeId v1,
+                                      NodeId v2) const {
+  EMS_DCHECK(direction != Direction::kBoth);
+  const std::vector<int>& l1 = direction == Direction::kForward
+                                   ? g1_.LongestDistancesFromArtificial()
+                                   : g1_.LongestDistancesToArtificial();
+  const std::vector<int>& l2 = direction == Direction::kForward
+                                   ? g2_.LongestDistancesFromArtificial()
+                                   : g2_.LongestDistancesToArtificial();
+  return std::min(l1[static_cast<size_t>(v1)], l2[static_cast<size_t>(v2)]);
+}
+
+SimilarityMatrix EmsSimilarity::InitialMatrix() const {
+  // S^0(v1^X, v2^X) = 1; every other pair starts at 0 (Section 3.2).
+  SimilarityMatrix s(g1_.NumNodes(), g2_.NumNodes(), 0.0);
+  s.set(g1_.artificial_node(), g2_.artificial_node(), 1.0);
+  return s;
+}
+
+double EmsSimilarity::OneSide(Direction direction, const SimilarityMatrix& prev,
+                              NodeId v1, NodeId v2, bool transposed) const {
+  // s(v1, v2) = (1/|N(v1)|) * sum over v1' in N(v1) of
+  //             max over v2' in N(v2) of C(...) * S^{n-1}(v1', v2'),
+  // where N is the pre-set (forward) or post-set (backward). When
+  // `transposed`, the roles of the two graphs swap (s(v2, v1)) but matrix
+  // indexing stays (g1-node, g2-node).
+  const bool forward = direction == Direction::kForward;
+  const DependencyGraph& ga = transposed ? g2_ : g1_;
+  const DependencyGraph& gb = transposed ? g1_ : g2_;
+  const NodeId a = transposed ? v2 : v1;
+  const NodeId b = transposed ? v1 : v2;
+
+  const auto& nbrs_a = forward ? ga.Predecessors(a) : ga.Successors(a);
+  const auto& freq_a =
+      forward ? ga.PredecessorFrequencies(a) : ga.SuccessorFrequencies(a);
+  const auto& nbrs_b = forward ? gb.Predecessors(b) : gb.Successors(b);
+  const auto& freq_b =
+      forward ? gb.PredecessorFrequencies(b) : gb.SuccessorFrequencies(b);
+
+  if (nbrs_a.empty() || nbrs_b.empty()) return 0.0;
+
+  double sum = 0.0;
+  for (size_t i = 0; i < nbrs_a.size(); ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < nbrs_b.size(); ++j) {
+      double sim = transposed ? prev.at(nbrs_b[j], nbrs_a[i])
+                              : prev.at(nbrs_a[i], nbrs_b[j]);
+      if (sim <= 0.0) continue;
+      double coeff = EdgeCoefficient(freq_a[i], freq_b[j]);
+      best = std::max(best, coeff * sim);
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(nbrs_a.size());
+}
+
+namespace {
+
+struct RowRangeResult {
+  double max_delta = 0.0;
+  uint64_t evaluations = 0;
+};
+
+}  // namespace
+
+double EmsSimilarity::Iterate(Direction direction, int iteration,
+                              const SimilarityMatrix& prev,
+                              SimilarityMatrix* next,
+                              const std::vector<bool>* frozen_rows,
+                              const std::vector<bool>* frozen_cols) {
+  const NodeId rows = static_cast<NodeId>(g1_.NumNodes());
+
+  auto run_rows = [&](NodeId row_begin, NodeId row_end) {
+    RowRangeResult result;
+    for (NodeId v1 = row_begin; v1 < row_end; ++v1) {
+      if (g1_.IsArtificial(v1)) continue;
+      const bool row_frozen =
+          frozen_rows != nullptr && (*frozen_rows)[static_cast<size_t>(v1)];
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
+        if (g2_.IsArtificial(v2)) continue;
+        if (row_frozen || (frozen_cols != nullptr &&
+                           (*frozen_cols)[static_cast<size_t>(v2)])) {
+          next->set(v1, v2, prev.at(v1, v2));
+          continue;
+        }
+        if (options_.prune_converged &&
+            iteration > ConvergenceHorizon(direction, v1, v2)) {
+          // Proposition 2: the value can no longer change; keep it.
+          next->set(v1, v2, prev.at(v1, v2));
+          continue;
+        }
+        double s12 = OneSide(direction, prev, v1, v2, /*transposed=*/false);
+        double s21 = OneSide(direction, prev, v1, v2, /*transposed=*/true);
+        double value = options_.alpha * (s12 + s21) / 2.0 +
+                       (1.0 - options_.alpha) * LabelAt(v1, v2);
+        ++result.evaluations;
+        next->set(v1, v2, value);
+        result.max_delta = std::max(result.max_delta,
+                                    std::fabs(value - prev.at(v1, v2)));
+      }
+    }
+    return result;
+  };
+
+  int threads = options_.num_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, std::max<NodeId>(rows, 1));
+
+  if (threads <= 1) {
+    RowRangeResult result = run_rows(0, rows);
+    stats_.formula_evaluations += result.evaluations;
+    return result.max_delta;
+  }
+
+  // Each worker writes a disjoint row range of `next` and reads only
+  // `prev`; no synchronization needed beyond the join.
+  std::vector<RowRangeResult> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  const NodeId chunk = (rows + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    NodeId begin = t * chunk;
+    NodeId end = std::min<NodeId>(begin + chunk, rows);
+    if (begin >= end) break;
+    workers.emplace_back([&, t, begin, end] {
+      results[static_cast<size_t>(t)] = run_rows(begin, end);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  double max_delta = 0.0;
+  for (const RowRangeResult& r : results) {
+    max_delta = std::max(max_delta, r.max_delta);
+    stats_.formula_evaluations += r.evaluations;
+  }
+  return max_delta;
+}
+
+SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
+                                             int max_iterations,
+                                             int* iterations_done,
+                                             const RunControls* controls) {
+  SimilarityMatrix prev = InitialMatrix();
+  const std::vector<bool>* frozen_rows = nullptr;
+  const std::vector<bool>* frozen_cols = nullptr;
+  if (controls != nullptr &&
+      (controls->frozen_rows != nullptr || controls->frozen_cols != nullptr)) {
+    frozen_rows = controls->frozen_rows;
+    frozen_cols = controls->frozen_cols;
+    EMS_DCHECK(controls->frozen_values != nullptr);
+    for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
+      if (g1_.IsArtificial(v1)) continue;
+      bool rf = frozen_rows != nullptr &&
+                (*frozen_rows)[static_cast<size_t>(v1)];
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
+        if (g2_.IsArtificial(v2)) continue;
+        if (rf || (frozen_cols != nullptr &&
+                   (*frozen_cols)[static_cast<size_t>(v2)])) {
+          prev.set(v1, v2, controls->frozen_values->at(v1, v2));
+        }
+      }
+    }
+  }
+  if (controls != nullptr && controls->aborted != nullptr) {
+    *controls->aborted = false;
+  }
+  SimilarityMatrix next = prev;
+  int n = 0;
+  while (n < max_iterations) {
+    ++n;
+    double delta = Iterate(direction, n, prev, &next, frozen_rows, frozen_cols);
+    std::swap(prev, next);
+    if (controls != nullptr && controls->should_abort &&
+        controls->should_abort(n, prev)) {
+      if (controls->aborted != nullptr) *controls->aborted = true;
+      break;
+    }
+    if (delta <= options_.epsilon) break;
+  }
+  if (iterations_done != nullptr) *iterations_done = n;
+  return prev;
+}
+
+SimilarityMatrix EmsSimilarity::ComputeControlled(Direction direction,
+                                                  const RunControls& controls) {
+  EMS_DCHECK(direction != Direction::kBoth);
+  stats_ = EmsStats{};
+  int iters = 0;
+  SimilarityMatrix result =
+      RunDirection(direction, options_.max_iterations, &iters, &controls);
+  stats_.iterations = iters;
+  return result;
+}
+
+SimilarityMatrix EmsSimilarity::Compute() {
+  stats_ = EmsStats{};
+  if (options_.direction != Direction::kBoth) {
+    int iters = 0;
+    SimilarityMatrix result =
+        RunDirection(options_.direction, options_.max_iterations, &iters);
+    stats_.iterations = iters;
+    return result;
+  }
+  int fwd_iters = 0;
+  int bwd_iters = 0;
+  SimilarityMatrix forward =
+      RunDirection(Direction::kForward, options_.max_iterations, &fwd_iters);
+  SimilarityMatrix backward =
+      RunDirection(Direction::kBackward, options_.max_iterations, &bwd_iters);
+  stats_.iterations = std::max(fwd_iters, bwd_iters);
+  // Aggregate the two directions by average (Section 3.6).
+  SimilarityMatrix combined(g1_.NumNodes(), g2_.NumNodes(), 0.0);
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
+      combined.set(v1, v2,
+                   (forward.at(v1, v2) + backward.at(v1, v2)) / 2.0);
+    }
+  }
+  return combined;
+}
+
+SimilarityMatrix EmsSimilarity::ComputePartial(Direction direction,
+                                               int iterations) {
+  EMS_DCHECK(direction != Direction::kBoth);
+  stats_ = EmsStats{};
+  int iters = 0;
+  SimilarityMatrix result = RunDirection(direction, iterations, &iters);
+  stats_.iterations = iters;
+  return result;
+}
+
+SimilarityMatrix ComputeEmsSimilarity(const EventLog& log1,
+                                      const EventLog& log2,
+                                      const EmsOptions& options,
+                                      EmsStats* stats) {
+  DependencyGraph g1 = DependencyGraph::Build(log1);
+  DependencyGraph g2 = DependencyGraph::Build(log2);
+  EmsSimilarity sim(g1, g2, options);
+  SimilarityMatrix result = sim.Compute();
+  if (stats != nullptr) *stats = sim.stats();
+  return result;
+}
+
+}  // namespace ems

@@ -1,0 +1,172 @@
+// The paper's primary contribution: the iterative event matching
+// similarity (EMS) of Definition 2 / formula (1), its forward and backward
+// variants (Section 3.6), and the early-convergence pruning of
+// Proposition 2. Convergence is guaranteed by Theorem 1 (monotone and
+// bounded; unique fixed point when alpha * c < 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/similarity_matrix.h"
+#include "graph/dependency_graph.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Which neighbor direction the propagation follows.
+enum class Direction {
+  kForward,   // predecessors (in-neighbors), Definition 2
+  kBackward,  // successors (out-neighbors), Section 3.6
+  kBoth,      // average of the two (the production configuration)
+};
+
+/// Parameters of the EMS similarity.
+struct EmsOptions {
+  /// Weight of the structural component vs the label component
+  /// (Definition 2). alpha = 1 is the opaque-name scenario.
+  double alpha = 1.0;
+
+  /// Decay constant c of the edge-similarity coefficient C, 0 < c < 1.
+  double c = 0.8;
+
+  /// Iteration stops when no pair moved by more than epsilon.
+  double epsilon = 1e-4;
+
+  /// Hard cap on iterations (relevant for cyclic graphs; convergence is
+  /// geometric with ratio alpha * c, so the default is ample).
+  int max_iterations = 100;
+
+  /// Early-convergence pruning (Proposition 2): pairs whose
+  /// min(l(v1), l(v2)) has been reached are not recomputed.
+  bool prune_converged = true;
+
+  Direction direction = Direction::kBoth;
+
+  /// Worker threads per iteration. Each iteration reads only the previous
+  /// matrix, so rows partition cleanly; useful from ~50 events upward.
+  /// 1 = single-threaded (default); 0 = hardware concurrency.
+  int num_threads = 1;
+};
+
+/// Counters describing one similarity computation (Figures 6 and 12
+/// report these).
+struct EmsStats {
+  /// Iterations of the outer loop actually performed (max over directions).
+  int iterations = 0;
+
+  /// Total evaluations of formula (1), i.e. per-pair updates summed over
+  /// iterations and directions. Pruned pairs do not count.
+  uint64_t formula_evaluations = 0;
+
+  void Add(const EmsStats& other) {
+    iterations += other.iterations;
+    formula_evaluations += other.formula_evaluations;
+  }
+};
+
+/// Hooks that let callers steer one directional run; used by the
+/// composite matcher's pruning strategies (Sections 4.2 and 4.3).
+struct RunControls {
+  /// Rows of graph 1 whose similarities are already known to be final
+  /// (Proposition 4, pruning "Uc"). Frozen rows are initialized from
+  /// `frozen_values` and never recomputed. Mixing frozen converged values
+  /// with iterating rows preserves convergence to the true fixed point:
+  /// the map stays monotone and the frozen values are exactly the fixed
+  /// point's restriction.
+  const std::vector<bool>* frozen_rows = nullptr;
+
+  /// Columns of graph 2 with final similarities (used when the merge
+  /// happened on side 2 and graph 1 is unchanged). A pair is frozen when
+  /// its row or column is frozen.
+  const std::vector<bool>* frozen_cols = nullptr;
+
+  const SimilarityMatrix* frozen_values = nullptr;
+
+  /// Called after each iteration with (iteration k, current matrix);
+  /// returning true aborts the run (pruning "Bd": the caller has
+  /// concluded from an upper bound that this candidate cannot win).
+  std::function<bool(int, const SimilarityMatrix&)> should_abort;
+
+  /// Set to true when should_abort fired.
+  bool* aborted = nullptr;
+};
+
+/// \brief Computes EMS similarities between the nodes of two graphs.
+///
+/// Both graphs must carry the artificial event v^X (node 0); EMS is
+/// defined on the extended dependency graph. `label_similarity`, if
+/// provided, must be a NumNodes(g1) x NumNodes(g2) matrix (S^L of
+/// Definition 2); omitted means S^L == 0 (structural-only).
+class EmsSimilarity {
+ public:
+  EmsSimilarity(const DependencyGraph& g1, const DependencyGraph& g2,
+                const EmsOptions& options,
+                const std::vector<std::vector<double>>* label_similarity =
+                    nullptr);
+
+  /// Runs the iteration to convergence and returns the final combined
+  /// similarity matrix (average of forward and backward for kBoth).
+  SimilarityMatrix Compute();
+
+  /// Runs `iterations` exact iterations of a single direction and returns
+  /// the intermediate matrix S^n — the building block for estimation
+  /// (Algorithm 1) and for the upper-bound computations.
+  SimilarityMatrix ComputePartial(Direction direction, int iterations);
+
+  /// Runs one direction to convergence under external controls (frozen
+  /// rows, abort callback). Used by the composite matcher.
+  SimilarityMatrix ComputeControlled(Direction direction,
+                                     const RunControls& controls);
+
+  /// Counters of the last Compute/ComputePartial call.
+  const EmsStats& stats() const { return stats_; }
+
+  /// The per-pair convergence horizon h = min(l(v1), l(v2)) for the given
+  /// direction (kInfiniteDistance when a cycle prevents early
+  /// convergence). Requires artificial events on both graphs.
+  int ConvergenceHorizon(Direction direction, NodeId v1, NodeId v2) const;
+
+  /// C(v1, v1', v2, v2') of Definition 2 for the forward direction, where
+  /// `fa` and `fb` are the frequencies of the two edges being compared.
+  double EdgeCoefficient(double fa, double fb) const;
+
+  const EmsOptions& options() const { return options_; }
+
+ private:
+  // One full pass of formula (1) for `direction`, reading `prev` and
+  // writing `next`. `iteration` is 1-based; returns the max delta.
+  // Pairs in frozen rows/columns (may be null) are copied, not recomputed.
+  double Iterate(Direction direction, int iteration,
+                 const SimilarityMatrix& prev, SimilarityMatrix* next,
+                 const std::vector<bool>* frozen_rows,
+                 const std::vector<bool>* frozen_cols);
+
+  // One-side similarity s(v1, v2) (or s(v2, v1) when `transposed`).
+  double OneSide(Direction direction, const SimilarityMatrix& prev, NodeId v1,
+                 NodeId v2, bool transposed) const;
+
+  SimilarityMatrix InitialMatrix() const;
+  SimilarityMatrix RunDirection(Direction direction, int max_iterations,
+                                int* iterations_done,
+                                const RunControls* controls = nullptr);
+
+  double LabelAt(NodeId v1, NodeId v2) const;
+
+  const DependencyGraph& g1_;
+  const DependencyGraph& g2_;
+  EmsOptions options_;
+  const std::vector<std::vector<double>>* label_;
+  EmsStats stats_;
+};
+
+/// Convenience wrapper: computes the EMS similarity matrix between two
+/// event logs end-to-end (builds graphs with artificial events).
+SimilarityMatrix ComputeEmsSimilarity(const EventLog& log1,
+                                      const EventLog& log2,
+                                      const EmsOptions& options = {},
+                                      EmsStats* stats = nullptr);
+
+}  // namespace ems

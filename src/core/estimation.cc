@@ -1,0 +1,124 @@
+#include "core/estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.h"
+
+namespace ems {
+
+EstimatedEmsSimilarity::EstimatedEmsSimilarity(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const EstimationOptions& options,
+    const std::vector<std::vector<double>>* label_similarity)
+    : g1_(g1), g2_(g2), options_(options), label_(label_similarity) {
+  EMS_DCHECK(options.exact_iterations >= 0);
+}
+
+double EstimatedEmsSimilarity::Extrapolate(Direction direction, NodeId v1,
+                                           NodeId v2, double exact_at_i,
+                                           int horizon) const {
+  const bool forward = direction == Direction::kForward;
+  const double alpha = options_.ems.alpha;
+  const double c = options_.ems.c;
+
+  const size_t A = forward ? g1_.Predecessors(v1).size()
+                           : g1_.Successors(v1).size();
+  const size_t B = forward ? g2_.Predecessors(v2).size()
+                           : g2_.Successors(v2).size();
+  if (A == 0 || B == 0) return exact_at_i;  // isolated: nothing propagates
+
+  // C(v1^X, v1, v2^X, v2): the artificial-edge coefficient, the one term
+  // the derivation keeps exact. Artificial edge frequencies equal node
+  // frequencies (Section 2).
+  const double f1 = g1_.NodeFrequency(v1);
+  const double f2 = g2_.NodeFrequency(v2);
+  double cx = 0.0;
+  if (f1 + f2 > 0.0) {
+    cx = c * (1.0 - std::fabs(f1 - f2) / (f1 + f2));
+  }
+
+  const double ab2 = 2.0 * static_cast<double>(A) * static_cast<double>(B);
+  const double q =
+      alpha * c * (ab2 - static_cast<double>(A) - static_cast<double>(B)) /
+      ab2;
+  const double label =
+      label_ == nullptr
+          ? 0.0
+          : (*label_)[static_cast<size_t>(v1)][static_cast<size_t>(v2)];
+  const double a =
+      alpha * (static_cast<double>(A) + static_cast<double>(B)) / ab2 * cx +
+      (1.0 - alpha) * label;
+
+  const int I = options_.exact_iterations;
+  if (horizon == kInfiniteDistance) {
+    // The paper extrapolates to n = infinity, where the exact prefix
+    // S^I vanishes from formula (2) entirely. We instead cap n at the
+    // iteration where the remaining increments drop below epsilon
+    // ((alpha c)^n < epsilon, Lemma 5), so the I exact iterations keep
+    // improving cyclic pairs too — the trade-off Figure 5 relies on.
+    const double r = alpha * c;
+    int effective = options_.ems.max_iterations;
+    if (r > 0.0 && r < 1.0 && options_.ems.epsilon > 0.0) {
+      effective = static_cast<int>(
+          std::ceil(std::log(options_.ems.epsilon) / std::log(r)));
+      effective = std::clamp(effective, 1, options_.ems.max_iterations);
+    }
+    if (I >= effective) return exact_at_i;
+    horizon = effective;
+  }
+  const double steps = static_cast<double>(horizon - I);
+  const double qpow = std::pow(q, steps);
+  if (q >= 1.0) return exact_at_i;  // cannot happen with alpha*c < 1; guard
+  double estimate = qpow * exact_at_i + a * (1.0 - qpow) / (1.0 - q);
+  // Clamp into the provable envelope: the true similarity is monotone
+  // non-decreasing (Theorem 1), so S^I is a lower bound; and it cannot
+  // exceed S^I plus the geometric increment tail (Proposition 6 /
+  // Corollary 7). Within the envelope the crude extrapolation supplies
+  // the shape; at its edges the exact theory takes over, so the estimate
+  // converges to the exact value as I grows.
+  double upper = HorizonUpperBound(exact_at_i, I, horizon, alpha, c);
+  return std::clamp(estimate, exact_at_i, std::max(exact_at_i, upper));
+}
+
+SimilarityMatrix EstimatedEmsSimilarity::ComputeDirection(
+    Direction direction) {
+  // Phase 1 (Algorithm 1, lines 2-5): I exact iterations with
+  // early-convergence pruning.
+  EmsSimilarity exact(g1_, g2_, options_.ems, label_);
+  SimilarityMatrix s = exact.ComputePartial(direction,
+                                            options_.exact_iterations);
+  stats_.Add(exact.stats());
+
+  // Phase 2 (lines 6-8): extrapolate pairs whose horizon exceeds I.
+  const int I = options_.exact_iterations;
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
+    if (g1_.IsArtificial(v1)) continue;
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
+      if (g2_.IsArtificial(v2)) continue;
+      int h = exact.ConvergenceHorizon(direction, v1, v2);
+      if (I >= h) continue;  // already exact (Proposition 2)
+      double est = Extrapolate(direction, v1, v2, s.at(v1, v2), h);
+      s.set(v1, v2, std::clamp(est, 0.0, 1.0));
+    }
+  }
+  return s;
+}
+
+SimilarityMatrix EstimatedEmsSimilarity::Compute() {
+  stats_ = EmsStats{};
+  if (options_.ems.direction != Direction::kBoth) {
+    return ComputeDirection(options_.ems.direction);
+  }
+  SimilarityMatrix forward = ComputeDirection(Direction::kForward);
+  SimilarityMatrix backward = ComputeDirection(Direction::kBackward);
+  SimilarityMatrix combined(g1_.NumNodes(), g2_.NumNodes(), 0.0);
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
+      combined.set(v1, v2, (forward.at(v1, v2) + backward.at(v1, v2)) / 2.0);
+    }
+  }
+  return combined;
+}
+
+}  // namespace ems

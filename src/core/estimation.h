@@ -1,0 +1,54 @@
+// Fast estimation of EMS similarities (Section 3.5, Algorithm 1): run a
+// constant number I of exact iterations, then extrapolate each remaining
+// pair in closed form by treating the recurrence as geometric
+// (formula (2)). I trades accuracy for time: I = 0 gives O(|V1||V2|)
+// total cost; I >= max pair horizon reproduces the exact similarity.
+#pragma once
+
+#include "core/ems_similarity.h"
+
+namespace ems {
+
+/// Options for the estimated similarity.
+struct EstimationOptions {
+  /// Exact iterations before extrapolation (the paper's I; Figure 5
+  /// sweeps this from 0 to MAX). Must be >= 0.
+  int exact_iterations = 5;
+
+  /// Underlying EMS parameters. `direction` kBoth averages the forward
+  /// and backward estimates.
+  EmsOptions ems;
+};
+
+/// \brief EMS + estimation (the paper's EMS+es).
+class EstimatedEmsSimilarity {
+ public:
+  EstimatedEmsSimilarity(const DependencyGraph& g1, const DependencyGraph& g2,
+                         const EstimationOptions& options,
+                         const std::vector<std::vector<double>>*
+                             label_similarity = nullptr);
+
+  /// Runs Algorithm 1: I exact iterations + closed-form extrapolation.
+  SimilarityMatrix Compute();
+
+  /// Counters of the last Compute (exact iterations only; extrapolation
+  /// is one closed-form evaluation per pair and is not counted as a
+  /// formula-(1) evaluation).
+  const EmsStats& stats() const { return stats_; }
+
+ private:
+  SimilarityMatrix ComputeDirection(Direction direction);
+
+  // Formula (2) applied to one pair: extrapolates from the exact value
+  // S^I to the horizon h (possibly infinite).
+  double Extrapolate(Direction direction, NodeId v1, NodeId v2,
+                     double exact_at_i, int horizon) const;
+
+  const DependencyGraph& g1_;
+  const DependencyGraph& g2_;
+  EstimationOptions options_;
+  const std::vector<std::vector<double>>* label_;
+  EmsStats stats_;
+};
+
+}  // namespace ems

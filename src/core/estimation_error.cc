@@ -1,0 +1,74 @@
+#include "core/estimation_error.h"
+
+#include <cmath>
+
+namespace ems {
+
+EstimationErrorReport AnalyzeEstimationError(
+    const DependencyGraph& g1, const DependencyGraph& g2, int exact_iterations,
+    const EmsOptions& ems,
+    const std::vector<std::vector<double>>* label_similarity) {
+  EmsOptions exact_opts = ems;
+  EmsSimilarity exact(g1, g2, exact_opts, label_similarity);
+  SimilarityMatrix s_exact = exact.Compute();
+
+  EstimationOptions est_opts;
+  est_opts.exact_iterations = exact_iterations;
+  est_opts.ems = ems;
+  EstimatedEmsSimilarity estimated(g1, g2, est_opts, label_similarity);
+  SimilarityMatrix s_est = estimated.Compute();
+
+  // Horizons are direction-specific; for the combined (kBoth) matrix use
+  // the forward horizon as the classifier (finite forward ancestry is
+  // what Proposition 2 speaks about).
+  Direction horizon_dir =
+      ems.direction == Direction::kBackward ? Direction::kBackward
+                                            : Direction::kForward;
+
+  EstimationErrorReport report;
+  report.exact_iterations = exact_iterations;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  size_t undershoot = 0;
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1.NumNodes()); ++v1) {
+    if (g1.IsArtificial(v1)) continue;
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2.NumNodes()); ++v2) {
+      if (g2.IsArtificial(v2)) continue;
+      double err = s_est.at(v1, v2) - s_exact.at(v1, v2);
+      double abs_err = std::fabs(err);
+      sum_abs += abs_err;
+      sum_sq += err * err;
+      if (err < 0.0) ++undershoot;
+      report.max_abs_error = std::max(report.max_abs_error, abs_err);
+      int h = exact.ConvergenceHorizon(horizon_dir, v1, v2);
+      if (h == kInfiniteDistance) {
+        report.max_error_infinite_horizon =
+            std::max(report.max_error_infinite_horizon, abs_err);
+      } else {
+        report.max_error_finite_horizon =
+            std::max(report.max_error_finite_horizon, abs_err);
+      }
+      ++report.pairs;
+    }
+  }
+  if (report.pairs > 0) {
+    report.mean_abs_error = sum_abs / static_cast<double>(report.pairs);
+    report.rmse = std::sqrt(sum_sq / static_cast<double>(report.pairs));
+    report.undershoot_fraction =
+        static_cast<double>(undershoot) / static_cast<double>(report.pairs);
+  }
+  return report;
+}
+
+std::vector<EstimationErrorReport> EstimationErrorCurve(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const std::vector<int>& iterations, const EmsOptions& ems) {
+  std::vector<EstimationErrorReport> curve;
+  curve.reserve(iterations.size());
+  for (int i : iterations) {
+    curve.push_back(AnalyzeEstimationError(g1, g2, i, ems));
+  }
+  return curve;
+}
+
+}  // namespace ems

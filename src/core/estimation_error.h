@@ -1,0 +1,50 @@
+// Empirical analysis of the estimation error — the paper's stated open
+// question ("thus far, we do not get any theoretical bound of estimation.
+// It is interesting to investigate the bound of estimation as a future
+// study", Section 7). This module measures the gap between EMS+es and
+// exact EMS per pair, reporting the distribution a theoretical bound
+// would have to dominate.
+#pragma once
+
+#include <vector>
+
+#include "core/estimation.h"
+
+namespace ems {
+
+/// Error statistics of one estimation run against the exact similarity.
+struct EstimationErrorReport {
+  int exact_iterations = 0;  // the I used
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  double rmse = 0.0;
+
+  /// Fraction of pairs whose estimate is below the exact value
+  /// (undershoot; the estimate is not one-sided in general).
+  double undershoot_fraction = 0.0;
+
+  /// Worst error among pairs with finite convergence horizon (these
+  /// should be exact whenever I >= horizon).
+  double max_error_finite_horizon = 0.0;
+
+  /// Worst error among pairs with infinite horizon (cyclic ancestry) —
+  /// where the geometric extrapolation actually approximates.
+  double max_error_infinite_horizon = 0.0;
+
+  size_t pairs = 0;
+};
+
+/// Computes exact and estimated similarities on (g1, g2) and reports the
+/// error distribution for the given I.
+EstimationErrorReport AnalyzeEstimationError(
+    const DependencyGraph& g1, const DependencyGraph& g2, int exact_iterations,
+    const EmsOptions& ems = {},
+    const std::vector<std::vector<double>>* label_similarity = nullptr);
+
+/// Sweeps I over `iterations` and returns one report per value — the
+/// empirical error curve of Figure 5's x-axis.
+std::vector<EstimationErrorReport> EstimationErrorCurve(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const std::vector<int>& iterations, const EmsOptions& ems = {});
+
+}  // namespace ems

@@ -1,0 +1,68 @@
+#include "core/match_report.h"
+
+#include "util/json_writer.h"
+
+namespace ems {
+
+std::string MatchResultToJson(const MatchResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("correspondences");
+  w.BeginArray();
+  for (const Correspondence& c : result.correspondences) {
+    w.BeginObject();
+    w.Key("left");
+    w.BeginArray();
+    for (const std::string& name : c.events1) w.String(name);
+    w.EndArray();
+    w.Key("right");
+    w.BeginArray();
+    for (const std::string& name : c.events2) w.String(name);
+    w.EndArray();
+    w.Key("similarity");
+    w.Number(c.similarity);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("iterations");
+  w.Int(result.ems_stats.iterations);
+  w.Key("formula_evaluations");
+  w.Int(static_cast<long long>(result.ems_stats.formula_evaluations));
+  w.Key("composite_merges");
+  w.Int(result.composite_stats.merges_accepted);
+  w.Key("composite_candidates_evaluated");
+  w.Int(result.composite_stats.candidates_evaluated);
+  w.EndObject();
+  w.Key("graphs");
+  w.BeginObject();
+  w.Key("left_events");
+  w.Int(static_cast<long long>(result.graph1.NumNodes()) -
+        (result.graph1.has_artificial() ? 1 : 0));
+  w.Key("right_events");
+  w.Int(static_cast<long long>(result.graph2.NumNodes()) -
+        (result.graph2.has_artificial() ? 1 : 0));
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ConformanceToJson(const ConformanceReport& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("vocabulary_overlap");
+  w.Number(report.vocabulary_overlap);
+  w.Key("relation_overlap");
+  w.Number(report.relation_overlap);
+  w.Key("trace_coverage_1in2");
+  w.Number(report.trace_coverage_1in2);
+  w.Key("trace_coverage_2in1");
+  w.Number(report.trace_coverage_2in1);
+  w.Key("f_conformance");
+  w.Number(report.f_conformance);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace ems

@@ -1,0 +1,25 @@
+// Serialization of match results for downstream tooling: JSON documents
+// with the correspondences, similarity statistics, and run counters.
+#pragma once
+
+#include <string>
+
+#include "core/matcher.h"
+#include "core/translation.h"
+
+namespace ems {
+
+/// JSON document describing a match result:
+/// {
+///   "correspondences": [{"left": [...], "right": [...],
+///                        "similarity": 0.81}, ...],
+///   "stats": {"iterations": N, "formula_evaluations": N,
+///             "composite_merges": N},
+///   "graphs": {"left_events": N, "right_events": N}
+/// }
+std::string MatchResultToJson(const MatchResult& result);
+
+/// JSON document for a conformance report.
+std::string ConformanceToJson(const ConformanceReport& report);
+
+}  // namespace ems

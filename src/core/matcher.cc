@@ -1,0 +1,110 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+
+namespace ems {
+
+std::unique_ptr<LabelSimilarity> MakeLabelMeasure(LabelMeasure measure) {
+  switch (measure) {
+    case LabelMeasure::kNone:
+      return std::make_unique<NoLabelSimilarity>();
+    case LabelMeasure::kQGramCosine:
+      return std::make_unique<QGramCosineSimilarity>();
+    case LabelMeasure::kLevenshtein:
+      return std::make_unique<LevenshteinLabelSimilarity>();
+    case LabelMeasure::kTokenJaccard:
+      return std::make_unique<TokenJaccardSimilarity>();
+    case LabelMeasure::kJaroWinkler:
+      return std::make_unique<JaroWinklerLabelSimilarity>();
+  }
+  return std::make_unique<NoLabelSimilarity>();
+}
+
+void Matcher::ComputeSimilarity(const DependencyGraph& g1,
+                                const DependencyGraph& g2,
+                                const LabelSimilarity* measure,
+                                MatchResult* result) const {
+  std::vector<std::vector<double>> labels;
+  const std::vector<std::vector<double>>* labels_ptr = nullptr;
+  if (measure != nullptr && options_.label_measure != LabelMeasure::kNone) {
+    labels = LabelSimilarityMatrix(g1, g2, *measure);
+    labels_ptr = &labels;
+  }
+  if (options_.engine == SimilarityEngine::kEstimated) {
+    EstimationOptions est;
+    est.exact_iterations = options_.estimation_iterations;
+    est.ems = options_.ems;
+    EstimatedEmsSimilarity sim(g1, g2, est, labels_ptr);
+    result->similarity = sim.Compute();
+    result->ems_stats = sim.stats();
+  } else {
+    EmsSimilarity sim(g1, g2, options_.ems, labels_ptr);
+    result->similarity = sim.Compute();
+    result->ems_stats = sim.stats();
+  }
+}
+
+Result<MatchResult> Matcher::Match(const EventLog& log1,
+                                   const EventLog& log2) const {
+  MatchResult result;
+  std::unique_ptr<LabelSimilarity> measure =
+      MakeLabelMeasure(options_.label_measure);
+
+  if (options_.match_composites) {
+    CompositeOptions comp = options_.composite;
+    comp.ems = options_.ems;
+    comp.graph.min_edge_frequency = options_.min_edge_frequency;
+    comp.use_estimation = options_.engine == SimilarityEngine::kEstimated;
+    comp.estimation_iterations = options_.estimation_iterations;
+    CompositeMatcher matcher(log1, log2, comp,
+                             options_.label_measure == LabelMeasure::kNone
+                                 ? nullptr
+                                 : measure.get());
+    EMS_ASSIGN_OR_RETURN(CompositeMatchResult comp_result, matcher.Match());
+    result.similarity = std::move(comp_result.similarity);
+    result.graph1 = std::move(comp_result.graph1);
+    result.graph2 = std::move(comp_result.graph2);
+    result.composite_stats = comp_result.stats;
+  } else {
+    DependencyGraphOptions graph_opts;
+    graph_opts.min_edge_frequency = options_.min_edge_frequency;
+    result.graph1 = DependencyGraph::Build(log1, graph_opts);
+    result.graph2 = DependencyGraph::Build(log2, graph_opts);
+    ComputeSimilarity(result.graph1, result.graph2, measure.get(), &result);
+  }
+
+  // Resolve correspondences with member names taken from the logs.
+  std::vector<std::vector<double>> sim = result.similarity.RealSubmatrix(
+      result.graph1.has_artificial(), result.graph2.has_artificial());
+  SelectionOptions sel;
+  sel.min_similarity = options_.min_match_similarity;
+  std::vector<ems::Match> matches;
+  switch (options_.selection) {
+    case SelectionStrategy::kMaxTotalSimilarity:
+      matches = SelectMaxTotalSimilarity(sim, sel);
+      break;
+    case SelectionStrategy::kGreedy:
+      matches = SelectGreedy(sim, sel);
+      break;
+    case SelectionStrategy::kMutualBest:
+      matches = SelectMutualBest(sim, sel);
+      break;
+  }
+  const NodeId off1 = result.graph1.has_artificial() ? 1 : 0;
+  const NodeId off2 = result.graph2.has_artificial() ? 1 : 0;
+  for (const ems::Match& m : matches) {
+    Correspondence corr;
+    corr.similarity = m.similarity;
+    for (EventId e : result.graph1.Members(m.row + off1)) {
+      corr.events1.push_back(log1.EventName(e));
+    }
+    for (EventId e : result.graph2.Members(m.col + off2)) {
+      corr.events2.push_back(log2.EventName(e));
+    }
+    if (corr.events1.empty() || corr.events2.empty()) continue;
+    result.correspondences.push_back(std::move(corr));
+  }
+  return result;
+}
+
+}  // namespace ems

@@ -1,0 +1,117 @@
+// High-level event matching API: from two event logs to a set of
+// correspondences. Wires together dependency-graph construction, the EMS
+// similarity (exact or estimated), label similarity, composite matching,
+// and correspondence selection — the full pipeline of Section 2.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assignment/selection.h"
+#include "core/composite_matcher.h"
+#include "core/estimation.h"
+#include "text/label_similarity.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Which similarity engine the matcher runs.
+enum class SimilarityEngine {
+  kExact,      // EMS iterated to convergence
+  kEstimated,  // EMS+es: I exact iterations + extrapolation (Section 3.5)
+};
+
+/// Which label similarity accompanies the structural similarity.
+enum class LabelMeasure {
+  kNone,         // opaque-name scenario: structure only
+  kQGramCosine,  // the paper's choice (Section 5.1)
+  kLevenshtein,
+  kTokenJaccard,
+  kJaroWinkler,
+};
+
+/// Correspondence selection strategy (Section 6).
+enum class SelectionStrategy {
+  kMaxTotalSimilarity,  // Hungarian (the paper's evaluation setting)
+  kGreedy,
+  kMutualBest,
+};
+
+/// Full pipeline configuration.
+struct MatchOptions {
+  EmsOptions ems;
+
+  SimilarityEngine engine = SimilarityEngine::kExact;
+
+  /// Exact iterations before extrapolation when engine == kEstimated.
+  int estimation_iterations = 5;
+
+  LabelMeasure label_measure = LabelMeasure::kNone;
+
+  /// Minimum edge frequency kept in the dependency graphs (Figure 7).
+  double min_edge_frequency = 0.0;
+
+  SelectionStrategy selection = SelectionStrategy::kMaxTotalSimilarity;
+
+  /// Minimum similarity for a pair to be reported as a correspondence.
+  double min_match_similarity = 0.05;
+
+  /// Enables composite (m:n) matching via the greedy Algorithm 2.
+  bool match_composites = false;
+
+  /// Composite matching parameters (delta, prunings, candidates). The
+  /// nested `ems` inside is overridden by the top-level `ems` above.
+  CompositeOptions composite;
+};
+
+/// One reported correspondence: a set of event names on each side (both
+/// singletons unless composite matching merged events).
+struct Correspondence {
+  std::vector<std::string> events1;
+  std::vector<std::string> events2;
+  double similarity = 0.0;
+};
+
+/// Everything a caller may want to inspect after matching.
+struct MatchResult {
+  std::vector<Correspondence> correspondences;
+
+  /// Final similarity matrix (over final graph nodes, artificial rows and
+  /// columns included at index 0).
+  SimilarityMatrix similarity;
+
+  /// Final graphs (composites merged when composite matching ran).
+  DependencyGraph graph1;
+  DependencyGraph graph2;
+
+  /// Iteration counters (EMS runs only).
+  EmsStats ems_stats;
+
+  /// Composite-matcher counters (zero when composites were disabled).
+  CompositeStats composite_stats;
+};
+
+/// Creates a label-similarity measure instance.
+std::unique_ptr<LabelSimilarity> MakeLabelMeasure(LabelMeasure measure);
+
+/// \brief End-to-end event matcher.
+class Matcher {
+ public:
+  explicit Matcher(const MatchOptions& options = {}) : options_(options) {}
+
+  /// Runs the full pipeline between two logs.
+  Result<MatchResult> Match(const EventLog& log1, const EventLog& log2) const;
+
+  const MatchOptions& options() const { return options_; }
+
+ private:
+  // 1:1 pipeline over prebuilt graphs; fills similarity + stats.
+  void ComputeSimilarity(const DependencyGraph& g1, const DependencyGraph& g2,
+                         const LabelSimilarity* measure,
+                         MatchResult* result) const;
+
+  MatchOptions options_;
+};
+
+}  // namespace ems

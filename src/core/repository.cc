@@ -1,0 +1,71 @@
+#include "core/repository.h"
+
+#include <algorithm>
+
+namespace ems {
+
+Status LogRepository::Add(const std::string& name, EventLog log) {
+  if (name.empty()) {
+    return Status::InvalidArgument("repository entry needs a name");
+  }
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      return Status::InvalidArgument("duplicate repository entry '" + name +
+                                     "'");
+    }
+  }
+  entries_.push_back(Entry{name, std::move(log)});
+  return Status::OK();
+}
+
+Status LogRepository::Remove(const std::string& name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == name) {
+      entries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no repository entry '" + name + "'");
+}
+
+std::vector<std::string> LogRepository::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+Result<const EventLog*> LogRepository::Get(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e.log;
+  }
+  return Status::NotFound("no repository entry '" + name + "'");
+}
+
+Result<std::vector<RepositoryHit>> LogRepository::Query(
+    const EventLog& query, size_t top_k) const {
+  std::vector<RepositoryHit> hits;
+  hits.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    EMS_ASSIGN_OR_RETURN(MatchResult match, matcher_.Match(query, e.log));
+    double total = 0.0;
+    for (const Correspondence& c : match.correspondences) {
+      total += c.similarity;
+    }
+    RepositoryHit hit;
+    hit.name = e.name;
+    hit.score = match.correspondences.empty()
+                    ? 0.0
+                    : total / static_cast<double>(match.correspondences.size());
+    hit.match = std::move(match);
+    hits.push_back(std::move(hit));
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const RepositoryHit& a, const RepositoryHit& b) {
+                     return a.score > b.score;
+                   });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace ems

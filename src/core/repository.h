@@ -1,0 +1,63 @@
+// Log repository: the process-warehouse use case that motivates the paper
+// (Section 1) — a collection of event logs from many subsidiaries that
+// can be queried for the processes most similar to a given log, with the
+// event-level correspondences that make cross-log analysis meaningful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+
+namespace ems {
+
+/// One ranked answer to a repository query.
+struct RepositoryHit {
+  std::string name;           // the stored log's name
+  double score = 0.0;         // mean matched similarity, in [0, 1]
+  MatchResult match;          // full correspondences against the query
+};
+
+/// \brief A searchable collection of event logs.
+///
+/// Logs are stored by value together with their prebuilt dependency
+/// graphs; queries run the configured matcher against every stored log
+/// and rank by the mean similarity of the selected correspondences.
+class LogRepository {
+ public:
+  explicit LogRepository(const MatchOptions& options = {})
+      : matcher_(options) {}
+
+  /// Adds a log under a unique name. InvalidArgument on duplicates or
+  /// empty names.
+  Status Add(const std::string& name, EventLog log);
+
+  /// Removes the named log; NotFound if absent.
+  Status Remove(const std::string& name);
+
+  /// Number of stored logs.
+  size_t size() const { return entries_.size(); }
+
+  /// Names of all stored logs, in insertion order.
+  std::vector<std::string> Names() const;
+
+  /// Matches `query` against every stored log and returns up to `top_k`
+  /// hits, best score first. Scores are the mean similarity of selected
+  /// correspondences (0 when nothing matches).
+  Result<std::vector<RepositoryHit>> Query(const EventLog& query,
+                                           size_t top_k = 5) const;
+
+  /// Access a stored log by name.
+  Result<const EventLog*> Get(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    EventLog log;
+  };
+
+  Matcher matcher_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ems

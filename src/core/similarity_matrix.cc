@@ -1,0 +1,69 @@
+#include "core/similarity_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ems {
+
+double SimilarityMatrix::MaxAbsDifference(const SimilarityMatrix& other) const {
+  EMS_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+double SimilarityMatrix::Average(NodeId row_begin, NodeId col_begin) const {
+  size_t rb = static_cast<size_t>(row_begin);
+  size_t cb = static_cast<size_t>(col_begin);
+  if (rb >= rows_ || cb >= cols_) return 0.0;
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t r = rb; r < rows_; ++r) {
+    for (size_t c = cb; c < cols_; ++c) {
+      total += data_[r * cols_ + c];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+std::vector<std::vector<double>> SimilarityMatrix::RealSubmatrix(
+    bool drop_row0, bool drop_col0) const {
+  size_t rb = drop_row0 ? 1 : 0;
+  size_t cb = drop_col0 ? 1 : 0;
+  std::vector<std::vector<double>> out;
+  if (rb >= rows_ || cb >= cols_) return out;
+  out.reserve(rows_ - rb);
+  for (size_t r = rb; r < rows_; ++r) {
+    std::vector<double> row;
+    row.reserve(cols_ - cb);
+    for (size_t c = cb; c < cols_; ++c) row.push_back(data_[r * cols_ + c]);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string SimilarityMatrix::DebugString(const DependencyGraph& g1,
+                                          const DependencyGraph& g2) const {
+  std::ostringstream out;
+  out << "        ";
+  for (NodeId c = 0; c < static_cast<NodeId>(cols_); ++c) {
+    out << g2.NodeName(c).substr(0, 7) << '\t';
+  }
+  out << '\n';
+  for (NodeId r = 0; r < static_cast<NodeId>(rows_); ++r) {
+    out << g1.NodeName(r).substr(0, 7) << '\t';
+    for (NodeId c = 0; c < static_cast<NodeId>(cols_); ++c) {
+      out << FormatDouble(at(r, c), 3) << '\t';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ems

@@ -1,0 +1,61 @@
+// Dense pair-wise similarity matrix between the nodes of two dependency
+// graphs. Row/column 0 are the artificial events when present.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+
+namespace ems {
+
+/// \brief Dense n1 x n2 matrix of similarities in [0, 1].
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+  SimilarityMatrix(size_t rows, size_t cols, double init = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double at(NodeId r, NodeId c) const {
+    EMS_DCHECK(InRange(r, c));
+    return data_[static_cast<size_t>(r) * cols_ + static_cast<size_t>(c)];
+  }
+  void set(NodeId r, NodeId c, double v) {
+    EMS_DCHECK(InRange(r, c));
+    data_[static_cast<size_t>(r) * cols_ + static_cast<size_t>(c)] = v;
+  }
+
+  /// Largest absolute entry-wise difference to `other` (same shape).
+  double MaxAbsDifference(const SimilarityMatrix& other) const;
+
+  /// Average over a sub-rectangle starting at (row_begin, col_begin) —
+  /// used for avg(S(W1, W2)) excluding the artificial row/column.
+  double Average(NodeId row_begin, NodeId col_begin) const;
+
+  /// Rows/cols as a plain nested vector restricted to real nodes (drops
+  /// index 0 on each axis when the graphs carry artificial events) —
+  /// the form the selection strategies consume.
+  std::vector<std::vector<double>> RealSubmatrix(bool drop_row0,
+                                                 bool drop_col0) const;
+
+  /// Pretty-printed matrix for debugging.
+  std::string DebugString(const DependencyGraph& g1,
+                          const DependencyGraph& g2) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  bool InRange(NodeId r, NodeId c) const {
+    return r >= 0 && c >= 0 && static_cast<size_t>(r) < rows_ &&
+           static_cast<size_t>(c) < cols_;
+  }
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ems

@@ -1,0 +1,125 @@
+#include "discovery/heuristic_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "log/log_stats.h"
+
+namespace ems {
+
+bool CausalNet::HasEdge(EventId from, EventId to) const {
+  for (const CausalEdge& e : edges) {
+    if (e.from == from && e.to == to) return true;
+  }
+  return false;
+}
+
+CausalNet MineHeuristicNet(const EventLog& log, const MinerOptions& options) {
+  CausalNet net;
+  net.activities = log.event_names();
+  const size_t n = log.NumEvents();
+  if (n == 0) return net;
+
+  LogStats stats(log);
+
+  // Dependency measure per ordered pair.
+  for (EventId a = 0; a < static_cast<EventId>(n); ++a) {
+    for (EventId b = 0; b < static_cast<EventId>(n); ++b) {
+      if (a == b) continue;
+      double ab = static_cast<double>(stats.FollowsOccurrences(a, b));
+      double ba = static_cast<double>(stats.FollowsOccurrences(b, a));
+      if (ab < static_cast<double>(options.min_observations)) continue;
+      double dependency = (ab - ba) / (ab + ba + 1.0);
+      if (dependency >= options.dependency_threshold) {
+        net.edges.push_back(CausalEdge{a, b, dependency});
+      }
+    }
+  }
+
+  // Start/end activities: first/last event of each trace.
+  std::vector<size_t> starts(n, 0), ends(n, 0);
+  size_t nonempty = 0;
+  for (const Trace& t : log.traces()) {
+    if (t.empty()) continue;
+    ++nonempty;
+    ++starts[static_cast<size_t>(t.front())];
+    ++ends[static_cast<size_t>(t.back())];
+  }
+  for (EventId v = 0; v < static_cast<EventId>(n); ++v) {
+    size_t occurring = stats.EventTraceCount(v);
+    if (occurring == 0) continue;
+    if (static_cast<double>(starts[static_cast<size_t>(v)]) >=
+        0.5 * static_cast<double>(occurring)) {
+      net.start_activities.push_back(v);
+    }
+    if (static_cast<double>(ends[static_cast<size_t>(v)]) >=
+        0.5 * static_cast<double>(occurring)) {
+      net.end_activities.push_back(v);
+    }
+  }
+
+  // Length-two loops: count a b a windows.
+  std::map<std::pair<EventId, EventId>, size_t> aba;
+  for (const Trace& t : log.traces()) {
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i] == t[i + 2] && t[i] != t[i + 1]) {
+        ++aba[std::make_pair(t[i], t[i + 1])];
+      }
+    }
+  }
+  std::set<std::pair<EventId, EventId>> loop_seen;
+  for (const auto& [pair, count] : aba) {
+    auto [a, b] = pair;
+    if (loop_seen.count(std::make_pair(b, a))) continue;
+    size_t reverse = 0;
+    auto it = aba.find(std::make_pair(b, a));
+    if (it != aba.end()) reverse = it->second;
+    double measure = static_cast<double>(count + reverse) /
+                     static_cast<double>(count + reverse + 1);
+    if (measure >= options.loop2_threshold &&
+        count + reverse >= options.min_observations) {
+      net.loops2.emplace_back(a, b);
+      loop_seen.insert(pair);
+    }
+  }
+
+  // Split semantics: for an activity with causal successors b, c, ...,
+  // AND-split if successors tend to co-occur within the traces that
+  // contain the activity; XOR if they are mutually exclusive.
+  net.and_split.assign(n, false);
+  std::vector<std::vector<EventId>> successors(n);
+  for (const CausalEdge& e : net.edges) {
+    successors[static_cast<size_t>(e.from)].push_back(e.to);
+  }
+  for (EventId a = 0; a < static_cast<EventId>(n); ++a) {
+    const auto& succ = successors[static_cast<size_t>(a)];
+    if (succ.size() < 2) continue;
+    // Count traces containing a where >= 2 distinct successors occur.
+    size_t with_a = 0;
+    size_t with_many = 0;
+    for (const Trace& t : log.traces()) {
+      bool has_a = false;
+      size_t present = 0;
+      std::set<EventId> seen;
+      for (EventId e : t) {
+        if (e == a) has_a = true;
+        if (seen.insert(e).second &&
+            std::find(succ.begin(), succ.end(), e) != succ.end()) {
+          ++present;
+        }
+      }
+      if (!has_a) continue;
+      ++with_a;
+      if (present >= 2) ++with_many;
+    }
+    if (with_a > 0 &&
+        static_cast<double>(with_many) >= 0.5 * static_cast<double>(with_a)) {
+      net.and_split[static_cast<size_t>(a)] = true;
+    }
+  }
+  (void)nonempty;
+  return net;
+}
+
+}  // namespace ems

@@ -1,0 +1,64 @@
+// Heuristic process discovery in the style of the Heuristics Miner:
+// derives a causal net from an event log via dependency measures over
+// direct-follows counts. Used here to sanity-check the synthetic
+// generator (mined models must reflect the generating specification) and
+// as the natural companion of event matching in a process warehouse
+// (discover per-subsidiary models, then match their events).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+
+namespace ems {
+
+/// Parameters of the dependency-measure thresholding.
+struct MinerOptions {
+  /// Minimum dependency measure a => b for a causal edge:
+  /// (|a>b| - |b>a|) / (|a>b| + |b>a| + 1).
+  double dependency_threshold = 0.8;
+
+  /// Minimum absolute direct-follows occurrences for an edge to be
+  /// considered at all.
+  size_t min_observations = 2;
+
+  /// Dependency threshold for length-two loops (a b a patterns):
+  /// (|aba| + |bab|) / (|aba| + |bab| + 1).
+  double loop2_threshold = 0.8;
+};
+
+/// One causal edge of the mined net.
+struct CausalEdge {
+  EventId from;
+  EventId to;
+  double dependency;  // the dependency measure, in (-1, 1)
+};
+
+/// The mined model: a causal net plus split/join semantics hints.
+struct CausalNet {
+  std::vector<std::string> activities;  // by EventId of the source log
+  std::vector<CausalEdge> edges;
+
+  /// Activities that start (resp. end) traces with relative frequency
+  /// above 50%.
+  std::vector<EventId> start_activities;
+  std::vector<EventId> end_activities;
+
+  /// Detected length-two loops as (a, b) pairs: a b a occurs dependably.
+  std::vector<std::pair<EventId, EventId>> loops2;
+
+  /// For each activity, whether its outgoing split behaves like AND
+  /// (successors co-occur in the same traces) rather than XOR. Indexed
+  /// like `activities`; meaningless for out-degree < 2.
+  std::vector<bool> and_split;
+
+  /// True if `edges` contains (from, to).
+  bool HasEdge(EventId from, EventId to) const;
+};
+
+/// Mines the causal net of `log`.
+CausalNet MineHeuristicNet(const EventLog& log,
+                           const MinerOptions& options = {});
+
+}  // namespace ems

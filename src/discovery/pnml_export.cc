@@ -1,0 +1,69 @@
+#include "discovery/pnml_export.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace ems {
+
+Status WritePnml(const CausalNet& net, std::ostream& out,
+                 const std::string& net_name) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out << "<pnml xmlns=\"http://www.pnml.org/version-2009/grammar/pnml\">\n";
+  out << "  <net id=\"" << XmlEscape(net_name)
+      << "\" type=\"http://www.pnml.org/version-2009/grammar/ptnet\">\n";
+  out << "    <name><text>" << XmlEscape(net_name) << "</text></name>\n";
+  out << "    <page id=\"page0\">\n";
+
+  // Transitions: one per activity.
+  for (size_t i = 0; i < net.activities.size(); ++i) {
+    out << "      <transition id=\"t" << i << "\">\n";
+    out << "        <name><text>" << XmlEscape(net.activities[i])
+        << "</text></name>\n";
+    out << "      </transition>\n";
+  }
+
+  // Source and sink places with initial marking on the source.
+  out << "      <place id=\"p_source\">\n";
+  out << "        <initialMarking><text>1</text></initialMarking>\n";
+  out << "      </place>\n";
+  out << "      <place id=\"p_sink\"/>\n";
+
+  // One place per causal edge.
+  for (size_t k = 0; k < net.edges.size(); ++k) {
+    out << "      <place id=\"p" << k << "\"/>\n";
+  }
+
+  size_t arc = 0;
+  auto arc_open = [&]() -> std::ostream& {
+    out << "      <arc id=\"a" << arc++ << "\" source=\"";
+    return out;
+  };
+  for (size_t k = 0; k < net.edges.size(); ++k) {
+    arc_open() << 't' << net.edges[k].from << "\" target=\"p" << k
+               << "\"/>\n";
+    arc_open() << 'p' << k << "\" target=\"t" << net.edges[k].to << "\"/>\n";
+  }
+  for (EventId s : net.start_activities) {
+    arc_open() << "p_source\" target=\"t" << s << "\"/>\n";
+  }
+  for (EventId e : net.end_activities) {
+    arc_open() << 't' << e << "\" target=\"p_sink\"/>\n";
+  }
+
+  out << "    </page>\n";
+  out << "  </net>\n";
+  out << "</pnml>\n";
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WritePnmlFile(const CausalNet& net, const std::string& path,
+                     const std::string& net_name) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WritePnml(net, out, net_name);
+}
+
+}  // namespace ems

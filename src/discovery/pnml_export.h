@@ -1,0 +1,24 @@
+// PNML export: renders a mined causal net as a Petri net in the PNML
+// interchange format that ProM / PM4Py / WoPeD consume. The conversion is
+// the standard one for dependency nets: one labeled transition per
+// activity, one place per causal edge, plus a source place feeding the
+// start activities and a sink place fed by the end activities.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "discovery/heuristic_miner.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Writes `net` as a PNML document.
+Status WritePnml(const CausalNet& net, std::ostream& out,
+                 const std::string& net_name = "mined_net");
+
+/// Writes `net` as a PNML file at `path`.
+Status WritePnmlFile(const CausalNet& net, const std::string& path,
+                     const std::string& net_name = "mined_net");
+
+}  // namespace ems

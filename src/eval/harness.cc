@@ -1,0 +1,256 @@
+#include "eval/harness.h"
+
+#include "baselines/bhv.h"
+#include "baselines/ged.h"
+#include "baselines/icop.h"
+#include "baselines/opq.h"
+#include "baselines/flooding.h"
+#include "baselines/simrank.h"
+#include "util/timer.h"
+
+namespace ems {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kEms:
+      return "EMS";
+    case Method::kEmsEstimated:
+      return "EMS+es";
+    case Method::kGed:
+      return "GED";
+    case Method::kOpq:
+      return "OPQ";
+    case Method::kBhv:
+      return "BHV";
+    case Method::kSimRank:
+      return "SimRank";
+    case Method::kFlooding:
+      return "SimFlood";
+    case Method::kIcop:
+      return "ICoP";
+  }
+  return "?";
+}
+
+namespace {
+
+// Correspondences from a similarity matrix over two graphs (baselines).
+std::vector<Correspondence> SelectFromMatrix(
+    const SimilarityMatrix& sim, const DependencyGraph& g1,
+    const DependencyGraph& g2, const EventLog& log1, const EventLog& log2,
+    double min_similarity) {
+  std::vector<std::vector<double>> sub =
+      sim.RealSubmatrix(g1.has_artificial(), g2.has_artificial());
+  // Similarity scales differ per method (SimRank values decay toward 0
+  // on deep graphs); apply the threshold relative to the method's own
+  // scale so the comparison stays fair.
+  double max_value = 0.0;
+  for (const auto& row : sub) {
+    for (double v : row) max_value = std::max(max_value, v);
+  }
+  SelectionOptions sel;
+  sel.min_similarity = min_similarity * std::max(max_value, 1e-12);
+  std::vector<Match> matches = SelectMaxTotalSimilarity(sub, sel);
+  const NodeId off1 = g1.has_artificial() ? 1 : 0;
+  const NodeId off2 = g2.has_artificial() ? 1 : 0;
+  std::vector<Correspondence> out;
+  for (const Match& m : matches) {
+    Correspondence corr;
+    corr.similarity = m.similarity;
+    for (EventId e : g1.Members(m.row + off1)) {
+      corr.events1.push_back(log1.EventName(e));
+    }
+    for (EventId e : g2.Members(m.col + off2)) {
+      corr.events2.push_back(log2.EventName(e));
+    }
+    out.push_back(std::move(corr));
+  }
+  return out;
+}
+
+// Correspondences from a node mapping (GED / OPQ; mapping indexes real
+// nodes of g1 into real nodes of g2).
+std::vector<Correspondence> MappingToCorrespondences(
+    const std::vector<int>& mapping, const DependencyGraph& g1,
+    const DependencyGraph& g2, const EventLog& log1, const EventLog& log2) {
+  const NodeId off1 = g1.has_artificial() ? 1 : 0;
+  const NodeId off2 = g2.has_artificial() ? 1 : 0;
+  std::vector<Correspondence> out;
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    if (mapping[i] < 0) continue;
+    Correspondence corr;
+    corr.similarity = 1.0;
+    for (EventId e : g1.Members(static_cast<NodeId>(i) + off1)) {
+      corr.events1.push_back(log1.EventName(e));
+    }
+    for (EventId e :
+         g2.Members(static_cast<NodeId>(mapping[i]) + off2)) {
+      corr.events2.push_back(log2.EventName(e));
+    }
+    out.push_back(std::move(corr));
+  }
+  return out;
+}
+
+MethodRun RunEms(bool estimated, const LogPair& pair,
+                 const HarnessOptions& options) {
+  MatchOptions match_opts;
+  match_opts.min_edge_frequency = options.min_edge_frequency;
+  match_opts.ems = options.ems;
+  match_opts.ems.alpha = options.use_labels ? options.alpha_with_labels : 1.0;
+  match_opts.engine = estimated ? SimilarityEngine::kEstimated
+                                : SimilarityEngine::kExact;
+  match_opts.estimation_iterations = options.estimation_iterations;
+  match_opts.label_measure = options.use_labels ? LabelMeasure::kQGramCosine
+                                                : LabelMeasure::kNone;
+  match_opts.min_match_similarity = options.min_match_similarity;
+  match_opts.match_composites = options.composites;
+  match_opts.composite = options.composite;
+
+  Matcher matcher(match_opts);
+  MethodRun run;
+  Timer timer;
+  Result<MatchResult> result = matcher.Match(pair.log1, pair.log2);
+  run.millis = timer.ElapsedMillis();
+  if (!result.ok()) {
+    run.dnf = true;
+    return run;
+  }
+  run.quality = Evaluate(pair.truth, result->correspondences);
+  run.ems_stats = result->ems_stats;
+  run.composite_stats = result->composite_stats;
+  return run;
+}
+
+MethodRun RunBhvOrSimRank(Method method, const LogPair& pair,
+                          const HarnessOptions& options) {
+  DependencyGraphOptions graph_opts;
+  graph_opts.add_artificial_event = false;
+  graph_opts.min_edge_frequency = options.min_edge_frequency;
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1, graph_opts);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2, graph_opts);
+
+  MethodRun run;
+  Timer timer;
+  SimilarityMatrix sim;
+  if (method == Method::kBhv) {
+    std::vector<std::vector<double>> labels;
+    const std::vector<std::vector<double>>* labels_ptr = nullptr;
+    QGramCosineSimilarity qgram;
+    if (options.use_labels) {
+      labels = LabelSimilarityMatrix(g1, g2, qgram);
+      labels_ptr = &labels;
+    }
+    BhvOptions bhv;
+    bhv.alpha = options.use_labels ? options.alpha_with_labels : 1.0;
+    bhv.c = options.ems.c;
+    sim = ComputeBhvSimilarity(g1, g2, bhv, labels_ptr);
+  } else if (method == Method::kSimRank) {
+    SimRankOptions sr;
+    sr.c = options.ems.c;
+    sim = ComputeSimRank(g1, g2, sr);
+  } else {
+    FloodingOptions fl;
+    std::vector<std::vector<double>> labels;
+    const std::vector<std::vector<double>>* labels_ptr = nullptr;
+    QGramCosineSimilarity qgram;
+    if (options.use_labels) {
+      labels = LabelSimilarityMatrix(g1, g2, qgram);
+      labels_ptr = &labels;
+    }
+    sim = ComputeSimilarityFlooding(g1, g2, fl, labels_ptr);
+  }
+  std::vector<Correspondence> found = SelectFromMatrix(
+      sim, g1, g2, pair.log1, pair.log2, options.min_match_similarity);
+  run.millis = timer.ElapsedMillis();
+  run.quality = Evaluate(pair.truth, found);
+  return run;
+}
+
+MethodRun RunGed(const LogPair& pair, const HarnessOptions& options) {
+  DependencyGraphOptions graph_opts;
+  graph_opts.add_artificial_event = false;
+  graph_opts.min_edge_frequency = options.min_edge_frequency;
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1, graph_opts);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2, graph_opts);
+
+  MethodRun run;
+  Timer timer;
+  GedOptions ged;
+  QGramCosineSimilarity qgram;
+  if (options.use_labels) ged.label_measure = &qgram;
+  GedResult result = ComputeGedMatching(g1, g2, ged);
+  std::vector<Correspondence> found = MappingToCorrespondences(
+      result.mapping, g1, g2, pair.log1, pair.log2);
+  run.millis = timer.ElapsedMillis();
+  run.quality = Evaluate(pair.truth, found);
+  return run;
+}
+
+MethodRun RunOpq(const LogPair& pair, const HarnessOptions& options) {
+  DependencyGraphOptions graph_opts;
+  graph_opts.add_artificial_event = false;
+  graph_opts.min_edge_frequency = options.min_edge_frequency;
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1, graph_opts);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2, graph_opts);
+
+  MethodRun run;
+  Timer timer;
+  OpqOptions opq;
+  opq.max_expansions = options.opq_max_expansions;
+  Result<OpqResult> result = ComputeOpqExact(g1, g2, opq);
+  OpqResult outcome;
+  if (result.ok()) {
+    outcome = std::move(result).value();
+  } else if (options.opq_fallback_hill_climb) {
+    outcome = ComputeOpqHillClimb(g1, g2, opq);
+  } else {
+    run.millis = timer.ElapsedMillis();
+    run.dnf = true;  // the paper's "OPQ cannot finish" regime
+    return run;
+  }
+  run.millis = timer.ElapsedMillis();
+  std::vector<Correspondence> found = MappingToCorrespondences(
+      outcome.mapping, g1, g2, pair.log1, pair.log2);
+  run.quality = Evaluate(pair.truth, found);
+  return run;
+}
+
+MethodRun RunIcop(const LogPair& pair, const HarnessOptions& options) {
+  // ICoP consumes labels exclusively; in the opaque (structural-only)
+  // scenario it still sees the q-gram measure, which carries no signal
+  // for garbled names — the paper's point about [23].
+  MethodRun run;
+  Timer timer;
+  QGramCosineSimilarity qgram;
+  (void)options;
+  std::vector<Correspondence> found = IcopMatch(pair.log1, pair.log2, qgram);
+  run.millis = timer.ElapsedMillis();
+  run.quality = Evaluate(pair.truth, found);
+  return run;
+}
+
+}  // namespace
+
+MethodRun RunMethod(Method method, const LogPair& pair,
+                    const HarnessOptions& options) {
+  switch (method) {
+    case Method::kEms:
+      return RunEms(/*estimated=*/false, pair, options);
+    case Method::kEmsEstimated:
+      return RunEms(/*estimated=*/true, pair, options);
+    case Method::kGed:
+      return RunGed(pair, options);
+    case Method::kOpq:
+      return RunOpq(pair, options);
+    case Method::kBhv:
+    case Method::kSimRank:
+    case Method::kFlooding:
+      return RunBhvOrSimRank(method, pair, options);
+    case Method::kIcop:
+      return RunIcop(pair, options);
+  }
+  return MethodRun{};
+}
+
+}  // namespace ems

@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace ems {
+
+MatchQuality EvaluateLinks(
+    const std::set<std::pair<std::string, std::string>>& truth,
+    const std::set<std::pair<std::string, std::string>>& found) {
+  MatchQuality q;
+  q.truth_links = truth.size();
+  q.found_links = found.size();
+  for (const auto& link : found) {
+    if (truth.count(link)) ++q.correct_links;
+  }
+  if (truth.empty() && found.empty()) {
+    q.precision = q.recall = q.f_measure = 1.0;
+    return q;
+  }
+  q.precision = found.empty()
+                    ? 0.0
+                    : static_cast<double>(q.correct_links) /
+                          static_cast<double>(found.size());
+  q.recall = truth.empty()
+                 ? 0.0
+                 : static_cast<double>(q.correct_links) /
+                       static_cast<double>(truth.size());
+  q.f_measure = (q.precision + q.recall) <= 0.0
+                    ? 0.0
+                    : 2.0 * q.precision * q.recall /
+                          (q.precision + q.recall);
+  return q;
+}
+
+MatchQuality Evaluate(const GroundTruth& truth,
+                      const std::vector<Correspondence>& found) {
+  return EvaluateLinks(truth.Links(), CorrespondenceLinks(found));
+}
+
+void QualityAccumulator::Add(const MatchQuality& q) {
+  precision_sum_ += q.precision;
+  recall_sum_ += q.recall;
+  f_sum_ += q.f_measure;
+  ++count_;
+}
+
+MatchQuality QualityAccumulator::Mean() const {
+  MatchQuality q;
+  if (count_ == 0) return q;
+  q.precision = precision_sum_ / static_cast<double>(count_);
+  q.recall = recall_sum_ / static_cast<double>(count_);
+  q.f_measure = f_sum_ / static_cast<double>(count_);
+  return q;
+}
+
+}  // namespace ems

@@ -1,0 +1,47 @@
+// Precision / recall / F-measure over correspondence links (Section 5.1).
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "eval/ground_truth.h"
+
+namespace ems {
+
+/// Matching-quality scores. All in [0, 1].
+struct MatchQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  size_t truth_links = 0;
+  size_t found_links = 0;
+  size_t correct_links = 0;
+};
+
+/// Computes quality of `found` links against `truth` links. Empty truth
+/// and empty found counts as perfect (nothing to find, nothing found).
+MatchQuality EvaluateLinks(
+    const std::set<std::pair<std::string, std::string>>& truth,
+    const std::set<std::pair<std::string, std::string>>& found);
+
+/// Convenience overload over matcher output and GroundTruth.
+MatchQuality Evaluate(const GroundTruth& truth,
+                      const std::vector<Correspondence>& found);
+
+/// Accumulates qualities across many log pairs (macro average, the
+/// paper's per-testbed "average accuracy").
+class QualityAccumulator {
+ public:
+  void Add(const MatchQuality& q);
+  MatchQuality Mean() const;
+  size_t count() const { return count_; }
+
+ private:
+  double precision_sum_ = 0.0;
+  double recall_sum_ = 0.0;
+  double f_sum_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace ems

@@ -1,0 +1,55 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ems {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  EMS_DCHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Cell(double value, int precision) {
+  return FormatDouble(value, precision);
+}
+
+std::string MillisCell(double millis) {
+  if (millis >= 1000.0) return FormatDouble(millis / 1000.0, 2) + "s";
+  return FormatDouble(millis, 1) + "ms";
+}
+
+}  // namespace ems

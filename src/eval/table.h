@@ -1,0 +1,32 @@
+// Fixed-width text tables for figure reproductions: every bench binary
+// prints the same rows/series the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ems {
+
+/// \brief Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a data row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.812" style cell.
+std::string Cell(double value, int precision = 3);
+
+/// "12.4ms" style cell.
+std::string MillisCell(double millis);
+
+}  // namespace ems

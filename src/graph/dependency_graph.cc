@@ -1,0 +1,498 @@
+#include "graph/dependency_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace ems {
+
+void DependencyGraph::AddNode(std::string name, double freq,
+                              std::vector<EventId> members) {
+  names_.push_back(std::move(name));
+  node_freq_.push_back(freq);
+  members_.push_back(std::move(members));
+  pre_.emplace_back();
+  pre_freq_.emplace_back();
+  post_.emplace_back();
+  post_freq_.emplace_back();
+}
+
+void DependencyGraph::AddEdge(NodeId a, NodeId b, double freq) {
+  EMS_DCHECK(ValidNode(a) && ValidNode(b));
+  EMS_DCHECK(a != b);
+  EMS_DCHECK(freq > 0.0);
+  post_[static_cast<size_t>(a)].push_back(b);
+  post_freq_[static_cast<size_t>(a)].push_back(freq);
+  pre_[static_cast<size_t>(b)].push_back(a);
+  pre_freq_[static_cast<size_t>(b)].push_back(freq);
+}
+
+void DependencyGraph::FinalizeArtificial() {
+  // Connect v^X to every real node in both directions with weight f(v):
+  // any event may virtually start or end a trace (Section 2).
+  EMS_DCHECK(has_artificial_);
+  for (NodeId v = 1; v < static_cast<NodeId>(names_.size()); ++v) {
+    double f = node_freq_[static_cast<size_t>(v)];
+    if (f <= 0.0) continue;
+    AddEdge(0, v, f);
+    AddEdge(v, 0, f);
+  }
+}
+
+DependencyGraph DependencyGraph::Build(const EventLog& log,
+                                       const DependencyGraphOptions& options) {
+  DependencyGraph g;
+  g.has_artificial_ = options.add_artificial_event;
+  if (g.has_artificial_) g.AddNode("<X>", 1.0, {});
+
+  LogStats stats(log);
+  const NodeId offset = g.has_artificial_ ? 1 : 0;
+  for (EventId e = 0; e < static_cast<EventId>(log.NumEvents()); ++e) {
+    g.AddNode(log.EventName(e), stats.EventFrequency(e), {e});
+  }
+  for (const auto& [pair, count] : stats.follows_trace_counts()) {
+    (void)count;
+    auto [a, b] = pair;
+    if (a == b) continue;  // f(v, v) denotes node frequency, not a self-edge
+    double f = stats.FollowsFrequency(a, b);
+    if (f < options.min_edge_frequency) continue;
+    g.AddEdge(a + offset, b + offset, f);
+  }
+  if (g.has_artificial_) g.FinalizeArtificial();
+  return g;
+}
+
+Result<DependencyGraph> DependencyGraph::BuildWithComposites(
+    const EventLog& log, const std::vector<std::vector<EventId>>& composites,
+    const DependencyGraphOptions& options) {
+  // Map each member event to its composite index; -1 = not in a composite.
+  std::vector<int> composite_of(log.NumEvents(), -1);
+  for (size_t k = 0; k < composites.size(); ++k) {
+    if (composites[k].size() < 1) {
+      return Status::InvalidArgument("empty composite");
+    }
+    for (EventId e : composites[k]) {
+      if (e < 0 || static_cast<size_t>(e) >= log.NumEvents()) {
+        return Status::InvalidArgument("composite contains invalid event id");
+      }
+      if (composite_of[static_cast<size_t>(e)] != -1) {
+        return Status::InvalidArgument("composites overlap on event '" +
+                                       log.EventName(e) + "'");
+      }
+      composite_of[static_cast<size_t>(e)] = static_cast<int>(k);
+    }
+  }
+
+  // Composite display names: members joined with '+' in id order.
+  std::vector<std::string> composite_names(composites.size());
+  for (size_t k = 0; k < composites.size(); ++k) {
+    std::vector<EventId> sorted = composites[k];
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::string> parts;
+    parts.reserve(sorted.size());
+    for (EventId e : sorted) parts.push_back(log.EventName(e));
+    composite_names[k] = Join(parts, "+");
+  }
+
+  // Rewrite traces: a maximal run of events belonging to the same
+  // composite collapses into one occurrence of the composite event.
+  EventLog rewritten;
+  // Pre-intern composite events so their ids are stable, then real events
+  // in original order for determinism.
+  std::vector<EventId> composite_ids(composites.size());
+  for (size_t k = 0; k < composites.size(); ++k) {
+    composite_ids[k] = rewritten.AddEvent(composite_names[k]);
+  }
+  for (const Trace& t : log.traces()) {
+    std::vector<std::string> names;
+    names.reserve(t.size());
+    int run_composite = -1;
+    for (EventId e : t) {
+      int k = composite_of[static_cast<size_t>(e)];
+      if (k >= 0 && k == run_composite) continue;  // extend current run
+      run_composite = k;
+      names.push_back(k >= 0 ? composite_names[static_cast<size_t>(k)]
+                             : log.EventName(e));
+    }
+    rewritten.AddTrace(names);
+  }
+
+  DependencyGraph g = Build(rewritten, options);
+  // Fix Members() to report original EventIds (Build gives rewritten ids).
+  const NodeId offset = g.has_artificial_ ? 1 : 0;
+  for (NodeId v = offset; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+    EventId rew = g.members_[static_cast<size_t>(v)][0];
+    const std::string& name = rewritten.EventName(rew);
+    // Composite node?
+    bool is_composite = false;
+    for (size_t k = 0; k < composites.size(); ++k) {
+      if (name == composite_names[k]) {
+        g.members_[static_cast<size_t>(v)] = composites[k];
+        is_composite = true;
+        break;
+      }
+    }
+    if (!is_composite) {
+      EventId original = log.FindEvent(name);
+      EMS_DCHECK(original != kInvalidEvent);
+      g.members_[static_cast<size_t>(v)] = {original};
+    }
+  }
+  return g;
+}
+
+DependencyGraph DependencyGraph::FromExplicit(
+    const std::vector<std::string>& names,
+    const std::vector<double>& node_frequencies,
+    const std::vector<std::tuple<NodeId, NodeId, double>>& edges,
+    const DependencyGraphOptions& options) {
+  EMS_DCHECK(names.size() == node_frequencies.size());
+  DependencyGraph g;
+  g.has_artificial_ = options.add_artificial_event;
+  if (g.has_artificial_) g.AddNode("<X>", 1.0, {});
+  const NodeId offset = g.has_artificial_ ? 1 : 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    g.AddNode(names[i], node_frequencies[i], {static_cast<EventId>(i)});
+  }
+  for (const auto& [a, b, f] : edges) {
+    if (f < options.min_edge_frequency) continue;
+    g.AddEdge(a + offset, b + offset, f);
+  }
+  if (g.has_artificial_) g.FinalizeArtificial();
+  return g;
+}
+
+size_t DependencyGraph::NumEdges() const {
+  size_t n = 0;
+  for (const auto& adj : post_) n += adj.size();
+  return n;
+}
+
+double DependencyGraph::EdgeFrequency(NodeId a, NodeId b) const {
+  EMS_DCHECK(ValidNode(a) && ValidNode(b));
+  const auto& nbrs = post_[static_cast<size_t>(a)];
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == b) return post_freq_[static_cast<size_t>(a)][i];
+  }
+  return 0.0;
+}
+
+double DependencyGraph::AverageDegree() const {
+  if (names_.empty()) return 0.0;
+  return static_cast<double>(NumEdges()) / static_cast<double>(names_.size());
+}
+
+namespace {
+
+// Iterative Tarjan SCC over the real-edge subgraph (artificial node and
+// its edges excluded). Returns the SCC id of each node (artificial gets
+// -1) and whether each SCC is non-trivial (size > 1; self-loops cannot
+// occur because the builder rejects them).
+struct SccResult {
+  std::vector<int> comp;       // node -> scc id, -1 for excluded nodes
+  std::vector<bool> nontrivial;
+  int num_comps = 0;
+};
+
+SccResult ComputeScc(const DependencyGraph& g, bool skip_artificial) {
+  const size_t n = g.NumNodes();
+  SccResult result;
+  result.comp.assign(n, -1);
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<size_t> comp_size;
+  int next_index = 0;
+
+  // Explicit DFS stack: (node, next-successor-position).
+  std::vector<std::pair<NodeId, size_t>> dfs;
+  for (NodeId start = 0; start < static_cast<NodeId>(n); ++start) {
+    if (skip_artificial && g.IsArtificial(start)) continue;
+    if (index[static_cast<size_t>(start)] != -1) continue;
+    dfs.emplace_back(start, 0);
+    while (!dfs.empty()) {
+      auto& [v, pos] = dfs.back();
+      if (pos == 0) {
+        index[static_cast<size_t>(v)] = low[static_cast<size_t>(v)] =
+            next_index++;
+        stack.push_back(v);
+        on_stack[static_cast<size_t>(v)] = true;
+      }
+      const auto& succ = g.Successors(v);
+      bool descended = false;
+      while (pos < succ.size()) {
+        NodeId w = succ[pos++];
+        if (skip_artificial && g.IsArtificial(w)) continue;
+        if (index[static_cast<size_t>(w)] == -1) {
+          dfs.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(v)] =
+              std::min(low[static_cast<size_t>(v)], index[static_cast<size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      // v finished: pop SCC if root.
+      if (low[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+        size_t size = 0;
+        while (true) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          result.comp[static_cast<size_t>(w)] = result.num_comps;
+          ++size;
+          if (w == v) break;
+        }
+        comp_size.push_back(size);
+        ++result.num_comps;
+      }
+      NodeId finished = v;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        NodeId parent = dfs.back().first;
+        low[static_cast<size_t>(parent)] =
+            std::min(low[static_cast<size_t>(parent)],
+                     low[static_cast<size_t>(finished)]);
+      }
+    }
+  }
+  result.nontrivial.resize(static_cast<size_t>(result.num_comps));
+  for (int cid = 0; cid < result.num_comps; ++cid) {
+    result.nontrivial[static_cast<size_t>(cid)] =
+        comp_size[static_cast<size_t>(cid)] > 1;
+  }
+  return result;
+}
+
+// Longest distance from v^X to each node (`forward` = true) or from each
+// node to v^X (`forward` = false), following real edges; nodes on or
+// downstream of a cycle get kInfiniteDistance.
+std::vector<int> LongestDistances(const DependencyGraph& g, bool forward) {
+  const size_t n = g.NumNodes();
+  EMS_DCHECK(g.has_artificial());
+  SccResult scc = ComputeScc(g, /*skip_artificial=*/true);
+
+  // Condensation DAG processed in reverse-Tarjan order (Tarjan emits SCCs
+  // in reverse topological order of the condensation, i.e. successors
+  // before predecessors for forward edges).
+  // dist[v] = 1 (the artificial edge) + max over real in-neighbors (resp.
+  // out-neighbors) of dist; infinite if v is in/under a nontrivial SCC.
+  std::vector<int> dist(n, 0);
+  std::vector<bool> infinite(n, false);
+
+  // Process nodes grouped by SCC in topological order. For forward
+  // distances, topological order of the condensation = reverse of Tarjan
+  // emission order.
+  std::vector<std::vector<NodeId>> comp_nodes(
+      static_cast<size_t>(scc.num_comps));
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    int cid = scc.comp[static_cast<size_t>(v)];
+    if (cid >= 0) comp_nodes[static_cast<size_t>(cid)].push_back(v);
+  }
+
+  auto neighbors_in = [&](NodeId v) -> const std::vector<NodeId>& {
+    return forward ? g.Predecessors(v) : g.Successors(v);
+  };
+
+  // Tarjan emits components children-first w.r.t. forward edges, so
+  // ascending cid visits successors before predecessors. Forward
+  // distances consume predecessor values (process predecessors first:
+  // descending); backward distances consume successor values (ascending).
+  for (int step = 0; step < scc.num_comps; ++step) {
+    int cid = forward ? (scc.num_comps - 1 - step) : step;
+    const auto& nodes = comp_nodes[static_cast<size_t>(cid)];
+    bool comp_infinite = scc.nontrivial[static_cast<size_t>(cid)];
+    int comp_dist = 1;  // at minimum the direct artificial edge
+    for (NodeId v : nodes) {
+      for (NodeId u : neighbors_in(v)) {
+        if (g.IsArtificial(u)) continue;
+        int ucid = scc.comp[static_cast<size_t>(u)];
+        if (ucid == cid) continue;  // intra-component edge
+        if (infinite[static_cast<size_t>(u)]) {
+          comp_infinite = true;
+        } else {
+          comp_dist = std::max(comp_dist, dist[static_cast<size_t>(u)] + 1);
+        }
+      }
+    }
+    for (NodeId v : nodes) {
+      infinite[static_cast<size_t>(v)] = comp_infinite;
+      dist[static_cast<size_t>(v)] =
+          comp_infinite ? kInfiniteDistance : comp_dist;
+    }
+  }
+  if (g.has_artificial()) dist[0] = 0;
+  return dist;
+}
+
+}  // namespace
+
+const std::vector<int>& DependencyGraph::LongestDistancesFromArtificial()
+    const {
+  if (longest_from_.empty() && !names_.empty()) {
+    longest_from_ = LongestDistances(*this, /*forward=*/true);
+  }
+  return longest_from_;
+}
+
+const std::vector<int>& DependencyGraph::LongestDistancesToArtificial() const {
+  if (longest_to_.empty() && !names_.empty()) {
+    longest_to_ = LongestDistances(*this, /*forward=*/false);
+  }
+  return longest_to_;
+}
+
+namespace {
+
+std::vector<NodeId> Reachable(const DependencyGraph& g, NodeId v,
+                              bool reverse) {
+  std::vector<bool> seen(g.NumNodes(), false);
+  std::vector<NodeId> queue = {v};
+  seen[static_cast<size_t>(v)] = true;
+  std::vector<NodeId> out;
+  while (!queue.empty()) {
+    NodeId cur = queue.back();
+    queue.pop_back();
+    const auto& nbrs = reverse ? g.Predecessors(cur) : g.Successors(cur);
+    for (NodeId w : nbrs) {
+      if (g.IsArtificial(w)) continue;  // real paths only
+      if (seen[static_cast<size_t>(w)]) continue;
+      seen[static_cast<size_t>(w)] = true;
+      out.push_back(w);
+      queue.push_back(w);
+    }
+  }
+  // Exclude v itself unless it lies on a cycle through itself; for the
+  // pruning propositions self-reachability is irrelevant, so drop v.
+  out.erase(std::remove(out.begin(), out.end(), v), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> DependencyGraph::Ancestors(NodeId v) const {
+  EMS_DCHECK(ValidNode(v));
+  return Reachable(*this, v, /*reverse=*/true);
+}
+
+std::vector<NodeId> DependencyGraph::Descendants(NodeId v) const {
+  EMS_DCHECK(ValidNode(v));
+  return Reachable(*this, v, /*reverse=*/false);
+}
+
+Result<DependencyGraph> DependencyGraph::MergeNodes(
+    const std::vector<NodeId>& nodes) const {
+  if (nodes.size() < 2) {
+    return Status::InvalidArgument("MergeNodes requires >= 2 nodes");
+  }
+  std::set<NodeId> merge_set;
+  for (NodeId v : nodes) {
+    if (!ValidNode(v) || IsArtificial(v)) {
+      return Status::InvalidArgument("MergeNodes: invalid or artificial node");
+    }
+    if (!merge_set.insert(v).second) {
+      return Status::InvalidArgument("MergeNodes: duplicate node");
+    }
+  }
+
+  DependencyGraph g;
+  g.has_artificial_ = has_artificial_;
+  if (g.has_artificial_) g.AddNode("<X>", 1.0, {});
+
+  // Old-node -> new-node map. Merged members all map to one node.
+  std::vector<NodeId> remap(NumNodes(), -1);
+  const NodeId start = has_artificial_ ? 1 : 0;
+
+  // Merged node first (stable position), then survivors in order.
+  std::vector<std::string> merged_parts;
+  double merged_freq = 0.0;
+  std::vector<EventId> merged_members;
+  for (NodeId v : merge_set) {
+    merged_parts.push_back(names_[static_cast<size_t>(v)]);
+    merged_freq = std::max(merged_freq, node_freq_[static_cast<size_t>(v)]);
+    for (EventId e : members_[static_cast<size_t>(v)]) {
+      merged_members.push_back(e);
+    }
+  }
+  std::sort(merged_members.begin(), merged_members.end());
+  NodeId merged_id = static_cast<NodeId>(g.NumNodes());
+  g.AddNode(Join(merged_parts, "+"), merged_freq, merged_members);
+  for (NodeId v : merge_set) remap[static_cast<size_t>(v)] = merged_id;
+
+  for (NodeId v = start; v < static_cast<NodeId>(NumNodes()); ++v) {
+    if (merge_set.count(v)) continue;
+    remap[static_cast<size_t>(v)] = static_cast<NodeId>(g.NumNodes());
+    g.AddNode(names_[static_cast<size_t>(v)], node_freq_[static_cast<size_t>(v)],
+              members_[static_cast<size_t>(v)]);
+  }
+
+  // Parallel edges keep the maximum frequency; internal edges vanish.
+  std::map<std::pair<NodeId, NodeId>, double> new_edges;
+  for (NodeId a = start; a < static_cast<NodeId>(NumNodes()); ++a) {
+    const auto& succ = post_[static_cast<size_t>(a)];
+    const auto& freq = post_freq_[static_cast<size_t>(a)];
+    for (size_t i = 0; i < succ.size(); ++i) {
+      NodeId b = succ[i];
+      if (IsArtificial(b)) continue;  // artificial edges rebuilt below
+      NodeId na = remap[static_cast<size_t>(a)];
+      NodeId nb = remap[static_cast<size_t>(b)];
+      if (na == nb) continue;
+      auto key = std::make_pair(na, nb);
+      auto it = new_edges.find(key);
+      if (it == new_edges.end()) new_edges.emplace(key, freq[i]);
+      else it->second = std::max(it->second, freq[i]);
+    }
+  }
+  for (const auto& [key, f] : new_edges) g.AddEdge(key.first, key.second, f);
+  if (g.has_artificial_) g.FinalizeArtificial();
+  return g;
+}
+
+DependencyGraph DependencyGraph::FilterEdges(double threshold) const {
+  DependencyGraph g;
+  g.has_artificial_ = has_artificial_;
+  const NodeId start = has_artificial_ ? 1 : 0;
+  if (has_artificial_) g.AddNode("<X>", 1.0, {});
+  for (NodeId v = start; v < static_cast<NodeId>(NumNodes()); ++v) {
+    g.AddNode(names_[static_cast<size_t>(v)],
+              node_freq_[static_cast<size_t>(v)],
+              members_[static_cast<size_t>(v)]);
+  }
+  for (NodeId a = start; a < static_cast<NodeId>(NumNodes()); ++a) {
+    const auto& succ = post_[static_cast<size_t>(a)];
+    const auto& freq = post_freq_[static_cast<size_t>(a)];
+    for (size_t i = 0; i < succ.size(); ++i) {
+      if (IsArtificial(succ[i])) continue;
+      if (freq[i] < threshold) continue;
+      g.AddEdge(a, succ[i], freq[i]);
+    }
+  }
+  if (g.has_artificial_) g.FinalizeArtificial();
+  return g;
+}
+
+std::string DependencyGraph::DebugString() const {
+  std::ostringstream out;
+  out << "DependencyGraph(" << NumNodes() << " nodes, " << NumEdges()
+      << " edges)\n";
+  for (NodeId v = 0; v < static_cast<NodeId>(NumNodes()); ++v) {
+    out << "  [" << v << "] " << NodeName(v) << " f="
+        << FormatDouble(NodeFrequency(v), 3) << " ->";
+    const auto& succ = post_[static_cast<size_t>(v)];
+    const auto& freq = post_freq_[static_cast<size_t>(v)];
+    for (size_t i = 0; i < succ.size(); ++i) {
+      out << ' ' << NodeName(succ[i]) << '('
+          << FormatDouble(freq[i], 2) << ')';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ems

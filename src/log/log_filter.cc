@@ -1,0 +1,101 @@
+#include "log/log_filter.h"
+
+#include <algorithm>
+
+#include "log/log_stats.h"
+
+namespace ems {
+
+EventLog FilterByTraceLength(const EventLog& log, size_t min_length,
+                             size_t max_length) {
+  std::vector<Trace> kept;
+  for (const Trace& t : log.traces()) {
+    if (t.size() >= min_length && t.size() <= max_length) kept.push_back(t);
+  }
+  return log.TransformTraces(kept, nullptr);
+}
+
+std::vector<TraceVariant> TraceVariants(const EventLog& log) {
+  std::map<std::vector<std::string>, size_t> counts;
+  for (const Trace& t : log.traces()) {
+    std::vector<std::string> names;
+    names.reserve(t.size());
+    for (EventId e : t) names.push_back(log.EventName(e));
+    ++counts[names];
+  }
+  std::vector<TraceVariant> variants;
+  variants.reserve(counts.size());
+  for (auto& [activities, count] : counts) {
+    variants.push_back(TraceVariant{activities, count});
+  }
+  std::sort(variants.begin(), variants.end(),
+            [](const TraceVariant& a, const TraceVariant& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.activities < b.activities;
+            });
+  return variants;
+}
+
+EventLog KeepTopVariants(const EventLog& log, size_t k) {
+  std::vector<TraceVariant> variants = TraceVariants(log);
+  if (k < variants.size()) variants.resize(k);
+  std::set<std::vector<std::string>> keep;
+  for (const TraceVariant& v : variants) keep.insert(v.activities);
+  std::vector<Trace> kept;
+  for (const Trace& t : log.traces()) {
+    std::vector<std::string> names;
+    names.reserve(t.size());
+    for (EventId e : t) names.push_back(log.EventName(e));
+    if (keep.count(names)) kept.push_back(t);
+  }
+  return log.TransformTraces(kept, nullptr);
+}
+
+EventLog ProjectOntoEvents(const EventLog& log,
+                           const std::set<std::string>& keep) {
+  std::vector<bool> keep_id(log.NumEvents(), false);
+  for (EventId e = 0; e < static_cast<EventId>(log.NumEvents()); ++e) {
+    keep_id[static_cast<size_t>(e)] = keep.count(log.EventName(e)) > 0;
+  }
+  std::vector<Trace> projected;
+  projected.reserve(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    Trace copy;
+    for (EventId e : t) {
+      if (keep_id[static_cast<size_t>(e)]) copy.push_back(e);
+    }
+    projected.push_back(std::move(copy));
+  }
+  return log.TransformTraces(projected, nullptr);
+}
+
+EventLog FilterRareEvents(const EventLog& log, double min_fraction) {
+  LogStats stats(log);
+  std::set<std::string> keep;
+  for (EventId e = 0; e < static_cast<EventId>(log.NumEvents()); ++e) {
+    if (stats.EventFrequency(e) >= min_fraction) {
+      keep.insert(log.EventName(e));
+    }
+  }
+  return ProjectOntoEvents(log, keep);
+}
+
+LogSummary Summarize(const EventLog& log) {
+  LogSummary s;
+  s.num_traces = log.NumTraces();
+  s.num_events = log.NumEvents();
+  s.total_occurrences = log.TotalOccurrences();
+  s.num_variants = TraceVariants(log).size();
+  if (!log.traces().empty()) {
+    s.min_trace_length = log.trace(0).size();
+    for (const Trace& t : log.traces()) {
+      s.min_trace_length = std::min(s.min_trace_length, t.size());
+      s.max_trace_length = std::max(s.max_trace_length, t.size());
+    }
+    s.mean_trace_length = static_cast<double>(s.total_occurrences) /
+                          static_cast<double>(s.num_traces);
+  }
+  return s;
+}
+
+}  // namespace ems

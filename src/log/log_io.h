@@ -1,0 +1,45 @@
+// Plain-text event-log serialization.
+//
+// Two line-oriented formats are supported:
+//  * "trace" format: one trace per line, event names separated by a
+//    delimiter (default ';'). Blank lines and '#' comments are skipped.
+//  * CSV format: header `case,activity` (extra columns ignored); rows are
+//    grouped by case id in order of appearance, preserving row order within
+//    a case — the standard minimal process-mining CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "log/event_log.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Parses the trace-per-line format from `input`.
+Result<EventLog> ReadTraceFormat(std::istream& input, char delim = ';');
+
+/// Parses the trace-per-line format from the file at `path`.
+Result<EventLog> ReadTraceFile(const std::string& path, char delim = ';');
+
+/// Writes the trace-per-line format to `output`.
+Status WriteTraceFormat(const EventLog& log, std::ostream& output,
+                        char delim = ';');
+
+/// Writes the trace-per-line format to the file at `path`.
+Status WriteTraceFile(const EventLog& log, const std::string& path,
+                      char delim = ';');
+
+/// Parses `case,activity` CSV from `input`. The first line must be a
+/// header containing (at least) case and activity columns, identified by
+/// name (case/case_id/caseid, activity/event/concept:name,
+/// case-insensitive).
+Result<EventLog> ReadCsv(std::istream& input);
+
+/// Parses `case,activity` CSV from the file at `path`.
+Result<EventLog> ReadCsvFile(const std::string& path);
+
+/// Writes `case,activity` CSV with synthetic case ids `c<i>`.
+Status WriteCsv(const EventLog& log, std::ostream& output);
+
+}  // namespace ems

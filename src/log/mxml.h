@@ -1,0 +1,28 @@
+// MXML: the legacy ProM event-log interchange format
+// (<WorkflowLog><Process><ProcessInstance><AuditTrailEntry>
+//  <WorkflowModelElement>activity</WorkflowModelElement>...). Only
+// "complete" events (or entries without an EventType) are imported, so
+// start/complete lifecycle pairs do not duplicate activities.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "log/event_log.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Parses an MXML document from `input`.
+Result<EventLog> ReadMxml(std::istream& input);
+
+/// Parses an MXML document from the file at `path`.
+Result<EventLog> ReadMxmlFile(const std::string& path);
+
+/// Writes `log` as an MXML document to `output` (all entries complete).
+Status WriteMxml(const EventLog& log, std::ostream& output);
+
+/// Writes `log` as an MXML document to the file at `path`.
+Status WriteMxmlFile(const EventLog& log, const std::string& path);
+
+}  // namespace ems

@@ -1,0 +1,28 @@
+// XES-lite: reader/writer for the IEEE XES event-log interchange format,
+// restricted to the subset process-mining tools universally rely on —
+// <log>/<trace>/<event> nesting with <string key="concept:name" .../>
+// activity labels. Attributes other than concept:name are parsed and
+// ignored. The writer emits valid XES consumable by ProM/PM4Py.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "log/event_log.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Parses an XES document from `input`.
+Result<EventLog> ReadXes(std::istream& input);
+
+/// Parses an XES document from the file at `path`.
+Result<EventLog> ReadXesFile(const std::string& path);
+
+/// Writes `log` as an XES document to `output`.
+Status WriteXes(const EventLog& log, std::ostream& output);
+
+/// Writes `log` as an XES document to the file at `path`.
+Status WriteXesFile(const EventLog& log, const std::string& path);
+
+}  // namespace ems

@@ -1,0 +1,128 @@
+#include "log/xml_scanner.h"
+
+#include <cctype>
+#include <istream>
+
+#include "util/string_util.h"
+
+namespace ems {
+
+Result<XmlScanner::Tag> XmlScanner::Next() {
+  std::string text;
+  while (true) {
+    int c = in_.get();
+    if (c == EOF) return Status::NotFound("eof");
+    if (c != '<') {
+      text.push_back(static_cast<char>(c));
+      continue;
+    }
+    int peek = in_.peek();
+    if (peek == '?') {  // processing instruction
+      EMS_RETURN_NOT_OK(SkipUntil("?>"));
+      continue;
+    }
+    if (peek == '!') {  // comment, doctype, or CDATA
+      in_.get();
+      if (in_.peek() == '-') {
+        EMS_RETURN_NOT_OK(SkipUntil("-->"));
+      } else {
+        EMS_RETURN_NOT_OK(SkipUntil(">"));
+      }
+      continue;
+    }
+    return ParseTag(std::string(Trim(Unescape(text))));
+  }
+}
+
+Status XmlScanner::SkipUntil(const std::string& terminator) {
+  size_t matched = 0;
+  int c;
+  while ((c = in_.get()) != EOF) {
+    if (static_cast<char>(c) == terminator[matched]) {
+      if (++matched == terminator.size()) return Status::OK();
+    } else {
+      matched = (static_cast<char>(c) == terminator[0]) ? 1 : 0;
+    }
+  }
+  return Status::ParseError("unterminated markup (expected '" + terminator +
+                            "')");
+}
+
+Result<XmlScanner::Tag> XmlScanner::ParseTag(std::string preceding_text) {
+  Tag tag;
+  tag.preceding_text = std::move(preceding_text);
+  if (in_.peek() == '/') {
+    in_.get();
+    tag.closing = true;
+  }
+  int c;
+  while ((c = in_.peek()) != EOF && !std::isspace(c) && c != '>' &&
+         c != '/') {
+    tag.name.push_back(static_cast<char>(in_.get()));
+  }
+  if (tag.name.empty()) return Status::ParseError("empty element name");
+  while (true) {
+    while ((c = in_.peek()) != EOF && std::isspace(c)) in_.get();
+    c = in_.peek();
+    if (c == EOF) return Status::ParseError("unterminated tag");
+    if (c == '>') {
+      in_.get();
+      return tag;
+    }
+    if (c == '/') {
+      in_.get();
+      if (in_.get() != '>') return Status::ParseError("malformed '/>'");
+      tag.self_closing = true;
+      return tag;
+    }
+    std::string key;
+    while ((c = in_.peek()) != EOF && c != '=' && !std::isspace(c)) {
+      key.push_back(static_cast<char>(in_.get()));
+    }
+    while ((c = in_.peek()) != EOF && std::isspace(c)) in_.get();
+    if (in_.get() != '=') {
+      return Status::ParseError("attribute '" + key + "' missing '='");
+    }
+    while ((c = in_.peek()) != EOF && std::isspace(c)) in_.get();
+    int quote = in_.get();
+    if (quote != '"' && quote != '\'') {
+      return Status::ParseError("attribute '" + key + "' missing quote");
+    }
+    std::string value;
+    while ((c = in_.get()) != EOF && c != quote) {
+      value.push_back(static_cast<char>(c));
+    }
+    if (c == EOF) return Status::ParseError("unterminated attribute value");
+    tag.attrs.emplace(std::move(key), Unescape(value));
+  }
+}
+
+std::string XmlScanner::Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '&') {
+      out.push_back(s[i]);
+      continue;
+    }
+    size_t semi = s.find(';', i);
+    if (semi == std::string::npos) {
+      out.push_back(s[i]);
+      continue;
+    }
+    std::string ent = s.substr(i + 1, semi - i - 1);
+    if (ent == "amp") out.push_back('&');
+    else if (ent == "lt") out.push_back('<');
+    else if (ent == "gt") out.push_back('>');
+    else if (ent == "quot") out.push_back('"');
+    else if (ent == "apos") out.push_back('\'');
+    else {
+      out.push_back('&');
+      continue;  // unknown entity: keep literal '&', do not skip
+    }
+    i = semi;
+  }
+  return out;
+}
+
+}  // namespace ems

@@ -1,0 +1,46 @@
+// Minimal pull-style XML tokenizer shared by the XES and MXML readers:
+// yields element-open (with attributes), element-close, and self-closing
+// events plus the text content preceding each tag. Comments, processing
+// instructions, and doctypes are skipped. This is intentionally not a
+// general XML parser — it covers exactly the subset the event-log
+// interchange formats use.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace ems {
+
+class XmlScanner {
+ public:
+  explicit XmlScanner(std::istream& in) : in_(in) {}
+
+  struct Tag {
+    std::string name;
+    std::map<std::string, std::string> attrs;
+    bool closing = false;       // </name>
+    bool self_closing = false;  // <name ... />
+
+    /// Unescaped character data between the previous tag and this one
+    /// (trimmed of surrounding whitespace).
+    std::string preceding_text;
+  };
+
+  /// Returns the next tag, or NotFound at end of input.
+  Result<Tag> Next();
+
+  /// Unescapes the five predefined XML entities; unknown entities are
+  /// left as literal text.
+  static std::string Unescape(const std::string& s);
+
+ private:
+  Status SkipUntil(const std::string& terminator);
+  Result<Tag> ParseTag(std::string preceding_text);
+
+  std::istream& in_;
+};
+
+}  // namespace ems

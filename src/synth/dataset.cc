@@ -1,0 +1,230 @@
+#include "synth/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/composite_candidates.h"
+#include "synth/perturb.h"
+
+namespace ems {
+
+const char* TestbedName(Testbed t) {
+  switch (t) {
+    case Testbed::kDsF:
+      return "DS-F";
+    case Testbed::kDsB:
+      return "DS-B";
+    case Testbed::kDsFB:
+      return "DS-FB";
+  }
+  return "?";
+}
+
+namespace {
+
+std::set<std::string> Vocabulary(const EventLog& log) {
+  std::set<std::string> vocab;
+  for (const std::string& name : log.event_names()) vocab.insert(name);
+  return vocab;
+}
+
+}  // namespace
+
+LogPair MakeLogPair(Testbed testbed, const PairOptions& options) {
+  Rng rng(options.seed);
+  ProcessTreeOptions tree_opts = options.tree;
+  tree_opts.num_activities = options.num_activities;
+  std::unique_ptr<ProcessNode> tree = GenerateProcessTree(tree_opts, &rng);
+
+  // Challenge 3 setup: split leaves into strict SEQ pairs so both logs
+  // contain them always-consecutively; log 2 merges them below.
+  std::vector<std::pair<std::string, std::string>> injected;
+  if (options.num_composites > 0) {
+    injected = InjectSequentialPairs(tree.get(), options.num_composites, &rng);
+  }
+
+  // The second subsidiary runs the same process with a drifted case mix.
+  std::unique_ptr<ProcessNode> tree2 = tree->Clone();
+  if (options.frequency_drift > 0.0) {
+    Rng drift_rng = rng.Fork();
+    DriftProbabilities(tree2.get(), options.frequency_drift, &drift_rng);
+  }
+
+  PlayoutOptions playout = options.playout;
+  playout.num_traces = options.num_traces;
+  Rng rng1 = rng.Fork();
+  Rng rng2 = rng.Fork();
+  LogPair pair;
+  pair.log1 = PlayoutLog(*tree, playout, &rng1);
+  pair.log2 = PlayoutLog(*tree2, playout, &rng2);
+
+  // Activities the second system simply does not record. Events that are
+  // members of injected composites stay.
+  if (options.dropped_events > 0) {
+    Rng drop_rng = rng.Fork();
+    std::set<std::string> protected_names;
+    for (const auto& [a, b] : injected) {
+      protected_names.insert(a);
+      protected_names.insert(b);
+    }
+    std::vector<std::string> droppable;
+    for (const std::string& name : pair.log2.event_names()) {
+      if (!protected_names.count(name)) droppable.push_back(name);
+    }
+    drop_rng.Shuffle(&droppable);
+    for (int i = 0; i < options.dropped_events &&
+                    i < static_cast<int>(droppable.size());
+         ++i) {
+      pair.log2 = RemoveEventCompletely(pair.log2, droppable[static_cast<size_t>(i)]);
+    }
+  }
+
+  // Initial ground truth: identity over the shared vocabulary.
+  std::set<std::string> vocab1 = Vocabulary(pair.log1);
+  std::set<std::string> vocab2 = Vocabulary(pair.log2);
+  for (const std::string& name : vocab1) {
+    if (vocab2.count(name)) pair.truth.Add(name, name);
+  }
+
+  // Challenge 3: merge the injected strict SEQ pairs of log 2 into
+  // composite events and rewrite the ground truth to m:n entries.
+  if (!injected.empty()) {
+    int merged = 0;
+    std::vector<TruthEntry> complex_entries;
+    std::set<std::string> absorbed;
+    for (const auto& [a, b] : injected) {
+      // The pair must exist in both logs (it always does unless a play-out
+      // never visited that XOR branch).
+      if (!vocab1.count(a) || !vocab1.count(b)) continue;
+      if (pair.log2.FindEvent(a) == kInvalidEvent ||
+          pair.log2.FindEvent(b) == kInvalidEvent) {
+        continue;
+      }
+      std::string merged_name = "cmp_" + std::to_string(merged) + "_" + a;
+      pair.log2 = MergeConsecutivePair(pair.log2, a, b, merged_name);
+      absorbed.insert(a);
+      absorbed.insert(b);
+      complex_entries.push_back(TruthEntry{{a, b}, {merged_name}});
+      ++merged;
+    }
+    if (merged > 0) {
+      pair.has_composites = true;
+      // Rebuild the truth: identity entries for absorbed events vanish,
+      // the complex entries replace them.
+      GroundTruth rebuilt;
+      for (const TruthEntry& e : pair.truth.entries()) {
+        if (e.left.size() == 1 && absorbed.count(e.left[0])) continue;
+        rebuilt.AddComplex(e.left, e.right);
+      }
+      for (TruthEntry& e : complex_entries) {
+        rebuilt.AddComplex(std::move(e.left), std::move(e.right));
+      }
+      pair.truth = std::move(rebuilt);
+    }
+  }
+
+  // Recording-order noise (concurrent steps logged out of order);
+  // applied after composite merging so injected pairs stay adjacent.
+  if (options.swap_noise > 0.0) {
+    Rng noise_rng = rng.Fork();
+    pair.log2 = AddSwapNoise(pair.log2, options.swap_noise, &noise_rng);
+  }
+
+  // Challenge 2: dislocation at trace boundaries of log 2.
+  const int m = options.dislocation;
+  if (m > 0) {
+    switch (testbed) {
+      case Testbed::kDsF:
+        pair.log2 = RemoveTailEvents(pair.log2, m);
+        break;
+      case Testbed::kDsB:
+        pair.log2 = RemoveHeadEvents(pair.log2, m);
+        break;
+      case Testbed::kDsFB:
+        pair.log2 = RemoveHeadEvents(pair.log2, (m + 1) / 2);
+        pair.log2 = RemoveTailEvents(pair.log2, m / 2);
+        break;
+    }
+  }
+
+  // Challenge 1: heterogeneous renaming of log 2 (a mix of garbled and
+  // typographically-varied names).
+  if (options.opaque) {
+    std::map<std::string, std::string> renames;
+    Rng rng3 = rng.Fork();
+    pair.log2 = HeterogeneousRename(pair.log2, options.opaque_fraction,
+                                    &rng3, &renames);
+    pair.truth.RenameRight(renames);
+  }
+
+  // Dislocation may have removed events from log 2 entirely.
+  pair.truth.RestrictToVocabularies(Vocabulary(pair.log1),
+                                    Vocabulary(pair.log2));
+  pair.name = std::string(TestbedName(testbed)) + "/" +
+              std::to_string(options.seed);
+  return pair;
+}
+
+std::vector<const LogPair*> RealisticDataset::Singleton() const {
+  std::vector<const LogPair*> out;
+  for (const auto& p : ds_f) out.push_back(&p);
+  for (const auto& p : ds_b) out.push_back(&p);
+  for (const auto& p : ds_fb) out.push_back(&p);
+  return out;
+}
+
+RealisticDataset MakeRealisticDataset(const RealisticDatasetOptions& options) {
+  RealisticDataset ds;
+  Rng meta(options.seed);
+  auto make_group = [&](Testbed testbed, int count, int composites,
+                        std::vector<LogPair>* out) {
+    for (int i = 0; i < count; ++i) {
+      PairOptions pair_opts;
+      pair_opts.num_activities =
+          meta.UniformInt(options.min_activities, options.max_activities);
+      pair_opts.num_traces = options.num_traces;
+      pair_opts.dislocation = meta.UniformInt(1, 2);
+      pair_opts.num_composites = composites;
+      pair_opts.seed = meta.engine()();
+      out->push_back(MakeLogPair(testbed, pair_opts));
+    }
+  };
+  make_group(Testbed::kDsF, options.ds_f_pairs, 0, &ds.ds_f);
+  make_group(Testbed::kDsB, options.ds_b_pairs, 0, &ds.ds_b);
+  make_group(Testbed::kDsFB, options.ds_fb_pairs, 0, &ds.ds_fb);
+  make_group(Testbed::kDsFB, options.composite_pairs, 2, &ds.composite);
+  return ds;
+}
+
+std::vector<LogPair> MakeScalabilityPairs(int num_events, int num_pairs,
+                                          uint64_t seed) {
+  std::vector<LogPair> out;
+  Rng meta(seed);
+  for (int i = 0; i < num_pairs; ++i) {
+    PairOptions pair_opts;
+    pair_opts.num_activities = num_events;
+    pair_opts.num_traces = 100;
+    pair_opts.dislocation = 0;
+    pair_opts.opaque = false;
+    pair_opts.seed = meta.engine()();
+    LogPair pair = MakeLogPair(Testbed::kDsFB, pair_opts);
+    pair.name = "scal/" + std::to_string(num_events) + "/" + std::to_string(i);
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+LogPair MakeDislocationPair(int num_events, int m, uint64_t seed) {
+  PairOptions pair_opts;
+  pair_opts.num_activities = num_events;
+  pair_opts.num_traces = 100;
+  pair_opts.dislocation = m;
+  pair_opts.opaque = true;
+  pair_opts.seed = seed;
+  LogPair pair = MakeLogPair(Testbed::kDsB, pair_opts);
+  pair.name = "disl/m=" + std::to_string(m);
+  return pair;
+}
+
+}  // namespace ems

@@ -1,0 +1,85 @@
+#include "synth/log_generator.h"
+
+#include <algorithm>
+
+namespace ems {
+
+namespace {
+
+void Playout(const ProcessNode& node, const PlayoutOptions& options, Rng* rng,
+             std::vector<std::string>* out) {
+  switch (node.op) {
+    case ProcessOp::kActivity:
+      out->push_back(node.activity);
+      return;
+    case ProcessOp::kSequence:
+      for (const auto& child : node.children) {
+        Playout(*child, options, rng, out);
+      }
+      return;
+    case ProcessOp::kXor: {
+      size_t pick = node.branch_weights.empty()
+                        ? rng->UniformIndex(node.children.size())
+                        : rng->WeightedIndex(node.branch_weights);
+      Playout(*node.children[pick], options, rng, out);
+      return;
+    }
+    case ProcessOp::kAnd: {
+      // Random interleaving: play each child into its own buffer, then
+      // merge order-preservingly at random.
+      std::vector<std::vector<std::string>> buffers(node.children.size());
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        Playout(*node.children[i], options, rng, &buffers[i]);
+      }
+      std::vector<size_t> cursor(buffers.size(), 0);
+      size_t remaining = 0;
+      for (const auto& b : buffers) remaining += b.size();
+      while (remaining > 0) {
+        // Pick a child with items left, weighted by remaining length so
+        // long branches are not starved.
+        std::vector<double> weights(buffers.size(), 0.0);
+        for (size_t i = 0; i < buffers.size(); ++i) {
+          weights[i] = static_cast<double>(buffers[i].size() - cursor[i]);
+        }
+        size_t pick = rng->WeightedIndex(weights);
+        out->push_back(buffers[pick][cursor[pick]++]);
+        --remaining;
+      }
+      return;
+    }
+    case ProcessOp::kLoop: {
+      EMS_DCHECK(node.children.size() == 2);
+      Playout(*node.children[0], options, rng, out);
+      double p = node.loop_probability >= 0.0
+                     ? node.loop_probability
+                     : options.loop_repeat_probability;
+      int rounds = rng->Geometric(p, options.max_loop_rounds);
+      for (int r = 0; r < rounds; ++r) {
+        Playout(*node.children[1], options, rng, out);
+        Playout(*node.children[0], options, rng, out);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PlayoutTrace(const ProcessNode& tree,
+                                      const PlayoutOptions& options,
+                                      Rng* rng) {
+  std::vector<std::string> trace;
+  Playout(tree, options, rng, &trace);
+  return trace;
+}
+
+EventLog PlayoutLog(const ProcessNode& tree, const PlayoutOptions& options,
+                    Rng* rng) {
+  EventLog log;
+  for (int i = 0; i < options.num_traces; ++i) {
+    log.AddTrace(PlayoutTrace(tree, options, rng));
+  }
+  return log;
+}
+
+}  // namespace ems

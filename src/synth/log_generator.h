@@ -1,0 +1,32 @@
+// Play-out simulation: executes a process tree repeatedly to produce an
+// event log (the paper generates "2 event logs per process specification"
+// this way, Section 5.1). AND blocks interleave children randomly, XOR
+// picks a branch, LOOP repeats its redo part geometrically.
+#pragma once
+
+#include "log/event_log.h"
+#include "synth/process_tree.h"
+#include "util/random.h"
+
+namespace ems {
+
+struct PlayoutOptions {
+  /// Number of traces to simulate.
+  int num_traces = 200;
+
+  /// Probability of taking another loop round after each body execution.
+  double loop_repeat_probability = 0.3;
+
+  /// Hard cap on loop rounds (keeps traces finite).
+  int max_loop_rounds = 3;
+};
+
+/// Simulates one trace of the tree.
+std::vector<std::string> PlayoutTrace(const ProcessNode& tree,
+                                      const PlayoutOptions& options, Rng* rng);
+
+/// Simulates a full log of `options.num_traces` traces.
+EventLog PlayoutLog(const ProcessNode& tree, const PlayoutOptions& options,
+                    Rng* rng);
+
+}  // namespace ems

@@ -1,0 +1,193 @@
+#include "synth/perturb.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace ems {
+
+EventLog OpaqueRename(const EventLog& log, Rng* rng,
+                      std::map<std::string, std::string>* renames) {
+  std::vector<std::string> new_names(log.NumEvents());
+  for (EventId e = 0; e < static_cast<EventId>(log.NumEvents()); ++e) {
+    // Collision-free by construction: a counter plus random payload.
+    new_names[static_cast<size_t>(e)] =
+        "ev_" + rng->HexString(8) + "_" + std::to_string(e);
+    if (renames != nullptr) {
+      (*renames)[log.EventName(e)] = new_names[static_cast<size_t>(e)];
+    }
+  }
+  EventLog out;
+  for (const Trace& t : log.traces()) {
+    std::vector<std::string> names;
+    names.reserve(t.size());
+    for (EventId e : t) names.push_back(new_names[static_cast<size_t>(e)]);
+    out.AddTrace(names);
+  }
+  return out;
+}
+
+std::string TypoVariant(const std::string& name, Rng* rng) {
+  std::string out = name;
+  switch (rng->UniformInt(0, 4)) {
+    case 0:  // uppercase
+      for (char& c : out) c = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(c)));
+      break;
+    case 1:  // separator swap
+      for (char& c : out) {
+        if (c == '_') c = '-';
+        else if (c == ' ') c = '_';
+      }
+      break;
+    case 2:  // versioned suffix
+      out += "_v" + std::to_string(rng->UniformInt(2, 9));
+      break;
+    case 3:  // vowel-dropping abbreviation (keep the first character)
+      if (out.size() > 3) {
+        std::string abbr;
+        abbr.push_back(out[0]);
+        for (size_t i = 1; i < out.size(); ++i) {
+          char lower = static_cast<char>(std::tolower(
+              static_cast<unsigned char>(out[i])));
+          if (lower != 'a' && lower != 'e' && lower != 'i' && lower != 'o' &&
+              lower != 'u') {
+            abbr.push_back(out[i]);
+          }
+        }
+        out = abbr;
+      } else {
+        out += "x";
+      }
+      break;
+    default:  // camel-ish prefix
+      out.insert(0, "do");
+      break;
+  }
+  return out;
+}
+
+EventLog HeterogeneousRename(const EventLog& log, double opaque_fraction,
+                             Rng* rng,
+                             std::map<std::string, std::string>* renames) {
+  std::vector<std::string> new_names(log.NumEvents());
+  std::set<std::string> used;
+  for (EventId e = 0; e < static_cast<EventId>(log.NumEvents()); ++e) {
+    const std::string& original = log.EventName(e);
+    std::string candidate;
+    if (rng->Bernoulli(opaque_fraction)) {
+      candidate = "ev_" + rng->HexString(8) + "_" + std::to_string(e);
+    } else {
+      candidate = TypoVariant(original, rng);
+      // Resolve collisions deterministically.
+      while (used.count(candidate) ||
+             log.FindEvent(candidate) != kInvalidEvent) {
+        candidate.push_back('_');
+        candidate.append(std::to_string(e));
+      }
+    }
+    used.insert(candidate);
+    new_names[static_cast<size_t>(e)] = candidate;
+    if (renames != nullptr) (*renames)[original] = candidate;
+  }
+  EventLog out;
+  for (const Trace& t : log.traces()) {
+    std::vector<std::string> names;
+    names.reserve(t.size());
+    for (EventId e : t) names.push_back(new_names[static_cast<size_t>(e)]);
+    out.AddTrace(names);
+  }
+  return out;
+}
+
+EventLog RemoveHeadEvents(const EventLog& log, int m) {
+  EMS_DCHECK(m >= 0);
+  std::vector<Trace> new_traces;
+  new_traces.reserve(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    size_t skip = std::min(t.size(), static_cast<size_t>(m));
+    new_traces.emplace_back(t.begin() + static_cast<long>(skip), t.end());
+  }
+  return log.TransformTraces(new_traces, nullptr);
+}
+
+EventLog RemoveTailEvents(const EventLog& log, int m) {
+  EMS_DCHECK(m >= 0);
+  std::vector<Trace> new_traces;
+  new_traces.reserve(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    size_t keep = t.size() - std::min(t.size(), static_cast<size_t>(m));
+    new_traces.emplace_back(t.begin(), t.begin() + static_cast<long>(keep));
+  }
+  return log.TransformTraces(new_traces, nullptr);
+}
+
+EventLog MergeConsecutivePair(const EventLog& log, const std::string& first,
+                              const std::string& second,
+                              const std::string& merged_name) {
+  EventId a = log.FindEvent(first);
+  EventId b = log.FindEvent(second);
+  EventLog out;
+  for (const Trace& t : log.traces()) {
+    std::vector<std::string> names;
+    names.reserve(t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (a != kInvalidEvent && b != kInvalidEvent && i + 1 < t.size() &&
+          t[i] == a && t[i + 1] == b) {
+        names.push_back(merged_name);
+        ++i;
+      } else {
+        names.push_back(log.EventName(t[i]));
+      }
+    }
+    out.AddTrace(names);
+  }
+  return out;
+}
+
+EventLog RemoveEventCompletely(const EventLog& log, const std::string& name) {
+  EventId target = log.FindEvent(name);
+  if (target == kInvalidEvent) {
+    return log.TransformTraces(log.traces(), nullptr);
+  }
+  std::vector<Trace> new_traces;
+  new_traces.reserve(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    Trace copy;
+    copy.reserve(t.size());
+    for (EventId e : t) {
+      if (e != target) copy.push_back(e);
+    }
+    new_traces.push_back(std::move(copy));
+  }
+  return log.TransformTraces(new_traces, nullptr);
+}
+
+EventLog AddSwapNoise(const EventLog& log, double p, Rng* rng) {
+  std::vector<Trace> new_traces;
+  new_traces.reserve(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    Trace copy = t;
+    for (size_t i = 0; i + 1 < copy.size(); ++i) {
+      if (rng->Bernoulli(p)) std::swap(copy[i], copy[i + 1]);
+    }
+    new_traces.push_back(std::move(copy));
+  }
+  return log.TransformTraces(new_traces, nullptr);
+}
+
+EventLog AddDropNoise(const EventLog& log, double p, Rng* rng) {
+  std::vector<Trace> new_traces;
+  new_traces.reserve(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    Trace copy;
+    copy.reserve(t.size());
+    for (EventId e : t) {
+      if (!rng->Bernoulli(p)) copy.push_back(e);
+    }
+    new_traces.push_back(std::move(copy));
+  }
+  return log.TransformTraces(new_traces, nullptr);
+}
+
+}  // namespace ems

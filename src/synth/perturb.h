@@ -1,0 +1,64 @@
+// Perturbations that inject the paper's three challenges into synthetic
+// logs: opaque renaming (Challenge 1), dislocation by removing leading or
+// trailing events of every trace (Challenge 2, the protocol of Figure 9),
+// and merging consecutive events into composites (Challenge 3). All
+// transformations report how names moved so ground truth can be carried
+// through the pipeline.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "log/event_log.h"
+#include "util/random.h"
+
+namespace ems {
+
+/// Renames every event of `log` to an opaque identifier ("ev_<hex>").
+/// Returns the new log; `renames` (if non-null) receives old -> new names.
+EventLog OpaqueRename(const EventLog& log, Rng* rng,
+                      std::map<std::string, std::string>* renames = nullptr);
+
+/// A mild typographic variation of `name` (case change, separator swap,
+/// suffix, abbreviation) — the way the same activity is spelled by a
+/// different subsidiary's system. Deterministic in `rng`.
+std::string TypoVariant(const std::string& name, Rng* rng);
+
+/// Heterogeneous renaming: a fraction `opaque_fraction` of the events
+/// get fully opaque names (Challenge 1) and the rest get typographic
+/// variants that remain recognizable to label similarity — the mixture
+/// real multi-source logs exhibit (paper, Section 1).
+EventLog HeterogeneousRename(const EventLog& log, double opaque_fraction,
+                             Rng* rng,
+                             std::map<std::string, std::string>* renames =
+                                 nullptr);
+
+/// Removes the first `m` events of every trace (Figure 9's dislocation
+/// protocol). Events that vanish from every trace leave the vocabulary.
+EventLog RemoveHeadEvents(const EventLog& log, int m);
+
+/// Removes the last `m` events of every trace.
+EventLog RemoveTailEvents(const EventLog& log, int m);
+
+/// Replaces every occurrence of the consecutive pair `first second` by a
+/// single event named `merged_name`. Non-consecutive occurrences of the
+/// two events are left alone (SEQ composites always co-occur, so with
+/// generator-produced inputs nothing is left behind).
+EventLog MergeConsecutivePair(const EventLog& log, const std::string& first,
+                              const std::string& second,
+                              const std::string& merged_name);
+
+/// Removes every occurrence of the named event from all traces (the
+/// activity simply does not exist in the other subsidiary's process).
+EventLog RemoveEventCompletely(const EventLog& log, const std::string& name);
+
+/// Swaps adjacent events within traces with probability `p` per position
+/// (order noise, simulating concurrent recording).
+EventLog AddSwapNoise(const EventLog& log, double p, Rng* rng);
+
+/// Drops individual events with probability `p` per occurrence
+/// (missing-entry noise).
+EventLog AddDropNoise(const EventLog& log, double p, Rng* rng);
+
+}  // namespace ems

@@ -1,0 +1,220 @@
+#include "synth/process_tree.h"
+
+#include <algorithm>
+
+namespace ems {
+
+std::unique_ptr<ProcessNode> ProcessNode::Clone() const {
+  auto copy = std::make_unique<ProcessNode>();
+  copy->op = op;
+  copy->activity = activity;
+  copy->branch_weights = branch_weights;
+  copy->loop_probability = loop_probability;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+size_t ProcessNode::CountActivities() const {
+  if (op == ProcessOp::kActivity) return 1;
+  size_t total = 0;
+  for (const auto& child : children) total += child->CountActivities();
+  return total;
+}
+
+void ProcessNode::CollectActivities(std::vector<std::string>* out) const {
+  if (op == ProcessOp::kActivity) {
+    out->push_back(activity);
+    return;
+  }
+  for (const auto& child : children) child->CollectActivities(out);
+}
+
+std::string ProcessNode::ToString() const {
+  switch (op) {
+    case ProcessOp::kActivity:
+      return activity;
+    case ProcessOp::kSequence:
+    case ProcessOp::kXor:
+    case ProcessOp::kAnd:
+    case ProcessOp::kLoop: {
+      std::string name;
+      switch (op) {
+        case ProcessOp::kSequence:
+          name = "SEQ";
+          break;
+        case ProcessOp::kXor:
+          name = "XOR";
+          break;
+        case ProcessOp::kAnd:
+          name = "AND";
+          break;
+        default:
+          name = "LOOP";
+          break;
+      }
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+// Builds a subtree over activities [begin, end) of the naming sequence.
+std::unique_ptr<ProcessNode> BuildSubtree(const ProcessTreeOptions& options,
+                                          int begin, int end, Rng* rng,
+                                          int depth) {
+  auto node = std::make_unique<ProcessNode>();
+  const int count = end - begin;
+  EMS_DCHECK(count >= 1);
+  if (count == 1) {
+    node->op = ProcessOp::kActivity;
+    node->activity = options.activity_prefix + std::to_string(begin);
+    return node;
+  }
+
+  // Choose an operator. Loops need at least 2 activities (body + redo);
+  // beyond depth 6 prefer sequences to keep play-out traces short.
+  std::vector<double> weights = {options.weight_sequence, options.weight_xor,
+                                 options.weight_and, options.weight_loop};
+  if (depth > 6) weights = {1.0, 0.0, 0.0, 0.0};
+  size_t pick = rng->WeightedIndex(weights);
+  switch (pick) {
+    case 0:
+      node->op = ProcessOp::kSequence;
+      break;
+    case 1:
+      node->op = ProcessOp::kXor;
+      break;
+    case 2:
+      node->op = ProcessOp::kAnd;
+      break;
+    default:
+      node->op = ProcessOp::kLoop;
+      break;
+  }
+
+  // Split the activity range into 2..max_branching chunks (LOOP: exactly
+  // 2 — body and redo part).
+  int branches = node->op == ProcessOp::kLoop
+                     ? 2
+                     : rng->UniformInt(2, std::max(2, options.max_branching));
+  branches = std::min(branches, count);
+  // Random split points.
+  std::vector<int> cuts = {begin, end};
+  std::vector<size_t> inner =
+      rng->SampleWithoutReplacement(static_cast<size_t>(count - 1),
+                                    static_cast<size_t>(branches - 1));
+  for (size_t off : inner) cuts.push_back(begin + 1 + static_cast<int>(off));
+  std::sort(cuts.begin(), cuts.end());
+  for (size_t k = 0; k + 1 < cuts.size(); ++k) {
+    node->children.push_back(
+        BuildSubtree(options, cuts[k], cuts[k + 1], rng, depth + 1));
+  }
+  if (node->op == ProcessOp::kXor) {
+    // Skewed branch odds: each branch gets weight in [0.15, 1), so
+    // branches carry distinct (identifiable) frequencies but none
+    // vanishes entirely.
+    node->branch_weights.resize(node->children.size());
+    for (double& w : node->branch_weights) {
+      w = 0.15 + 0.85 * rng->UniformDouble();
+    }
+  } else if (node->op == ProcessOp::kLoop) {
+    node->loop_probability = 0.1 + 0.4 * rng->UniformDouble();
+  }
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<ProcessNode> GenerateProcessTree(
+    const ProcessTreeOptions& options, Rng* rng) {
+  EMS_DCHECK(options.num_activities >= 1);
+  return BuildSubtree(options, 0, options.num_activities, rng, 0);
+}
+
+void DriftProbabilities(ProcessNode* tree, double drift, Rng* rng) {
+  if (tree->op == ProcessOp::kXor) {
+    for (double& w : tree->branch_weights) {
+      double factor = 1.0 + drift * (2.0 * rng->UniformDouble() - 1.0);
+      w = std::max(0.05, w * factor);
+    }
+  } else if (tree->op == ProcessOp::kLoop && tree->loop_probability >= 0.0) {
+    double factor = 1.0 + drift * (2.0 * rng->UniformDouble() - 1.0);
+    tree->loop_probability =
+        std::clamp(tree->loop_probability * factor, 0.02, 0.8);
+  }
+  for (auto& child : tree->children) {
+    DriftProbabilities(child.get(), drift, rng);
+  }
+}
+
+namespace {
+
+void CollectSplittableLeaves(ProcessNode* node, bool under_and,
+                             std::vector<ProcessNode*>* out) {
+  if (node->op == ProcessOp::kActivity) {
+    if (!under_and) out->push_back(node);
+    return;
+  }
+  bool child_under_and = under_and || node->op == ProcessOp::kAnd;
+  for (auto& child : node->children) {
+    CollectSplittableLeaves(child.get(), child_under_and, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> InjectSequentialPairs(
+    ProcessNode* tree, int count, Rng* rng, const std::string& suffix) {
+  std::vector<ProcessNode*> leaves;
+  CollectSplittableLeaves(tree, /*under_and=*/false, &leaves);
+  rng->Shuffle(&leaves);
+  std::vector<std::pair<std::string, std::string>> injected;
+  for (ProcessNode* leaf : leaves) {
+    if (static_cast<int>(injected.size()) >= count) break;
+    std::string first = leaf->activity;
+    std::string second = first + suffix;
+    auto a = std::make_unique<ProcessNode>();
+    a->op = ProcessOp::kActivity;
+    a->activity = first;
+    auto b = std::make_unique<ProcessNode>();
+    b->op = ProcessOp::kActivity;
+    b->activity = second;
+    leaf->op = ProcessOp::kSequence;
+    leaf->activity.clear();
+    leaf->children.push_back(std::move(a));
+    leaf->children.push_back(std::move(b));
+    injected.emplace_back(std::move(first), std::move(second));
+  }
+  // Fallback when the tree has no AND-free leaf (rare): prepend strict
+  // SEQ pairs at the root, where nothing can interleave.
+  while (static_cast<int>(injected.size()) < count) {
+    size_t k = injected.size();
+    std::string first = "act_head" + std::to_string(k);
+    std::string second = first + suffix;
+    auto a = std::make_unique<ProcessNode>();
+    a->op = ProcessOp::kActivity;
+    a->activity = first;
+    auto b = std::make_unique<ProcessNode>();
+    b->op = ProcessOp::kActivity;
+    b->activity = second;
+    auto old_root = std::make_unique<ProcessNode>(std::move(*tree));
+    *tree = ProcessNode{};
+    tree->op = ProcessOp::kSequence;
+    tree->children.push_back(std::move(a));
+    tree->children.push_back(std::move(b));
+    tree->children.push_back(std::move(old_root));
+    injected.emplace_back(std::move(first), std::move(second));
+  }
+  return injected;
+}
+
+}  // namespace ems

@@ -1,0 +1,94 @@
+// Random process specifications: block-structured process trees with
+// SEQ / XOR / AND / LOOP operators over activity leaves — the substitute
+// for the BeehiveZ model generator [18, 15] used in the paper's
+// scalability study (Section 5.1). Trees are generated from a seed and
+// played out into event logs by log_generator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// Operator of an internal process-tree node.
+enum class ProcessOp {
+  kActivity,  // leaf: one activity
+  kSequence,  // children in order
+  kXor,       // exactly one child
+  kAnd,       // all children, interleaved
+  kLoop,      // first child once, then (second child, first child)*
+};
+
+/// \brief A node of a block-structured process specification.
+struct ProcessNode {
+  ProcessOp op = ProcessOp::kActivity;
+  std::string activity;  // for leaves
+  std::vector<std::unique_ptr<ProcessNode>> children;
+
+  /// XOR branch weights (same length as children). Real processes choose
+  /// branches with skewed probabilities; the asymmetry is what makes
+  /// events statistically identifiable. Empty = uniform.
+  std::vector<double> branch_weights;
+
+  /// LOOP repeat probability for this node; < 0 = use the play-out
+  /// default.
+  double loop_probability = -1.0;
+
+  /// Deep copy of this subtree.
+  std::unique_ptr<ProcessNode> Clone() const;
+
+  /// Number of activity leaves in this subtree.
+  size_t CountActivities() const;
+
+  /// Collects the activity names of all leaves, in left-to-right order.
+  void CollectActivities(std::vector<std::string>* out) const;
+
+  /// Structural dump (e.g. "SEQ(a, XOR(b, c))") for debugging and tests.
+  std::string ToString() const;
+};
+
+/// Parameters of the random tree generator.
+struct ProcessTreeOptions {
+  /// Number of activity leaves the tree must contain.
+  int num_activities = 20;
+
+  /// Relative odds of choosing each operator for an internal node.
+  double weight_sequence = 5.0;
+  double weight_xor = 2.0;
+  double weight_and = 2.0;
+  double weight_loop = 1.0;
+
+  /// Maximum children of one internal node (>= 2).
+  int max_branching = 4;
+
+  /// Activity naming prefix; leaves get "<prefix>0", "<prefix>1", ...
+  std::string activity_prefix = "act_";
+};
+
+/// Generates a random process tree with exactly
+/// `options.num_activities` distinct activities. Deterministic in `rng`.
+std::unique_ptr<ProcessNode> GenerateProcessTree(
+    const ProcessTreeOptions& options, Rng* rng);
+
+/// Perturbs the stochastic parameters of a specification in place: every
+/// XOR branch weight and LOOP repeat probability drifts by a relative
+/// factor up to `drift` (e.g. 0.3 = up to +/-30%). Models the same
+/// business process executed with different case mixes in another
+/// subsidiary; the structure is untouched.
+void DriftProbabilities(ProcessNode* tree, double drift, Rng* rng);
+
+/// Splits up to `count` randomly chosen activity leaves into
+/// SEQ(activity, activity + suffix) blocks, guaranteeing strict
+/// always-consecutive pairs in every play-out. Leaves under an AND
+/// ancestor are skipped (interleaving could separate the pair). Returns
+/// the (first, second) activity-name pairs actually injected — the
+/// ground-truth composites of the synthetic composite-event datasets.
+std::vector<std::pair<std::string, std::string>> InjectSequentialPairs(
+    ProcessNode* tree, int count, Rng* rng,
+    const std::string& suffix = "_b");
+
+}  // namespace ems

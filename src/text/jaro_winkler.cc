@@ -1,0 +1,55 @@
+#include "text/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ems {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t window = std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+
+  std::vector<bool> matched_a(la, false), matched_b(lb, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (matched_b[j] || a[i] != b[j]) continue;
+      matched_a[i] = matched_b[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!matched_a[i]) continue;
+    while (!matched_b[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(la) + m / static_cast<double>(lb) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+}  // namespace ems

@@ -1,0 +1,19 @@
+// Jaro and Jaro-Winkler string similarity — standard measures for short
+// identifier-like labels, complementing q-gram cosine and Levenshtein.
+#pragma once
+
+#include <string_view>
+
+namespace ems {
+
+/// Jaro similarity in [0, 1]: transposition-aware common-character
+/// overlap. Two empty strings score 1.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by the length of the common prefix (up to
+/// 4 characters) scaled by `prefix_scale` (standard 0.1, must keep
+/// prefix_scale * 4 <= 1 so results stay within [0, 1]).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace ems

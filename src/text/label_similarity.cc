@@ -1,0 +1,91 @@
+#include "text/label_similarity.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/jaro_winkler.h"
+#include "text/levenshtein.h"
+#include "text/qgram.h"
+#include "util/string_util.h"
+
+namespace ems {
+
+double QGramCosineSimilarity::Similarity(std::string_view a,
+                                         std::string_view b) const {
+  // Case-folded, as is standard for typographic matching: "Check Stock"
+  // and "CHECK_STOCK" are the same activity spelled differently.
+  return QGramCosine(ToLower(a), ToLower(b), q_);
+}
+
+std::string QGramCosineSimilarity::Name() const {
+  return "qgram-cosine(q=" + std::to_string(q_) + ")";
+}
+
+double LevenshteinLabelSimilarity::Similarity(std::string_view a,
+                                              std::string_view b) const {
+  return LevenshteinSimilarity(a, b);
+}
+
+double JaroWinklerLabelSimilarity::Similarity(std::string_view a,
+                                              std::string_view b) const {
+  return JaroWinklerSimilarity(ToLower(a), ToLower(b));
+}
+
+namespace {
+
+std::set<std::string> Tokenize(std::string_view s) {
+  std::set<std::string> tokens;
+  std::string cur;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      tokens.insert(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.insert(cur);
+  return tokens;
+}
+
+}  // namespace
+
+double TokenJaccardSimilarity::Similarity(std::string_view a,
+                                          std::string_view b) const {
+  std::set<std::string> ta = Tokenize(a);
+  std::set<std::string> tb = Tokenize(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : ta) inter += tb.count(t);
+  size_t uni = ta.size() + tb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::vector<double>> LabelSimilarityMatrix(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const LabelSimilarity& measure) {
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  std::vector<std::vector<double>> m(n1, std::vector<double>(n2, 0.0));
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(n1); ++v1) {
+    if (g1.IsArtificial(v1)) continue;
+    // Composite nodes compare by member labels; the display name joins
+    // members with '+', which would spuriously lower q-gram overlap.
+    std::vector<std::string> parts1 = Split(g1.NodeName(v1), '+');
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(n2); ++v2) {
+      if (g2.IsArtificial(v2)) continue;
+      std::vector<std::string> parts2 = Split(g2.NodeName(v2), '+');
+      double best = 0.0;
+      for (const auto& p1 : parts1) {
+        for (const auto& p2 : parts2) {
+          best = std::max(best, measure.Similarity(p1, p2));
+        }
+      }
+      m[static_cast<size_t>(v1)][static_cast<size_t>(v2)] = best;
+    }
+  }
+  return m;
+}
+
+}  // namespace ems

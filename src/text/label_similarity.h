@@ -1,0 +1,82 @@
+// Pluggable label (typographic) similarity S^L used as the (1 - alpha)
+// component of the EMS similarity (Definition 2). The library ships the
+// paper's choice (q-gram cosine), Levenshtein, a constant-zero measure for
+// the opaque-name scenario of Figure 3, and token-set overlap for
+// multi-word activity names.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "graph/dependency_graph.h"
+
+namespace ems {
+
+/// \brief Interface of a label similarity measure over event names.
+///
+/// Implementations return values in [0, 1]; 1 means identical labels.
+class LabelSimilarity {
+ public:
+  virtual ~LabelSimilarity() = default;
+
+  /// Similarity of two event labels, in [0, 1].
+  virtual double Similarity(std::string_view a, std::string_view b) const = 0;
+
+  /// Name of the measure, for reports.
+  virtual std::string Name() const = 0;
+};
+
+/// Constant 0: structural-only matching (the opaque-name scenario of the
+/// paper's Figure 3; combined with alpha = 1 it disables S^L entirely).
+class NoLabelSimilarity final : public LabelSimilarity {
+ public:
+  double Similarity(std::string_view, std::string_view) const override {
+    return 0.0;
+  }
+  std::string Name() const override { return "none"; }
+};
+
+/// Cosine similarity over character q-grams (the paper's measure [9]).
+class QGramCosineSimilarity final : public LabelSimilarity {
+ public:
+  explicit QGramCosineSimilarity(int q = 3) : q_(q) {}
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string Name() const override;
+
+ private:
+  int q_;
+};
+
+/// Normalized Levenshtein similarity [13].
+class LevenshteinLabelSimilarity final : public LabelSimilarity {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string Name() const override { return "levenshtein"; }
+};
+
+/// Jaro-Winkler similarity, prefix-boosted (good for identifier labels).
+class JaroWinklerLabelSimilarity final : public LabelSimilarity {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string Name() const override { return "jaro-winkler"; }
+};
+
+/// Jaccard overlap of lower-cased whitespace/underscore-separated tokens;
+/// robust for "Check Inventory" vs "inventory_check" style labels.
+class TokenJaccardSimilarity final : public LabelSimilarity {
+ public:
+  double Similarity(std::string_view a, std::string_view b) const override;
+  std::string Name() const override { return "token-jaccard"; }
+};
+
+/// Precomputed S^L matrix between the nodes of two dependency graphs.
+/// Composite nodes take the maximum member-label similarity; pairs
+/// involving the artificial node get 0 (its similarity is pinned by the
+/// iteration, never read through S^L).
+std::vector<std::vector<double>> LabelSimilarityMatrix(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const LabelSimilarity& measure);
+
+}  // namespace ems

@@ -1,0 +1,34 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ems {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  // Single-row dynamic program over the shorter string.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace ems

@@ -1,0 +1,17 @@
+// Levenshtein edit distance [13] and its normalized similarity, the
+// classic syntactic label-similarity baseline.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ems {
+
+/// Number of single-character insertions, deletions, and substitutions
+/// transforming `a` into `b`.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); in [0, 1]. Two empty strings have similarity 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace ems

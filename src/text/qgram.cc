@@ -1,0 +1,51 @@
+#include "text/qgram.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace ems {
+
+QGramProfile::QGramProfile(std::string_view s, int q) : q_(q) {
+  EMS_DCHECK(q >= 1);
+  std::string padded;
+  padded.reserve(s.size() + 2 * static_cast<size_t>(q - 1));
+  padded.append(static_cast<size_t>(q - 1), '#');
+  padded.append(s);
+  padded.append(static_cast<size_t>(q - 1), '$');
+  if (padded.size() >= static_cast<size_t>(q)) {
+    for (size_t i = 0; i + static_cast<size_t>(q) <= padded.size(); ++i) {
+      ++counts_[padded.substr(i, static_cast<size_t>(q))];
+    }
+  }
+  double sq = 0.0;
+  for (const auto& [gram, count] : counts_) {
+    (void)gram;
+    sq += static_cast<double>(count) * static_cast<double>(count);
+  }
+  norm_ = std::sqrt(sq);
+}
+
+double QGramProfile::Cosine(const QGramProfile& other) const {
+  EMS_DCHECK(q_ == other.q_);
+  if (counts_.empty() && other.counts_.empty()) return 1.0;
+  if (counts_.empty() || other.counts_.empty()) return 0.0;
+  // Iterate the smaller map for the dot product.
+  const QGramProfile* small = this;
+  const QGramProfile* large = &other;
+  if (small->counts_.size() > large->counts_.size()) std::swap(small, large);
+  double dot = 0.0;
+  for (const auto& [gram, count] : small->counts_) {
+    auto it = large->counts_.find(gram);
+    if (it != large->counts_.end()) {
+      dot += static_cast<double>(count) * static_cast<double>(it->second);
+    }
+  }
+  return dot / (norm_ * other.norm_);
+}
+
+double QGramCosine(std::string_view a, std::string_view b, int q) {
+  return QGramProfile(a, q).Cosine(QGramProfile(b, q));
+}
+
+}  // namespace ems

@@ -1,0 +1,118 @@
+#include "util/json_writer.h"
+
+#include <cstdio>
+
+namespace ems {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) return;  // value follows its key directly
+  if (!scopes_.empty() && !first_in_scope_.back()) out_ << ',';
+  if (!first_in_scope_.empty()) first_in_scope_.back() = false;
+}
+
+void JsonWriter::ValueEmitted() { pending_key_ = false; }
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  pending_key_ = false;
+}
+
+void JsonWriter::EndObject() {
+  EMS_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  out_ << '}';
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  pending_key_ = false;
+}
+
+void JsonWriter::EndArray() {
+  EMS_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  out_ << ']';
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  EMS_DCHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  MaybeComma();
+  out_ << '"' << Escape(key) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_ << '"' << Escape(value) << '"';
+  ValueEmitted();
+}
+
+void JsonWriter::Number(double value) {
+  MaybeComma();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ << buf;
+  ValueEmitted();
+}
+
+void JsonWriter::Int(long long value) {
+  MaybeComma();
+  out_ << value;
+  ValueEmitted();
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ << (value ? "true" : "false");
+  ValueEmitted();
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ << "null";
+  ValueEmitted();
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ems

@@ -1,0 +1,64 @@
+// Minimal JSON emitter (no parsing): nested objects/arrays with proper
+// string escaping, for exporting match results and reports to tooling.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ems {
+
+/// \brief Streaming JSON writer with explicit begin/end nesting.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("pairs");
+///   w.BeginArray();
+///   w.BeginObject();
+///   w.Key("name"); w.String("a"); w.Key("score"); w.Number(0.9);
+///   w.EndObject();
+///   w.EndArray();
+///   w.EndObject();
+///   std::string json = w.str();
+///
+/// The writer inserts commas automatically. Nesting mismatches are
+/// EMS_DCHECKed.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value belongs to it.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(long long value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid once all scopes are closed.
+  std::string str() const { return out_.str(); }
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string Escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void MaybeComma();
+  void ValueEmitted();
+
+  std::ostringstream out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ems

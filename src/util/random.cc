@@ -1,0 +1,67 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+namespace ems {
+
+int Rng::UniformInt(int lo, int hi) {
+  EMS_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(engine_() % span);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  EMS_DCHECK(n > 0);
+  return static_cast<size_t>(engine_() % n);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits -> [0, 1) with full double mantissa resolution.
+  return static_cast<double>(engine_() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+int Rng::Geometric(double p, int cap) {
+  int n = 0;
+  while (n < cap && Bernoulli(p)) ++n;
+  return n;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  EMS_DCHECK(total > 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::string Rng::HexString(size_t length) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) out.push_back(kHex[engine_() % 16]);
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  EMS_DCHECK(k <= n);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first k positions become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformIndex(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace ems

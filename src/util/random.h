@@ -1,0 +1,71 @@
+// Seeded random number generation. All stochastic components (synthetic
+// generators, perturbations) take an explicit Rng so that every dataset and
+// experiment in this repository is deterministic and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ems {
+
+/// \brief Deterministic pseudo-random generator with convenience draws.
+///
+/// Wraps std::mt19937_64; a given seed always produces the same stream on
+/// every platform we target (mt19937_64 output is standardized; the
+/// distributions used here are implemented locally to avoid libstdc++
+/// version drift in distribution algorithms).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform size_t in [0, n-1]. Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Geometric number of repeats: 0 with prob (1-p), else 1 + Geom.
+  /// Capped at `cap` to bound trace lengths.
+  int Geometric(double p, int cap);
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  /// Requires a positive total weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = UniformIndex(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Random lowercase hex string of the given length (for opaque names).
+  std::string HexString(size_t length);
+
+  /// Draws `k` distinct indices from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks a child generator whose stream is a deterministic function of
+  /// this generator's state; use to give sub-tasks independent streams.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ems

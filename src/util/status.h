@@ -1,0 +1,174 @@
+// Status and Result<T>: error propagation without exceptions, following the
+// idiom used by Arrow and RocksDB. Fallible operations on the public API
+// boundary (parsing, I/O, configuration validation) return Status or
+// Result<T>; internal invariants use EMS_DCHECK.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ems {
+
+/// Error category of a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kParseError,
+  kOutOfRange,
+  kNotImplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK (the common case, carrying no allocation) or an
+/// error with a code and message. Statuses are cheap to move and copy:
+/// the OK state is a null pointer.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status with the given code and message.
+  Status(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk);
+    state_ = std::make_shared<State>(State{code, std::move(msg)});
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;  // nullptr == OK
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Callers must check ok() before dereferencing. Moved-from Results are
+/// valid but unspecified.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace ems
+
+/// Propagates a non-OK Status to the caller.
+#define EMS_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::ems::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define EMS_CONCAT_IMPL(a, b) a##b
+#define EMS_CONCAT(a, b) EMS_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define EMS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto EMS_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!EMS_CONCAT(_res_, __LINE__).ok())                        \
+    return EMS_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(EMS_CONCAT(_res_, __LINE__)).value()
+
+/// Debug-only invariant check.
+#ifndef NDEBUG
+#define EMS_DCHECK(cond) assert(cond)
+#else
+#define EMS_DCHECK(cond) ((void)0)
+#endif

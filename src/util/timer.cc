@@ -1,0 +1,3 @@
+#include "util/timer.h"
+
+// Timer is header-only; this translation unit anchors the target.

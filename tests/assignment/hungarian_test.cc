@@ -1,0 +1,123 @@
+#include "assignment/hungarian.h"
+
+#include <random>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(HungarianTest, TrivialSingleCell) {
+  std::vector<int> a = MaxWeightAssignment({{5.0}});
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(HungarianTest, PicksOffDiagonalOptimum) {
+  // Greedy-per-row would pick (0,0)=3 then (1,1)=1 for 4; the optimum is
+  // (0,1)=2 + (1,0)=3 = 5.
+  std::vector<std::vector<double>> w = {{3.0, 2.0}, {3.0, 1.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 5.0);
+}
+
+TEST(HungarianTest, ClassicThreeByThree) {
+  std::vector<std::vector<double>> w = {
+      {7.0, 5.0, 11.0}, {5.0, 4.0, 1.0}, {9.0, 3.0, 2.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 11.0 + 4.0 + 9.0);
+}
+
+TEST(HungarianTest, RectangularMoreRows) {
+  std::vector<std::vector<double>> w = {{1.0}, {9.0}, {2.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  ASSERT_EQ(a.size(), 3u);
+  int assigned = 0;
+  for (int x : a) assigned += x >= 0;
+  EXPECT_EQ(assigned, 1);
+  EXPECT_EQ(a[1], 0);  // the 9.0 row wins the single column
+}
+
+TEST(HungarianTest, RectangularMoreCols) {
+  std::vector<std::vector<double>> w = {{1.0, 9.0, 2.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 1);
+}
+
+TEST(HungarianTest, AllZeroWeightsAssignNothingOfValue) {
+  std::vector<std::vector<double>> w = {{0.0, 0.0}, {0.0, 0.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 0.0);
+}
+
+TEST(HungarianTest, NegativeWeightsNotForced) {
+  // Leaving rows unassigned (padding) beats taking negative pairs.
+  std::vector<std::vector<double>> w = {{-1.0, -2.0}, {-3.0, -4.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 0.0);
+}
+
+TEST(HungarianTest, MixedSignsTakeOnlyProfitablePairs) {
+  std::vector<std::vector<double>> w = {{5.0, -1.0}, {-1.0, -1.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 5.0);
+}
+
+TEST(HungarianTest, EmptyInputs) {
+  EXPECT_TRUE(MaxWeightAssignment({}).empty());
+  std::vector<std::vector<double>> no_cols = {{}, {}};
+  std::vector<int> a = MaxWeightAssignment(no_cols);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], -1);
+  EXPECT_EQ(a[1], -1);
+}
+
+// Brute-force cross-check on random instances.
+double BruteForceBest(const std::vector<std::vector<double>>& w) {
+  // Pad to a square and enumerate all permutations; skipping a pair is
+  // modeled by counting only its positive part (equivalent to routing the
+  // row through padding).
+  size_t n = w.size();
+  size_t m = w[0].size();
+  size_t k = std::max(n, m);
+  std::vector<int> perm(k);
+  for (size_t j = 0; j < k; ++j) perm[j] = static_cast<int>(j);
+  double best = 0.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = static_cast<size_t>(perm[i]);
+      if (j >= m) continue;  // padding column
+      double v = w[i][j];
+      if (v > 0) total += v;
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomInstances) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng() % 5;
+    size_t m = 1 + rng() % 5;
+    std::vector<std::vector<double>> w(n, std::vector<double>(m));
+    for (auto& row : w) {
+      for (double& v : row) {
+        v = static_cast<double>(rng() % 2000) / 100.0 - 5.0;  // [-5, 15)
+      }
+    }
+    std::vector<int> a = MaxWeightAssignment(w);
+    EXPECT_NEAR(AssignmentWeight(w, a), BruteForceBest(w), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ems

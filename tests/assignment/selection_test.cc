@@ -1,0 +1,89 @@
+#include "assignment/selection.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+const std::vector<std::vector<double>> kSim = {
+    {0.9, 0.2, 0.1},
+    {0.8, 0.7, 0.0},
+    {0.1, 0.6, 0.5},
+};
+
+std::set<std::pair<int, int>> AsSet(const std::vector<Match>& ms) {
+  std::set<std::pair<int, int>> out;
+  for (const Match& m : ms) out.emplace(m.row, m.col);
+  return out;
+}
+
+TEST(SelectionTest, MaxTotalSimilarityFindsGlobalOptimum) {
+  // Optimal total: (0,0)=0.9 + (1,1)=0.7 + (2,2)=0.5 = 2.1.
+  std::vector<Match> ms = SelectMaxTotalSimilarity(kSim);
+  EXPECT_EQ(AsSet(ms), (std::set<std::pair<int, int>>{{0, 0}, {1, 1}, {2, 2}}));
+}
+
+TEST(SelectionTest, GreedyCanDifferFromOptimal) {
+  // Greedy: takes (0,0)=0.9, then (1,1)=0.7, then (2,2)=0.5 here — same.
+  // Construct a matrix where greedy is suboptimal:
+  std::vector<std::vector<double>> sim = {{0.9, 0.8}, {0.85, 0.1}};
+  std::vector<Match> greedy = SelectGreedy(sim);
+  std::vector<Match> optimal = SelectMaxTotalSimilarity(sim);
+  double g = 0.0, o = 0.0;
+  for (const Match& m : greedy) g += m.similarity;
+  for (const Match& m : optimal) o += m.similarity;
+  EXPECT_DOUBLE_EQ(g, 1.0);        // 0.9 + 0.1
+  EXPECT_DOUBLE_EQ(o, 1.65);       // 0.8 + 0.85
+}
+
+TEST(SelectionTest, ThresholdFilters) {
+  SelectionOptions opts;
+  opts.min_similarity = 0.6;
+  std::vector<Match> ms = SelectMaxTotalSimilarity(kSim, opts);
+  EXPECT_EQ(AsSet(ms), (std::set<std::pair<int, int>>{{0, 0}, {1, 1}}));
+  for (const Match& m : ms) EXPECT_GE(m.similarity, 0.6);
+}
+
+TEST(SelectionTest, GreedyRespectsThreshold) {
+  SelectionOptions opts;
+  opts.min_similarity = 0.65;
+  std::vector<Match> ms = SelectGreedy(kSim, opts);
+  EXPECT_EQ(AsSet(ms), (std::set<std::pair<int, int>>{{0, 0}, {1, 1}}));
+}
+
+TEST(SelectionTest, GreedyDeterministicTieBreak) {
+  std::vector<std::vector<double>> sim = {{0.5, 0.5}, {0.5, 0.5}};
+  std::vector<Match> a = SelectGreedy(sim);
+  std::vector<Match> b = SelectGreedy(sim);
+  EXPECT_EQ(AsSet(a), AsSet(b));
+  EXPECT_EQ(AsSet(a), (std::set<std::pair<int, int>>{{0, 0}, {1, 1}}));
+}
+
+TEST(SelectionTest, MutualBestKeepsOnlyReciprocalPairs) {
+  // (0,0): 0.9 is best in row 0 and col 0 -> kept.
+  // Row 1's best is col 0 (0.8) but col 0 prefers row 0 -> dropped.
+  // Row 2's best is col 1 (0.6); col 1's best is row 1 (0.7) -> dropped.
+  std::vector<Match> ms = SelectMutualBest(kSim);
+  EXPECT_EQ(AsSet(ms), (std::set<std::pair<int, int>>{{0, 0}}));
+}
+
+TEST(SelectionTest, EmptyMatrix) {
+  EXPECT_TRUE(SelectMaxTotalSimilarity({}).empty());
+  EXPECT_TRUE(SelectGreedy({}).empty());
+  EXPECT_TRUE(SelectMutualBest({}).empty());
+}
+
+TEST(SelectionTest, OneToOneProperty) {
+  for (auto* fn : {&SelectMaxTotalSimilarity, &SelectGreedy,
+                   &SelectMutualBest}) {
+    std::vector<Match> ms = (*fn)(kSim, SelectionOptions{});
+    std::set<int> rows, cols;
+    for (const Match& m : ms) {
+      EXPECT_TRUE(rows.insert(m.row).second);
+      EXPECT_TRUE(cols.insert(m.col).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ems

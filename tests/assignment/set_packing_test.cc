@@ -1,0 +1,110 @@
+#include "assignment/set_packing.h"
+
+#include <random>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(SetPackingTest, PicksDisjointOptimum) {
+  // {0,1} w=3 and {2,3} w=3 beat the single {0,1,2,3} w=5.
+  std::vector<WeightedSet> cands = {
+      {{0, 1}, 3.0}, {{2, 3}, 3.0}, {{0, 1, 2, 3}, 5.0}};
+  Result<PackingResult> r = MaxWeightSetPacking(cands, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_weight, 6.0);
+  EXPECT_EQ(r->chosen.size(), 2u);
+}
+
+TEST(SetPackingTest, SingleBigSetWinsWhenHeavier) {
+  std::vector<WeightedSet> cands = {
+      {{0, 1}, 3.0}, {{2, 3}, 3.0}, {{0, 1, 2, 3}, 7.0}};
+  Result<PackingResult> r = MaxWeightSetPacking(cands, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_weight, 7.0);
+}
+
+TEST(SetPackingTest, OverlapForcesChoice) {
+  std::vector<WeightedSet> cands = {{{0, 1}, 2.0}, {{1, 2}, 2.5}};
+  Result<PackingResult> r = MaxWeightSetPacking(cands, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->total_weight, 2.5);
+  EXPECT_EQ(r->chosen.size(), 1u);
+}
+
+TEST(SetPackingTest, NegativeWeightsNeverChosen) {
+  std::vector<WeightedSet> cands = {{{0}, -1.0}, {{1}, -2.0}};
+  Result<PackingResult> r = MaxWeightSetPacking(cands, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->chosen.empty());
+  EXPECT_DOUBLE_EQ(r->total_weight, 0.0);
+}
+
+TEST(SetPackingTest, EmptyCandidates) {
+  Result<PackingResult> r = MaxWeightSetPacking({}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->chosen.empty());
+}
+
+TEST(SetPackingTest, RejectsOutOfUniverseElements) {
+  std::vector<WeightedSet> cands = {{{5}, 1.0}};
+  EXPECT_TRUE(MaxWeightSetPacking(cands, 3).status().IsInvalidArgument());
+  std::vector<WeightedSet> negative = {{{-1}, 1.0}};
+  EXPECT_TRUE(MaxWeightSetPacking(negative, 3).status().IsInvalidArgument());
+}
+
+TEST(SetPackingTest, NodeBudgetExhaustion) {
+  std::vector<WeightedSet> cands;
+  for (int i = 0; i < 30; ++i) cands.push_back({{i}, 1.0});
+  Result<PackingResult> r = MaxWeightSetPacking(cands, 30, /*max_nodes=*/10);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(SetPackingTest, GreedyIsFeasibleButMaybeSuboptimal) {
+  // Greedy grabs the heavy overlapping set and blocks the better pair.
+  std::vector<WeightedSet> cands = {
+      {{0, 1, 2}, 4.0}, {{0, 1}, 3.0}, {{2, 3}, 3.0}};
+  PackingResult greedy = GreedySetPacking(cands, 4);
+  EXPECT_DOUBLE_EQ(greedy.total_weight, 4.0);
+  Result<PackingResult> exact = MaxWeightSetPacking(cands, 4);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact->total_weight, 6.0);
+  EXPECT_GE(exact->total_weight, greedy.total_weight);
+}
+
+TEST(SetPackingTest, ExactMatchesGreedyUpperBoundOnRandomInstances) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    int universe = 8;
+    std::vector<WeightedSet> cands;
+    size_t num = 2 + rng() % 8;
+    for (size_t k = 0; k < num; ++k) {
+      WeightedSet s;
+      int size = 1 + static_cast<int>(rng() % 3);
+      std::set<int> members;
+      while (static_cast<int>(members.size()) < size) {
+        members.insert(static_cast<int>(rng() % universe));
+      }
+      s.elements.assign(members.begin(), members.end());
+      s.weight = static_cast<double>(rng() % 100) / 10.0;
+      cands.push_back(std::move(s));
+    }
+    Result<PackingResult> exact = MaxWeightSetPacking(cands, universe);
+    ASSERT_TRUE(exact.ok());
+    PackingResult greedy = GreedySetPacking(cands, universe);
+    EXPECT_GE(exact->total_weight + 1e-9, greedy.total_weight);
+    // Verify chosen sets are pairwise disjoint.
+    std::set<int> used;
+    for (size_t idx : exact->chosen) {
+      for (int e : cands[idx].elements) {
+        EXPECT_TRUE(used.insert(e).second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ems

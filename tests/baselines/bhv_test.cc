@@ -1,0 +1,86 @@
+#include "baselines/bhv.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+DependencyGraph NoArtificial(const EventLog& log) {
+  DependencyGraphOptions opts;
+  opts.add_artificial_event = false;
+  return DependencyGraph::Build(log, opts);
+}
+
+TEST(BhvTest, SourcePairsGetSimilarityOne) {
+  // The paper's Example 2: BHV(A, 1) = 1 because both lack predecessors.
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  SimilarityMatrix s = ComputeBhvSimilarity(g1, g2);
+  NodeId paid_cash = -1, order_accepted = -1, paid_cash2 = -1;
+  for (NodeId v = 0; v < static_cast<NodeId>(g1.NumNodes()); ++v) {
+    if (g1.NodeName(v) == "PaidCash") paid_cash = v;
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(g2.NumNodes()); ++v) {
+    if (g2.NodeName(v) == "OrderAccepted") order_accepted = v;
+    if (g2.NodeName(v) == "PaidCash2") paid_cash2 = v;
+  }
+  ASSERT_GE(paid_cash, 0);
+  ASSERT_GE(order_accepted, 0);
+  ASSERT_GE(paid_cash2, 0);
+  EXPECT_DOUBLE_EQ(s.at(paid_cash, order_accepted), 1.0);
+  // ... and the dislocated true pair gets 0: BHV cannot see it.
+  EXPECT_DOUBLE_EQ(s.at(paid_cash, paid_cash2), 0.0);
+}
+
+TEST(BhvTest, ValuesInUnitInterval) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  SimilarityMatrix s = ComputeBhvSimilarity(g1, g2);
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+      EXPECT_GE(s.at(v1, v2), 0.0);
+      EXPECT_LE(s.at(v1, v2), 1.0);
+    }
+  }
+}
+
+TEST(BhvTest, IdenticalGraphsDiagonalStrong) {
+  DependencyGraph g = NoArtificial(testing::BuildPaperLog2());
+  SimilarityMatrix s = ComputeBhvSimilarity(g, g);
+  for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+    for (NodeId u = 0; u < static_cast<NodeId>(g.NumNodes()); ++u) {
+      EXPECT_GE(s.at(v, v) + 1e-9, s.at(v, u));
+    }
+  }
+}
+
+TEST(BhvTest, LabelIntegrationShiftsScores) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  std::vector<std::vector<double>> labels(
+      g1.NumNodes(), std::vector<double>(g2.NumNodes(), 0.0));
+  labels[0][0] = 1.0;
+  BhvOptions opts;
+  opts.alpha = 0.5;
+  SimilarityMatrix with = ComputeBhvSimilarity(g1, g2, opts, &labels);
+  SimilarityMatrix without = ComputeBhvSimilarity(g1, g2, opts);
+  EXPECT_GT(with.at(0, 0), without.at(0, 0));
+}
+
+TEST(BhvTest, IgnoresArtificialNodesWhenPresent) {
+  DependencyGraph g1 = DependencyGraph::Build(testing::BuildPaperLog1());
+  DependencyGraph g2 = DependencyGraph::Build(testing::BuildPaperLog2());
+  ASSERT_TRUE(g1.has_artificial());
+  SimilarityMatrix s = ComputeBhvSimilarity(g1, g2);
+  // Artificial rows/cols remain zero.
+  for (NodeId v2 = 0; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+    EXPECT_DOUBLE_EQ(s.at(0, v2), 0.0);
+  }
+  // With artificial nodes, every real node has a real predecessor set
+  // unchanged; the source base case applies to the same pairs as before.
+}
+
+}  // namespace
+}  // namespace ems

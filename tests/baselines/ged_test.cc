@@ -1,0 +1,105 @@
+#include "baselines/ged.h"
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "text/label_similarity.h"
+
+namespace ems {
+namespace {
+
+DependencyGraph NoArtificial(const EventLog& log) {
+  DependencyGraphOptions opts;
+  opts.add_artificial_event = false;
+  return DependencyGraph::Build(log, opts);
+}
+
+TEST(GedTest, IdenticalGraphsWithLabelsMapIdentity) {
+  DependencyGraph g = NoArtificial(testing::BuildPaperLog2());
+  GedOptions opts;
+  QGramCosineSimilarity qgram;
+  opts.label_measure = &qgram;
+  GedResult result = ComputeGedMatching(g, g, opts);
+  ASSERT_EQ(result.mapping.size(), g.NumNodes());
+  for (size_t i = 0; i < result.mapping.size(); ++i) {
+    EXPECT_EQ(result.mapping[i], static_cast<int>(i));
+  }
+  EXPECT_NEAR(result.distance, 0.0, 1e-9);
+}
+
+TEST(GedTest, DistanceOfEmptyMappingIsMaximal) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  std::vector<int> empty(g1.NumNodes(), -1);
+  double d = GedDistance(g1, g2, empty);
+  // All nodes and edges skipped; substitution term 0 => (1 + 1 + 0) / 3.
+  EXPECT_NEAR(d, 2.0 / 3.0, 1e-9);
+}
+
+TEST(GedTest, GreedyNeverWorseThanEmptyMapping) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  GedResult result = ComputeGedMatching(g1, g2);
+  std::vector<int> empty(g1.NumNodes(), -1);
+  EXPECT_LE(result.distance, GedDistance(g1, g2, empty) + 1e-12);
+}
+
+TEST(GedTest, ReportedDistanceMatchesRecomputation) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  GedResult result = ComputeGedMatching(g1, g2);
+  EXPECT_NEAR(result.distance, GedDistance(g1, g2, result.mapping), 1e-9);
+}
+
+TEST(GedTest, MappingIsInjective) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  GedResult result = ComputeGedMatching(g1, g2);
+  std::set<int> used;
+  for (int m : result.mapping) {
+    if (m < 0) continue;
+    EXPECT_TRUE(used.insert(m).second);
+  }
+}
+
+TEST(GedTest, WeightsShiftTheTradeoff) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  GedOptions skip_heavy;
+  skip_heavy.weight_skip_nodes = 10.0;
+  GedResult eager = ComputeGedMatching(g1, g2, skip_heavy);
+  GedOptions sub_heavy;
+  sub_heavy.weight_substitution = 10.0;
+  GedResult reluctant = ComputeGedMatching(g1, g2, sub_heavy);
+  size_t eager_mapped = 0, reluctant_mapped = 0;
+  for (int m : eager.mapping) eager_mapped += m >= 0;
+  for (int m : reluctant.mapping) reluctant_mapped += m >= 0;
+  EXPECT_GE(eager_mapped, reluctant_mapped);
+}
+
+TEST(GedTest, NodeSimilarityMatrixExposed) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  GedResult result = ComputeGedMatching(g1, g2);
+  ASSERT_EQ(result.node_similarity.size(), g1.NumNodes());
+  ASSERT_EQ(result.node_similarity[0].size(), g2.NumNodes());
+  for (const auto& row : result.node_similarity) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GedTest, EmptyGraphs) {
+  EventLog empty;
+  DependencyGraphOptions opts;
+  opts.add_artificial_event = false;
+  DependencyGraph g = DependencyGraph::Build(empty, opts);
+  GedResult result = ComputeGedMatching(g, g);
+  EXPECT_TRUE(result.mapping.empty());
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,101 @@
+#include "baselines/icop.h"
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(IcopTest, OneToOneByLabels) {
+  EventLog log1, log2;
+  log1.AddTrace({"pay invoice", "ship goods"});
+  log2.AddTrace({"ship the goods", "pay the invoice"});
+  TokenJaccardSimilarity measure;
+  std::vector<Correspondence> found = IcopMatch(log1, log2, measure);
+  ASSERT_EQ(found.size(), 2u);
+  for (const Correspondence& c : found) {
+    if (c.events1[0] == "pay invoice") {
+      EXPECT_EQ(c.events2[0], "pay the invoice");
+    } else {
+      EXPECT_EQ(c.events2[0], "ship the goods");
+    }
+  }
+}
+
+TEST(IcopTest, FindsComplexCorrespondenceFromSharedTerms) {
+  EventLog log1, log2;
+  log1.AddTrace({"check inventory", "validate inventory", "ship"});
+  log2.AddTrace({"inventory checking and validation", "ship"});
+  TokenJaccardSimilarity measure;
+  IcopOptions opts;
+  opts.min_member_similarity = 0.2;
+  std::vector<Correspondence> found = IcopMatch(log1, log2, measure, opts);
+  bool complex_found = false;
+  for (const Correspondence& c : found) {
+    if (c.events1.size() == 2 &&
+        c.events2 == std::vector<std::string>{
+                         "inventory checking and validation"}) {
+      complex_found = true;
+    }
+  }
+  EXPECT_TRUE(complex_found);
+}
+
+TEST(IcopTest, OpaqueNamesYieldNothing) {
+  // The paper's criticism of ICoP: without label signal it is helpless.
+  EventLog log1, log2;
+  log1.AddTrace({"a1b2", "c3d4"});
+  log2.AddTrace({"zz91", "qq37"});
+  QGramCosineSimilarity measure;
+  std::vector<Correspondence> found = IcopMatch(log1, log2, measure);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(IcopTest, SelectionIsDisjoint) {
+  EventLog log1, log2;
+  log1.AddTrace({"alpha", "alpha two", "beta"});
+  log2.AddTrace({"alpha", "beta"});
+  QGramCosineSimilarity measure;
+  std::vector<Correspondence> found = IcopMatch(log1, log2, measure);
+  std::set<std::string> used1, used2;
+  for (const Correspondence& c : found) {
+    for (const std::string& e : c.events1) {
+      EXPECT_TRUE(used1.insert(e).second);
+    }
+    for (const std::string& e : c.events2) {
+      EXPECT_TRUE(used2.insert(e).second);
+    }
+  }
+}
+
+TEST(IcopTest, GroupSizeCapRespected) {
+  EventLog log1, log2;
+  log1.AddTrace({"step one", "step two", "step three", "step four",
+                 "step five"});
+  log2.AddTrace({"step"});
+  TokenJaccardSimilarity measure;
+  IcopOptions opts;
+  opts.max_group_size = 3;
+  opts.min_member_similarity = 0.2;
+  std::vector<Correspondence> found = IcopMatch(log1, log2, measure, opts);
+  for (const Correspondence& c : found) {
+    EXPECT_LE(c.events1.size(), 3u);
+  }
+}
+
+TEST(IcopTest, DeterministicOutput) {
+  EventLog log1, log2;
+  log1.AddTrace({"pay", "ship", "bill"});
+  log2.AddTrace({"pay", "ship", "bill"});
+  QGramCosineSimilarity measure;
+  auto a = IcopMatch(log1, log2, measure);
+  auto b = IcopMatch(log1, log2, measure);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].events1, b[i].events1);
+    EXPECT_EQ(a[i].events2, b[i].events2);
+  }
+}
+
+}  // namespace
+}  // namespace ems

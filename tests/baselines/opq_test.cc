@@ -1,0 +1,109 @@
+#include "baselines/opq.h"
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+DependencyGraph NoArtificial(const EventLog& log) {
+  DependencyGraphOptions opts;
+  opts.add_artificial_event = false;
+  return DependencyGraph::Build(log, opts);
+}
+
+TEST(OpqTest, IdenticalGraphsMatchPerfectly) {
+  DependencyGraph g = NoArtificial(testing::BuildPaperLog2());
+  Result<OpqResult> result = ComputeOpqExact(g, g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->exact);
+  EXPECT_NEAR(result->distance, 0.0, 1e-12);
+  // Identity is one optimal mapping; any zero-distance permutation is
+  // acceptable, but with distinct frequencies it must be the identity.
+  for (size_t i = 0; i < result->mapping.size(); ++i) {
+    EXPECT_EQ(result->mapping[i], static_cast<int>(i));
+  }
+}
+
+TEST(OpqTest, ExactNeverWorseThanHillClimb) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  Result<OpqResult> exact = ComputeOpqExact(g1, g2);
+  ASSERT_TRUE(exact.ok());
+  OpqResult hill = ComputeOpqHillClimb(g1, g2);
+  EXPECT_LE(exact->distance, hill.distance + 1e-9);
+}
+
+TEST(OpqTest, DistanceOfReportedMappingMatches) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  Result<OpqResult> result = ComputeOpqExact(g1, g2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->distance, OpqDistance(g1, g2, result->mapping), 1e-9);
+}
+
+TEST(OpqTest, ExpansionBudgetTriggersResourceExhausted) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  OpqOptions opts;
+  opts.max_expansions = 2;  // absurdly small
+  Result<OpqResult> result = ComputeOpqExact(g1, g2, opts);
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(OpqTest, MappingIsInjective) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  Result<OpqResult> result = ComputeOpqExact(g1, g2);
+  ASSERT_TRUE(result.ok());
+  std::set<int> used;
+  for (int m : result->mapping) {
+    if (m < 0) continue;
+    EXPECT_TRUE(used.insert(m).second);
+  }
+}
+
+TEST(OpqTest, UnequalSizesHandled) {
+  // Graph 1 larger than graph 2: some nodes must stay unmapped.
+  EventLog big, small;
+  for (int i = 0; i < 6; ++i) {
+    big.AddTrace({"a", "b", "c", "d"});
+    small.AddTrace({"x", "y"});
+  }
+  DependencyGraph g1 = NoArtificial(big);
+  DependencyGraph g2 = NoArtificial(small);
+  Result<OpqResult> result = ComputeOpqExact(g1, g2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->mapping.size(), g1.NumNodes());
+  size_t mapped = 0;
+  for (int m : result->mapping) mapped += m >= 0;
+  EXPECT_EQ(mapped, g2.NumNodes());
+}
+
+TEST(OpqTest, HillClimbDeterministicForSeed) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  OpqOptions opts;
+  opts.seed = 99;
+  OpqResult a = ComputeOpqHillClimb(g1, g2, opts);
+  OpqResult b = ComputeOpqHillClimb(g1, g2, opts);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_DOUBLE_EQ(a.distance, b.distance);
+}
+
+TEST(OpqTest, ScoreHigherForBetterMapping) {
+  DependencyGraph g = NoArtificial(testing::BuildPaperLog2());
+  Result<OpqResult> identity = ComputeOpqExact(g, g);
+  ASSERT_TRUE(identity.ok());
+  // A deliberately bad mapping: rotate all targets by one.
+  std::vector<int> rotated(identity->mapping.size());
+  for (size_t i = 0; i < rotated.size(); ++i) {
+    rotated[i] = static_cast<int>((i + 1) % rotated.size());
+  }
+  EXPECT_LT(identity->distance, OpqDistance(g, g, rotated));
+}
+
+}  // namespace
+}  // namespace ems

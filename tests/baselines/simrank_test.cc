@@ -1,0 +1,88 @@
+#include "baselines/simrank.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+DependencyGraph NoArtificial(const EventLog& log) {
+  DependencyGraphOptions opts;
+  opts.add_artificial_event = false;
+  return DependencyGraph::Build(log, opts);
+}
+
+TEST(SimRankTest, ValuesInUnitInterval) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  SimilarityMatrix s = ComputeSimRank(g1, g2);
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+      EXPECT_GE(s.at(v1, v2), 0.0);
+      EXPECT_LE(s.at(v1, v2), 1.0);
+    }
+  }
+}
+
+TEST(SimRankTest, SourcePairsPinnedAtOne) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  SimilarityMatrix s = ComputeSimRank(g1, g2);
+  // PaidCash and PaidCredit are sources of G1; OrderAccepted of G2.
+  NodeId src1 = -1, src2 = -1;
+  for (NodeId v = 0; v < static_cast<NodeId>(g1.NumNodes()); ++v) {
+    if (g1.NodeName(v) == "PaidCash") src1 = v;
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(g2.NumNodes()); ++v) {
+    if (g2.NodeName(v) == "OrderAccepted") src2 = v;
+  }
+  ASSERT_GE(src1, 0);
+  ASSERT_GE(src2, 0);
+  EXPECT_DOUBLE_EQ(s.at(src1, src2), 1.0);
+}
+
+TEST(SimRankTest, SourceVersusNonSourceIsZero) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  SimilarityMatrix s = ComputeSimRank(g1, g2);
+  NodeId src1 = -1, mid2 = -1;
+  for (NodeId v = 0; v < static_cast<NodeId>(g1.NumNodes()); ++v) {
+    if (g1.NodeName(v) == "PaidCash") src1 = v;
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(g2.NumNodes()); ++v) {
+    if (g2.NodeName(v) == "Delivery") mid2 = v;
+  }
+  ASSERT_GE(src1, 0);
+  ASSERT_GE(mid2, 0);
+  EXPECT_DOUBLE_EQ(s.at(src1, mid2), 0.0);
+}
+
+TEST(SimRankTest, DecayConstantScalesScores) {
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  DependencyGraph g2 = NoArtificial(testing::BuildPaperLog2());
+  SimRankOptions high, low;
+  high.c = 0.9;
+  low.c = 0.3;
+  SimilarityMatrix s_high = ComputeSimRank(g1, g2, high);
+  SimilarityMatrix s_low = ComputeSimRank(g1, g2, low);
+  // Non-source pairs scale with c.
+  double any_high = 0.0, any_low = 0.0;
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(s_high.rows()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(s_high.cols()); ++v2) {
+      any_high += s_high.at(v1, v2);
+      any_low += s_low.at(v1, v2);
+    }
+  }
+  EXPECT_GT(any_high, any_low);
+}
+
+TEST(SimRankTest, ConvergesOnCyclicGraphs) {
+  // G1's E <-> F cycle must not prevent termination.
+  DependencyGraph g1 = NoArtificial(testing::BuildPaperLog1());
+  SimilarityMatrix s = ComputeSimRank(g1, g1);
+  EXPECT_GT(s.at(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,129 @@
+#include "core/bounds.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+using testing::BuildPaperGraph1;
+using testing::BuildPaperGraph2;
+
+EmsOptions Opts() {
+  EmsOptions opts;
+  opts.alpha = 1.0;
+  opts.c = 0.8;
+  opts.direction = Direction::kForward;
+  return opts;
+}
+
+TEST(BoundsTest, UpperBoundDominatesConvergedValue) {
+  // Proposition 6: for every pair and every k, bound(S^k) >= S(inf).
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, Opts());
+  SimilarityMatrix s_final = sim.Compute();
+  for (int k : {0, 1, 2, 3, 5}) {
+    EmsSimilarity partial_sim(g1, g2, Opts());
+    SimilarityMatrix s_k = partial_sim.ComputePartial(Direction::kForward, k);
+    for (NodeId v1 = 1; v1 < static_cast<NodeId>(s_k.rows()); ++v1) {
+      for (NodeId v2 = 1; v2 < static_cast<NodeId>(s_k.cols()); ++v2) {
+        double bound = SimilarityUpperBound(s_k.at(v1, v2), k, 1.0, 0.8);
+        EXPECT_GE(bound + 1e-12, s_final.at(v1, v2))
+            << "k=" << k << " pair (" << v1 << "," << v2 << ")";
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, TightBoundNoLooserThanPaperBound) {
+  for (int k : {0, 1, 2, 5, 10}) {
+    double tight = SimilarityUpperBound(0.3, k, 1.0, 0.8);
+    double paper = PaperUpperBound(0.3, k, 1.0, 0.8);
+    EXPECT_LE(tight, paper + 1e-12);
+  }
+}
+
+TEST(BoundsTest, HorizonBoundDominatesAndTightens) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, Opts());
+  SimilarityMatrix s_final = sim.Compute();
+  const int k = 1;
+  EmsSimilarity partial_sim(g1, g2, Opts());
+  SimilarityMatrix s_k = partial_sim.ComputePartial(Direction::kForward, k);
+  for (NodeId v1 = 1; v1 < static_cast<NodeId>(s_k.rows()); ++v1) {
+    for (NodeId v2 = 1; v2 < static_cast<NodeId>(s_k.cols()); ++v2) {
+      int h = sim.ConvergenceHorizon(Direction::kForward, v1, v2);
+      double hb = HorizonUpperBound(s_k.at(v1, v2), k, h, 1.0, 0.8);
+      double gb = SimilarityUpperBound(s_k.at(v1, v2), k, 1.0, 0.8);
+      EXPECT_GE(hb + 1e-12, s_final.at(v1, v2));  // Corollary 7: still valid
+      EXPECT_LE(hb, gb + 1e-12);                  // ... and no looser
+    }
+  }
+}
+
+TEST(BoundsTest, ConvergedHorizonBoundIsExact) {
+  // For h <= k the pair has converged; the bound equals the value.
+  EXPECT_DOUBLE_EQ(HorizonUpperBound(0.42, 3, 2, 1.0, 0.8), 0.42);
+  EXPECT_DOUBLE_EQ(HorizonUpperBound(0.42, 3, 3, 1.0, 0.8), 0.42);
+}
+
+TEST(BoundsTest, BoundsClampToOne) {
+  EXPECT_LE(SimilarityUpperBound(0.9, 0, 1.0, 0.8), 1.0);
+  EXPECT_LE(PaperUpperBound(0.9, 0, 1.0, 0.8), 1.0);
+  EXPECT_LE(HorizonUpperBound(0.9, 0, 100, 1.0, 0.8), 1.0);
+}
+
+TEST(BoundsTest, BoundsDecreaseWithK) {
+  double prev = 2.0;
+  for (int k = 0; k <= 10; ++k) {
+    double b = SimilarityUpperBound(0.0, k, 1.0, 0.8);
+    EXPECT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+  // Tail vanishes geometrically.
+  EXPECT_LT(SimilarityUpperBound(0.0, 50, 1.0, 0.8), 1e-4);
+}
+
+TEST(BoundsTest, IncrementBoundLemma5Holds) {
+  // Lemma 5: S^n - S^{n-1} <= (alpha c)^n, per pair.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsOptions opts = Opts();
+  opts.prune_converged = false;
+  SimilarityMatrix prev;
+  for (int n = 1; n <= 6; ++n) {
+    EmsSimilarity sim(g1, g2, opts);
+    SimilarityMatrix cur = sim.ComputePartial(Direction::kForward, n);
+    if (n > 1) {
+      double cap = std::pow(0.8, n);
+      for (NodeId v1 = 1; v1 < static_cast<NodeId>(cur.rows()); ++v1) {
+        for (NodeId v2 = 1; v2 < static_cast<NodeId>(cur.cols()); ++v2) {
+          EXPECT_LE(cur.at(v1, v2) - prev.at(v1, v2), cap + 1e-12);
+        }
+      }
+    }
+    prev = cur;
+  }
+}
+
+TEST(BoundsTest, AverageUpperBoundDominatesFinalAverage) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, Opts());
+  SimilarityMatrix s_final = sim.Compute();
+  double avg_final = s_final.Average(1, 1);
+  for (int k : {0, 1, 2, 4}) {
+    EmsSimilarity partial(g1, g2, Opts());
+    SimilarityMatrix s_k = partial.ComputePartial(Direction::kForward, k);
+    double bound = AverageUpperBound(partial, Direction::kForward, s_k, k,
+                                     g1, g2);
+    EXPECT_GE(bound + 1e-9, avg_final) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,86 @@
+// The EMS+es path through the composite matcher (use_estimation): must be
+// cheaper than exact evaluation and still produce valid, deterministic
+#include <set>
+// results.
+#include <gtest/gtest.h>
+
+#include "core/composite_matcher.h"
+#include "core/matcher.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+LogPair CompositePair(uint64_t seed) {
+  PairOptions opts;
+  opts.num_activities = 10;
+  opts.num_traces = 80;
+  opts.num_composites = 2;
+  opts.dislocation = 1;
+  opts.seed = seed;
+  return MakeLogPair(Testbed::kDsFB, opts);
+}
+
+TEST(CompositeEstimationTest, RunsAndProducesValidComposites) {
+  LogPair pair = CompositePair(1);
+  CompositeOptions opts;
+  opts.use_estimation = true;
+  opts.estimation_iterations = 5;
+  CompositeMatcher matcher(pair.log1, pair.log2, opts);
+  Result<CompositeMatchResult> result = matcher.Match();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& side : {result->composites1, result->composites2}) {
+    std::set<EventId> used;
+    for (const auto& comp : side) {
+      for (EventId e : comp) EXPECT_TRUE(used.insert(e).second);
+    }
+  }
+  EXPECT_GE(result->average_similarity, 0.0);
+  EXPECT_LE(result->average_similarity, 1.0);
+}
+
+TEST(CompositeEstimationTest, CheaperThanExact) {
+  LogPair pair = CompositePair(2);
+  CompositeOptions exact_opts;
+  exact_opts.prune_unchanged = false;  // compare raw iteration costs
+  exact_opts.prune_bounds = false;
+  CompositeOptions est_opts = exact_opts;
+  est_opts.use_estimation = true;
+  est_opts.estimation_iterations = 2;
+  CompositeMatcher exact(pair.log1, pair.log2, exact_opts);
+  CompositeMatcher estimated(pair.log1, pair.log2, est_opts);
+  Result<CompositeMatchResult> r_exact = exact.Match();
+  Result<CompositeMatchResult> r_est = estimated.Match();
+  ASSERT_TRUE(r_exact.ok() && r_est.ok());
+  EXPECT_LT(r_est->stats.formula_evaluations,
+            r_exact->stats.formula_evaluations);
+}
+
+TEST(CompositeEstimationTest, Deterministic) {
+  LogPair pair = CompositePair(3);
+  CompositeOptions opts;
+  opts.use_estimation = true;
+  CompositeMatcher a(pair.log1, pair.log2, opts);
+  CompositeMatcher b(pair.log1, pair.log2, opts);
+  Result<CompositeMatchResult> ra = a.Match();
+  Result<CompositeMatchResult> rb = b.Match();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->composites1, rb->composites1);
+  EXPECT_EQ(ra->composites2, rb->composites2);
+  EXPECT_DOUBLE_EQ(ra->average_similarity, rb->average_similarity);
+}
+
+TEST(CompositeEstimationTest, MatcherFacadeRoutesEstimatedEngine) {
+  LogPair pair = CompositePair(4);
+  MatchOptions opts;
+  opts.engine = SimilarityEngine::kEstimated;
+  opts.estimation_iterations = 3;
+  opts.match_composites = true;
+  Matcher matcher(opts);
+  Result<MatchResult> result = matcher.Match(pair.log1, pair.log2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->correspondences.empty());
+}
+
+}  // namespace
+}  // namespace ems

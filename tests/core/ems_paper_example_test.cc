@@ -1,0 +1,175 @@
+// Locks the implementation to the arithmetic the paper works out on its
+#include <cmath>
+#include <set>
+// running example (Examples 2-6, Figures 1-2). The constants are pinned
+// in tests/paper_example.h: c = 0.8, alpha = 1.
+#include <gtest/gtest.h>
+
+#include "core/ems_similarity.h"
+#include "core/estimation.h"
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+using testing::A;
+using testing::BuildPaperGraph1;
+using testing::BuildPaperGraph2;
+using testing::N1;
+using testing::N2;
+
+EmsOptions PaperOptions() {
+  EmsOptions opts;
+  opts.alpha = 1.0;
+  opts.c = 0.8;
+  opts.direction = Direction::kForward;
+  return opts;
+}
+
+TEST(PaperExampleTest, FirstIterationSimilarityOfA1) {
+  // Example 4: S^1(A, 1) = C(v1^X, A, v2^X, 1) * S^0(X, X) = 0.457.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, PaperOptions());
+  SimilarityMatrix s1 = sim.ComputePartial(Direction::kForward, 1);
+  // C = 0.8 * (1 - |0.4 - 1.0| / (0.4 + 1.0)) = 0.8 * (0.8 / 1.4).
+  double expected = 0.8 * (1.0 - 0.6 / 1.4);
+  EXPECT_NEAR(s1.at(1 + A, 1 + N1), expected, 1e-12);
+  EXPECT_NEAR(s1.at(1 + A, 1 + N1), 0.457, 5e-4);  // the paper's rounding
+}
+
+TEST(PaperExampleTest, FirstIterationSimilarityOfA2) {
+  // Example 4: s^1(A,2) = 0.8, s^1(2,A) = 0.4, S^1(A,2) = 0.6.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, PaperOptions());
+  SimilarityMatrix s1 = sim.ComputePartial(Direction::kForward, 1);
+  EXPECT_NEAR(s1.at(1 + A, 1 + N2), 0.6, 1e-12);
+}
+
+TEST(PaperExampleTest, DislocatedPairBeatsLocalPair) {
+  // The point of the paper's Example 4: the dislocated true pair (A, 2)
+  // scores above the positionally aligned wrong pair (A, 1).
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, PaperOptions());
+  SimilarityMatrix s1 = sim.ComputePartial(Direction::kForward, 1);
+  EXPECT_GT(s1.at(1 + A, 1 + N2), s1.at(1 + A, 1 + N1));
+  // ... and at convergence too.
+  EmsSimilarity sim2(g1, g2, PaperOptions());
+  SimilarityMatrix s = sim2.Compute();
+  EXPECT_GT(s.at(1 + A, 1 + N2), s.at(1 + A, 1 + N1));
+}
+
+TEST(PaperExampleTest, TrueMappingScoresAboveLocalMapping) {
+  // Example 2 / Example 4 conclusion: the average similarity of the true
+  // mapping M' = {A->2, B->3, C->4, D->4, E->5, F->6} is higher than that
+  // of the local mapping M = {A->1, B->3, C->2, D->4, E->5, F->6}.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsOptions opts = PaperOptions();
+  opts.direction = Direction::kBoth;
+  EmsSimilarity sim(g1, g2, opts);
+  SimilarityMatrix s = sim.Compute();
+  auto avg_of = [&](const std::vector<std::pair<int, int>>& mapping) {
+    double total = 0.0;
+    for (auto [a, b] : mapping) total += s.at(1 + a, 1 + b);
+    return total / static_cast<double>(mapping.size());
+  };
+  double true_avg = avg_of({{testing::A, testing::N2},
+                            {testing::B, testing::N3},
+                            {testing::C, testing::N4},
+                            {testing::D, testing::N4},
+                            {testing::E, testing::N5},
+                            {testing::F, testing::N6}});
+  double local_avg = avg_of({{testing::A, testing::N1},
+                             {testing::B, testing::N3},
+                             {testing::C, testing::N2},
+                             {testing::D, testing::N4},
+                             {testing::E, testing::N5},
+                             {testing::F, testing::N6}});
+  EXPECT_GT(true_avg, local_avg);
+}
+
+TEST(PaperExampleTest, EarlyConvergenceHorizons) {
+  // Example 5: (A,1) converges after iteration 1, (C,2) after 2, (D,4)
+  // after 3.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, PaperOptions());
+  EXPECT_EQ(sim.ConvergenceHorizon(Direction::kForward, 1 + testing::A,
+                                   1 + testing::N1),
+            1);
+  EXPECT_EQ(sim.ConvergenceHorizon(Direction::kForward, 1 + testing::C,
+                                   1 + testing::N2),
+            2);
+  EXPECT_EQ(sim.ConvergenceHorizon(Direction::kForward, 1 + testing::D,
+                                   1 + testing::N4),
+            3);
+}
+
+TEST(PaperExampleTest, ValuesFixedAfterHorizon) {
+  // Proposition 2, checked concretely: S^n(A,1) never changes past n=1
+  // and S^n(C,2) never changes past n=2.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsOptions opts = PaperOptions();
+  opts.prune_converged = false;  // observe raw trajectories
+  EmsSimilarity sim(g1, g2, opts);
+  SimilarityMatrix s1 = sim.ComputePartial(Direction::kForward, 1);
+  SimilarityMatrix s2 = sim.ComputePartial(Direction::kForward, 2);
+  SimilarityMatrix s5 = sim.ComputePartial(Direction::kForward, 5);
+  EXPECT_NEAR(s1.at(1 + testing::A, 1 + testing::N1),
+              s5.at(1 + testing::A, 1 + testing::N1), 1e-12);
+  EXPECT_NEAR(s2.at(1 + testing::C, 1 + testing::N2),
+              s5.at(1 + testing::C, 1 + testing::N2), 1e-12);
+}
+
+TEST(PaperExampleTest, EstimationExactForSinglePredecessorPairs) {
+  // Example 6 (corrected arithmetic, see DESIGN.md): for (A, 1) both
+  // pre-set sizes are 1, so q = 0 and the estimate equals the exact
+  // similarity even with I = 0.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EstimationOptions est;
+  est.exact_iterations = 0;
+  est.ems = PaperOptions();
+  EstimatedEmsSimilarity estimated(g1, g2, est);
+  SimilarityMatrix es = estimated.Compute();
+
+  EmsSimilarity exact(g1, g2, PaperOptions());
+  SimilarityMatrix ex = exact.Compute();
+  EXPECT_NEAR(es.at(1 + testing::A, 1 + testing::N1),
+              ex.at(1 + testing::A, 1 + testing::N1), 1e-9);
+}
+
+TEST(PaperExampleTest, LargerIBringsEstimateCloserToExact) {
+  // Example 6's point: raising I tightens the estimate (shown there for
+  // (C, 4): I = 10 beats I = 0).
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity exact(g1, g2, PaperOptions());
+  SimilarityMatrix ex = exact.Compute();
+
+  auto estimate_error = [&](int iterations) {
+    EstimationOptions est;
+    est.exact_iterations = iterations;
+    est.ems = PaperOptions();
+    EstimatedEmsSimilarity estimated(g1, g2, est);
+    SimilarityMatrix es = estimated.Compute();
+    double err = 0.0;
+    for (NodeId v1 = 1; v1 < static_cast<NodeId>(g1.NumNodes()); ++v1) {
+      for (NodeId v2 = 1; v2 < static_cast<NodeId>(g2.NumNodes()); ++v2) {
+        err += std::abs(es.at(v1, v2) - ex.at(v1, v2));
+      }
+    }
+    return err;
+  };
+  double err0 = estimate_error(0);
+  double err10 = estimate_error(10);
+  EXPECT_LE(err10, err0);
+  EXPECT_LT(err10, 0.2);  // ten exact iterations nearly converge here
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,208 @@
+#include "core/ems_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "text/label_similarity.h"
+
+namespace ems {
+namespace {
+
+using testing::BuildPaperGraph1;
+using testing::BuildPaperGraph2;
+using testing::BuildPaperLog1;
+using testing::BuildPaperLog2;
+
+EmsOptions Opts(Direction dir = Direction::kForward) {
+  EmsOptions opts;
+  opts.alpha = 1.0;
+  opts.c = 0.8;
+  opts.direction = dir;
+  return opts;
+}
+
+TEST(EmsSimilarityTest, ValuesStayInUnitInterval) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, Opts(Direction::kBoth));
+  SimilarityMatrix s = sim.Compute();
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+      EXPECT_GE(s.at(v1, v2), 0.0);
+      EXPECT_LE(s.at(v1, v2), 1.0);
+    }
+  }
+}
+
+TEST(EmsSimilarityTest, ArtificialPairPinnedAtOne) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, Opts());
+  SimilarityMatrix s = sim.Compute();
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 1.0);
+  // Mixed artificial/real pairs stay 0.
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 0.0);
+}
+
+TEST(EmsSimilarityTest, MonotoneNonDecreasingAcrossIterations) {
+  // Theorem 1's monotonicity, sampled at iterations 1..6.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  SimilarityMatrix prev;
+  for (int n = 1; n <= 6; ++n) {
+    EmsSimilarity sim(g1, g2, Opts());
+    SimilarityMatrix cur = sim.ComputePartial(Direction::kForward, n);
+    if (n > 1) {
+      for (NodeId v1 = 0; v1 < static_cast<NodeId>(cur.rows()); ++v1) {
+        for (NodeId v2 = 0; v2 < static_cast<NodeId>(cur.cols()); ++v2) {
+          EXPECT_GE(cur.at(v1, v2) + 1e-12, prev.at(v1, v2));
+        }
+      }
+    }
+    prev = cur;
+  }
+}
+
+TEST(EmsSimilarityTest, IdenticalGraphsPreferDiagonal) {
+  // Matching a graph against itself: the diagonal must dominate its row.
+  DependencyGraph g = BuildPaperGraph2();
+  EmsSimilarity sim(g, g, Opts(Direction::kBoth));
+  SimilarityMatrix s = sim.Compute();
+  for (NodeId v = 1; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+    for (NodeId u = 1; u < static_cast<NodeId>(g.NumNodes()); ++u) {
+      if (u == v) continue;
+      EXPECT_GE(s.at(v, v) + 1e-9, s.at(v, u))
+          << "diagonal not maximal for " << g.NodeName(v) << " vs "
+          << g.NodeName(u);
+    }
+  }
+}
+
+TEST(EmsSimilarityTest, PruningDoesNotChangeResult) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsOptions with = Opts(Direction::kBoth);
+  with.prune_converged = true;
+  EmsOptions without = Opts(Direction::kBoth);
+  without.prune_converged = false;
+  EmsSimilarity sim_with(g1, g2, with);
+  EmsSimilarity sim_without(g1, g2, without);
+  SimilarityMatrix a = sim_with.Compute();
+  SimilarityMatrix b = sim_without.Compute();
+  EXPECT_LT(a.MaxAbsDifference(b), 1e-9);
+  // ... and pruning must save formula evaluations.
+  EXPECT_LT(sim_with.stats().formula_evaluations,
+            sim_without.stats().formula_evaluations);
+}
+
+TEST(EmsSimilarityTest, LabelSimilarityBlendsIn) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  // All-ones label matrix with alpha = 0 must give similarity 1 for all
+  // real pairs.
+  std::vector<std::vector<double>> labels(
+      g1.NumNodes(), std::vector<double>(g2.NumNodes(), 1.0));
+  EmsOptions opts = Opts();
+  opts.alpha = 0.0;
+  EmsSimilarity sim(g1, g2, opts, &labels);
+  SimilarityMatrix s = sim.Compute();
+  for (NodeId v1 = 1; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+    for (NodeId v2 = 1; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+      EXPECT_DOUBLE_EQ(s.at(v1, v2), 1.0);
+    }
+  }
+}
+
+TEST(EmsSimilarityTest, AlphaInterpolatesBetweenStructureAndLabels) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  std::vector<std::vector<double>> labels(
+      g1.NumNodes(), std::vector<double>(g2.NumNodes(), 0.0));
+  labels[1 + testing::A][1 + testing::N2] = 1.0;
+  EmsOptions half = Opts();
+  half.alpha = 0.5;
+  EmsSimilarity sim_half(g1, g2, half, &labels);
+  SimilarityMatrix s_half = sim_half.Compute();
+  EmsSimilarity sim_full(g1, g2, Opts());
+  SimilarityMatrix s_full = sim_full.Compute();
+  // With labels favoring (A, N2), its blended similarity must exceed the
+  // alpha-weighted structural one.
+  EXPECT_GT(s_half.at(1 + testing::A, 1 + testing::N2),
+            0.5 * s_full.at(1 + testing::A, 1 + testing::N2));
+}
+
+TEST(EmsSimilarityTest, BothDirectionIsAverageOfForwardAndBackward) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity both(g1, g2, Opts(Direction::kBoth));
+  SimilarityMatrix s_both = both.Compute();
+  EmsSimilarity fwd(g1, g2, Opts(Direction::kForward));
+  SimilarityMatrix s_fwd = fwd.Compute();
+  EmsSimilarity bwd(g1, g2, Opts(Direction::kBackward));
+  SimilarityMatrix s_bwd = bwd.Compute();
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(s_both.rows()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(s_both.cols()); ++v2) {
+      EXPECT_NEAR(s_both.at(v1, v2),
+                  (s_fwd.at(v1, v2) + s_bwd.at(v1, v2)) / 2.0, 1e-12);
+    }
+  }
+}
+
+TEST(EmsSimilarityTest, EdgeCoefficientBounds) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsSimilarity sim(g1, g2, Opts());
+  EXPECT_DOUBLE_EQ(sim.EdgeCoefficient(0.5, 0.5), 0.8);  // equal: full c
+  EXPECT_NEAR(sim.EdgeCoefficient(1.0, 0.0), 0.0, 1e-12);
+  double mid = sim.EdgeCoefficient(0.4, 1.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 0.8);
+}
+
+TEST(EmsSimilarityTest, LogPipelineConvenienceWrapper) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  EmsStats stats;
+  SimilarityMatrix s = ComputeEmsSimilarity(log1, log2, Opts(Direction::kBoth),
+                                            &stats);
+  EXPECT_EQ(s.rows(), log1.NumEvents() + 1);
+  EXPECT_EQ(s.cols(), log2.NumEvents() + 1);
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_GT(stats.formula_evaluations, 0u);
+}
+
+TEST(EmsSimilarityTest, FrozenRowsAreRespected) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  std::vector<bool> frozen(g1.NumNodes(), false);
+  frozen[1 + testing::A] = true;
+  SimilarityMatrix values(g1.NumNodes(), g2.NumNodes(), 0.0);
+  values.set(1 + testing::A, 1 + testing::N1, 0.123);
+  RunControls controls;
+  controls.frozen_rows = &frozen;
+  controls.frozen_values = &values;
+  EmsSimilarity sim(g1, g2, Opts());
+  SimilarityMatrix s = sim.ComputeControlled(Direction::kForward, controls);
+  EXPECT_DOUBLE_EQ(s.at(1 + testing::A, 1 + testing::N1), 0.123);
+  // Non-frozen rows still computed.
+  EXPECT_GT(s.at(1 + testing::C, 1 + testing::N4), 0.0);
+}
+
+TEST(EmsSimilarityTest, AbortCallbackStopsIteration) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  bool aborted = false;
+  RunControls controls;
+  controls.should_abort = [](int k, const SimilarityMatrix&) {
+    return k >= 2;
+  };
+  controls.aborted = &aborted;
+  EmsSimilarity sim(g1, g2, Opts());
+  (void)sim.ComputeControlled(Direction::kForward, controls);
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(sim.stats().iterations, 2);
+}
+
+}  // namespace
+}  // namespace ems

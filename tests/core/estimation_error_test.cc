@@ -1,0 +1,56 @@
+#include "core/estimation_error.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+EmsOptions ForwardOpts() {
+  EmsOptions opts;
+  opts.direction = Direction::kForward;
+  return opts;
+}
+
+TEST(EstimationErrorTest, FiniteHorizonPairsExactAtLargeI) {
+  DependencyGraph g1 = testing::BuildPaperGraph1();
+  DependencyGraph g2 = testing::BuildPaperGraph2();
+  EstimationErrorReport report =
+      AnalyzeEstimationError(g1, g2, /*exact_iterations=*/60, ForwardOpts());
+  EXPECT_LT(report.max_error_finite_horizon, 1e-6);
+  EXPECT_EQ(report.pairs, 36u);
+}
+
+TEST(EstimationErrorTest, ErrorShrinksAlongTheCurve) {
+  PairOptions opts;
+  opts.num_activities = 14;
+  opts.num_traces = 80;
+  opts.dislocation = 1;
+  opts.seed = 321;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  std::vector<EstimationErrorReport> curve =
+      EstimationErrorCurve(g1, g2, {0, 5, 20}, ForwardOpts());
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GE(curve[0].mean_abs_error, curve[2].mean_abs_error - 1e-9);
+  EXPECT_GT(curve[0].pairs, 0u);
+  for (const EstimationErrorReport& r : curve) {
+    EXPECT_LE(r.mean_abs_error, r.max_abs_error + 1e-12);
+    EXPECT_LE(r.rmse, r.max_abs_error + 1e-12);
+    EXPECT_GE(r.undershoot_fraction, 0.0);
+    EXPECT_LE(r.undershoot_fraction, 1.0);
+  }
+}
+
+TEST(EstimationErrorTest, ReportsIUsed) {
+  DependencyGraph g1 = testing::BuildPaperGraph1();
+  DependencyGraph g2 = testing::BuildPaperGraph2();
+  EstimationErrorReport r = AnalyzeEstimationError(g1, g2, 3, ForwardOpts());
+  EXPECT_EQ(r.exact_iterations, 3);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,133 @@
+#include "core/estimation.h"
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+using testing::BuildPaperGraph1;
+using testing::BuildPaperGraph2;
+
+EstimationOptions Est(int iterations, Direction dir = Direction::kForward) {
+  EstimationOptions est;
+  est.exact_iterations = iterations;
+  est.ems.alpha = 1.0;
+  est.ems.c = 0.8;
+  est.ems.direction = dir;
+  return est;
+}
+
+TEST(EstimationTest, ValuesStayInUnitInterval) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  for (int iterations : {0, 1, 3, 10}) {
+    EstimatedEmsSimilarity sim(g1, g2, Est(iterations, Direction::kBoth));
+    SimilarityMatrix s = sim.Compute();
+    for (NodeId v1 = 0; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+        EXPECT_GE(s.at(v1, v2), 0.0);
+        EXPECT_LE(s.at(v1, v2), 1.0);
+      }
+    }
+  }
+}
+
+TEST(EstimationTest, LargeIReproducesExactOnDagPairs) {
+  // For pairs with a finite horizon, I >= horizon makes EMS+es exact
+  // (Algorithm 1 falls through to the converged values).
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EstimatedEmsSimilarity est(g1, g2, Est(50));
+  SimilarityMatrix s_est = est.Compute();
+
+  EmsOptions exact_opts;
+  exact_opts.alpha = 1.0;
+  exact_opts.c = 0.8;
+  exact_opts.direction = Direction::kForward;
+  EmsSimilarity exact(g1, g2, exact_opts);
+  SimilarityMatrix s_exact = exact.Compute();
+
+  EmsSimilarity horizon_helper(g1, g2, exact_opts);
+  for (NodeId v1 = 1; v1 < static_cast<NodeId>(s_est.rows()); ++v1) {
+    for (NodeId v2 = 1; v2 < static_cast<NodeId>(s_est.cols()); ++v2) {
+      int h = horizon_helper.ConvergenceHorizon(Direction::kForward, v1, v2);
+      if (h == kInfiniteDistance) continue;
+      EXPECT_NEAR(s_est.at(v1, v2), s_exact.at(v1, v2), 1e-6)
+          << "pair (" << g1.NodeName(v1) << ", " << g2.NodeName(v2) << ")";
+    }
+  }
+}
+
+TEST(EstimationTest, ZeroIterationsIsCheapest) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EstimatedEmsSimilarity est0(g1, g2, Est(0));
+  (void)est0.Compute();
+  EstimatedEmsSimilarity est5(g1, g2, Est(5));
+  (void)est5.Compute();
+  EXPECT_LT(est0.stats().formula_evaluations,
+            est5.stats().formula_evaluations);
+  EXPECT_EQ(est0.stats().formula_evaluations, 0u);  // no exact iterations
+}
+
+TEST(EstimationTest, ErrorShrinksMonotonicallyOnAverage) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EmsOptions exact_opts;
+  exact_opts.alpha = 1.0;
+  exact_opts.c = 0.8;
+  exact_opts.direction = Direction::kBoth;
+  EmsSimilarity exact(g1, g2, exact_opts);
+  SimilarityMatrix s_exact = exact.Compute();
+
+  auto total_error = [&](int iterations) {
+    EstimatedEmsSimilarity est(g1, g2, Est(iterations, Direction::kBoth));
+    SimilarityMatrix s = est.Compute();
+    double err = 0.0;
+    for (NodeId v1 = 1; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+      for (NodeId v2 = 1; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+        err += std::abs(s.at(v1, v2) - s_exact.at(v1, v2));
+      }
+    }
+    return err;
+  };
+  // Not guaranteed strictly monotone per pair, but the trend must hold
+  // between the extremes (the trade-off Figure 5 plots).
+  EXPECT_LE(total_error(10), total_error(0) + 1e-9);
+}
+
+TEST(EstimationTest, BothDirectionAveragesForwardAndBackward) {
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EstimatedEmsSimilarity both(g1, g2, Est(2, Direction::kBoth));
+  SimilarityMatrix s_both = both.Compute();
+  EstimatedEmsSimilarity fwd(g1, g2, Est(2, Direction::kForward));
+  SimilarityMatrix s_fwd = fwd.Compute();
+  EstimatedEmsSimilarity bwd(g1, g2, Est(2, Direction::kBackward));
+  SimilarityMatrix s_bwd = bwd.Compute();
+  for (NodeId v1 = 0; v1 < static_cast<NodeId>(s_both.rows()); ++v1) {
+    for (NodeId v2 = 0; v2 < static_cast<NodeId>(s_both.cols()); ++v2) {
+      EXPECT_NEAR(s_both.at(v1, v2),
+                  (s_fwd.at(v1, v2) + s_bwd.at(v1, v2)) / 2.0, 1e-12);
+    }
+  }
+}
+
+TEST(EstimationTest, HandlesCyclicPairsViaGeometricLimit) {
+  // Pairs with infinite horizon (E/F cycle in G1) extrapolate to the
+  // geometric limit a / (1 - q); must stay finite and in range.
+  DependencyGraph g1 = BuildPaperGraph1();
+  DependencyGraph g2 = BuildPaperGraph2();
+  EstimatedEmsSimilarity est(g1, g2, Est(0));
+  SimilarityMatrix s = est.Compute();
+  double v = s.at(1 + testing::E, 1 + testing::N5);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+}  // namespace
+}  // namespace ems

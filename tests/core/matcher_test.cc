@@ -1,0 +1,169 @@
+#include "core/matcher.h"
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+using testing::BuildPaperLog1;
+using testing::BuildPaperLog2;
+
+MatchOptions Opts() {
+  MatchOptions opts;
+  opts.ems.alpha = 1.0;
+  opts.ems.c = 0.8;
+  return opts;
+}
+
+// Looks up the right-side name matched to `left`, or "" if unmatched.
+std::string MatchedTo(const MatchResult& result, const std::string& left) {
+  for (const Correspondence& c : result.correspondences) {
+    for (const std::string& l : c.events1) {
+      if (l == left && c.events2.size() == 1) return c.events2[0];
+    }
+  }
+  return "";
+}
+
+TEST(MatcherTest, RecoversDislocatedCorrespondences) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  Matcher matcher(Opts());
+  Result<MatchResult> result = matcher.Match(log1, log2);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The dislocated pair: PaidCash (trace start in L1) matches PaidCash2
+  // (second position in L2), not OrderAccepted.
+  EXPECT_EQ(MatchedTo(*result, "PaidCash"), "PaidCash2");
+  EXPECT_EQ(MatchedTo(*result, "PaidCredit"), "PaidCredit2");
+}
+
+TEST(MatcherTest, SimilarityMatrixShapeIncludesArtificial) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  Matcher matcher(Opts());
+  Result<MatchResult> result = matcher.Match(log1, log2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->similarity.rows(), log1.NumEvents() + 1);
+  EXPECT_EQ(result->similarity.cols(), log2.NumEvents() + 1);
+  EXPECT_TRUE(result->graph1.has_artificial());
+}
+
+TEST(MatcherTest, CorrespondencesAreOneToOneWithoutComposites) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  Matcher matcher(Opts());
+  Result<MatchResult> result = matcher.Match(log1, log2);
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> lefts, rights;
+  for (const Correspondence& c : result->correspondences) {
+    ASSERT_EQ(c.events1.size(), 1u);
+    ASSERT_EQ(c.events2.size(), 1u);
+    EXPECT_TRUE(lefts.insert(c.events1[0]).second);
+    EXPECT_TRUE(rights.insert(c.events2[0]).second);
+    EXPECT_GE(c.similarity, matcher.options().min_match_similarity);
+  }
+}
+
+TEST(MatcherTest, EstimatedEngineAgreesRoughlyWithExact) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  MatchOptions est_opts = Opts();
+  est_opts.engine = SimilarityEngine::kEstimated;
+  est_opts.estimation_iterations = 5;
+  Matcher exact(Opts());
+  Matcher estimated(est_opts);
+  Result<MatchResult> r_exact = exact.Match(log1, log2);
+  Result<MatchResult> r_est = estimated.Match(log1, log2);
+  ASSERT_TRUE(r_exact.ok() && r_est.ok());
+  // Same dominant matches on this small example.
+  EXPECT_EQ(MatchedTo(*r_est, "PaidCash"), MatchedTo(*r_exact, "PaidCash"));
+}
+
+TEST(MatcherTest, LabelsBreakSymmetricTies) {
+  // Two parallel branches with identical structure; only labels
+  // distinguish them.
+  EventLog log1, log2;
+  for (int i = 0; i < 10; ++i) {
+    log1.AddTrace(i % 2 == 0 ? std::vector<std::string>{"start", "pay_cash"}
+                             : std::vector<std::string>{"start", "pay_card"});
+    log2.AddTrace(i % 2 == 0 ? std::vector<std::string>{"start2", "pay_cash!"}
+                             : std::vector<std::string>{"start2", "pay_card!"});
+  }
+  MatchOptions opts = Opts();
+  opts.ems.alpha = 0.5;
+  opts.label_measure = LabelMeasure::kQGramCosine;
+  Matcher matcher(opts);
+  Result<MatchResult> result = matcher.Match(log1, log2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(MatchedTo(*result, "pay_cash"), "pay_cash!");
+  EXPECT_EQ(MatchedTo(*result, "pay_card"), "pay_card!");
+}
+
+TEST(MatcherTest, CompositePipelineProducesComplexCorrespondences) {
+  // A generated pair with a guaranteed injected composite: the pipeline
+  // must surface at least one m:n correspondence for it.
+  PairOptions pair_opts;
+  pair_opts.num_activities = 10;
+  pair_opts.num_traces = 80;
+  pair_opts.num_composites = 2;
+  pair_opts.dislocation = 1;
+  pair_opts.seed = 1;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, pair_opts);
+  ASSERT_TRUE(pair.has_composites);
+  MatchOptions opts = Opts();
+  opts.match_composites = true;
+  opts.composite.delta = 0.005;
+  Matcher matcher(opts);
+  Result<MatchResult> result = matcher.Match(pair.log1, pair.log2);
+  ASSERT_TRUE(result.ok());
+  bool complex_found = false;
+  for (const Correspondence& c : result->correspondences) {
+    if (c.events1.size() > 1 || c.events2.size() > 1) complex_found = true;
+  }
+  EXPECT_TRUE(complex_found);
+  EXPECT_GT(result->composite_stats.candidates_evaluated, 0);
+}
+
+TEST(MatcherTest, MinEdgeFrequencyControlAffectsGraphs) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  MatchOptions opts = Opts();
+  opts.min_edge_frequency = 0.45;
+  Matcher pruned(opts);
+  Matcher full(Opts());
+  Result<MatchResult> r_pruned = pruned.Match(log1, log2);
+  Result<MatchResult> r_full = full.Match(log1, log2);
+  ASSERT_TRUE(r_pruned.ok() && r_full.ok());
+  EXPECT_LT(r_pruned->graph1.NumEdges(), r_full->graph1.NumEdges());
+}
+
+TEST(MatcherTest, SelectionStrategiesAllProduceValidOutput) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  for (SelectionStrategy s :
+       {SelectionStrategy::kMaxTotalSimilarity, SelectionStrategy::kGreedy,
+        SelectionStrategy::kMutualBest}) {
+    MatchOptions opts = Opts();
+    opts.selection = s;
+    Matcher matcher(opts);
+    Result<MatchResult> result = matcher.Match(log1, log2);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->correspondences.empty());
+  }
+}
+
+TEST(MakeLabelMeasureTest, AllVariantsConstruct) {
+  EXPECT_EQ(MakeLabelMeasure(LabelMeasure::kNone)->Name(), "none");
+  EXPECT_NE(MakeLabelMeasure(LabelMeasure::kQGramCosine), nullptr);
+  EXPECT_EQ(MakeLabelMeasure(LabelMeasure::kLevenshtein)->Name(),
+            "levenshtein");
+  EXPECT_EQ(MakeLabelMeasure(LabelMeasure::kTokenJaccard)->Name(),
+            "token-jaccard");
+}
+
+}  // namespace
+}  // namespace ems

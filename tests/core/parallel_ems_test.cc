@@ -1,0 +1,62 @@
+// The multithreaded iteration must be bit-identical to the
+// single-threaded one (each iteration reads only the previous matrix, so
+// partitioning rows cannot change results).
+#include <gtest/gtest.h>
+
+#include "core/ems_similarity.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+class ParallelEmsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEmsTest, MatchesSingleThreaded) {
+  PairOptions opts;
+  opts.num_activities = 30;
+  opts.num_traces = 80;
+  opts.dislocation = 1;
+  opts.seed = 424;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+
+  EmsOptions single;
+  single.direction = Direction::kBoth;
+  single.num_threads = 1;
+  EmsSimilarity sim_single(g1, g2, single);
+  SimilarityMatrix expected = sim_single.Compute();
+
+  EmsOptions multi = single;
+  multi.num_threads = GetParam();
+  EmsSimilarity sim_multi(g1, g2, multi);
+  SimilarityMatrix actual = sim_multi.Compute();
+
+  EXPECT_EQ(expected.MaxAbsDifference(actual), 0.0);
+  EXPECT_EQ(sim_single.stats().formula_evaluations,
+            sim_multi.stats().formula_evaluations);
+  EXPECT_EQ(sim_single.stats().iterations, sim_multi.stats().iterations);
+}
+
+TEST(ParallelEmsTest, ZeroMeansHardwareConcurrency) {
+  PairOptions opts;
+  opts.num_activities = 12;
+  opts.num_traces = 40;
+  opts.seed = 77;
+  LogPair pair = MakeLogPair(Testbed::kDsB, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions auto_threads;
+  auto_threads.num_threads = 0;
+  EmsSimilarity sim(g1, g2, auto_threads);
+  SimilarityMatrix m = sim.Compute();
+  EmsOptions one;
+  EmsSimilarity ref(g1, g2, one);
+  EXPECT_EQ(m.MaxAbsDifference(ref.Compute()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEmsTest,
+                         ::testing::Values(2, 3, 8, 16));
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,95 @@
+#include "core/repository.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+EventLog VariantLog(uint64_t seed, int activities) {
+  PairOptions opts;
+  opts.num_activities = activities;
+  opts.num_traces = 60;
+  opts.dislocation = 0;
+  opts.opaque = false;
+  opts.seed = seed;
+  return MakeLogPair(Testbed::kDsFB, opts).log1;
+}
+
+TEST(RepositoryTest, AddRemoveNames) {
+  LogRepository repo;
+  EXPECT_TRUE(repo.Add("a", VariantLog(1, 8)).ok());
+  EXPECT_TRUE(repo.Add("b", VariantLog(2, 8)).ok());
+  EXPECT_EQ(repo.size(), 2u);
+  EXPECT_EQ(repo.Names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(repo.Add("a", VariantLog(3, 8)).IsInvalidArgument());
+  EXPECT_TRUE(repo.Add("", VariantLog(3, 8)).IsInvalidArgument());
+  EXPECT_TRUE(repo.Remove("a").ok());
+  EXPECT_EQ(repo.size(), 1u);
+  EXPECT_TRUE(repo.Remove("a").IsNotFound());
+}
+
+TEST(RepositoryTest, GetByName) {
+  LogRepository repo;
+  EventLog log = VariantLog(5, 6);
+  size_t traces = log.NumTraces();
+  ASSERT_TRUE(repo.Add("x", std::move(log)).ok());
+  Result<const EventLog*> fetched = repo.Get("x");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->NumTraces(), traces);
+  EXPECT_TRUE(repo.Get("missing").status().IsNotFound());
+}
+
+TEST(RepositoryTest, QueryRanksTheTwinFirst) {
+  // A warehouse query uses labels when they exist (the realistic
+  // configuration); structure alone cannot distinguish same-size random
+  // processes reliably.
+  MatchOptions match_opts;
+  match_opts.ems.alpha = 0.5;
+  match_opts.label_measure = LabelMeasure::kQGramCosine;
+  LogRepository repo(match_opts);
+  // Three different processes in the repository.
+  ASSERT_TRUE(repo.Add("proc_a", VariantLog(11, 10)).ok());
+  ASSERT_TRUE(repo.Add("proc_b", VariantLog(22, 10)).ok());
+  ASSERT_TRUE(repo.Add("proc_c", VariantLog(33, 10)).ok());
+  // The query is another play-out of proc_b's specification (log2 of the
+  // same pair: drifted probabilities, one dropped activity).
+  PairOptions opts;
+  opts.num_activities = 10;
+  opts.num_traces = 60;
+  opts.dislocation = 0;
+  opts.opaque = false;
+  opts.seed = 22;
+  EventLog query = MakeLogPair(Testbed::kDsFB, opts).log2;
+
+  Result<std::vector<RepositoryHit>> hits = repo.Query(query, 3);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 3u);
+  EXPECT_EQ((*hits)[0].name, "proc_b");
+  EXPECT_GE((*hits)[0].score, (*hits)[1].score);
+  EXPECT_GE((*hits)[1].score, (*hits)[2].score);
+  EXPECT_FALSE((*hits)[0].match.correspondences.empty());
+}
+
+TEST(RepositoryTest, TopKTruncates) {
+  LogRepository repo;
+  const char* names[] = {"p1", "p2", "p3", "p4"};
+  for (uint64_t s = 1; s <= 4; ++s) {
+    ASSERT_TRUE(repo.Add(names[s - 1], VariantLog(s * 7, 8)).ok());
+  }
+  Result<std::vector<RepositoryHit>> hits =
+      repo.Query(VariantLog(7, 8), 2);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST(RepositoryTest, EmptyRepositoryYieldsNoHits) {
+  LogRepository repo;
+  Result<std::vector<RepositoryHit>> hits = repo.Query(VariantLog(1, 6));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+}  // namespace
+}  // namespace ems

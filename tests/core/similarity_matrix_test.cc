@@ -1,0 +1,73 @@
+#include "core/similarity_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+TEST(SimilarityMatrixTest, InitAndAccess) {
+  SimilarityMatrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+  m.set(1, 2, 0.9);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.9);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.5);
+}
+
+TEST(SimilarityMatrixTest, MaxAbsDifference) {
+  SimilarityMatrix a(2, 2, 0.0);
+  SimilarityMatrix b(2, 2, 0.0);
+  b.set(1, 0, 0.25);
+  b.set(0, 1, -0.1);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 0.25);
+  EXPECT_DOUBLE_EQ(b.MaxAbsDifference(a), 0.25);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(a), 0.0);
+}
+
+TEST(SimilarityMatrixTest, AverageOverSubrectangle) {
+  SimilarityMatrix m(3, 3, 0.0);
+  // Artificial row/col 0 left at 0; real block all 0.5.
+  for (NodeId r = 1; r < 3; ++r) {
+    for (NodeId c = 1; c < 3; ++c) m.set(r, c, 0.5);
+  }
+  EXPECT_DOUBLE_EQ(m.Average(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.Average(0, 0), 0.5 * 4 / 9);
+}
+
+TEST(SimilarityMatrixTest, AverageOfEmptyRegionIsZero) {
+  SimilarityMatrix m(2, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m.Average(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.Average(0, 5), 0.0);
+}
+
+TEST(SimilarityMatrixTest, RealSubmatrixDropsArtificial) {
+  SimilarityMatrix m(3, 4, 0.0);
+  m.set(1, 1, 0.7);
+  m.set(2, 3, 0.3);
+  auto sub = m.RealSubmatrix(true, true);
+  ASSERT_EQ(sub.size(), 2u);
+  ASSERT_EQ(sub[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0][0], 0.7);
+  EXPECT_DOUBLE_EQ(sub[1][2], 0.3);
+}
+
+TEST(SimilarityMatrixTest, RealSubmatrixKeepsAllWhenRequested) {
+  SimilarityMatrix m(2, 2, 0.1);
+  auto sub = m.RealSubmatrix(false, false);
+  ASSERT_EQ(sub.size(), 2u);
+  ASSERT_EQ(sub[0].size(), 2u);
+}
+
+TEST(SimilarityMatrixTest, DebugStringRuns) {
+  DependencyGraph g1 = testing::BuildPaperGraph1();
+  DependencyGraph g2 = testing::BuildPaperGraph2();
+  SimilarityMatrix m(g1.NumNodes(), g2.NumNodes(), 0.0);
+  std::string s = m.DebugString(g1, g2);
+  EXPECT_FALSE(s.empty());
+}
+
+}  // namespace
+}  // namespace ems

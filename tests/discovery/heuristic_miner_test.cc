@@ -1,0 +1,128 @@
+#include "discovery/heuristic_miner.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "synth/log_generator.h"
+#include "synth/process_tree.h"
+
+namespace ems {
+namespace {
+
+EventLog SequentialLog() {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) log.AddTrace({"a", "b", "c"});
+  return log;
+}
+
+TEST(HeuristicMinerTest, MinesSequentialChain) {
+  EventLog log = SequentialLog();
+  CausalNet net = MineHeuristicNet(log);
+  EventId a = log.FindEvent("a");
+  EventId b = log.FindEvent("b");
+  EventId c = log.FindEvent("c");
+  EXPECT_TRUE(net.HasEdge(a, b));
+  EXPECT_TRUE(net.HasEdge(b, c));
+  EXPECT_FALSE(net.HasEdge(a, c));
+  EXPECT_FALSE(net.HasEdge(b, a));
+  EXPECT_EQ(net.start_activities, (std::vector<EventId>{a}));
+  EXPECT_EQ(net.end_activities, (std::vector<EventId>{c}));
+}
+
+TEST(HeuristicMinerTest, XorSplitDetected) {
+  EventLog log;
+  for (int i = 0; i < 30; ++i) {
+    log.AddTrace(i % 2 == 0 ? std::vector<std::string>{"s", "b1", "e"}
+                            : std::vector<std::string>{"s", "b2", "e"});
+  }
+  CausalNet net = MineHeuristicNet(log);
+  EventId s = log.FindEvent("s");
+  EXPECT_TRUE(net.HasEdge(s, log.FindEvent("b1")));
+  EXPECT_TRUE(net.HasEdge(s, log.FindEvent("b2")));
+  EXPECT_FALSE(net.and_split[static_cast<size_t>(s)]);  // exclusive branches
+}
+
+TEST(HeuristicMinerTest, AndSplitDetected) {
+  EventLog log;
+  for (int i = 0; i < 30; ++i) {
+    log.AddTrace(i % 2 == 0 ? std::vector<std::string>{"s", "p", "q", "e"}
+                            : std::vector<std::string>{"s", "q", "p", "e"});
+  }
+  CausalNet net = MineHeuristicNet(log);
+  EventId s = log.FindEvent("s");
+  EXPECT_TRUE(net.HasEdge(s, log.FindEvent("p")));
+  EXPECT_TRUE(net.HasEdge(s, log.FindEvent("q")));
+  EXPECT_TRUE(net.and_split[static_cast<size_t>(s)]);  // concurrent branches
+}
+
+TEST(HeuristicMinerTest, ConcurrencyDoesNotCreateFalseCausality) {
+  // p and q interleave both ways: neither p=>q nor q=>p is dependable.
+  EventLog log;
+  for (int i = 0; i < 30; ++i) {
+    log.AddTrace(i % 2 == 0 ? std::vector<std::string>{"s", "p", "q"}
+                            : std::vector<std::string>{"s", "q", "p"});
+  }
+  CausalNet net = MineHeuristicNet(log);
+  EventId p = log.FindEvent("p");
+  EventId q = log.FindEvent("q");
+  EXPECT_FALSE(net.HasEdge(p, q));
+  EXPECT_FALSE(net.HasEdge(q, p));
+}
+
+TEST(HeuristicMinerTest, LengthTwoLoopDetected) {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.AddTrace({"s", "a", "r", "a", "r", "a", "e"});
+  }
+  CausalNet net = MineHeuristicNet(log);
+  bool found = false;
+  for (auto [a, b] : net.loops2) {
+    std::string na = log.EventName(a);
+    std::string nb = log.EventName(b);
+    if ((na == "a" && nb == "r") || (na == "r" && nb == "a")) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HeuristicMinerTest, MinObservationsFiltersNoise) {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) log.AddTrace({"a", "b"});
+  log.AddTrace({"b", "a"});  // one noisy reversal
+  MinerOptions strict;
+  strict.min_observations = 5;
+  CausalNet net = MineHeuristicNet(log, strict);
+  EXPECT_TRUE(net.HasEdge(log.FindEvent("a"), log.FindEvent("b")));
+  EXPECT_FALSE(net.HasEdge(log.FindEvent("b"), log.FindEvent("a")));
+}
+
+TEST(HeuristicMinerTest, EmptyLog) {
+  EventLog log;
+  CausalNet net = MineHeuristicNet(log);
+  EXPECT_TRUE(net.edges.empty());
+  EXPECT_TRUE(net.activities.empty());
+}
+
+TEST(HeuristicMinerTest, MinedNetReflectsGeneratingTree) {
+  // Generator round-trip: a played-out SEQ(a0, a1, ..., a7) process must
+  // mine back the chain edges.
+  Rng rng(5);
+  ProcessTreeOptions opts;
+  opts.num_activities = 8;
+  opts.weight_xor = 0.0;
+  opts.weight_and = 0.0;
+  opts.weight_loop = 0.0;  // pure sequences
+  auto tree = GenerateProcessTree(opts, &rng);
+  PlayoutOptions playout;
+  playout.num_traces = 50;
+  Rng rng2(6);
+  EventLog log = PlayoutLog(*tree, playout, &rng2);
+  CausalNet net = MineHeuristicNet(log);
+  // A pure-SEQ process of n activities yields exactly n-1 causal edges.
+  EXPECT_EQ(net.edges.size(), log.NumEvents() - 1);
+  EXPECT_EQ(net.start_activities.size(), 1u);
+  EXPECT_EQ(net.end_activities.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,60 @@
+#include "discovery/pnml_export.h"
+#include <fstream>
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+EventLog ChainLog() {
+  EventLog log;
+  for (int i = 0; i < 10; ++i) log.AddTrace({"a", "b & c", "d"});
+  return log;
+}
+
+TEST(PnmlExportTest, StructureComplete) {
+  EventLog log = ChainLog();
+  CausalNet net = MineHeuristicNet(log);
+  std::ostringstream out;
+  ASSERT_TRUE(WritePnml(net, out, "test_net").ok());
+  std::string pnml = out.str();
+  EXPECT_NE(pnml.find("<pnml"), std::string::npos);
+  EXPECT_NE(pnml.find("<net id=\"test_net\""), std::string::npos);
+  // One transition per activity, with escaped labels.
+  EXPECT_NE(pnml.find("<transition id=\"t0\">"), std::string::npos);
+  EXPECT_NE(pnml.find("b &amp; c"), std::string::npos);
+  // Source marking, sink, edge places.
+  EXPECT_NE(pnml.find("p_source"), std::string::npos);
+  EXPECT_NE(pnml.find("p_sink"), std::string::npos);
+  EXPECT_NE(pnml.find("<initialMarking>"), std::string::npos);
+  // Two arcs per causal edge + start/end arcs.
+  size_t arcs = 0, pos = 0;
+  while ((pos = pnml.find("<arc ", pos)) != std::string::npos) {
+    ++arcs;
+    ++pos;
+  }
+  EXPECT_EQ(arcs, 2 * net.edges.size() + net.start_activities.size() +
+                      net.end_activities.size());
+}
+
+TEST(PnmlExportTest, FileRoundTripWritable) {
+  EventLog log = ChainLog();
+  CausalNet net = MineHeuristicNet(log);
+  std::string path = ::testing::TempDir() + "/ems_test.pnml";
+  ASSERT_TRUE(WritePnmlFile(net, path).ok());
+  std::ifstream check(path);
+  EXPECT_TRUE(check.good());
+  EXPECT_TRUE(WritePnmlFile(net, "/no/such/dir/x.pnml").IsIOError());
+}
+
+TEST(PnmlExportTest, EmptyNet) {
+  CausalNet net;
+  std::ostringstream out;
+  ASSERT_TRUE(WritePnml(net, out).ok());
+  EXPECT_NE(out.str().find("</pnml>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

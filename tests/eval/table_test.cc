@@ -1,0 +1,47 @@
+#include "eval/table.h"
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "2.50"});
+  std::string s = t.ToString();
+  // Header, separator, two rows.
+  size_t lines = std::count(s.begin(), s.end(), '\n');
+  EXPECT_EQ(lines, 4u);
+  // Every row starts at the same column offsets: the separator spans
+  // the full width.
+  size_t header_end = s.find('\n');
+  size_t sep_end = s.find('\n', header_end + 1);
+  std::string sep = s.substr(header_end + 1, sep_end - header_end - 1);
+  EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+  EXPECT_GE(sep.size(), std::string("longer-name  2.50").size());
+}
+
+TEST(TextTableTest, HeaderOnlyTable) {
+  TextTable t({"a", "b", "c"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + separator
+}
+
+TEST(CellTest, Formatting) {
+  EXPECT_EQ(Cell(0.45714), "0.457");
+  EXPECT_EQ(Cell(1.0, 1), "1.0");
+  EXPECT_EQ(Cell(0.05, 2), "0.05");
+}
+
+TEST(MillisCellTest, UnitsSwitch) {
+  EXPECT_EQ(MillisCell(12.34), "12.3ms");
+  EXPECT_EQ(MillisCell(999.94), "999.9ms");
+  EXPECT_EQ(MillisCell(1500.0), "1.50s");
+  EXPECT_EQ(MillisCell(0.0), "0.0ms");
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,70 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+TEST(DotExportTest, ContainsNodesAndEdges) {
+  DependencyGraph g = testing::BuildPaperGraph1();
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph dependency_graph"), std::string::npos);
+  EXPECT_NE(dot.find("PaidCash"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // Artificial node hidden by default.
+  EXPECT_EQ(dot.find("<X>"), std::string::npos);
+}
+
+TEST(DotExportTest, ShowArtificialOption) {
+  DependencyGraph g = testing::BuildPaperGraph1();
+  DotOptions opts;
+  opts.show_artificial = true;
+  std::string dot = ToDot(g, opts);
+  EXPECT_NE(dot.find("diamond"), std::string::npos);
+}
+
+TEST(DotExportTest, EdgeFrequenciesToggle) {
+  DependencyGraph g = testing::BuildPaperGraph1();
+  DotOptions no_freq;
+  no_freq.edge_frequencies = false;
+  std::string dot = ToDot(g, no_freq);
+  // Edge lines exist but carry no label attribute.
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"0."), std::string::npos);
+}
+
+TEST(DotExportTest, QuotesEscaped) {
+  EventLog log;
+  log.AddTrace({"say \"hi\"", "done"});
+  DependencyGraph g = DependencyGraph::Build(log);
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotExportTest, MatchDotLinksCorrespondences) {
+  EventLog log1 = testing::BuildPaperLog1();
+  EventLog log2 = testing::BuildPaperLog2();
+  Matcher matcher;
+  Result<MatchResult> result = matcher.Match(log1, log2);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMatchDot(*result, out).ok());
+  std::string dot = out.str();
+  EXPECT_NE(dot.find("cluster_left"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_right"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // One cross edge per correspondence.
+  size_t cross = 0, pos = 0;
+  while ((pos = dot.find("color=red", pos)) != std::string::npos) {
+    ++cross;
+    pos += 1;
+  }
+  EXPECT_EQ(cross, result->correspondences.size());
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,114 @@
+// End-to-end integration: file I/O -> matching pipeline -> evaluation,
+// exercising the whole stack the way the examples and benches do.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "eval/harness.h"
+#include "log/log_io.h"
+#include "log/xes.h"
+#include "paper_example.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+TEST(EndToEndTest, XesRoundTripThenMatch) {
+  // Serialize the paper logs to XES, read them back, and match.
+  EventLog log1 = testing::BuildPaperLog1();
+  EventLog log2 = testing::BuildPaperLog2();
+  std::ostringstream buf1, buf2;
+  ASSERT_TRUE(WriteXes(log1, buf1).ok());
+  ASSERT_TRUE(WriteXes(log2, buf2).ok());
+  std::istringstream in1(buf1.str()), in2(buf2.str());
+  Result<EventLog> r1 = ReadXes(in1);
+  Result<EventLog> r2 = ReadXes(in2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+
+  Matcher matcher;
+  Result<MatchResult> result = matcher.Match(*r1, *r2);
+  ASSERT_TRUE(result.ok());
+  bool paid_cash_correct = false;
+  for (const Correspondence& c : result->correspondences) {
+    if (c.events1 == std::vector<std::string>{"PaidCash"} &&
+        c.events2 == std::vector<std::string>{"PaidCash2"}) {
+      paid_cash_correct = true;
+    }
+  }
+  EXPECT_TRUE(paid_cash_correct);
+}
+
+TEST(EndToEndTest, GeneratedDatasetFullPipeline) {
+  RealisticDatasetOptions opts;
+  opts.ds_f_pairs = 2;
+  opts.ds_b_pairs = 2;
+  opts.ds_fb_pairs = 2;
+  opts.composite_pairs = 1;
+  opts.num_traces = 80;
+  opts.min_activities = 12;
+  opts.max_activities = 16;
+  RealisticDataset ds = MakeRealisticDataset(opts);
+
+  HarnessOptions harness;
+  QualityAccumulator acc;
+  for (const LogPair* pair : ds.Singleton()) {
+    MethodRun run = RunMethod(Method::kEms, *pair, harness);
+    ASSERT_FALSE(run.dnf);
+    acc.Add(run.quality);
+  }
+  // Structural EMS on small opaque pairs: clearly better than random.
+  EXPECT_GT(acc.Mean().f_measure, 0.3);
+}
+
+TEST(EndToEndTest, CompositePairRecall) {
+  // A pair with an injected composite: the composite-aware EMS pipeline
+  // must recover strictly more truth links than pure 1:1 matching misses.
+  PairOptions pair_opts;
+  pair_opts.num_activities = 8;
+  pair_opts.num_traces = 80;
+  pair_opts.num_composites = 1;
+  pair_opts.dislocation = 0;
+  pair_opts.seed = 901;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, pair_opts);
+  if (!pair.has_composites) GTEST_SKIP() << "seed produced no composite";
+
+  HarnessOptions no_comp;
+  HarnessOptions with_comp;
+  with_comp.composites = true;
+  MethodRun plain = RunMethod(Method::kEms, pair, no_comp);
+  MethodRun composite = RunMethod(Method::kEms, pair, with_comp);
+  EXPECT_GE(composite.quality.recall + 1e-9, plain.quality.recall);
+}
+
+TEST(EndToEndTest, CsvPipelineCompatibility) {
+  // CSV in, trace format out, identical statistics.
+  std::istringstream csv(
+      "case,activity\n"
+      "t1,a\nt1,b\nt1,c\n"
+      "t2,a\nt2,c\n");
+  Result<EventLog> log = ReadCsv(csv);
+  ASSERT_TRUE(log.ok());
+  DependencyGraph g = DependencyGraph::Build(*log);
+  EXPECT_EQ(g.NumNodes(), 4u);  // 3 events + artificial
+  EXPECT_DOUBLE_EQ(g.NodeFrequency(1), 1.0);  // "a" in both traces
+}
+
+TEST(EndToEndTest, DeterministicEndToEnd) {
+  // The whole pipeline is seed-deterministic: same dataset, same scores.
+  PairOptions pair_opts;
+  pair_opts.num_activities = 10;
+  pair_opts.num_traces = 50;
+  pair_opts.seed = 777;
+  LogPair a = MakeLogPair(Testbed::kDsB, pair_opts);
+  LogPair b = MakeLogPair(Testbed::kDsB, pair_opts);
+  HarnessOptions harness;
+  MethodRun ra = RunMethod(Method::kEms, a, harness);
+  MethodRun rb = RunMethod(Method::kEms, b, harness);
+  EXPECT_DOUBLE_EQ(ra.quality.f_measure, rb.quality.f_measure);
+  EXPECT_EQ(ra.quality.correct_links, rb.quality.correct_links);
+}
+
+}  // namespace
+}  // namespace ems

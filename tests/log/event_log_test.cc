@@ -1,0 +1,116 @@
+#include "log/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(EventLogTest, InterningAssignsDenseIds) {
+  EventLog log;
+  EXPECT_EQ(log.AddEvent("a"), 0);
+  EXPECT_EQ(log.AddEvent("b"), 1);
+  EXPECT_EQ(log.AddEvent("a"), 0);  // idempotent
+  EXPECT_EQ(log.NumEvents(), 2u);
+  EXPECT_EQ(log.EventName(0), "a");
+  EXPECT_EQ(log.EventName(1), "b");
+}
+
+TEST(EventLogTest, FindEvent) {
+  EventLog log;
+  log.AddEvent("x");
+  EXPECT_EQ(log.FindEvent("x"), 0);
+  EXPECT_EQ(log.FindEvent("missing"), kInvalidEvent);
+}
+
+TEST(EventLogTest, AddTraceInternsNames) {
+  EventLog log;
+  log.AddTrace({"a", "b", "a"});
+  ASSERT_EQ(log.NumTraces(), 1u);
+  EXPECT_EQ(log.trace(0), (Trace{0, 1, 0}));
+  EXPECT_EQ(log.NumEvents(), 2u);
+}
+
+TEST(EventLogTest, MultisetSemantics) {
+  EventLog log;
+  log.AddTrace({"a", "b"});
+  log.AddTrace({"a", "b"});  // duplicate trace kept
+  EXPECT_EQ(log.NumTraces(), 2u);
+  EXPECT_EQ(log.TotalOccurrences(), 4u);
+}
+
+TEST(EventLogTest, AddTraceIds) {
+  EventLog log;
+  log.AddEvent("a");
+  log.AddEvent("b");
+  log.AddTraceIds({1, 0});
+  EXPECT_EQ(log.trace(0), (Trace{1, 0}));
+}
+
+TEST(EventLogTest, EmptyTraceAllowed) {
+  EventLog log;
+  log.AddTrace({});
+  EXPECT_EQ(log.NumTraces(), 1u);
+  EXPECT_TRUE(log.trace(0).empty());
+}
+
+TEST(EventLogTest, RenameEvent) {
+  EventLog log;
+  log.AddTrace({"a", "b"});
+  ASSERT_TRUE(log.RenameEvent(0, "alpha").ok());
+  EXPECT_EQ(log.EventName(0), "alpha");
+  EXPECT_EQ(log.FindEvent("alpha"), 0);
+  EXPECT_EQ(log.FindEvent("a"), kInvalidEvent);
+}
+
+TEST(EventLogTest, RenameEventToSameNameIsOk) {
+  EventLog log;
+  log.AddTrace({"a"});
+  EXPECT_TRUE(log.RenameEvent(0, "a").ok());
+}
+
+TEST(EventLogTest, RenameEventRejectsCollision) {
+  EventLog log;
+  log.AddTrace({"a", "b"});
+  EXPECT_TRUE(log.RenameEvent(0, "b").IsInvalidArgument());
+}
+
+TEST(EventLogTest, RenameEventRejectsBadId) {
+  EventLog log;
+  EXPECT_TRUE(log.RenameEvent(0, "x").IsOutOfRange());
+  EXPECT_TRUE(log.RenameEvent(-1, "x").IsOutOfRange());
+}
+
+TEST(EventLogTest, TransformTracesReInternsVocabulary) {
+  EventLog log;
+  log.AddTrace({"a", "b", "c"});
+  log.AddTrace({"b", "c"});
+  // Drop event "a" (id 0) from all traces.
+  std::vector<Trace> transformed;
+  for (const Trace& t : log.traces()) {
+    Trace copy;
+    for (EventId e : t) {
+      if (e != 0) copy.push_back(e);
+    }
+    transformed.push_back(copy);
+  }
+  std::vector<EventId> id_map;
+  EventLog out = log.TransformTraces(transformed, &id_map);
+  EXPECT_EQ(out.NumEvents(), 2u);
+  EXPECT_EQ(out.FindEvent("a"), kInvalidEvent);
+  EXPECT_NE(out.FindEvent("b"), kInvalidEvent);
+  EXPECT_EQ(id_map[0], kInvalidEvent);  // "a" dropped
+  EXPECT_NE(id_map[1], kInvalidEvent);
+  EXPECT_EQ(out.EventName(id_map[1]), "b");
+}
+
+TEST(EventLogTest, TransformTracesPreservesOrder) {
+  EventLog log;
+  log.AddTrace({"x", "y"});
+  EventLog out = log.TransformTraces(log.traces(), nullptr);
+  EXPECT_EQ(out.NumTraces(), 1u);
+  EXPECT_EQ(out.EventName(out.trace(0)[0]), "x");
+  EXPECT_EQ(out.EventName(out.trace(0)[1]), "y");
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,104 @@
+#include "log/log_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+EventLog MakeLog() {
+  EventLog log;
+  log.AddTrace({"a", "b", "c"});
+  log.AddTrace({"a", "b", "c"});
+  log.AddTrace({"a", "c"});
+  log.AddTrace({"a", "b", "c", "d", "e"});
+  return log;
+}
+
+TEST(FilterByTraceLengthTest, KeepsWindow) {
+  EventLog out = FilterByTraceLength(MakeLog(), 3, 3);
+  EXPECT_EQ(out.NumTraces(), 2u);
+  for (const Trace& t : out.traces()) EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(FilterByTraceLengthTest, EmptyWindowDropsAll) {
+  EventLog out = FilterByTraceLength(MakeLog(), 10, 20);
+  EXPECT_EQ(out.NumTraces(), 0u);
+}
+
+TEST(TraceVariantsTest, CountsAndOrder) {
+  std::vector<TraceVariant> variants = TraceVariants(MakeLog());
+  ASSERT_EQ(variants.size(), 3u);
+  EXPECT_EQ(variants[0].count, 2u);  // "a b c" twice
+  EXPECT_EQ(variants[0].activities,
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(variants[1].count, 1u);
+  EXPECT_EQ(variants[2].count, 1u);
+}
+
+TEST(TraceVariantsTest, DeterministicTieBreak) {
+  EventLog log;
+  log.AddTrace({"b"});
+  log.AddTrace({"a"});
+  std::vector<TraceVariant> variants = TraceVariants(log);
+  ASSERT_EQ(variants.size(), 2u);
+  EXPECT_EQ(variants[0].activities, (std::vector<std::string>{"a"}));
+}
+
+TEST(KeepTopVariantsTest, KeepsDominantBehavior) {
+  EventLog out = KeepTopVariants(MakeLog(), 1);
+  EXPECT_EQ(out.NumTraces(), 2u);  // the two "a b c" traces
+  EXPECT_EQ(out.NumEvents(), 3u);
+}
+
+TEST(KeepTopVariantsTest, LargeKKeepsEverything) {
+  EventLog out = KeepTopVariants(MakeLog(), 100);
+  EXPECT_EQ(out.NumTraces(), 4u);
+}
+
+TEST(ProjectOntoEventsTest, RemovesOtherEvents) {
+  EventLog out = ProjectOntoEvents(MakeLog(), {"a", "c"});
+  EXPECT_EQ(out.NumEvents(), 2u);
+  for (const Trace& t : out.traces()) {
+    for (EventId e : t) {
+      std::string name = out.EventName(e);
+      EXPECT_TRUE(name == "a" || name == "c");
+    }
+  }
+  EXPECT_EQ(out.NumTraces(), 4u);  // traces kept, just shorter
+}
+
+TEST(ProjectOntoEventsTest, UnknownNamesIgnored) {
+  EventLog out = ProjectOntoEvents(MakeLog(), {"a", "zzz"});
+  EXPECT_EQ(out.NumEvents(), 1u);
+}
+
+TEST(FilterRareEventsTest, DropsBelowThreshold) {
+  // d and e occur in 1 of 4 traces (0.25); a in all.
+  EventLog out = FilterRareEvents(MakeLog(), 0.5);
+  EXPECT_EQ(out.FindEvent("d"), kInvalidEvent);
+  EXPECT_EQ(out.FindEvent("e"), kInvalidEvent);
+  EXPECT_NE(out.FindEvent("a"), kInvalidEvent);
+  EXPECT_NE(out.FindEvent("b"), kInvalidEvent);  // 3/4 = 0.75
+}
+
+TEST(SummarizeTest, Counters) {
+  LogSummary s = Summarize(MakeLog());
+  EXPECT_EQ(s.num_traces, 4u);
+  EXPECT_EQ(s.num_events, 5u);
+  EXPECT_EQ(s.total_occurrences, 13u);
+  EXPECT_EQ(s.num_variants, 3u);
+  EXPECT_EQ(s.min_trace_length, 2u);
+  EXPECT_EQ(s.max_trace_length, 5u);
+  EXPECT_DOUBLE_EQ(s.mean_trace_length, 13.0 / 4.0);
+}
+
+TEST(SummarizeTest, EmptyLog) {
+  EventLog log;
+  LogSummary s = Summarize(log);
+  EXPECT_EQ(s.num_traces, 0u);
+  EXPECT_EQ(s.num_variants, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_trace_length, 0.0);
+}
+
+}  // namespace
+}  // namespace ems

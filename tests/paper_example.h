@@ -1,0 +1,97 @@
+// Reconstruction of the paper's running example (Figures 1 and 2): the
+// turbine-order-processing logs L1 and L2 with their dependency graphs.
+// Frequencies are pinned so that the values the paper computes explicitly
+// hold exactly with c = 0.8:
+//   f(A) = f(2) = 0.4, f(1) = 1.0  =>  S^1(A,1) = 0.457..., S^1(A,2) = 0.6
+// (Example 4). The edge frequencies not stated in the paper are filled in
+// from the natural play-out of Figure 1's traces (E and F concurrent
+// after D; 1 splits into 2 or 3 which join at 4).
+#pragma once
+
+#include <tuple>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "log/event_log.h"
+
+namespace ems {
+namespace testing {
+
+// Node indices within the real (non-artificial) portion of G1.
+enum PaperG1Node { A = 0, B = 1, C = 2, D = 3, E = 4, F = 5 };
+// G2 nodes "1".."6" are indices 0..5.
+enum PaperG2Node { N1 = 0, N2 = 1, N3 = 2, N4 = 3, N5 = 4, N6 = 5 };
+
+inline DependencyGraph BuildPaperGraph1() {
+  return DependencyGraph::FromExplicit(
+      {"PaidCash", "PaidCredit", "CheckInventory", "Validate", "ShipGoods",
+       "EmailCustomer"},
+      {0.4, 0.6, 1.0, 1.0, 1.0, 1.0},
+      {
+          {A, C, 0.4},  // stated in Figure 1(c)
+          {B, C, 0.6},
+          {C, D, 1.0},
+          {D, E, 0.5},  // E / F concurrent after D
+          {D, F, 0.5},
+          {E, F, 0.5},
+          {F, E, 0.5},
+      });
+}
+
+inline DependencyGraph BuildPaperGraph2() {
+  return DependencyGraph::FromExplicit(
+      {"OrderAccepted", "PaidCash2", "PaidCredit2", "InvCheckValidation",
+       "Delivery", "Email2"},
+      {1.0, 0.4, 0.6, 1.0, 1.0, 1.0},
+      {
+          {N1, N2, 0.4},
+          {N1, N3, 0.6},
+          {N2, N4, 0.4},
+          {N3, N4, 0.6},
+          {N4, N5, 1.0},
+          {N5, N6, 1.0},
+      });
+}
+
+// The corresponding event logs, for tests exercising the log-based
+// pipeline (dependency graphs built from these differ slightly in the
+// E/F edge frequencies from the explicit graphs above, which only pins
+// what the similarity tests need).
+inline EventLog BuildPaperLog1() {
+  EventLog log;
+  // 10 orders: 4 paid cash, 6 paid credit; E and F interleave after D.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> t;
+    t.push_back(i < 4 ? "PaidCash" : "PaidCredit");
+    t.push_back("CheckInventory");
+    t.push_back("Validate");
+    if (i % 2 == 0) {
+      t.push_back("ShipGoods");
+      t.push_back("EmailCustomer");
+    } else {
+      t.push_back("EmailCustomer");
+      t.push_back("ShipGoods");
+    }
+    log.AddTrace(t);
+  }
+  return log;
+}
+
+inline EventLog BuildPaperLog2() {
+  EventLog log;
+  // 10 orders: all start with OrderAccepted, 4 paid cash, 6 credit; the
+  // inventory check and validation is one composite step.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> t;
+    t.push_back("OrderAccepted");
+    t.push_back(i < 4 ? "PaidCash2" : "PaidCredit2");
+    t.push_back("InvCheckValidation");
+    t.push_back("Delivery");
+    t.push_back("Email2");
+    log.AddTrace(t);
+  }
+  return log;
+}
+
+}  // namespace testing
+}  // namespace ems

@@ -1,0 +1,102 @@
+// Property suite for the Hungarian solver: optimality against brute
+// force, feasibility (injective output), and invariance under weight
+// scaling/translation of profitable pairs — swept over random instances.
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "assignment/hungarian.h"
+
+namespace ems {
+namespace {
+
+class AssignmentProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<std::vector<double>> RandomMatrix(std::mt19937_64* rng,
+                                              size_t max_dim,
+                                              bool allow_negative) {
+  size_t n = 1 + (*rng)() % max_dim;
+  size_t m = 1 + (*rng)() % max_dim;
+  std::vector<std::vector<double>> w(n, std::vector<double>(m));
+  for (auto& row : w) {
+    for (double& v : row) {
+      v = static_cast<double>((*rng)() % 1000) / 100.0;
+      if (allow_negative) v -= 5.0;
+    }
+  }
+  return w;
+}
+
+double BruteForceBest(const std::vector<std::vector<double>>& w) {
+  size_t n = w.size();
+  size_t m = w[0].size();
+  size_t k = std::max(n, m);
+  std::vector<int> perm(k);
+  for (size_t j = 0; j < k; ++j) perm[j] = static_cast<int>(j);
+  double best = 0.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = static_cast<size_t>(perm[i]);
+      if (j >= m) continue;
+      if (w[i][j] > 0) total += w[i][j];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST_P(AssignmentProperty, OptimalOnRandomNonNegativeInstances) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    auto w = RandomMatrix(&rng, 5, /*allow_negative=*/false);
+    std::vector<int> a = MaxWeightAssignment(w);
+    EXPECT_NEAR(AssignmentWeight(w, a), BruteForceBest(w), 1e-9);
+  }
+}
+
+TEST_P(AssignmentProperty, OptimalWithNegativeWeights) {
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto w = RandomMatrix(&rng, 5, /*allow_negative=*/true);
+    std::vector<int> a = MaxWeightAssignment(w);
+    EXPECT_NEAR(AssignmentWeight(w, a), BruteForceBest(w), 1e-9);
+  }
+}
+
+TEST_P(AssignmentProperty, OutputAlwaysInjectiveAndInRange) {
+  std::mt19937_64 rng(GetParam() * 17 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto w = RandomMatrix(&rng, 8, true);
+    std::vector<int> a = MaxWeightAssignment(w);
+    ASSERT_EQ(a.size(), w.size());
+    std::set<int> used;
+    for (int x : a) {
+      if (x < 0) continue;
+      EXPECT_LT(static_cast<size_t>(x), w[0].size());
+      EXPECT_TRUE(used.insert(x).second);
+    }
+  }
+}
+
+TEST_P(AssignmentProperty, ScalingWeightsPreservesOptimalPairs) {
+  std::mt19937_64 rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto w = RandomMatrix(&rng, 4, false);
+    auto scaled = w;
+    for (auto& row : scaled) {
+      for (double& v : row) v *= 3.5;
+    }
+    double base = AssignmentWeight(w, MaxWeightAssignment(w));
+    double scaled_total =
+        AssignmentWeight(scaled, MaxWeightAssignment(scaled));
+    EXPECT_NEAR(scaled_total, base * 3.5, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentProperty,
+                         ::testing::Values(401u, 402u, 403u));
+
+}  // namespace
+}  // namespace ems

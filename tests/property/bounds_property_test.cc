@@ -1,0 +1,88 @@
+// Property suite for the similarity upper bounds (Lemma 5, Proposition 6,
+// Corollary 7) over random log pairs and parameters: bounds must dominate
+// the converged values at every intermediate iteration, and the
+// horizon-aware bound must never be looser than the general one.
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+struct BoundsCase {
+  uint64_t seed;
+  double alpha;
+  double c;
+};
+
+class BoundsProperty : public ::testing::TestWithParam<BoundsCase> {};
+
+TEST_P(BoundsProperty, BoundsDominateConvergedValues) {
+  const BoundsCase& p = GetParam();
+  PairOptions opts;
+  opts.num_activities = 10;
+  opts.num_traces = 50;
+  opts.dislocation = 1;
+  opts.seed = p.seed;
+  LogPair pair = MakeLogPair(Testbed::kDsB, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions eopts;
+  eopts.alpha = p.alpha;
+  eopts.c = p.c;
+  eopts.direction = Direction::kForward;
+  EmsSimilarity converged(g1, g2, eopts);
+  SimilarityMatrix s_inf = converged.Compute();
+  for (int k : {0, 1, 2, 4}) {
+    EmsSimilarity partial(g1, g2, eopts);
+    SimilarityMatrix s_k = partial.ComputePartial(Direction::kForward, k);
+    for (NodeId v1 = 1; v1 < static_cast<NodeId>(s_k.rows()); ++v1) {
+      for (NodeId v2 = 1; v2 < static_cast<NodeId>(s_k.cols()); ++v2) {
+        int h = partial.ConvergenceHorizon(Direction::kForward, v1, v2);
+        double general = SimilarityUpperBound(s_k.at(v1, v2), k, p.alpha, p.c);
+        double paper = PaperUpperBound(s_k.at(v1, v2), k, p.alpha, p.c);
+        double horizon = HorizonUpperBound(s_k.at(v1, v2), k, h, p.alpha, p.c);
+        ASSERT_GE(general + 1e-9, s_inf.at(v1, v2));
+        ASSERT_GE(paper + 1e-9, s_inf.at(v1, v2));
+        ASSERT_GE(horizon + 1e-9, s_inf.at(v1, v2));
+        ASSERT_LE(horizon, general + 1e-12);
+        ASSERT_LE(general, paper + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(BoundsProperty, AverageBoundShrinksWithK) {
+  const BoundsCase& p = GetParam();
+  PairOptions opts;
+  opts.num_activities = 10;
+  opts.num_traces = 50;
+  opts.seed = p.seed + 500;
+  LogPair pair = MakeLogPair(Testbed::kDsF, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions eopts;
+  eopts.alpha = p.alpha;
+  eopts.c = p.c;
+  eopts.direction = Direction::kForward;
+  double prev_bound = 1e9;
+  for (int k : {0, 2, 4, 8}) {
+    EmsSimilarity partial(g1, g2, eopts);
+    SimilarityMatrix s_k = partial.ComputePartial(Direction::kForward, k);
+    double bound =
+        AverageUpperBound(partial, Direction::kForward, s_k, k, g1, g2);
+    EXPECT_LE(bound, prev_bound + 1e-9) << "k=" << k;
+    prev_bound = bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundsProperty,
+                         ::testing::Values(BoundsCase{301, 1.0, 0.8},
+                                           BoundsCase{302, 0.8, 0.8},
+                                           BoundsCase{303, 1.0, 0.5},
+                                           BoundsCase{304, 0.6, 0.9},
+                                           BoundsCase{305, 1.0, 0.95}));
+
+}  // namespace
+}  // namespace ems

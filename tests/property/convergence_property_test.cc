@@ -1,0 +1,106 @@
+// Property suite for Theorem 1 (monotone, bounded, convergent iteration)
+// swept over random generated log pairs and parameter combinations via
+// parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "core/ems_similarity.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+struct ConvergenceCase {
+  uint64_t seed;
+  double alpha;
+  double c;
+  int activities;
+};
+
+class ConvergenceProperty
+    : public ::testing::TestWithParam<ConvergenceCase> {};
+
+LogPair MakePair(const ConvergenceCase& p) {
+  PairOptions opts;
+  opts.num_activities = p.activities;
+  opts.num_traces = 50;
+  opts.dislocation = 1;
+  opts.seed = p.seed;
+  return MakeLogPair(Testbed::kDsFB, opts);
+}
+
+TEST_P(ConvergenceProperty, MonotoneBoundedAndConvergent) {
+  const ConvergenceCase& p = GetParam();
+  LogPair pair = MakePair(p);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions opts;
+  opts.alpha = p.alpha;
+  opts.c = p.c;
+  opts.direction = Direction::kForward;
+  opts.prune_converged = false;
+
+  SimilarityMatrix prev;
+  double prev_delta = 2.0;
+  for (int n = 1; n <= 8; ++n) {
+    EmsSimilarity sim(g1, g2, opts);
+    SimilarityMatrix cur = sim.ComputePartial(Direction::kForward, n);
+    double max_delta = 0.0;
+    for (NodeId v1 = 0; v1 < static_cast<NodeId>(cur.rows()); ++v1) {
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(cur.cols()); ++v2) {
+        double v = cur.at(v1, v2);
+        ASSERT_GE(v, 0.0);
+        ASSERT_LE(v, 1.0);
+        if (n > 1) {
+          double d = v - prev.at(v1, v2);
+          ASSERT_GE(d, -1e-12) << "monotonicity violated at n=" << n;
+          max_delta = std::max(max_delta, d);
+          // Lemma 5 increment cap.
+          ASSERT_LE(d, std::pow(p.alpha * p.c, n) + 1e-9);
+        }
+      }
+    }
+    if (n > 2) {
+      // Deltas shrink geometrically (within slack for plateaus).
+      ASSERT_LE(max_delta, prev_delta + 1e-12);
+    }
+    if (n > 1) prev_delta = max_delta;
+    prev = cur;
+  }
+}
+
+TEST_P(ConvergenceProperty, FixedPointSatisfiesDefinition) {
+  // At convergence, one more iteration must not move any value.
+  const ConvergenceCase& p = GetParam();
+  LogPair pair = MakePair(p);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions opts;
+  opts.alpha = p.alpha;
+  opts.c = p.c;
+  opts.direction = Direction::kForward;
+  opts.epsilon = 1e-10;
+  opts.max_iterations = 500;
+  EmsSimilarity sim(g1, g2, opts);
+  SimilarityMatrix fixed = sim.Compute();
+  int iters = sim.stats().iterations;
+  EmsSimilarity more(g1, g2, opts);
+  SimilarityMatrix next = more.ComputePartial(Direction::kForward, iters + 3);
+  EXPECT_LT(fixed.MaxAbsDifference(next), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvergenceProperty,
+    ::testing::Values(ConvergenceCase{101, 1.0, 0.8, 8},
+                      ConvergenceCase{102, 1.0, 0.5, 10},
+                      ConvergenceCase{103, 0.7, 0.8, 12},
+                      ConvergenceCase{104, 0.5, 0.9, 8},
+                      ConvergenceCase{105, 1.0, 0.95, 15},
+                      ConvergenceCase{106, 0.9, 0.3, 20},
+                      ConvergenceCase{107, 1.0, 0.8, 25}),
+    [](const ::testing::TestParamInfo<ConvergenceCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.activities);
+    });
+
+}  // namespace
+}  // namespace ems

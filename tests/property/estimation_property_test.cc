@@ -1,0 +1,111 @@
+// Property suite for EMS+es (Section 3.5): the exact-iteration knob I
+// trades cost for accuracy — work grows with I, error vanishes for
+// I >= horizon, outputs stay in [0, 1] — swept over random pairs.
+#include <gtest/gtest.h>
+
+#include "core/estimation.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+class EstimationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+LogPair MakePair(uint64_t seed) {
+  PairOptions opts;
+  opts.num_activities = 12;
+  opts.num_traces = 60;
+  opts.dislocation = 1;
+  opts.seed = seed;
+  return MakeLogPair(Testbed::kDsFB, opts);
+}
+
+TEST_P(EstimationProperty, WorkGrowsWithI) {
+  LogPair pair = MakePair(GetParam());
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  uint64_t prev_evals = 0;
+  for (int iterations : {0, 2, 5, 10}) {
+    EstimationOptions opts;
+    opts.exact_iterations = iterations;
+    opts.ems.direction = Direction::kForward;
+    EstimatedEmsSimilarity sim(g1, g2, opts);
+    (void)sim.Compute();
+    EXPECT_GE(sim.stats().formula_evaluations, prev_evals);
+    prev_evals = sim.stats().formula_evaluations;
+  }
+}
+
+TEST_P(EstimationProperty, OutputsInRangeForAllI) {
+  LogPair pair = MakePair(GetParam() + 50);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  for (int iterations : {0, 1, 3, 7}) {
+    EstimationOptions opts;
+    opts.exact_iterations = iterations;
+    opts.ems.direction = Direction::kBoth;
+    EstimatedEmsSimilarity sim(g1, g2, opts);
+    SimilarityMatrix s = sim.Compute();
+    for (NodeId v1 = 0; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+        ASSERT_GE(s.at(v1, v2), 0.0);
+        ASSERT_LE(s.at(v1, v2), 1.0);
+      }
+    }
+  }
+}
+
+TEST_P(EstimationProperty, ExactForFiniteHorizonPairsWithLargeI) {
+  LogPair pair = MakePair(GetParam() + 100);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EstimationOptions opts;
+  opts.exact_iterations = 60;
+  opts.ems.direction = Direction::kForward;
+  EstimatedEmsSimilarity est(g1, g2, opts);
+  SimilarityMatrix s_est = est.Compute();
+  EmsOptions exact_opts;
+  exact_opts.direction = Direction::kForward;
+  exact_opts.epsilon = 1e-9;
+  exact_opts.max_iterations = 200;
+  EmsSimilarity exact(g1, g2, exact_opts);
+  SimilarityMatrix s_exact = exact.Compute();
+  for (NodeId v1 = 1; v1 < static_cast<NodeId>(s_est.rows()); ++v1) {
+    for (NodeId v2 = 1; v2 < static_cast<NodeId>(s_est.cols()); ++v2) {
+      int h = exact.ConvergenceHorizon(Direction::kForward, v1, v2);
+      if (h == kInfiniteDistance || h > 60) continue;
+      ASSERT_NEAR(s_est.at(v1, v2), s_exact.at(v1, v2), 1e-5);
+    }
+  }
+}
+
+TEST_P(EstimationProperty, AverageErrorAtTenBeatsZero) {
+  LogPair pair = MakePair(GetParam() + 150);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions exact_opts;
+  exact_opts.direction = Direction::kForward;
+  EmsSimilarity exact(g1, g2, exact_opts);
+  SimilarityMatrix s_exact = exact.Compute();
+  auto error_at = [&](int iterations) {
+    EstimationOptions opts;
+    opts.exact_iterations = iterations;
+    opts.ems.direction = Direction::kForward;
+    EstimatedEmsSimilarity est(g1, g2, opts);
+    SimilarityMatrix s = est.Compute();
+    double total = 0.0;
+    for (NodeId v1 = 1; v1 < static_cast<NodeId>(s.rows()); ++v1) {
+      for (NodeId v2 = 1; v2 < static_cast<NodeId>(s.cols()); ++v2) {
+        total += std::abs(s.at(v1, v2) - s_exact.at(v1, v2));
+      }
+    }
+    return total;
+  };
+  EXPECT_LE(error_at(10), error_at(0) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimationProperty,
+                         ::testing::Values(501u, 502u, 503u, 504u));
+
+}  // namespace
+}  // namespace ems

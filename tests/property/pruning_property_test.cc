@@ -1,0 +1,106 @@
+// Properties of the two pruning mechanisms: early convergence
+// (Proposition 2) must never change results, only save work; the
+// unchanged-similarity identification (Proposition 4) used by the
+// composite matcher must reproduce from-scratch similarities exactly.
+#include <gtest/gtest.h>
+
+#include "core/composite_matcher.h"
+#include "core/ems_similarity.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+class PruningProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruningProperty, EarlyConvergencePreservesResults) {
+  PairOptions opts;
+  opts.num_activities = 12;
+  opts.num_traces = 60;
+  opts.dislocation = 1;
+  opts.seed = GetParam();
+  LogPair pair = MakeLogPair(Testbed::kDsB, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+    EmsOptions with_opts;
+    with_opts.direction = dir;
+    with_opts.prune_converged = true;
+    EmsOptions without_opts = with_opts;
+    without_opts.prune_converged = false;
+    EmsSimilarity with(g1, g2, with_opts);
+    EmsSimilarity without(g1, g2, without_opts);
+    SimilarityMatrix a = with.Compute();
+    SimilarityMatrix b = without.Compute();
+    EXPECT_LT(a.MaxAbsDifference(b), 1e-9);
+    EXPECT_LE(with.stats().formula_evaluations,
+              without.stats().formula_evaluations);
+  }
+}
+
+TEST_P(PruningProperty, HorizonsAreSound) {
+  // For every pair, iterating past min(l(v1), l(v2)) never changes the
+  // value (Proposition 2 verified empirically on random graphs).
+  PairOptions opts;
+  opts.num_activities = 10;
+  opts.num_traces = 50;
+  opts.seed = GetParam() + 1000;
+  LogPair pair = MakeLogPair(Testbed::kDsF, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  EmsOptions eopts;
+  eopts.direction = Direction::kForward;
+  eopts.prune_converged = false;
+  EmsSimilarity probe(g1, g2, eopts);
+  const int deep = 30;
+  EmsSimilarity deep_sim(g1, g2, eopts);
+  SimilarityMatrix s_deep = deep_sim.ComputePartial(Direction::kForward, deep);
+  for (NodeId v1 = 1; v1 < static_cast<NodeId>(g1.NumNodes()); ++v1) {
+    for (NodeId v2 = 1; v2 < static_cast<NodeId>(g2.NumNodes()); ++v2) {
+      int h = probe.ConvergenceHorizon(Direction::kForward, v1, v2);
+      if (h == kInfiniteDistance || h >= deep) continue;
+      EmsSimilarity at_h(g1, g2, eopts);
+      SimilarityMatrix s_h = at_h.ComputePartial(Direction::kForward, h);
+      EXPECT_NEAR(s_h.at(v1, v2), s_deep.at(v1, v2), 1e-9)
+          << "pair (" << v1 << ", " << v2 << ") horizon " << h;
+    }
+  }
+}
+
+TEST_P(PruningProperty, CompositePruningsPreserveGreedyOutcome) {
+  PairOptions opts;
+  opts.num_activities = 8;
+  opts.num_traces = 50;
+  opts.num_composites = 1;
+  opts.dislocation = 0;
+  opts.seed = GetParam() + 2000;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, opts);
+
+  CompositeOptions base;
+  base.delta = 0.002;
+  std::vector<double> averages;
+  std::vector<uint64_t> evals;
+  for (bool uc : {false, true}) {
+    for (bool bd : {false, true}) {
+      CompositeOptions copts = base;
+      copts.prune_unchanged = uc;
+      copts.prune_bounds = bd;
+      CompositeMatcher matcher(pair.log1, pair.log2, copts);
+      Result<CompositeMatchResult> r = matcher.Match();
+      ASSERT_TRUE(r.ok());
+      averages.push_back(r->average_similarity);
+      evals.push_back(r->stats.formula_evaluations);
+    }
+  }
+  for (size_t i = 1; i < averages.size(); ++i) {
+    EXPECT_NEAR(averages[i], averages[0], 1e-3);
+  }
+  // Full pruning (both) must not cost more than no pruning.
+  EXPECT_LE(evals[3], evals[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningProperty,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u));
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,111 @@
+// Symmetry and invariance properties of the core similarity:
+//  * EMS is symmetric: S(G1, G2) equals S(G2, G1) transposed
+//    (Definition 2 averages s(v1,v2) and s(v2,v1)).
+//  * Dependency graphs are frequency-normalized: duplicating the whole
+//    multiset of traces changes nothing.
+//  * The pipeline is deterministic: repeated runs agree exactly.
+#include <gtest/gtest.h>
+
+#include "core/ems_similarity.h"
+#include "core/matcher.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+class SymmetryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+LogPair MakePair(uint64_t seed) {
+  PairOptions opts;
+  opts.num_activities = 12;
+  opts.num_traces = 60;
+  opts.dislocation = 1;
+  opts.seed = seed;
+  return MakeLogPair(Testbed::kDsFB, opts);
+}
+
+TEST_P(SymmetryProperty, EmsSimilarityIsTransposeSymmetric) {
+  LogPair pair = MakePair(GetParam());
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  for (Direction dir : {Direction::kForward, Direction::kBackward,
+                        Direction::kBoth}) {
+    EmsOptions opts;
+    opts.direction = dir;
+    EmsSimilarity ab(g1, g2, opts);
+    EmsSimilarity ba(g2, g1, opts);
+    SimilarityMatrix s_ab = ab.Compute();
+    SimilarityMatrix s_ba = ba.Compute();
+    ASSERT_EQ(s_ab.rows(), s_ba.cols());
+    ASSERT_EQ(s_ab.cols(), s_ba.rows());
+    for (NodeId v1 = 0; v1 < static_cast<NodeId>(s_ab.rows()); ++v1) {
+      for (NodeId v2 = 0; v2 < static_cast<NodeId>(s_ab.cols()); ++v2) {
+        ASSERT_NEAR(s_ab.at(v1, v2), s_ba.at(v2, v1), 1e-12)
+            << "direction " << static_cast<int>(dir) << " pair (" << v1
+            << ", " << v2 << ")";
+      }
+    }
+  }
+}
+
+TEST_P(SymmetryProperty, DuplicatingTheLogChangesNothing) {
+  LogPair pair = MakePair(GetParam() + 40);
+  EventLog doubled;
+  for (int round = 0; round < 2; ++round) {
+    for (const Trace& t : pair.log1.traces()) {
+      std::vector<std::string> names;
+      for (EventId e : t) names.push_back(pair.log1.EventName(e));
+      doubled.AddTrace(names);
+    }
+  }
+  DependencyGraph original = DependencyGraph::Build(pair.log1);
+  DependencyGraph scaled = DependencyGraph::Build(doubled);
+  ASSERT_EQ(original.NumNodes(), scaled.NumNodes());
+  ASSERT_EQ(original.NumEdges(), scaled.NumEdges());
+  for (NodeId v = 0; v < static_cast<NodeId>(original.NumNodes()); ++v) {
+    ASSERT_DOUBLE_EQ(original.NodeFrequency(v), scaled.NodeFrequency(v));
+    const auto& succ = original.Successors(v);
+    const auto& freq = original.SuccessorFrequencies(v);
+    for (size_t i = 0; i < succ.size(); ++i) {
+      ASSERT_DOUBLE_EQ(freq[i], scaled.EdgeFrequency(v, succ[i]));
+    }
+  }
+}
+
+TEST_P(SymmetryProperty, MatcherIsDeterministic) {
+  LogPair pair = MakePair(GetParam() + 80);
+  MatchOptions opts;
+  opts.match_composites = true;
+  Matcher matcher(opts);
+  Result<MatchResult> a = matcher.Match(pair.log1, pair.log2);
+  Result<MatchResult> b = matcher.Match(pair.log1, pair.log2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->correspondences.size(), b->correspondences.size());
+  for (size_t i = 0; i < a->correspondences.size(); ++i) {
+    EXPECT_EQ(a->correspondences[i].events1, b->correspondences[i].events1);
+    EXPECT_EQ(a->correspondences[i].events2, b->correspondences[i].events2);
+    EXPECT_DOUBLE_EQ(a->correspondences[i].similarity,
+                     b->correspondences[i].similarity);
+  }
+  EXPECT_EQ(a->similarity.MaxAbsDifference(b->similarity), 0.0);
+}
+
+TEST_P(SymmetryProperty, LabelMatrixIsMeasureSymmetric) {
+  LogPair pair = MakePair(GetParam() + 120);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  QGramCosineSimilarity qgram;
+  auto ab = LabelSimilarityMatrix(g1, g2, qgram);
+  auto ba = LabelSimilarityMatrix(g2, g1, qgram);
+  for (size_t i = 0; i < ab.size(); ++i) {
+    for (size_t j = 0; j < ab[i].size(); ++j) {
+      ASSERT_DOUBLE_EQ(ab[i][j], ba[j][i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetryProperty,
+                         ::testing::Values(701u, 702u, 703u, 704u));
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,147 @@
+#include "synth/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(MakeLogPairTest, DeterministicForSeed) {
+  PairOptions opts;
+  opts.seed = 77;
+  LogPair a = MakeLogPair(Testbed::kDsB, opts);
+  LogPair b = MakeLogPair(Testbed::kDsB, opts);
+  EXPECT_EQ(a.log1.NumTraces(), b.log1.NumTraces());
+  EXPECT_EQ(a.log2.NumEvents(), b.log2.NumEvents());
+  EXPECT_EQ(a.truth.size(), b.truth.size());
+  EXPECT_EQ(a.truth.Links(), b.truth.Links());
+}
+
+TEST(MakeLogPairTest, OpaqueRenamingApplied) {
+  PairOptions opts;
+  opts.seed = 5;
+  opts.opaque = true;
+  opts.opaque_fraction = 1.0;  // fully opaque
+  LogPair pair = MakeLogPair(Testbed::kDsF, opts);
+  for (const std::string& name : pair.log2.event_names()) {
+    EXPECT_EQ(name.rfind("ev_", 0), 0u) << name;
+  }
+  // Log 1 names untouched.
+  for (const std::string& name : pair.log1.event_names()) {
+    EXPECT_EQ(name.rfind("act_", 0), 0u) << name;
+  }
+}
+
+TEST(MakeLogPairTest, PartialOpacityKeepsSomeTypographicSignal) {
+  PairOptions opts;
+  opts.seed = 5;
+  opts.opaque = true;
+  opts.opaque_fraction = 0.3;
+  LogPair pair = MakeLogPair(Testbed::kDsF, opts);
+  size_t opaque = 0;
+  for (const std::string& name : pair.log2.event_names()) {
+    if (name.rfind("ev_", 0) == 0) ++opaque;
+  }
+  EXPECT_GT(opaque, 0u);
+  EXPECT_LT(opaque, pair.log2.NumEvents());
+}
+
+TEST(MakeLogPairTest, TruthLinksRespectVocabularies) {
+  PairOptions opts;
+  opts.seed = 6;
+  opts.dislocation = 3;
+  LogPair pair = MakeLogPair(Testbed::kDsB, opts);
+  std::set<std::string> vocab1(pair.log1.event_names().begin(),
+                               pair.log1.event_names().end());
+  std::set<std::string> vocab2(pair.log2.event_names().begin(),
+                               pair.log2.event_names().end());
+  for (const auto& [l, r] : pair.truth.Links()) {
+    EXPECT_TRUE(vocab1.count(l)) << l;
+    EXPECT_TRUE(vocab2.count(r)) << r;
+  }
+  EXPECT_GT(pair.truth.size(), 0u);
+}
+
+TEST(MakeLogPairTest, DislocationShortensTraces) {
+  PairOptions opts;
+  opts.seed = 7;
+  opts.dislocation = 0;
+  LogPair base = MakeLogPair(Testbed::kDsB, opts);
+  opts.dislocation = 2;
+  LogPair dislocated = MakeLogPair(Testbed::kDsB, opts);
+  EXPECT_LT(dislocated.log2.TotalOccurrences(),
+            base.log2.TotalOccurrences());
+  EXPECT_EQ(dislocated.log1.TotalOccurrences(),
+            base.log1.TotalOccurrences());
+}
+
+TEST(MakeLogPairTest, CompositesProduceComplexTruth) {
+  PairOptions opts;
+  opts.seed = 8;
+  opts.num_composites = 2;
+  opts.dislocation = 0;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, opts);
+  if (!pair.has_composites) GTEST_SKIP() << "no strict SEQ pair in this seed";
+  size_t complex_count = 0;
+  for (const TruthEntry& e : pair.truth.entries()) {
+    if (e.left.size() > 1) {
+      ++complex_count;
+      EXPECT_EQ(e.right.size(), 1u);
+    }
+  }
+  EXPECT_GT(complex_count, 0u);
+}
+
+TEST(RealisticDatasetTest, GroupSizesMatchRequest) {
+  RealisticDatasetOptions opts;
+  opts.ds_f_pairs = 3;
+  opts.ds_b_pairs = 2;
+  opts.ds_fb_pairs = 4;
+  opts.composite_pairs = 2;
+  opts.num_traces = 40;
+  RealisticDataset ds = MakeRealisticDataset(opts);
+  EXPECT_EQ(ds.ds_f.size(), 3u);
+  EXPECT_EQ(ds.ds_b.size(), 2u);
+  EXPECT_EQ(ds.ds_fb.size(), 4u);
+  EXPECT_EQ(ds.composite.size(), 2u);
+  EXPECT_EQ(ds.Singleton().size(), 9u);
+}
+
+TEST(RealisticDatasetTest, DefaultsReproduceThePaperCounts) {
+  RealisticDatasetOptions opts;
+  // Keep the full counts but shrink the per-pair work.
+  opts.num_traces = 10;
+  opts.min_activities = 5;
+  opts.max_activities = 8;
+  RealisticDataset ds = MakeRealisticDataset(opts);
+  EXPECT_EQ(ds.ds_f.size() + ds.ds_b.size() + ds.ds_fb.size(), 103u);
+  EXPECT_EQ(ds.composite.size(), 46u);
+}
+
+TEST(ScalabilityPairsTest, SizesAndIdentityTruth) {
+  std::vector<LogPair> pairs = MakeScalabilityPairs(15, 3, 99);
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const LogPair& p : pairs) {
+    EXPECT_LE(p.log1.NumEvents(), 15u);
+    // Identity truth: all links are (x, x).
+    for (const auto& [l, r] : p.truth.Links()) EXPECT_EQ(l, r);
+    EXPECT_GT(p.truth.size(), 0u);
+  }
+}
+
+TEST(DislocationPairTest, RemovesRequestedPrefix) {
+  LogPair p0 = MakeDislocationPair(20, 0, 13);
+  LogPair p3 = MakeDislocationPair(20, 3, 13);
+  EXPECT_LT(p3.log2.TotalOccurrences(), p0.log2.TotalOccurrences());
+  EXPECT_EQ(p3.name, "disl/m=3");
+}
+
+TEST(TestbedNameTest, AllNamed) {
+  EXPECT_STREQ(TestbedName(Testbed::kDsF), "DS-F");
+  EXPECT_STREQ(TestbedName(Testbed::kDsB), "DS-B");
+  EXPECT_STREQ(TestbedName(Testbed::kDsFB), "DS-FB");
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,145 @@
+#include "synth/log_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+std::unique_ptr<ProcessNode> Leaf(const std::string& name) {
+  auto n = std::make_unique<ProcessNode>();
+  n->op = ProcessOp::kActivity;
+  n->activity = name;
+  return n;
+}
+
+std::unique_ptr<ProcessNode> Op(ProcessOp op,
+                                std::vector<std::unique_ptr<ProcessNode>>
+                                    children) {
+  auto n = std::make_unique<ProcessNode>();
+  n->op = op;
+  n->children = std::move(children);
+  return n;
+}
+
+TEST(PlayoutTest, SequenceEmitsInOrder) {
+  std::vector<std::unique_ptr<ProcessNode>> kids;
+  kids.push_back(Leaf("a"));
+  kids.push_back(Leaf("b"));
+  kids.push_back(Leaf("c"));
+  auto tree = Op(ProcessOp::kSequence, std::move(kids));
+  Rng rng(1);
+  auto trace = PlayoutTrace(*tree, {}, &rng);
+  EXPECT_EQ(trace, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PlayoutTest, XorPicksExactlyOneBranch) {
+  std::vector<std::unique_ptr<ProcessNode>> kids;
+  kids.push_back(Leaf("a"));
+  kids.push_back(Leaf("b"));
+  auto tree = Op(ProcessOp::kXor, std::move(kids));
+  Rng rng(2);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    auto trace = PlayoutTrace(*tree, {}, &rng);
+    ASSERT_EQ(trace.size(), 1u);
+    seen.insert(trace[0]);
+  }
+  EXPECT_EQ(seen, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(PlayoutTest, AndEmitsAllChildrenInterleaved) {
+  std::vector<std::unique_ptr<ProcessNode>> left;
+  left.push_back(Leaf("a1"));
+  left.push_back(Leaf("a2"));
+  std::vector<std::unique_ptr<ProcessNode>> kids;
+  kids.push_back(Op(ProcessOp::kSequence, std::move(left)));
+  kids.push_back(Leaf("b"));
+  auto tree = Op(ProcessOp::kAnd, std::move(kids));
+  Rng rng(3);
+  bool saw_interleaving = false;
+  for (int i = 0; i < 200; ++i) {
+    auto trace = PlayoutTrace(*tree, {}, &rng);
+    ASSERT_EQ(trace.size(), 3u);
+    // Multiset must be {a1, a2, b} with a1 before a2.
+    auto a1 = std::find(trace.begin(), trace.end(), "a1");
+    auto a2 = std::find(trace.begin(), trace.end(), "a2");
+    ASSERT_NE(a1, trace.end());
+    ASSERT_NE(a2, trace.end());
+    EXPECT_LT(a1 - trace.begin(), a2 - trace.begin());
+    if (trace[1] == "b") saw_interleaving = true;  // b between a1 and a2
+  }
+  EXPECT_TRUE(saw_interleaving);
+}
+
+TEST(PlayoutTest, LoopRepeatsBody) {
+  std::vector<std::unique_ptr<ProcessNode>> kids;
+  kids.push_back(Leaf("body"));
+  kids.push_back(Leaf("redo"));
+  auto tree = Op(ProcessOp::kLoop, std::move(kids));
+  PlayoutOptions opts;
+  opts.loop_repeat_probability = 0.9;
+  opts.max_loop_rounds = 3;
+  Rng rng(4);
+  size_t max_len = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto trace = PlayoutTrace(*tree, opts, &rng);
+    // Pattern: body (redo body)* with at most 3 rounds -> length <= 7.
+    ASSERT_GE(trace.size(), 1u);
+    EXPECT_LE(trace.size(), 7u);
+    EXPECT_EQ(trace.front(), "body");
+    EXPECT_EQ(trace.back(), "body");
+    max_len = std::max(max_len, trace.size());
+  }
+  EXPECT_GT(max_len, 1u);  // with p=0.9 some loops must run
+}
+
+TEST(PlayoutTest, LoopZeroProbabilityPlaysBodyOnce) {
+  std::vector<std::unique_ptr<ProcessNode>> kids;
+  kids.push_back(Leaf("body"));
+  kids.push_back(Leaf("redo"));
+  auto tree = Op(ProcessOp::kLoop, std::move(kids));
+  PlayoutOptions opts;
+  opts.loop_repeat_probability = 0.0;
+  Rng rng(5);
+  auto trace = PlayoutTrace(*tree, opts, &rng);
+  EXPECT_EQ(trace, (std::vector<std::string>{"body"}));
+}
+
+TEST(PlayoutTest, LogHasRequestedTraces) {
+  Rng tree_rng(6);
+  ProcessTreeOptions tree_opts;
+  tree_opts.num_activities = 12;
+  auto tree = GenerateProcessTree(tree_opts, &tree_rng);
+  PlayoutOptions opts;
+  opts.num_traces = 57;
+  Rng rng(7);
+  EventLog log = PlayoutLog(*tree, opts, &rng);
+  EXPECT_EQ(log.NumTraces(), 57u);
+  EXPECT_GT(log.NumEvents(), 0u);
+  EXPECT_LE(log.NumEvents(), 12u);
+}
+
+TEST(PlayoutTest, DeterministicForSeed) {
+  Rng tree_rng(8);
+  ProcessTreeOptions tree_opts;
+  tree_opts.num_activities = 10;
+  auto tree = GenerateProcessTree(tree_opts, &tree_rng);
+  PlayoutOptions opts;
+  opts.num_traces = 20;
+  Rng r1(9), r2(9);
+  EventLog a = PlayoutLog(*tree, opts, &r1);
+  EventLog b = PlayoutLog(*tree, opts, &r2);
+  ASSERT_EQ(a.NumTraces(), b.NumTraces());
+  for (size_t i = 0; i < a.NumTraces(); ++i) {
+    ASSERT_EQ(a.trace(i).size(), b.trace(i).size());
+    for (size_t j = 0; j < a.trace(i).size(); ++j) {
+      EXPECT_EQ(a.EventName(a.trace(i)[j]), b.EventName(b.trace(i)[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ems

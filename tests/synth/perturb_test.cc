@@ -1,0 +1,148 @@
+#include "synth/perturb.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+EventLog BaseLog() {
+  EventLog log;
+  log.AddTrace({"a", "b", "c", "d"});
+  log.AddTrace({"a", "c", "d"});
+  log.AddTrace({"b", "c"});
+  return log;
+}
+
+TEST(OpaqueRenameTest, RenamesEverythingConsistently) {
+  EventLog log = BaseLog();
+  Rng rng(1);
+  std::map<std::string, std::string> renames;
+  EventLog out = OpaqueRename(log, &rng, &renames);
+  EXPECT_EQ(out.NumTraces(), log.NumTraces());
+  EXPECT_EQ(out.NumEvents(), log.NumEvents());
+  EXPECT_EQ(renames.size(), log.NumEvents());
+  for (const auto& [old_name, new_name] : renames) {
+    EXPECT_NE(old_name, new_name);
+    EXPECT_EQ(new_name.rfind("ev_", 0), 0u);
+    EXPECT_EQ(out.FindEvent(old_name), kInvalidEvent);
+    EXPECT_NE(out.FindEvent(new_name), kInvalidEvent);
+  }
+  // Structure preserved: trace lengths identical, mapping consistent.
+  for (size_t i = 0; i < log.NumTraces(); ++i) {
+    ASSERT_EQ(out.trace(i).size(), log.trace(i).size());
+    for (size_t j = 0; j < log.trace(i).size(); ++j) {
+      EXPECT_EQ(out.EventName(out.trace(i)[j]),
+                renames.at(log.EventName(log.trace(i)[j])));
+    }
+  }
+}
+
+TEST(RemoveHeadEventsTest, DropsPrefix) {
+  EventLog log = BaseLog();
+  EventLog out = RemoveHeadEvents(log, 1);
+  ASSERT_EQ(out.NumTraces(), 3u);
+  EXPECT_EQ(out.trace(0).size(), 3u);
+  EXPECT_EQ(out.EventName(out.trace(0)[0]), "b");
+  EXPECT_EQ(out.EventName(out.trace(1)[0]), "c");
+}
+
+TEST(RemoveHeadEventsTest, VocabularyShrinksWhenEventVanishes) {
+  EventLog log;
+  log.AddTrace({"x", "y"});
+  log.AddTrace({"x", "z"});
+  EventLog out = RemoveHeadEvents(log, 1);
+  EXPECT_EQ(out.FindEvent("x"), kInvalidEvent);
+  EXPECT_NE(out.FindEvent("y"), kInvalidEvent);
+}
+
+TEST(RemoveHeadEventsTest, MLargerThanTraceYieldsEmpty) {
+  EventLog log;
+  log.AddTrace({"a", "b"});
+  EventLog out = RemoveHeadEvents(log, 10);
+  ASSERT_EQ(out.NumTraces(), 1u);
+  EXPECT_TRUE(out.trace(0).empty());
+}
+
+TEST(RemoveTailEventsTest, DropsSuffix) {
+  EventLog log = BaseLog();
+  EventLog out = RemoveTailEvents(log, 2);
+  EXPECT_EQ(out.trace(0).size(), 2u);
+  EXPECT_EQ(out.EventName(out.trace(0)[1]), "b");
+  EXPECT_EQ(out.trace(2).size(), 0u);
+}
+
+TEST(RemoveZeroEventsIsIdentity, BothDirections) {
+  EventLog log = BaseLog();
+  EventLog head = RemoveHeadEvents(log, 0);
+  EventLog tail = RemoveTailEvents(log, 0);
+  EXPECT_EQ(head.TotalOccurrences(), log.TotalOccurrences());
+  EXPECT_EQ(tail.TotalOccurrences(), log.TotalOccurrences());
+}
+
+TEST(MergeConsecutivePairTest, ReplacesAdjacentPair) {
+  EventLog log;
+  log.AddTrace({"a", "c", "d", "b"});
+  log.AddTrace({"c", "d"});
+  EventLog out = MergeConsecutivePair(log, "c", "d", "cd");
+  ASSERT_EQ(out.NumTraces(), 2u);
+  EXPECT_EQ(out.trace(0).size(), 3u);
+  EXPECT_EQ(out.EventName(out.trace(0)[1]), "cd");
+  EXPECT_EQ(out.trace(1).size(), 1u);
+  EXPECT_EQ(out.FindEvent("c"), kInvalidEvent);
+  EXPECT_EQ(out.FindEvent("d"), kInvalidEvent);
+}
+
+TEST(MergeConsecutivePairTest, NonAdjacentOccurrencesSurvive) {
+  EventLog log;
+  log.AddTrace({"c", "x", "d"});
+  EventLog out = MergeConsecutivePair(log, "c", "d", "cd");
+  EXPECT_NE(out.FindEvent("c"), kInvalidEvent);
+  EXPECT_NE(out.FindEvent("d"), kInvalidEvent);
+  EXPECT_EQ(out.FindEvent("cd"), kInvalidEvent);
+}
+
+TEST(MergeConsecutivePairTest, MissingEventsNoOp) {
+  EventLog log = BaseLog();
+  EventLog out = MergeConsecutivePair(log, "nope", "d", "x");
+  EXPECT_EQ(out.TotalOccurrences(), log.TotalOccurrences());
+}
+
+TEST(AddSwapNoiseTest, ZeroProbabilityIsIdentity) {
+  EventLog log = BaseLog();
+  Rng rng(2);
+  EventLog out = AddSwapNoise(log, 0.0, &rng);
+  for (size_t i = 0; i < log.NumTraces(); ++i) {
+    for (size_t j = 0; j < log.trace(i).size(); ++j) {
+      EXPECT_EQ(out.EventName(out.trace(i)[j]),
+                log.EventName(log.trace(i)[j]));
+    }
+  }
+}
+
+TEST(AddSwapNoiseTest, PreservesMultiset) {
+  EventLog log = BaseLog();
+  Rng rng(3);
+  EventLog out = AddSwapNoise(log, 0.5, &rng);
+  EXPECT_EQ(out.TotalOccurrences(), log.TotalOccurrences());
+  for (size_t i = 0; i < log.NumTraces(); ++i) {
+    EXPECT_EQ(out.trace(i).size(), log.trace(i).size());
+  }
+}
+
+TEST(AddDropNoiseTest, FullProbabilityEmptiesLog) {
+  EventLog log = BaseLog();
+  Rng rng(4);
+  EventLog out = AddDropNoise(log, 1.0, &rng);
+  EXPECT_EQ(out.TotalOccurrences(), 0u);
+  EXPECT_EQ(out.NumTraces(), log.NumTraces());
+}
+
+TEST(AddDropNoiseTest, PartialDropShrinks) {
+  EventLog log = BaseLog();
+  Rng rng(5);
+  EventLog out = AddDropNoise(log, 0.5, &rng);
+  EXPECT_LT(out.TotalOccurrences(), log.TotalOccurrences());
+}
+
+}  // namespace
+}  // namespace ems

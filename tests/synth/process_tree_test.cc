@@ -1,0 +1,96 @@
+#include "synth/process_tree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(ProcessTreeTest, ExactActivityCount) {
+  for (int n : {1, 2, 5, 20, 100}) {
+    Rng rng(static_cast<uint64_t>(n));
+    ProcessTreeOptions opts;
+    opts.num_activities = n;
+    auto tree = GenerateProcessTree(opts, &rng);
+    EXPECT_EQ(tree->CountActivities(), static_cast<size_t>(n));
+  }
+}
+
+TEST(ProcessTreeTest, ActivitiesAreDistinctAndPrefixed) {
+  Rng rng(42);
+  ProcessTreeOptions opts;
+  opts.num_activities = 30;
+  opts.activity_prefix = "step_";
+  auto tree = GenerateProcessTree(opts, &rng);
+  std::vector<std::string> names;
+  tree->CollectActivities(&names);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto& n : names) {
+    EXPECT_EQ(n.rfind("step_", 0), 0u) << n;
+  }
+}
+
+TEST(ProcessTreeTest, DeterministicForSeed) {
+  ProcessTreeOptions opts;
+  opts.num_activities = 15;
+  Rng rng1(5), rng2(5);
+  auto a = GenerateProcessTree(opts, &rng1);
+  auto b = GenerateProcessTree(opts, &rng2);
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST(ProcessTreeTest, DifferentSeedsProduceDifferentTrees) {
+  ProcessTreeOptions opts;
+  opts.num_activities = 15;
+  Rng rng1(5), rng2(6);
+  auto a = GenerateProcessTree(opts, &rng1);
+  auto b = GenerateProcessTree(opts, &rng2);
+  EXPECT_NE(a->ToString(), b->ToString());
+}
+
+TEST(ProcessTreeTest, SingleActivityIsLeaf) {
+  Rng rng(1);
+  ProcessTreeOptions opts;
+  opts.num_activities = 1;
+  auto tree = GenerateProcessTree(opts, &rng);
+  EXPECT_EQ(tree->op, ProcessOp::kActivity);
+  EXPECT_EQ(tree->ToString(), "act_0");
+}
+
+void CheckStructure(const ProcessNode& node) {
+  if (node.op == ProcessOp::kActivity) {
+    EXPECT_TRUE(node.children.empty());
+    EXPECT_FALSE(node.activity.empty());
+    return;
+  }
+  EXPECT_GE(node.children.size(), 2u);
+  if (node.op == ProcessOp::kLoop) {
+    EXPECT_EQ(node.children.size(), 2u);
+  }
+  for (const auto& child : node.children) CheckStructure(*child);
+}
+
+TEST(ProcessTreeTest, StructuralInvariants) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    ProcessTreeOptions opts;
+    opts.num_activities = 25;
+    auto tree = GenerateProcessTree(opts, &rng);
+    CheckStructure(*tree);
+  }
+}
+
+TEST(ProcessTreeTest, ToStringMentionsOperators) {
+  Rng rng(3);
+  ProcessTreeOptions opts;
+  opts.num_activities = 40;
+  auto tree = GenerateProcessTree(opts, &rng);
+  std::string s = tree->ToString();
+  // A 40-activity tree virtually always includes a SEQ.
+  EXPECT_NE(s.find("SEQ("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,58 @@
+#include "text/jaro_winkler.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+}
+
+TEST(JaroTest, ClassicTextbookValues) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-4);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-4);
+  EXPECT_NEAR(JaroSimilarity("jellyfish", "smellyfish"), 0.8963, 1e-4);
+}
+
+TEST(JaroTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, EmptyStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+}
+
+TEST(JaroTest, Symmetry) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("ship goods", "goods shipped"),
+                   JaroSimilarity("goods shipped", "ship goods"));
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-4);
+  // Winkler never lowers the Jaro score.
+  EXPECT_GE(JaroWinklerSimilarity("dixon", "dicksonx"),
+            JaroSimilarity("dixon", "dicksonx"));
+}
+
+TEST(JaroWinklerTest, PrefixCappedAtFour) {
+  double four = JaroWinklerSimilarity("abcdex", "abcdey");
+  double five = JaroWinklerSimilarity("abcdeex", "abcdeey");
+  // Both have >= 4 shared prefix chars; the boost uses at most 4.
+  EXPECT_GT(four, 0.9);
+  EXPECT_GT(five, 0.9);
+}
+
+TEST(JaroWinklerTest, BoundedByOne) {
+  EXPECT_LE(JaroWinklerSimilarity("aaaa", "aaaa"), 1.0);
+  EXPECT_LE(JaroWinklerSimilarity("prefix_a", "prefix_b"), 1.0);
+}
+
+TEST(JaroWinklerTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("check", "check"), 1.0);
+}
+
+}  // namespace
+}  // namespace ems

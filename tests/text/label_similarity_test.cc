@@ -1,0 +1,94 @@
+#include "text/label_similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace ems {
+namespace {
+
+TEST(NoLabelSimilarityTest, AlwaysZero) {
+  NoLabelSimilarity none;
+  EXPECT_DOUBLE_EQ(none.Similarity("a", "a"), 0.0);
+  EXPECT_EQ(none.Name(), "none");
+}
+
+TEST(QGramCosineSimilarityTest, MatchesFreeFunction) {
+  QGramCosineSimilarity sim(3);
+  EXPECT_DOUBLE_EQ(sim.Similarity("delivery", "delivery"), 1.0);
+  EXPECT_EQ(sim.Name(), "qgram-cosine(q=3)");
+}
+
+TEST(LevenshteinLabelSimilarityTest, Normalized) {
+  LevenshteinLabelSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("ab", "abcd"), 0.5);
+}
+
+TEST(TokenJaccardTest, TokenOverlap) {
+  TokenJaccardSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity("Check Inventory", "inventory_check"), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("Ship Goods", "Email Customer"), 0.0);
+  EXPECT_NEAR(sim.Similarity("Paid by Cash", "Paid by Card"), 0.5, 1e-12);
+}
+
+TEST(TokenJaccardTest, EmptyInputs) {
+  TokenJaccardSimilarity sim;
+  EXPECT_DOUBLE_EQ(sim.Similarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Similarity("!!!", "???"), 1.0);  // both tokenless
+}
+
+TEST(LabelSimilarityMatrixTest, ArtificialPairsAreZero) {
+  DependencyGraph g1 = testing::BuildPaperGraph1();
+  DependencyGraph g2 = testing::BuildPaperGraph2();
+  QGramCosineSimilarity sim;
+  auto m = LabelSimilarityMatrix(g1, g2, sim);
+  ASSERT_EQ(m.size(), g1.NumNodes());
+  ASSERT_EQ(m[0].size(), g2.NumNodes());
+  for (size_t j = 0; j < m[0].size(); ++j) EXPECT_DOUBLE_EQ(m[0][j], 0.0);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m[i][0], 0.0);
+}
+
+TEST(LabelSimilarityMatrixTest, SimilarLabelsScoreHigher) {
+  DependencyGraph g1 = testing::BuildPaperGraph1();
+  DependencyGraph g2 = testing::BuildPaperGraph2();
+  QGramCosineSimilarity sim;
+  auto m = LabelSimilarityMatrix(g1, g2, sim);
+  // "PaidCash" vs "PaidCash2" beats "PaidCash" vs "Delivery".
+  EXPECT_GT(m[1 + testing::A][1 + testing::N2],
+            m[1 + testing::A][1 + testing::N5]);
+}
+
+TEST(LabelSimilarityMatrixTest, CompositeNodesUseMemberMax) {
+  EventLog log;
+  log.AddTrace({"checkinv", "validate", "ship"});
+  log.AddTrace({"checkinv", "validate", "ship"});
+  EventId c = log.FindEvent("checkinv");
+  EventId v = log.FindEvent("validate");
+  Result<DependencyGraph> g1 =
+      DependencyGraph::BuildWithComposites(log, {{c, v}});
+  ASSERT_TRUE(g1.ok());
+  EventLog log2;
+  log2.AddTrace({"validate", "deliver"});
+  DependencyGraph g2 = DependencyGraph::Build(log2);
+  QGramCosineSimilarity sim;
+  auto m = LabelSimilarityMatrix(*g1, g2, sim);
+  // Find the composite node of g1.
+  NodeId comp = -1;
+  for (NodeId n = 1; n < static_cast<NodeId>(g1->NumNodes()); ++n) {
+    if (g1->Members(n).size() == 2) comp = n;
+  }
+  ASSERT_GE(comp, 0);
+  NodeId validate2 = -1;
+  for (NodeId n = 1; n < static_cast<NodeId>(g2.NumNodes()); ++n) {
+    if (g2.NodeName(n) == "validate") validate2 = n;
+  }
+  ASSERT_GE(validate2, 0);
+  // Composite "checkinv+validate" vs "validate": member max = 1.0.
+  EXPECT_DOUBLE_EQ(m[static_cast<size_t>(comp)][static_cast<size_t>(validate2)],
+                   1.0);
+}
+
+}  // namespace
+}  // namespace ems

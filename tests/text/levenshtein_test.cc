@@ -1,0 +1,49 @@
+#include "text/levenshtein.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(LevenshteinTest, ClassicExamples) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(LevenshteinTest, IdenticalStrings) {
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+}
+
+TEST(LevenshteinTest, EmptyStrings) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  EXPECT_EQ(LevenshteinDistance("order", "ordering"),
+            LevenshteinDistance("ordering", "order"));
+}
+
+TEST(LevenshteinTest, SingleEdits) {
+  EXPECT_EQ(LevenshteinDistance("abc", "abd"), 1u);  // substitution
+  EXPECT_EQ(LevenshteinDistance("abc", "abcd"), 1u); // insertion
+  EXPECT_EQ(LevenshteinDistance("abc", "ab"), 1u);   // deletion
+}
+
+TEST(LevenshteinTest, TriangleInequalitySpotCheck) {
+  size_t ab = LevenshteinDistance("ship", "shop");
+  size_t bc = LevenshteinDistance("shop", "chop");
+  size_t ac = LevenshteinDistance("ship", "chop");
+  EXPECT_LE(ac, ab + bc);
+}
+
+TEST(LevenshteinSimilarityTest, Normalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("ab", "abcd"), 0.5);
+}
+
+}  // namespace
+}  // namespace ems

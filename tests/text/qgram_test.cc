@@ -1,0 +1,72 @@
+#include "text/qgram.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(QGramTest, IdenticalStringsScoreOne) {
+  EXPECT_DOUBLE_EQ(QGramCosine("delivery", "delivery"), 1.0);
+}
+
+TEST(QGramTest, DisjointStringsScoreZero) {
+  EXPECT_DOUBLE_EQ(QGramCosine("aaaa", "zzzz"), 0.0);
+}
+
+TEST(QGramTest, BothEmptyScoreOne) {
+  EXPECT_DOUBLE_EQ(QGramCosine("", ""), 1.0);
+}
+
+TEST(QGramTest, EmptyVersusNonEmptyScoreZero) {
+  // With q-1 padding, "" still yields grams of pure padding which would
+  // spuriously overlap; the implementation must report 0 against any
+  // non-empty string only if they truly share no grams — padding makes
+  // prefix/suffix grams shared, so expect a small positive value instead.
+  double s = QGramCosine("", "a");
+  EXPECT_GE(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(QGramTest, SimilarStringsScoreHigh) {
+  double s = QGramCosine("check inventory", "check inventry");
+  EXPECT_GT(s, 0.7);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(QGramTest, SymmetricMeasure) {
+  EXPECT_DOUBLE_EQ(QGramCosine("validate", "validation"),
+                   QGramCosine("validation", "validate"));
+}
+
+TEST(QGramTest, BoundedByOne) {
+  EXPECT_LE(QGramCosine("aab", "aba"), 1.0);
+  EXPECT_LE(QGramCosine("aaaa", "aaaaaaa"), 1.0);
+}
+
+TEST(QGramTest, RepeatedGramsWeighted) {
+  // "aaaa" vs "aa": shared 'aaa'-ish grams but different counts.
+  double s = QGramCosine("aaaa", "aa");
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(QGramTest, QEqualsOneIsBagOfCharacters) {
+  EXPECT_DOUBLE_EQ(QGramCosine("abc", "cba", 1), 1.0);
+  EXPECT_DOUBLE_EQ(QGramCosine("abc", "abd", 1), 2.0 / 3.0);
+}
+
+TEST(QGramProfileTest, DistinctGramCount) {
+  QGramProfile p("ab", 2);  // padded: #ab$ -> grams #a, ab, b$
+  EXPECT_EQ(p.DistinctGrams(), 3u);
+  EXPECT_EQ(p.q(), 2);
+}
+
+TEST(QGramProfileTest, OpaqueNamesShareNothing) {
+  // The motivating scenario: garbled names have no usable typographic
+  // signal against the original.
+  double s = QGramCosine("??????", "Delivery");
+  EXPECT_LT(s, 0.1);
+}
+
+}  // namespace
+}  // namespace ems

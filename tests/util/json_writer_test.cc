@@ -1,0 +1,84 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("pay");
+  w.Key("score");
+  w.Number(0.5);
+  w.Key("count");
+  w.Int(42);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("missing");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"name":"pay","score":0.5,"count":42,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("items");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.Key("x");
+  w.Int(3);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"items":[1,2,{"x":3}]})");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("o");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, TopLevelArray) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("x");
+  w.String("y");
+  w.EndArray();
+  EXPECT_EQ(w.str(), R"(["x","y"])");
+}
+
+TEST(JsonWriterTest, NumberFormatting) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(1.0);
+  w.Number(0.3333333333333333);
+  w.Number(-2.5);
+  w.EndArray();
+  std::string s = w.str();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_NE(s.find("0.333333333333"), std::string::npos);
+  EXPECT_NE(s.find("-2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,63 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a;b;c", ';'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a;;c", ';'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(";", ';'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiter) {
+  EXPECT_EQ(Split("abc", ';'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ';'), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ToLowerTest, LowersAscii) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("ev_abc", "ev_"));
+  EXPECT_FALSE(StartsWith("ev", "ev_"));
+  EXPECT_TRUE(EndsWith("file.xes", ".xes"));
+  EXPECT_FALSE(EndsWith("x", ".xes"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "+"), "a+b+c");
+  EXPECT_EQ(Join({"solo"}, "+"), "solo");
+  EXPECT_EQ(Join({}, "+"), "");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.4567, 3), "0.457");
+  EXPECT_EQ(FormatDouble(1.0, 1), "1.0");
+  EXPECT_EQ(FormatDouble(-2.5, 0), "-2");  // round-half-even via printf
+}
+
+TEST(XmlEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(XmlEscape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace ems

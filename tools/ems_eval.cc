@@ -1,0 +1,85 @@
+// ems_eval: score a matching against ground truth. Both files are TSV
+// link lists (header "left<TAB>right", one correspondence link per row —
+// exactly what ems_generate exports and `ems_match --tsv` emits, after
+// expanding "a + b" groups into their member links).
+//
+//   ems_eval TRUTH.tsv FOUND.tsv
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "eval/metrics.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ems;
+
+// Splits an "a + b + c" group cell into member names.
+std::vector<std::string> ExpandGroup(const std::string& cell) {
+  std::vector<std::string> members;
+  for (const std::string& part : Split(cell, '+')) {
+    std::string_view trimmed = Trim(part);
+    if (!trimmed.empty()) members.emplace_back(trimmed);
+  }
+  return members;
+}
+
+Result<std::set<std::pair<std::string, std::string>>> ReadLinks(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::set<std::pair<std::string, std::string>> links;
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> cells = Split(line, '\t');
+    if (cells.size() < 2) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected two tab-separated columns");
+    }
+    if (first) {
+      first = false;
+      std::string l = ToLower(Trim(cells[0]));
+      if (l == "left") continue;  // header row
+    }
+    // Group cells expand to the cartesian product of their members.
+    for (const std::string& l : ExpandGroup(cells[0])) {
+      for (const std::string& r : ExpandGroup(cells[1])) {
+        links.emplace(l, r);
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s TRUTH.tsv FOUND.tsv\n", argv[0]);
+    return 2;
+  }
+  auto truth = ReadLinks(argv[1]);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "error: %s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  auto found = ReadLinks(argv[2]);
+  if (!found.ok()) {
+    std::fprintf(stderr, "error: %s\n", found.status().ToString().c_str());
+    return 1;
+  }
+  MatchQuality q = EvaluateLinks(*truth, *found);
+  std::printf("truth links:   %zu\n", q.truth_links);
+  std::printf("found links:   %zu\n", q.found_links);
+  std::printf("correct links: %zu\n", q.correct_links);
+  std::printf("precision:     %.4f\n", q.precision);
+  std::printf("recall:        %.4f\n", q.recall);
+  std::printf("f-measure:     %.4f\n", q.f_measure);
+  return 0;
+}
