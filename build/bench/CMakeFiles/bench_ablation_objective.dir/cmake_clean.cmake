@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_objective.dir/bench_ablation_objective.cc.o"
+  "CMakeFiles/bench_ablation_objective.dir/bench_ablation_objective.cc.o.d"
+  "bench_ablation_objective"
+  "bench_ablation_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_opacity.dir/bench_ablation_opacity.cc.o"
+  "CMakeFiles/bench_ablation_opacity.dir/bench_ablation_opacity.cc.o.d"
+  "bench_ablation_opacity"
+  "bench_ablation_opacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_opacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimation_error.dir/bench_estimation_error.cc.o"
+  "CMakeFiles/bench_estimation_error.dir/bench_estimation_error.cc.o.d"
+  "bench_estimation_error"
+  "bench_estimation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_singleton.dir/bench_fig03_singleton.cc.o"
+  "CMakeFiles/bench_fig03_singleton.dir/bench_fig03_singleton.cc.o.d"
+  "bench_fig03_singleton"
+  "bench_fig03_singleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_singleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_typographic.dir/bench_fig04_typographic.cc.o"
+  "CMakeFiles/bench_fig04_typographic.dir/bench_fig04_typographic.cc.o.d"
+  "bench_fig04_typographic"
+  "bench_fig04_typographic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_typographic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_estimation.dir/bench_fig05_estimation.cc.o"
+  "CMakeFiles/bench_fig05_estimation.dir/bench_fig05_estimation.cc.o.d"
+  "bench_fig05_estimation"
+  "bench_fig05_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

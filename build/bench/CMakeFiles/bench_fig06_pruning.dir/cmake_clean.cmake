@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pruning.dir/bench_fig06_pruning.cc.o"
+  "CMakeFiles/bench_fig06_pruning.dir/bench_fig06_pruning.cc.o.d"
+  "bench_fig06_pruning"
+  "bench_fig06_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

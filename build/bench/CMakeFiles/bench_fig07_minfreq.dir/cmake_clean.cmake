@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_minfreq.dir/bench_fig07_minfreq.cc.o"
+  "CMakeFiles/bench_fig07_minfreq.dir/bench_fig07_minfreq.cc.o.d"
+  "bench_fig07_minfreq"
+  "bench_fig07_minfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_minfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

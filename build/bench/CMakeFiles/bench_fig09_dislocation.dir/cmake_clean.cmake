@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_dislocation.dir/bench_fig09_dislocation.cc.o"
+  "CMakeFiles/bench_fig09_dislocation.dir/bench_fig09_dislocation.cc.o.d"
+  "bench_fig09_dislocation"
+  "bench_fig09_dislocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dislocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_composite_typo.dir/bench_fig11_composite_typo.cc.o"
+  "CMakeFiles/bench_fig11_composite_typo.dir/bench_fig11_composite_typo.cc.o.d"
+  "bench_fig11_composite_typo"
+  "bench_fig11_composite_typo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_composite_typo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_composite_pruning.dir/bench_fig12_composite_pruning.cc.o"
+  "CMakeFiles/bench_fig12_composite_pruning.dir/bench_fig12_composite_pruning.cc.o.d"
+  "bench_fig12_composite_pruning"
+  "bench_fig12_composite_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_composite_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_candidates.dir/bench_fig14_candidates.cc.o"
+  "CMakeFiles/bench_fig14_candidates.dir/bench_fig14_candidates.cc.o.d"
+  "bench_fig14_candidates"
+  "bench_fig14_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

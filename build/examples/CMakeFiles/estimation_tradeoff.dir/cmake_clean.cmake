@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_tradeoff.dir/estimation_tradeoff.cpp.o"
+  "CMakeFiles/estimation_tradeoff.dir/estimation_tradeoff.cpp.o.d"
+  "estimation_tradeoff"
+  "estimation_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_processing.dir/order_processing.cpp.o"
+  "CMakeFiles/order_processing.dir/order_processing.cpp.o.d"
+  "order_processing"
+  "order_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for order_processing.
+# This may be replaced when dependencies are built.

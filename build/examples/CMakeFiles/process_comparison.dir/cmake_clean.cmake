@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_comparison.dir/process_comparison.cpp.o"
+  "CMakeFiles/process_comparison.dir/process_comparison.cpp.o.d"
+  "process_comparison"
+  "process_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

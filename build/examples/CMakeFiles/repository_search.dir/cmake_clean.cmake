@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repository_search.dir/repository_search.cpp.o"
+  "CMakeFiles/repository_search.dir/repository_search.cpp.o.d"
+  "repository_search"
+  "repository_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repository_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

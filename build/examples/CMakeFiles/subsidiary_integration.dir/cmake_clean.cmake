@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsidiary_integration.dir/subsidiary_integration.cpp.o"
+  "CMakeFiles/subsidiary_integration.dir/subsidiary_integration.cpp.o.d"
+  "subsidiary_integration"
+  "subsidiary_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsidiary_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assignment/hungarian.cc" "src/CMakeFiles/ems.dir/assignment/hungarian.cc.o" "gcc" "src/CMakeFiles/ems.dir/assignment/hungarian.cc.o.d"
+  "/root/repo/src/assignment/selection.cc" "src/CMakeFiles/ems.dir/assignment/selection.cc.o" "gcc" "src/CMakeFiles/ems.dir/assignment/selection.cc.o.d"
+  "/root/repo/src/assignment/set_packing.cc" "src/CMakeFiles/ems.dir/assignment/set_packing.cc.o" "gcc" "src/CMakeFiles/ems.dir/assignment/set_packing.cc.o.d"
+  "/root/repo/src/baselines/bhv.cc" "src/CMakeFiles/ems.dir/baselines/bhv.cc.o" "gcc" "src/CMakeFiles/ems.dir/baselines/bhv.cc.o.d"
+  "/root/repo/src/baselines/flooding.cc" "src/CMakeFiles/ems.dir/baselines/flooding.cc.o" "gcc" "src/CMakeFiles/ems.dir/baselines/flooding.cc.o.d"
+  "/root/repo/src/baselines/ged.cc" "src/CMakeFiles/ems.dir/baselines/ged.cc.o" "gcc" "src/CMakeFiles/ems.dir/baselines/ged.cc.o.d"
+  "/root/repo/src/baselines/icop.cc" "src/CMakeFiles/ems.dir/baselines/icop.cc.o" "gcc" "src/CMakeFiles/ems.dir/baselines/icop.cc.o.d"
+  "/root/repo/src/baselines/opq.cc" "src/CMakeFiles/ems.dir/baselines/opq.cc.o" "gcc" "src/CMakeFiles/ems.dir/baselines/opq.cc.o.d"
+  "/root/repo/src/baselines/simrank.cc" "src/CMakeFiles/ems.dir/baselines/simrank.cc.o" "gcc" "src/CMakeFiles/ems.dir/baselines/simrank.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/CMakeFiles/ems.dir/core/bounds.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/bounds.cc.o.d"
+  "/root/repo/src/core/composite_candidates.cc" "src/CMakeFiles/ems.dir/core/composite_candidates.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/composite_candidates.cc.o.d"
+  "/root/repo/src/core/composite_matcher.cc" "src/CMakeFiles/ems.dir/core/composite_matcher.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/composite_matcher.cc.o.d"
+  "/root/repo/src/core/ems_similarity.cc" "src/CMakeFiles/ems.dir/core/ems_similarity.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/ems_similarity.cc.o.d"
+  "/root/repo/src/core/estimation.cc" "src/CMakeFiles/ems.dir/core/estimation.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/estimation.cc.o.d"
+  "/root/repo/src/core/estimation_error.cc" "src/CMakeFiles/ems.dir/core/estimation_error.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/estimation_error.cc.o.d"
+  "/root/repo/src/core/match_report.cc" "src/CMakeFiles/ems.dir/core/match_report.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/match_report.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/CMakeFiles/ems.dir/core/matcher.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/matcher.cc.o.d"
+  "/root/repo/src/core/repository.cc" "src/CMakeFiles/ems.dir/core/repository.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/repository.cc.o.d"
+  "/root/repo/src/core/similarity_matrix.cc" "src/CMakeFiles/ems.dir/core/similarity_matrix.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/similarity_matrix.cc.o.d"
+  "/root/repo/src/core/translation.cc" "src/CMakeFiles/ems.dir/core/translation.cc.o" "gcc" "src/CMakeFiles/ems.dir/core/translation.cc.o.d"
+  "/root/repo/src/discovery/heuristic_miner.cc" "src/CMakeFiles/ems.dir/discovery/heuristic_miner.cc.o" "gcc" "src/CMakeFiles/ems.dir/discovery/heuristic_miner.cc.o.d"
+  "/root/repo/src/discovery/pnml_export.cc" "src/CMakeFiles/ems.dir/discovery/pnml_export.cc.o" "gcc" "src/CMakeFiles/ems.dir/discovery/pnml_export.cc.o.d"
+  "/root/repo/src/eval/ground_truth.cc" "src/CMakeFiles/ems.dir/eval/ground_truth.cc.o" "gcc" "src/CMakeFiles/ems.dir/eval/ground_truth.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/ems.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/ems.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/ems.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/ems.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/ems.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/ems.dir/eval/table.cc.o.d"
+  "/root/repo/src/graph/dependency_graph.cc" "src/CMakeFiles/ems.dir/graph/dependency_graph.cc.o" "gcc" "src/CMakeFiles/ems.dir/graph/dependency_graph.cc.o.d"
+  "/root/repo/src/graph/dot_export.cc" "src/CMakeFiles/ems.dir/graph/dot_export.cc.o" "gcc" "src/CMakeFiles/ems.dir/graph/dot_export.cc.o.d"
+  "/root/repo/src/graph/graph_algorithms.cc" "src/CMakeFiles/ems.dir/graph/graph_algorithms.cc.o" "gcc" "src/CMakeFiles/ems.dir/graph/graph_algorithms.cc.o.d"
+  "/root/repo/src/log/event_log.cc" "src/CMakeFiles/ems.dir/log/event_log.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/event_log.cc.o.d"
+  "/root/repo/src/log/log_filter.cc" "src/CMakeFiles/ems.dir/log/log_filter.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/log_filter.cc.o.d"
+  "/root/repo/src/log/log_io.cc" "src/CMakeFiles/ems.dir/log/log_io.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/log_io.cc.o.d"
+  "/root/repo/src/log/log_stats.cc" "src/CMakeFiles/ems.dir/log/log_stats.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/log_stats.cc.o.d"
+  "/root/repo/src/log/mxml.cc" "src/CMakeFiles/ems.dir/log/mxml.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/mxml.cc.o.d"
+  "/root/repo/src/log/xes.cc" "src/CMakeFiles/ems.dir/log/xes.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/xes.cc.o.d"
+  "/root/repo/src/log/xml_scanner.cc" "src/CMakeFiles/ems.dir/log/xml_scanner.cc.o" "gcc" "src/CMakeFiles/ems.dir/log/xml_scanner.cc.o.d"
+  "/root/repo/src/synth/dataset.cc" "src/CMakeFiles/ems.dir/synth/dataset.cc.o" "gcc" "src/CMakeFiles/ems.dir/synth/dataset.cc.o.d"
+  "/root/repo/src/synth/log_generator.cc" "src/CMakeFiles/ems.dir/synth/log_generator.cc.o" "gcc" "src/CMakeFiles/ems.dir/synth/log_generator.cc.o.d"
+  "/root/repo/src/synth/perturb.cc" "src/CMakeFiles/ems.dir/synth/perturb.cc.o" "gcc" "src/CMakeFiles/ems.dir/synth/perturb.cc.o.d"
+  "/root/repo/src/synth/process_tree.cc" "src/CMakeFiles/ems.dir/synth/process_tree.cc.o" "gcc" "src/CMakeFiles/ems.dir/synth/process_tree.cc.o.d"
+  "/root/repo/src/text/jaro_winkler.cc" "src/CMakeFiles/ems.dir/text/jaro_winkler.cc.o" "gcc" "src/CMakeFiles/ems.dir/text/jaro_winkler.cc.o.d"
+  "/root/repo/src/text/label_similarity.cc" "src/CMakeFiles/ems.dir/text/label_similarity.cc.o" "gcc" "src/CMakeFiles/ems.dir/text/label_similarity.cc.o.d"
+  "/root/repo/src/text/levenshtein.cc" "src/CMakeFiles/ems.dir/text/levenshtein.cc.o" "gcc" "src/CMakeFiles/ems.dir/text/levenshtein.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/CMakeFiles/ems.dir/text/qgram.cc.o" "gcc" "src/CMakeFiles/ems.dir/text/qgram.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/CMakeFiles/ems.dir/util/json_writer.cc.o" "gcc" "src/CMakeFiles/ems.dir/util/json_writer.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/ems.dir/util/random.cc.o" "gcc" "src/CMakeFiles/ems.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ems.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ems.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/ems.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/ems.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/ems.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/ems.dir/util/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_property_test.dir/property/assignment_property_test.cc.o"
+  "CMakeFiles/assignment_property_test.dir/property/assignment_property_test.cc.o.d"
+  "assignment_property_test"
+  "assignment_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bhv_test.dir/baselines/bhv_test.cc.o"
+  "CMakeFiles/bhv_test.dir/baselines/bhv_test.cc.o.d"
+  "bhv_test"
+  "bhv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bhv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_property_test.dir/property/bounds_property_test.cc.o"
+  "CMakeFiles/bounds_property_test.dir/property/bounds_property_test.cc.o.d"
+  "bounds_property_test"
+  "bounds_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_test.dir/core/bounds_test.cc.o"
+  "CMakeFiles/bounds_test.dir/core/bounds_test.cc.o.d"
+  "bounds_test"
+  "bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_candidates_test.dir/core/composite_candidates_test.cc.o"
+  "CMakeFiles/composite_candidates_test.dir/core/composite_candidates_test.cc.o.d"
+  "composite_candidates_test"
+  "composite_candidates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_candidates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

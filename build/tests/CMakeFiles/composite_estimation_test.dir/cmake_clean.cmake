@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_estimation_test.dir/core/composite_estimation_test.cc.o"
+  "CMakeFiles/composite_estimation_test.dir/core/composite_estimation_test.cc.o.d"
+  "composite_estimation_test"
+  "composite_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

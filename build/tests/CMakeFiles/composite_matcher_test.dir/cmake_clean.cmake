@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_matcher_test.dir/core/composite_matcher_test.cc.o"
+  "CMakeFiles/composite_matcher_test.dir/core/composite_matcher_test.cc.o.d"
+  "composite_matcher_test"
+  "composite_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

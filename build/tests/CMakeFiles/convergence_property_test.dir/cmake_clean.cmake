@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_property_test.dir/property/convergence_property_test.cc.o"
+  "CMakeFiles/convergence_property_test.dir/property/convergence_property_test.cc.o.d"
+  "convergence_property_test"
+  "convergence_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_graph_test.dir/graph/dependency_graph_test.cc.o"
+  "CMakeFiles/dependency_graph_test.dir/graph/dependency_graph_test.cc.o.d"
+  "dependency_graph_test"
+  "dependency_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

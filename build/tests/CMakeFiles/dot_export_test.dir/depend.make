@@ -1,0 +1,2 @@
+# Empty dependencies file for dot_export_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_paper_example_test.dir/core/ems_paper_example_test.cc.o"
+  "CMakeFiles/ems_paper_example_test.dir/core/ems_paper_example_test.cc.o.d"
+  "ems_paper_example_test"
+  "ems_paper_example_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_similarity_test.dir/core/ems_similarity_test.cc.o"
+  "CMakeFiles/ems_similarity_test.dir/core/ems_similarity_test.cc.o.d"
+  "ems_similarity_test"
+  "ems_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_error_test.dir/core/estimation_error_test.cc.o"
+  "CMakeFiles/estimation_error_test.dir/core/estimation_error_test.cc.o.d"
+  "estimation_error_test"
+  "estimation_error_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

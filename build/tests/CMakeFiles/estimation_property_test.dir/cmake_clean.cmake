@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_property_test.dir/property/estimation_property_test.cc.o"
+  "CMakeFiles/estimation_property_test.dir/property/estimation_property_test.cc.o.d"
+  "estimation_property_test"
+  "estimation_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

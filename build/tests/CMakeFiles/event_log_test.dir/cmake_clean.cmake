@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_log_test.dir/log/event_log_test.cc.o"
+  "CMakeFiles/event_log_test.dir/log/event_log_test.cc.o.d"
+  "event_log_test"
+  "event_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

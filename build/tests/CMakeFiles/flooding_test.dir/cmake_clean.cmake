@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flooding_test.dir/baselines/flooding_test.cc.o"
+  "CMakeFiles/flooding_test.dir/baselines/flooding_test.cc.o.d"
+  "flooding_test"
+  "flooding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flooding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

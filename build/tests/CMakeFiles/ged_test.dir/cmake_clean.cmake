@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ged_test.dir/baselines/ged_test.cc.o"
+  "CMakeFiles/ged_test.dir/baselines/ged_test.cc.o.d"
+  "ged_test"
+  "ged_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

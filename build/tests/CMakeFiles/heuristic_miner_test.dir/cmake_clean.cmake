@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_miner_test.dir/discovery/heuristic_miner_test.cc.o"
+  "CMakeFiles/heuristic_miner_test.dir/discovery/heuristic_miner_test.cc.o.d"
+  "heuristic_miner_test"
+  "heuristic_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

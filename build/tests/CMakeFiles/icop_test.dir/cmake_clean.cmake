@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icop_test.dir/baselines/icop_test.cc.o"
+  "CMakeFiles/icop_test.dir/baselines/icop_test.cc.o.d"
+  "icop_test"
+  "icop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaro_winkler_test.dir/text/jaro_winkler_test.cc.o"
+  "CMakeFiles/jaro_winkler_test.dir/text/jaro_winkler_test.cc.o.d"
+  "jaro_winkler_test"
+  "jaro_winkler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaro_winkler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_writer_test.dir/util/json_writer_test.cc.o"
+  "CMakeFiles/json_writer_test.dir/util/json_writer_test.cc.o.d"
+  "json_writer_test"
+  "json_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_similarity_test.dir/text/label_similarity_test.cc.o"
+  "CMakeFiles/label_similarity_test.dir/text/label_similarity_test.cc.o.d"
+  "label_similarity_test"
+  "label_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levenshtein_test.dir/text/levenshtein_test.cc.o"
+  "CMakeFiles/levenshtein_test.dir/text/levenshtein_test.cc.o.d"
+  "levenshtein_test"
+  "levenshtein_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levenshtein_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

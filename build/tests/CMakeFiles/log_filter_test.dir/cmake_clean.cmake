@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_filter_test.dir/log/log_filter_test.cc.o"
+  "CMakeFiles/log_filter_test.dir/log/log_filter_test.cc.o.d"
+  "log_filter_test"
+  "log_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

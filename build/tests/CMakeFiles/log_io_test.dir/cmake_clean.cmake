@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_io_test.dir/log/log_io_test.cc.o"
+  "CMakeFiles/log_io_test.dir/log/log_io_test.cc.o.d"
+  "log_io_test"
+  "log_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_report_test.dir/core/match_report_test.cc.o"
+  "CMakeFiles/match_report_test.dir/core/match_report_test.cc.o.d"
+  "match_report_test"
+  "match_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_test.dir/core/matcher_test.cc.o"
+  "CMakeFiles/matcher_test.dir/core/matcher_test.cc.o.d"
+  "matcher_test"
+  "matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

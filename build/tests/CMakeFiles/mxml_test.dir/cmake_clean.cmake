@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxml_test.dir/log/mxml_test.cc.o"
+  "CMakeFiles/mxml_test.dir/log/mxml_test.cc.o.d"
+  "mxml_test"
+  "mxml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opq_test.dir/baselines/opq_test.cc.o"
+  "CMakeFiles/opq_test.dir/baselines/opq_test.cc.o.d"
+  "opq_test"
+  "opq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

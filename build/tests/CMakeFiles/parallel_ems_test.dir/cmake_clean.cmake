@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_ems_test.dir/core/parallel_ems_test.cc.o"
+  "CMakeFiles/parallel_ems_test.dir/core/parallel_ems_test.cc.o.d"
+  "parallel_ems_test"
+  "parallel_ems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_ems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perturb_test.dir/synth/perturb_test.cc.o"
+  "CMakeFiles/perturb_test.dir/synth/perturb_test.cc.o.d"
+  "perturb_test"
+  "perturb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perturb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnml_export_test.dir/discovery/pnml_export_test.cc.o"
+  "CMakeFiles/pnml_export_test.dir/discovery/pnml_export_test.cc.o.d"
+  "pnml_export_test"
+  "pnml_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnml_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

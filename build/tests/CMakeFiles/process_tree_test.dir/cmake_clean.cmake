@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_tree_test.dir/synth/process_tree_test.cc.o"
+  "CMakeFiles/process_tree_test.dir/synth/process_tree_test.cc.o.d"
+  "process_tree_test"
+  "process_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning_property_test.dir/property/pruning_property_test.cc.o"
+  "CMakeFiles/pruning_property_test.dir/property/pruning_property_test.cc.o.d"
+  "pruning_property_test"
+  "pruning_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgram_test.dir/text/qgram_test.cc.o"
+  "CMakeFiles/qgram_test.dir/text/qgram_test.cc.o.d"
+  "qgram_test"
+  "qgram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

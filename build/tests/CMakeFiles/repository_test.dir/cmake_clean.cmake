@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repository_test.dir/core/repository_test.cc.o"
+  "CMakeFiles/repository_test.dir/core/repository_test.cc.o.d"
+  "repository_test"
+  "repository_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

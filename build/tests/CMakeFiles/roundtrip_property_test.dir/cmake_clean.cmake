@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roundtrip_property_test.dir/property/roundtrip_property_test.cc.o"
+  "CMakeFiles/roundtrip_property_test.dir/property/roundtrip_property_test.cc.o.d"
+  "roundtrip_property_test"
+  "roundtrip_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roundtrip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

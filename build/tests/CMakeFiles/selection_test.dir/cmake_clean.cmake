@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_test.dir/assignment/selection_test.cc.o"
+  "CMakeFiles/selection_test.dir/assignment/selection_test.cc.o.d"
+  "selection_test"
+  "selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

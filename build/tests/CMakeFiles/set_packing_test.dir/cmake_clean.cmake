@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_packing_test.dir/assignment/set_packing_test.cc.o"
+  "CMakeFiles/set_packing_test.dir/assignment/set_packing_test.cc.o.d"
+  "set_packing_test"
+  "set_packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

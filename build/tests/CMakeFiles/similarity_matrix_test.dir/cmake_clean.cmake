@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_matrix_test.dir/core/similarity_matrix_test.cc.o"
+  "CMakeFiles/similarity_matrix_test.dir/core/similarity_matrix_test.cc.o.d"
+  "similarity_matrix_test"
+  "similarity_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

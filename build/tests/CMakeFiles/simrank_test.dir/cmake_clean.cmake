@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_test.dir/baselines/simrank_test.cc.o"
+  "CMakeFiles/simrank_test.dir/baselines/simrank_test.cc.o.d"
+  "simrank_test"
+  "simrank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

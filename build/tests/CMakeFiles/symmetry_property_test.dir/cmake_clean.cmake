@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_property_test.dir/property/symmetry_property_test.cc.o"
+  "CMakeFiles/symmetry_property_test.dir/property/symmetry_property_test.cc.o.d"
+  "symmetry_property_test"
+  "symmetry_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_test.dir/core/translation_test.cc.o"
+  "CMakeFiles/translation_test.dir/core/translation_test.cc.o.d"
+  "translation_test"
+  "translation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xes_test.dir/log/xes_test.cc.o"
+  "CMakeFiles/xes_test.dir/log/xes_test.cc.o.d"
+  "xes_test"
+  "xes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

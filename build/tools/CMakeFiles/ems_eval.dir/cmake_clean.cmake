@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_eval.dir/ems_eval.cc.o"
+  "CMakeFiles/ems_eval.dir/ems_eval.cc.o.d"
+  "ems_eval"
+  "ems_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_generate.dir/ems_generate.cc.o"
+  "CMakeFiles/ems_generate.dir/ems_generate.cc.o.d"
+  "ems_generate"
+  "ems_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

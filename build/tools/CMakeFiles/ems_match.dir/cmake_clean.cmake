@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_match.dir/ems_match.cc.o"
+  "CMakeFiles/ems_match.dir/ems_match.cc.o.d"
+  "ems_match"
+  "ems_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_stats.dir/ems_stats.cc.o"
+  "CMakeFiles/ems_stats.dir/ems_stats.cc.o.d"
+  "ems_stats"
+  "ems_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
