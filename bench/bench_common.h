@@ -1,16 +1,28 @@
 // Shared machinery of the figure-reproduction benches: each binary
 // regenerates the corpus deterministically, runs the methods of
 // Section 5, and prints the same series the paper's figure plots.
+//
+// When the EMS_BENCH_JSON_DIR environment variable names a directory,
+// every RunGroup call additionally instruments its runs with an
+// ObsContext and the binary writes BENCH_<figure>.json there at exit:
+// one record per group with quality, timing, formula evaluations, and
+// the per-phase wall-time breakdown (graph_build, ems_fixpoint, ...).
 #pragma once
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "eval/harness.h"
 #include "eval/table.h"
+#include "obs/context.h"
 #include "synth/dataset.h"
+#include "util/json_writer.h"
 #include "util/timer.h"
 
 namespace ems {
@@ -23,6 +35,105 @@ struct GroupResult {
   int dnf = 0;                // pairs the method could not finish (OPQ)
   uint64_t formula_evaluations = 0;
   int pairs = 0;
+
+  /// Total wall time per instrumented phase across all pairs of the
+  /// group, in ms. Empty unless EMS_BENCH_JSON_DIR enabled tracing.
+  std::map<std::string, double> phase_millis;
+};
+
+/// Directory for BENCH_*.json exports, or empty when disabled.
+inline const std::string& BenchJsonDir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("EMS_BENCH_JSON_DIR");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return dir;
+}
+
+/// Collects one benchmark binary's group records and writes
+/// BENCH_<figure>.json on destruction (program exit). PrintHeader names
+/// the figure; RunGroup appends records automatically.
+class BenchJsonRecorder {
+ public:
+  static BenchJsonRecorder& Instance() {
+    static BenchJsonRecorder recorder;
+    return recorder;
+  }
+
+  void SetFigure(const std::string& figure, const std::string& description) {
+    if (figure_.empty()) figure_ = Sanitize(figure);
+    description_ = description;
+  }
+
+  void AddGroup(const std::string& method, const GroupResult& group) {
+    if (BenchJsonDir().empty()) return;
+    records_.push_back({method, group});
+  }
+
+  ~BenchJsonRecorder() { Flush(); }
+
+ private:
+  BenchJsonRecorder() = default;
+
+  static std::string Sanitize(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      else if (!out.empty() && out.back() != '_') out += '_';
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+  }
+
+  void Flush() {
+    if (BenchJsonDir().empty() || records_.empty()) return;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("figure");
+    w.String(figure_.empty() ? "unknown" : figure_);
+    w.Key("description");
+    w.String(description_);
+    w.Key("groups");
+    w.BeginArray();
+    for (const auto& [method, group] : records_) {
+      w.BeginObject();
+      w.Key("method");
+      w.String(method);
+      w.Key("pairs");
+      w.Int(group.pairs);
+      w.Key("dnf");
+      w.Int(group.dnf);
+      w.Key("f_measure");
+      w.Number(group.quality.f_measure);
+      w.Key("precision");
+      w.Number(group.quality.precision);
+      w.Key("recall");
+      w.Number(group.quality.recall);
+      w.Key("mean_millis");
+      w.Number(group.mean_millis);
+      w.Key("formula_evaluations");
+      w.Int(static_cast<long long>(group.formula_evaluations));
+      w.Key("phase_millis");
+      w.BeginObject();
+      for (const auto& [phase, ms] : group.phase_millis) {
+        w.Key(phase);
+        w.Number(ms);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string path =
+        BenchJsonDir() + "/BENCH_" +
+        (figure_.empty() ? std::string("unknown") : figure_) + ".json";
+    std::ofstream out(path);
+    if (out) out << w.str() << "\n";
+  }
+
+  std::string figure_;
+  std::string description_;
+  std::vector<std::pair<std::string, GroupResult>> records_;
 };
 
 inline GroupResult RunGroup(Method method,
@@ -31,9 +142,22 @@ inline GroupResult RunGroup(Method method,
   GroupResult group;
   QualityAccumulator acc;
   double total_ms = 0.0;
+  const bool tracing = !BenchJsonDir().empty();
   for (const LogPair* pair : pairs) {
-    MethodRun run = RunMethod(method, *pair, options);
+    // A fresh context per pair keeps the span count well under the
+    // recorder's cap; durations aggregate by phase name below.
+    ObsContext obs;
+    HarnessOptions run_options = options;
+    if (tracing) run_options.obs = &obs;
+    MethodRun run = RunMethod(method, *pair, run_options);
     total_ms += run.millis;
+    if (tracing) {
+      for (const SpanRecord& span : obs.trace.Snapshot()) {
+        if (span.duration_us < 0) continue;
+        group.phase_millis[span.name] +=
+            static_cast<double>(span.duration_us) / 1000.0;
+      }
+    }
     if (run.dnf) {
       ++group.dnf;
       continue;
@@ -46,6 +170,7 @@ inline GroupResult RunGroup(Method method,
   group.pairs = static_cast<int>(pairs.size());
   group.mean_millis =
       pairs.empty() ? 0.0 : total_ms / static_cast<double>(pairs.size());
+  BenchJsonRecorder::Instance().AddGroup(MethodName(method), group);
   return group;
 }
 
@@ -68,6 +193,7 @@ inline void PrintHeader(const char* figure, const char* description) {
   std::printf("=====================================================\n");
   std::printf("%s — %s\n", figure, description);
   std::printf("=====================================================\n");
+  BenchJsonRecorder::Instance().SetFigure(figure, description);
 }
 
 /// The corpus used by the singleton-matching figures. Scaled by the

@@ -6,6 +6,7 @@
 #include "assignment/hungarian.h"
 #include "core/estimation.h"
 #include "core/ems_similarity.h"
+#include "obs/context.h"
 #include "synth/dataset.h"
 #include "text/qgram.h"
 
@@ -42,6 +43,25 @@ void BM_EmsExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmsExact)->Arg(20)->Arg(50)->Arg(100);
+
+// Same kernel with an ObsContext attached: the delta against BM_EmsExact
+// is the cost of enabled instrumentation (spans per direction + counter
+// flushes per run), and BM_EmsExact itself carries the disabled-path
+// cost (null-pointer checks only) — the <2% overhead budget.
+void BM_EmsExactObserved(benchmark::State& state) {
+  LogPair pair = MakeBenchPair(static_cast<int>(state.range(0)));
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  ObsContext obs;
+  for (auto _ : state) {
+    EmsOptions opts;
+    opts.obs = &obs;
+    EmsSimilarity sim(g1, g2, opts);
+    SimilarityMatrix m = sim.Compute();
+    benchmark::DoNotOptimize(m.at(1, 1));
+  }
+}
+BENCHMARK(BM_EmsExactObserved)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_EmsEstimated(benchmark::State& state) {
   LogPair pair = MakeBenchPair(static_cast<int>(state.range(0)));

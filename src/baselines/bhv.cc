@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/context.h"
+
 namespace ems {
 
 SimilarityMatrix ComputeBhvSimilarity(
     const DependencyGraph& g1, const DependencyGraph& g2,
     const BhvOptions& options,
     const std::vector<std::vector<double>>* label_similarity) {
+  ScopedSpan span(options.obs, "bhv_similarity");
   const size_t n1 = g1.NumNodes();
   const size_t n2 = g2.NumNodes();
   SimilarityMatrix prev(n1, n2, 0.0);
@@ -51,6 +54,7 @@ SimilarityMatrix ComputeBhvSimilarity(
 
   SimilarityMatrix next = prev;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ObsIncrement(options.obs, "bhv.iterations");
     double max_delta = 0.0;
     for (NodeId v1 = 0; v1 < static_cast<NodeId>(n1); ++v1) {
       if (g1.IsArtificial(v1)) continue;

@@ -14,6 +14,8 @@
 
 namespace ems {
 
+struct ObsContext;
+
 /// Parameters of the BHV baseline.
 struct BhvOptions {
   /// Structural vs label weight, as in EMS.
@@ -24,6 +26,10 @@ struct BhvOptions {
 
   double epsilon = 1e-4;
   int max_iterations = 100;
+
+  /// Observability sink (span "bhv_similarity", counter
+  /// "bhv.iterations"); null disables. Borrowed, not owned.
+  ObsContext* obs = nullptr;
 };
 
 /// Computes the BHV similarity matrix between the real nodes of two

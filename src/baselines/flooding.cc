@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/context.h"
+
 namespace ems {
 
 SimilarityMatrix ComputeSimilarityFlooding(
     const DependencyGraph& g1, const DependencyGraph& g2,
     const FloodingOptions& options,
     const std::vector<std::vector<double>>* label_similarity) {
+  ScopedSpan span(options.obs, "flooding_similarity");
   const size_t n1 = g1.NumNodes();
   const size_t n2 = g2.NumNodes();
 
@@ -52,6 +55,7 @@ SimilarityMatrix ComputeSimilarityFlooding(
   SimilarityMatrix prev = sigma0;
   SimilarityMatrix next(n1, n2, 0.0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ObsIncrement(options.obs, "flooding.iterations");
     // phi(p) = sigma0(p) + sigma_i(p) + incoming flooded mass. Mass
     // flows along pairwise-connectivity edges: (a, x) receives from
     // predecessors (b, y) with b -> a and y -> x, weighted by

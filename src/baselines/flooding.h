@@ -13,12 +13,18 @@
 
 namespace ems {
 
+struct ObsContext;
+
 struct FloodingOptions {
   /// Initial similarity for every pair when no label similarity is given.
   double initial = 1.0;
 
   double epsilon = 1e-4;
   int max_iterations = 200;
+
+  /// Observability sink (span "flooding_similarity", counter
+  /// "flooding.iterations"); null disables. Borrowed, not owned.
+  ObsContext* obs = nullptr;
 };
 
 /// Computes similarity-flooding scores between the real nodes of two

@@ -1,5 +1,7 @@
 #include "baselines/ged.h"
 
+#include "obs/context.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -122,6 +124,7 @@ struct GedContext {
 GedResult ComputeGedMatching(const DependencyGraph& g1,
                              const DependencyGraph& g2,
                              const GedOptions& options) {
+  ScopedSpan span(options.obs, "ged_matching");
   GedContext ctx(g1, g2, options);
   const size_t n1 = ctx.r1.nodes.size();
   const size_t n2 = ctx.r2.nodes.size();
@@ -138,6 +141,7 @@ GedResult ComputeGedMatching(const DependencyGraph& g1,
 
   // Greedy: repeatedly add the pair that lowers the distance the most.
   while (true) {
+    ObsIncrement(options.obs, "ged.greedy_steps");
     double best_distance = current;
     int best_i = -1;
     int best_j = -1;

@@ -15,6 +15,8 @@
 
 namespace ems {
 
+struct ObsContext;
+
 /// Weights of the three edit-distance components.
 struct GedOptions {
   double weight_skip_nodes = 1.0;
@@ -29,6 +31,10 @@ struct GedOptions {
   /// Greedy search stops when no candidate pair lowers the distance by
   /// more than this.
   double min_improvement = 1e-9;
+
+  /// Observability sink (span "ged_matching", counter
+  /// "ged.greedy_steps"); null disables. Borrowed, not owned.
+  ObsContext* obs = nullptr;
 };
 
 /// Result of GED matching: the mapping and its distance.

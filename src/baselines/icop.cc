@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/context.h"
+
 namespace ems {
 
 namespace {
@@ -56,6 +58,7 @@ std::vector<Correspondence> IcopMatch(const EventLog& log1,
                                       const EventLog& log2,
                                       const LabelSimilarity& measure,
                                       const IcopOptions& options) {
+  ScopedSpan span(options.obs, "icop_matching");
   const std::vector<std::string>& names1 = log1.event_names();
   const std::vector<std::string>& names2 = log2.event_names();
 
@@ -75,6 +78,9 @@ std::vector<Correspondence> IcopMatch(const EventLog& log1,
                      /*grouped_is_left=*/true, &candidates);
   AddGroupCandidates(names2, names1, measure, options,
                      /*grouped_is_left=*/false, &candidates);
+
+  ObsIncrement(options.obs, "icop.candidates",
+               static_cast<uint64_t>(candidates.size()));
 
   // Selector: best score first, events used at most once per side.
   std::sort(candidates.begin(), candidates.end(),
@@ -99,6 +105,8 @@ std::vector<Correspondence> IcopMatch(const EventLog& log1,
     for (EventId e : cand.right) corr.events2.push_back(names2[static_cast<size_t>(e)]);
     out.push_back(std::move(corr));
   }
+  ObsIncrement(options.obs, "icop.selected",
+               static_cast<uint64_t>(out.size()));
   return out;
 }
 

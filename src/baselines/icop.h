@@ -16,6 +16,8 @@
 
 namespace ems {
 
+struct ObsContext;
+
 struct IcopOptions {
   /// Minimum label similarity for a 1:1 candidate.
   double min_pair_similarity = 0.5;
@@ -26,6 +28,10 @@ struct IcopOptions {
 
   /// Maximum members on the grouped side of an m:1 / 1:n candidate.
   int max_group_size = 3;
+
+  /// Observability sink (span "icop_matching", counters
+  /// "icop.candidates" / "icop.selected"); null disables. Borrowed.
+  ObsContext* obs = nullptr;
 };
 
 /// Runs the ICoP-style matching and returns the selected

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/graph_algorithms.h"
+#include "obs/context.h"
 #include "util/random.h"
 
 namespace ems {
@@ -206,6 +207,7 @@ OpqResult FinishResult(const OpqContext& ctx, std::vector<int> mapping,
 Result<OpqResult> ComputeOpqExact(const DependencyGraph& g1,
                                   const DependencyGraph& g2,
                                   const OpqOptions& options) {
+  ScopedSpan span(options.obs, "opq_exact");
   OpqContext ctx(g1, g2);
   BnbState state;
   state.ctx = &ctx;
@@ -224,6 +226,7 @@ Result<OpqResult> ComputeOpqExact(const DependencyGraph& g1,
   state.best_mapping = warm_ctx;
   state.max_expansions = options.max_expansions;
   state.Search(0);
+  ObsIncrement(options.obs, "opq.expansions", state.expansions);
   if (state.exhausted) {
     return Status::ResourceExhausted(
         "OPQ branch and bound exceeded " +
@@ -236,6 +239,7 @@ Result<OpqResult> ComputeOpqExact(const DependencyGraph& g1,
 OpqResult ComputeOpqHillClimb(const DependencyGraph& g1,
                               const DependencyGraph& g2,
                               const OpqOptions& options) {
+  ScopedSpan span(options.obs, "opq_hill_climb");
   OpqContext ctx(g1, g2);
   Rng rng(options.seed);
 

@@ -17,6 +17,8 @@
 
 namespace ems {
 
+struct ObsContext;
+
 struct OpqOptions {
   /// Search-tree node budget for the exact branch-and-bound search; when
   /// exceeded the search gives up with ResourceExhausted (the paper's
@@ -28,6 +30,10 @@ struct OpqOptions {
 
   /// Seed for hill-climbing restarts.
   uint64_t seed = 42;
+
+  /// Observability sink (spans "opq_exact"/"opq_hill_climb", counter
+  /// "opq.expansions"); null disables. Borrowed, not owned.
+  ObsContext* obs = nullptr;
 };
 
 struct OpqResult {

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/context.h"
+
 namespace ems {
 
 SimilarityMatrix ComputeSimRank(const DependencyGraph& g1,
                                 const DependencyGraph& g2,
                                 const SimRankOptions& options) {
+  ScopedSpan span(options.obs, "simrank_similarity");
   const size_t n1 = g1.NumNodes();
   const size_t n2 = g2.NumNodes();
 
@@ -37,6 +40,7 @@ SimilarityMatrix ComputeSimRank(const DependencyGraph& g1,
 
   SimilarityMatrix next = prev;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ObsIncrement(options.obs, "simrank.iterations");
     double max_delta = 0.0;
     for (NodeId v1 = 0; v1 < static_cast<NodeId>(n1); ++v1) {
       if (g1.IsArtificial(v1)) continue;

@@ -9,12 +9,18 @@
 
 namespace ems {
 
+struct ObsContext;
+
 struct SimRankOptions {
   /// SimRank decay constant.
   double c = 0.8;
 
   double epsilon = 1e-4;
   int max_iterations = 100;
+
+  /// Observability sink (span "simrank_similarity", counter
+  /// "simrank.iterations"); null disables. Borrowed, not owned.
+  ObsContext* obs = nullptr;
 };
 
 /// Cross-graph SimRank: S^0(a, b) = 1 for every real pair (the cross-graph

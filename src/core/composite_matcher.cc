@@ -7,6 +7,7 @@
 #include "assignment/selection.h"
 #include "core/bounds.h"
 #include "core/estimation.h"
+#include "obs/context.h"
 
 namespace ems {
 
@@ -117,7 +118,10 @@ CompositeMatcher::CompositeMatcher(const EventLog& log1, const EventLog& log2,
                                    const CompositeOptions& options,
                                    const LabelSimilarity* label_measure)
     : log1_(log1), log2_(log2), options_(options),
-      label_measure_(label_measure) {}
+      label_measure_(label_measure) {
+  // One assignment instruments every inner EMS/estimation run too.
+  options_.ems.obs = options_.obs;
+}
 
 void CompositeMatcher::SetCandidates(
     std::vector<CompositeCandidate> candidates1,
@@ -133,6 +137,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
     bool merged_on_side1, const std::vector<EventId>* new_composite,
     double incumbent_average, bool* pruned_out) {
   if (pruned_out != nullptr) *pruned_out = false;
+  ScopedSpan span(options_.obs, "candidate_eval");
   GraphState state;
   DependencyGraphOptions graph_opts = options_.graph;
   graph_opts.add_artificial_event = true;
@@ -157,11 +162,11 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
     est.ems.direction = Direction::kForward;
     EstimatedEmsSimilarity fwd(state.g1, state.g2, est, labels_ptr);
     state.forward = fwd.Compute();
-    stats_.formula_evaluations += fwd.stats().formula_evaluations;
+    stats_.AddEmsRun(fwd.stats());
     est.ems.direction = Direction::kBackward;
     EstimatedEmsSimilarity bwd(state.g1, state.g2, est, labels_ptr);
     state.backward = bwd.Compute();
-    stats_.formula_evaluations += bwd.stats().formula_evaluations;
+    stats_.AddEmsRun(bwd.stats());
     if (options_.objective == CompositeObjective::kAveragePairs) {
       state.average = CombinedAverage(state.forward, state.backward);
     } else {
@@ -291,7 +296,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
       Direction::kForward, /*fwd_final=*/nullptr,
       use_uc ? &frozen_fwd : nullptr, use_uc ? &frozen_fwd_vals : nullptr);
   state.forward = sim.ComputeControlled(Direction::kForward, fwd_controls);
-  stats_.formula_evaluations += sim.stats().formula_evaluations;
+  stats_.AddEmsRun(sim.stats());
   if (aborted) {
     if (pruned_out != nullptr) *pruned_out = true;
     return state;
@@ -301,7 +306,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
       Direction::kBackward, /*fwd_final=*/&state.forward,
       use_uc ? &frozen_bwd : nullptr, use_uc ? &frozen_bwd_vals : nullptr);
   state.backward = sim.ComputeControlled(Direction::kBackward, bwd_controls);
-  stats_.formula_evaluations += sim.stats().formula_evaluations;
+  stats_.AddEmsRun(sim.stats());
   if (aborted) {
     if (pruned_out != nullptr) *pruned_out = true;
     return state;
@@ -318,11 +323,15 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
 }
 
 Result<CompositeMatchResult> CompositeMatcher::Match() {
+  ScopedSpan span(options_.obs, "composite_search");
   stats_ = CompositeStats{};
   if (!explicit_candidates_) {
+    ScopedSpan discovery(options_.obs, "candidate_discovery");
     candidates1_ = DiscoverCandidates(log1_, options_.candidates);
     candidates2_ = DiscoverCandidates(log2_, options_.candidates);
   }
+  ObsIncrement(options_.obs, "composite.candidates_discovered",
+               candidates1_.size() + candidates2_.size());
 
   std::vector<std::vector<EventId>> w1, w2;
   EMS_ASSIGN_OR_RETURN(
@@ -330,6 +339,7 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
       Evaluate(w1, w2, nullptr, false, nullptr, /*incumbent=*/-1.0, nullptr));
 
   for (int step = 0; step < options_.max_steps; ++step) {
+    ScopedSpan step_span(options_.obs, "greedy_step");
     double best_avg = -1.0;
     int best_side = 0;
     const CompositeCandidate* best_candidate = nullptr;
@@ -384,6 +394,17 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
   result.graph1 = std::move(state.g1);
   result.graph2 = std::move(state.g2);
   result.stats = stats_;
+  if (options_.obs != nullptr) {
+    ObsIncrement(options_.obs, "composite.candidates_evaluated",
+                 static_cast<uint64_t>(stats_.candidates_evaluated));
+    ObsIncrement(options_.obs, "composite.candidates_pruned_by_bound",
+                 static_cast<uint64_t>(stats_.candidates_pruned_by_bound));
+    ObsIncrement(options_.obs, "composite.merges_accepted",
+                 static_cast<uint64_t>(stats_.merges_accepted));
+    ObsIncrement(options_.obs, "composite.rows_frozen", stats_.rows_frozen);
+    ObsSetGauge(options_.obs, "composite.objective",
+                result.average_similarity);
+  }
   return result;
 }
 

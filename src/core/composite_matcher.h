@@ -78,16 +78,49 @@ struct CompositeOptions {
   /// Hard cap on greedy steps (paper's loop is unbounded; candidates are
   /// finite so this is a safety net).
   int max_steps = 64;
+
+  /// Observability sink (spans + counters); null (default) disables
+  /// instrumentation. Borrowed, not owned. The nested `ems` options
+  /// carry their own pointer; CompositeMatcher propagates this one into
+  /// them so one assignment instruments the whole search.
+  ObsContext* obs = nullptr;
 };
 
 /// Counters describing one composite matching run (Figure 12 reports
 /// formula evaluations and time across pruning configurations).
+///
+/// Reset semantics: CompositeMatcher::Match zeroes its stats at entry, so
+/// `CompositeMatchResult::stats` describes that run only. Aggregate
+/// across runs with Add; plain assignment overwrites earlier runs.
 struct CompositeStats {
+  /// Formula-(1) evaluations across every inner EMS run of the search
+  /// (kept alongside `ems.formula_evaluations` for Figure 12's series).
   uint64_t formula_evaluations = 0;
+
   int candidates_evaluated = 0;
   int candidates_pruned_by_bound = 0;  // aborted via Bd
   int merges_accepted = 0;
   uint64_t rows_frozen = 0;  // row-freeze events via Uc
+
+  /// All inner EMS runs accumulated (iterations sum over candidate
+  /// evaluations; this is where EMS counters live when composite
+  /// matching ran — MatchResult::ems_stats stays zero in that mode).
+  EmsStats ems;
+
+  /// Folds one inner EMS/estimation run into the aggregate.
+  void AddEmsRun(const EmsStats& run) {
+    ems.Add(run);
+    formula_evaluations += run.formula_evaluations;
+  }
+
+  void Add(const CompositeStats& other) {
+    formula_evaluations += other.formula_evaluations;
+    candidates_evaluated += other.candidates_evaluated;
+    candidates_pruned_by_bound += other.candidates_pruned_by_bound;
+    merges_accepted += other.merges_accepted;
+    rows_frozen += other.rows_frozen;
+    ems.Add(other.ems);
+  }
 };
 
 /// Result of composite matching between two logs.

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/context.h"
+
 namespace ems {
 
 EmsSimilarity::EmsSimilarity(
@@ -94,6 +96,7 @@ namespace {
 struct RowRangeResult {
   double max_delta = 0.0;
   uint64_t evaluations = 0;
+  uint64_t pruned = 0;
 };
 
 }  // namespace
@@ -122,6 +125,7 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
             iteration > ConvergenceHorizon(direction, v1, v2)) {
           // Proposition 2: the value can no longer change; keep it.
           next->set(v1, v2, prev.at(v1, v2));
+          ++result.pruned;
           continue;
         }
         double s12 = OneSide(direction, prev, v1, v2, /*transposed=*/false);
@@ -147,6 +151,7 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
   if (threads <= 1) {
     RowRangeResult result = run_rows(0, rows);
     stats_.formula_evaluations += result.evaluations;
+    stats_.pairs_pruned_converged += result.pruned;
     return result.max_delta;
   }
 
@@ -169,6 +174,7 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
   for (const RowRangeResult& r : results) {
     max_delta = std::max(max_delta, r.max_delta);
     stats_.formula_evaluations += r.evaluations;
+    stats_.pairs_pruned_converged += r.pruned;
   }
   return max_delta;
 }
@@ -177,6 +183,9 @@ SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
                                              int max_iterations,
                                              int* iterations_done,
                                              const RunControls* controls) {
+  ScopedSpan span(options_.obs, direction == Direction::kForward
+                                    ? "ems_forward"
+                                    : "ems_backward");
   SimilarityMatrix prev = InitialMatrix();
   const std::vector<bool>* frozen_rows = nullptr;
   const std::vector<bool>* frozen_cols = nullptr;
@@ -218,6 +227,19 @@ SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
   return prev;
 }
 
+void EmsSimilarity::FlushStatsToObs() const {
+  ObsContext* obs = options_.obs;
+  if (obs == nullptr) return;
+  ObsIncrement(obs, "ems.runs");
+  ObsIncrement(obs, "ems.iterations",
+               static_cast<uint64_t>(stats_.iterations));
+  ObsIncrement(obs, "ems.formula_evaluations", stats_.formula_evaluations);
+  ObsIncrement(obs, "ems.pairs_pruned_converged",
+               stats_.pairs_pruned_converged);
+  ObsObserve(obs, "ems.iterations_per_run",
+             static_cast<double>(stats_.iterations));
+}
+
 SimilarityMatrix EmsSimilarity::ComputeControlled(Direction direction,
                                                   const RunControls& controls) {
   EMS_DCHECK(direction != Direction::kBoth);
@@ -226,16 +248,22 @@ SimilarityMatrix EmsSimilarity::ComputeControlled(Direction direction,
   SimilarityMatrix result =
       RunDirection(direction, options_.max_iterations, &iters, &controls);
   stats_.iterations = iters;
+  if (controls.aborted != nullptr && *controls.aborted) {
+    ObsIncrement(options_.obs, "ems.aborted_runs");
+  }
+  FlushStatsToObs();
   return result;
 }
 
 SimilarityMatrix EmsSimilarity::Compute() {
+  ScopedSpan span(options_.obs, "ems_fixpoint");
   stats_ = EmsStats{};
   if (options_.direction != Direction::kBoth) {
     int iters = 0;
     SimilarityMatrix result =
         RunDirection(options_.direction, options_.max_iterations, &iters);
     stats_.iterations = iters;
+    FlushStatsToObs();
     return result;
   }
   int fwd_iters = 0;
@@ -245,6 +273,7 @@ SimilarityMatrix EmsSimilarity::Compute() {
   SimilarityMatrix backward =
       RunDirection(Direction::kBackward, options_.max_iterations, &bwd_iters);
   stats_.iterations = std::max(fwd_iters, bwd_iters);
+  FlushStatsToObs();
   // Aggregate the two directions by average (Section 3.6).
   SimilarityMatrix combined(g1_.NumNodes(), g2_.NumNodes(), 0.0);
   for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
@@ -263,6 +292,7 @@ SimilarityMatrix EmsSimilarity::ComputePartial(Direction direction,
   int iters = 0;
   SimilarityMatrix result = RunDirection(direction, iterations, &iters);
   stats_.iterations = iters;
+  FlushStatsToObs();
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 namespace ems {
 
+struct ObsContext;
+
 /// Which neighbor direction the propagation follows.
 enum class Direction {
   kForward,   // predecessors (in-neighbors), Definition 2
@@ -49,10 +51,20 @@ struct EmsOptions {
   /// matrix, so rows partition cleanly; useful from ~50 events upward.
   /// 1 = single-threaded (default); 0 = hardware concurrency.
   int num_threads = 1;
+
+  /// Observability sink (spans + counters); null (default) disables
+  /// instrumentation with near-zero overhead. Borrowed, not owned.
+  ObsContext* obs = nullptr;
 };
 
 /// Counters describing one similarity computation (Figures 6 and 12
 /// report these).
+///
+/// Reset semantics: every Compute/ComputePartial/ComputeControlled call
+/// starts from a zeroed EmsStats, so `stats()` always describes the LAST
+/// run only. Callers aggregating across runs (repeated Match calls, the
+/// estimation's per-direction runs, composite candidate evaluations) must
+/// accumulate with Add — assignment silently discards previous runs.
 struct EmsStats {
   /// Iterations of the outer loop actually performed (max over directions).
   int iterations = 0;
@@ -61,9 +73,14 @@ struct EmsStats {
   /// iterations and directions. Pruned pairs do not count.
   uint64_t formula_evaluations = 0;
 
+  /// Pair updates skipped by early-convergence pruning (Proposition 2),
+  /// summed over iterations and directions.
+  uint64_t pairs_pruned_converged = 0;
+
   void Add(const EmsStats& other) {
     iterations += other.iterations;
     formula_evaluations += other.formula_evaluations;
+    pairs_pruned_converged += other.pairs_pruned_converged;
   }
 };
 
@@ -152,6 +169,10 @@ class EmsSimilarity {
   SimilarityMatrix RunDirection(Direction direction, int max_iterations,
                                 int* iterations_done,
                                 const RunControls* controls = nullptr);
+
+  // Mirrors the accumulated stats_ into the obs counters (no-op when
+  // options_.obs is null).
+  void FlushStatsToObs() const;
 
   double LabelAt(NodeId v1, NodeId v2) const;
 

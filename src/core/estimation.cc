@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/bounds.h"
+#include "obs/context.h"
 
 namespace ems {
 
@@ -91,6 +92,11 @@ SimilarityMatrix EstimatedEmsSimilarity::ComputeDirection(
   stats_.Add(exact.stats());
 
   // Phase 2 (lines 6-8): extrapolate pairs whose horizon exceeds I.
+  ScopedSpan span(options_.ems.obs, "ems_extrapolate");
+  Counter* extrapolated =
+      options_.ems.obs != nullptr
+          ? options_.ems.obs->metrics.GetCounter("ems.pairs_extrapolated")
+          : nullptr;
   const int I = options_.exact_iterations;
   for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
     if (g1_.IsArtificial(v1)) continue;
@@ -100,12 +106,14 @@ SimilarityMatrix EstimatedEmsSimilarity::ComputeDirection(
       if (I >= h) continue;  // already exact (Proposition 2)
       double est = Extrapolate(direction, v1, v2, s.at(v1, v2), h);
       s.set(v1, v2, std::clamp(est, 0.0, 1.0));
+      if (extrapolated != nullptr) extrapolated->Increment();
     }
   }
   return s;
 }
 
 SimilarityMatrix EstimatedEmsSimilarity::Compute() {
+  ScopedSpan span(options_.ems.obs, "ems_estimation");
   stats_ = EmsStats{};
   if (options_.ems.direction != Direction::kBoth) {
     return ComputeDirection(options_.ems.direction);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/context.h"
+
 namespace ems {
 
 std::unique_ptr<LabelSimilarity> MakeLabelMeasure(LabelMeasure measure) {
@@ -24,21 +26,25 @@ void Matcher::ComputeSimilarity(const DependencyGraph& g1,
                                 const DependencyGraph& g2,
                                 const LabelSimilarity* measure,
                                 MatchResult* result) const {
+  ObsContext* obs = options_.obs.context;
   std::vector<std::vector<double>> labels;
   const std::vector<std::vector<double>>* labels_ptr = nullptr;
   if (measure != nullptr && options_.label_measure != LabelMeasure::kNone) {
+    ScopedSpan span(obs, "label_similarity");
     labels = LabelSimilarityMatrix(g1, g2, *measure);
     labels_ptr = &labels;
   }
+  EmsOptions ems_opts = options_.ems;
+  ems_opts.obs = obs;
   if (options_.engine == SimilarityEngine::kEstimated) {
     EstimationOptions est;
     est.exact_iterations = options_.estimation_iterations;
-    est.ems = options_.ems;
+    est.ems = ems_opts;
     EstimatedEmsSimilarity sim(g1, g2, est, labels_ptr);
     result->similarity = sim.Compute();
     result->ems_stats = sim.stats();
   } else {
-    EmsSimilarity sim(g1, g2, options_.ems, labels_ptr);
+    EmsSimilarity sim(g1, g2, ems_opts, labels_ptr);
     result->similarity = sim.Compute();
     result->ems_stats = sim.stats();
   }
@@ -46,6 +52,8 @@ void Matcher::ComputeSimilarity(const DependencyGraph& g1,
 
 Result<MatchResult> Matcher::Match(const EventLog& log1,
                                    const EventLog& log2) const {
+  ObsContext* obs = options_.obs.context;
+  ScopedSpan root(obs, "match");
   MatchResult result;
   std::unique_ptr<LabelSimilarity> measure =
       MakeLabelMeasure(options_.label_measure);
@@ -56,6 +64,7 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
     comp.graph.min_edge_frequency = options_.min_edge_frequency;
     comp.use_estimation = options_.engine == SimilarityEngine::kEstimated;
     comp.estimation_iterations = options_.estimation_iterations;
+    comp.obs = obs;
     CompositeMatcher matcher(log1, log2, comp,
                              options_.label_measure == LabelMeasure::kNone
                                  ? nullptr
@@ -66,14 +75,24 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
     result.graph2 = std::move(comp_result.graph2);
     result.composite_stats = comp_result.stats;
   } else {
+    ScopedSpan graph_span(obs, "graph_build");
     DependencyGraphOptions graph_opts;
     graph_opts.min_edge_frequency = options_.min_edge_frequency;
     result.graph1 = DependencyGraph::Build(log1, graph_opts);
     result.graph2 = DependencyGraph::Build(log2, graph_opts);
+    graph_span.End();
     ComputeSimilarity(result.graph1, result.graph2, measure.get(), &result);
+  }
+  if (obs != nullptr) {
+    ObsIncrement(obs, "graph.builds", 2);
+    ObsSetGauge(obs, "graph.nodes_left",
+                static_cast<double>(result.graph1.NumNodes()));
+    ObsSetGauge(obs, "graph.nodes_right",
+                static_cast<double>(result.graph2.NumNodes()));
   }
 
   // Resolve correspondences with member names taken from the logs.
+  ScopedSpan selection_span(obs, "selection");
   std::vector<std::vector<double>> sim = result.similarity.RealSubmatrix(
       result.graph1.has_artificial(), result.graph2.has_artificial());
   SelectionOptions sel;
@@ -104,6 +123,8 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
     if (corr.events1.empty() || corr.events2.empty()) continue;
     result.correspondences.push_back(std::move(corr));
   }
+  ObsIncrement(obs, "selection.matches",
+               static_cast<uint64_t>(result.correspondences.size()));
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "assignment/selection.h"
 #include "core/composite_matcher.h"
 #include "core/estimation.h"
+#include "obs/options.h"
 #include "text/label_similarity.h"
 #include "util/status.h"
 
@@ -63,6 +64,12 @@ struct MatchOptions {
   /// Composite matching parameters (delta, prunings, candidates). The
   /// nested `ems` inside is overridden by the top-level `ems` above.
   CompositeOptions composite;
+
+  /// Observability: when `obs.context` is set, Match records per-phase
+  /// spans (graph_build, label_similarity, ems_fixpoint/ems_estimation,
+  /// composite_search, selection) and pipeline counters into it. The
+  /// default (null) compiles the instrumentation down to pointer checks.
+  ObsOptions obs;
 };
 
 /// One reported correspondence: a set of event names on each side (both
@@ -85,7 +92,10 @@ struct MatchResult {
   DependencyGraph graph1;
   DependencyGraph graph2;
 
-  /// Iteration counters (EMS runs only).
+  /// Iteration counters of the 1:1 EMS run. Zero when composite matching
+  /// ran — the inner EMS runs of the search are then aggregated in
+  /// `composite_stats.ems` (keeping the two disjoint means downstream
+  /// aggregators can sum both without double counting).
   EmsStats ems_stats;
 
   /// Composite-matcher counters (zero when composites were disabled).

@@ -6,6 +6,7 @@
 #include "baselines/opq.h"
 #include "baselines/flooding.h"
 #include "baselines/simrank.h"
+#include "obs/context.h"
 #include "util/timer.h"
 
 namespace ems {
@@ -106,6 +107,7 @@ MethodRun RunEms(bool estimated, const LogPair& pair,
   match_opts.min_match_similarity = options.min_match_similarity;
   match_opts.match_composites = options.composites;
   match_opts.composite = options.composite;
+  match_opts.obs.context = options.obs;
 
   Matcher matcher(match_opts);
   MethodRun run;
@@ -127,8 +129,10 @@ MethodRun RunBhvOrSimRank(Method method, const LogPair& pair,
   DependencyGraphOptions graph_opts;
   graph_opts.add_artificial_event = false;
   graph_opts.min_edge_frequency = options.min_edge_frequency;
+  ScopedSpan graph_span(options.obs, "graph_build");
   DependencyGraph g1 = DependencyGraph::Build(pair.log1, graph_opts);
   DependencyGraph g2 = DependencyGraph::Build(pair.log2, graph_opts);
+  graph_span.End();
 
   MethodRun run;
   Timer timer;
@@ -144,13 +148,16 @@ MethodRun RunBhvOrSimRank(Method method, const LogPair& pair,
     BhvOptions bhv;
     bhv.alpha = options.use_labels ? options.alpha_with_labels : 1.0;
     bhv.c = options.ems.c;
+    bhv.obs = options.obs;
     sim = ComputeBhvSimilarity(g1, g2, bhv, labels_ptr);
   } else if (method == Method::kSimRank) {
     SimRankOptions sr;
     sr.c = options.ems.c;
+    sr.obs = options.obs;
     sim = ComputeSimRank(g1, g2, sr);
   } else {
     FloodingOptions fl;
+    fl.obs = options.obs;
     std::vector<std::vector<double>> labels;
     const std::vector<std::vector<double>>* labels_ptr = nullptr;
     QGramCosineSimilarity qgram;
@@ -160,8 +167,10 @@ MethodRun RunBhvOrSimRank(Method method, const LogPair& pair,
     }
     sim = ComputeSimilarityFlooding(g1, g2, fl, labels_ptr);
   }
+  ScopedSpan selection_span(options.obs, "selection");
   std::vector<Correspondence> found = SelectFromMatrix(
       sim, g1, g2, pair.log1, pair.log2, options.min_match_similarity);
+  selection_span.End();
   run.millis = timer.ElapsedMillis();
   run.quality = Evaluate(pair.truth, found);
   return run;
@@ -171,12 +180,15 @@ MethodRun RunGed(const LogPair& pair, const HarnessOptions& options) {
   DependencyGraphOptions graph_opts;
   graph_opts.add_artificial_event = false;
   graph_opts.min_edge_frequency = options.min_edge_frequency;
+  ScopedSpan graph_span(options.obs, "graph_build");
   DependencyGraph g1 = DependencyGraph::Build(pair.log1, graph_opts);
   DependencyGraph g2 = DependencyGraph::Build(pair.log2, graph_opts);
+  graph_span.End();
 
   MethodRun run;
   Timer timer;
   GedOptions ged;
+  ged.obs = options.obs;
   QGramCosineSimilarity qgram;
   if (options.use_labels) ged.label_measure = &qgram;
   GedResult result = ComputeGedMatching(g1, g2, ged);
@@ -191,12 +203,15 @@ MethodRun RunOpq(const LogPair& pair, const HarnessOptions& options) {
   DependencyGraphOptions graph_opts;
   graph_opts.add_artificial_event = false;
   graph_opts.min_edge_frequency = options.min_edge_frequency;
+  ScopedSpan graph_span(options.obs, "graph_build");
   DependencyGraph g1 = DependencyGraph::Build(pair.log1, graph_opts);
   DependencyGraph g2 = DependencyGraph::Build(pair.log2, graph_opts);
+  graph_span.End();
 
   MethodRun run;
   Timer timer;
   OpqOptions opq;
+  opq.obs = options.obs;
   opq.max_expansions = options.opq_max_expansions;
   Result<OpqResult> result = ComputeOpqExact(g1, g2, opq);
   OpqResult outcome;
@@ -223,8 +238,10 @@ MethodRun RunIcop(const LogPair& pair, const HarnessOptions& options) {
   MethodRun run;
   Timer timer;
   QGramCosineSimilarity qgram;
-  (void)options;
-  std::vector<Correspondence> found = IcopMatch(pair.log1, pair.log2, qgram);
+  IcopOptions icop;
+  icop.obs = options.obs;
+  std::vector<Correspondence> found =
+      IcopMatch(pair.log1, pair.log2, qgram, icop);
   run.millis = timer.ElapsedMillis();
   run.quality = Evaluate(pair.truth, found);
   return run;

@@ -12,6 +12,8 @@
 
 namespace ems {
 
+struct ObsContext;
+
 /// The matching approaches compared in Section 5.
 enum class Method {
   kEms,           // the paper's contribution, exact iteration
@@ -64,6 +66,11 @@ struct HarnessOptions {
   /// (counts as finished). Disable to reproduce the hard-DNF regime of
   /// Figure 8.
   bool opq_fallback_hill_climb = true;
+
+  /// Observability sink threaded into whichever method runs (EMS gets
+  /// the full pipeline spans; baselines get graph_build + their own
+  /// similarity span + selection). Null (default) disables. Borrowed.
+  ObsContext* obs = nullptr;
 };
 
 /// Outcome of running one method on one pair.

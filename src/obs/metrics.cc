@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace ems {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  EMS_DCHECK(!bounds_.empty());
+  EMS_DCHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_raw_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  counts_ = counts_raw_.get();
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultHistogramBounds() {
+  static const std::vector<double> kBounds = {1,   2,   5,    10,   20,  50,
+                                              100, 200, 500,  1000, 2000,
+                                              5000};
+  return kBounds;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w->Key(name);
+    w->Int(static_cast<long long>(counter->value()));
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w->Key(name);
+    w->Number(gauge->value());
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, hist] : histograms_) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Int(static_cast<long long>(hist->count()));
+    w->Key("sum");
+    w->Number(hist->sum());
+    w->Key("bounds");
+    w->BeginArray();
+    for (double b : hist->bounds()) w->Number(b);
+    w->EndArray();
+    w->Key("buckets");
+    w->BeginArray();
+    for (size_t i = 0; i <= hist->bounds().size(); ++i) {
+      w->Int(static_cast<long long>(hist->bucket_count(i)));
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  WriteJson(&w);
+  return w.str();
+}
+
+}  // namespace ems

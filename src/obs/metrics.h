@@ -1,0 +1,114 @@
+// Pipeline metrics: named counters, gauges, and fixed-bucket histograms
+// behind a registry. Increments are lock-free (std::atomic, relaxed) so
+// instruments can live in hot loops; the registry itself takes a mutex
+// only on name lookup, so hot paths should resolve their instrument once
+// and increment through the pointer (instruments are never deallocated
+// while the registry lives).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ems {
+
+class JsonWriter;
+
+/// Monotonically increasing event count (EMS iterations, pruned pairs,
+/// candidates evaluated, ...).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (graph sizes, objective values, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i];
+/// one overflow bucket counts the rest. Bounds are fixed at creation.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_raw_;
+  std::atomic<uint64_t>* counts_;  // bounds_.size() + 1 entries
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram buckets: a coarse exponential ladder suitable for
+/// iteration counts and millisecond timings alike.
+const std::vector<double>& DefaultHistogramBounds();
+
+/// \brief Owns all named instruments of one pipeline run.
+///
+/// Get* returns a stable pointer, creating the instrument on first use;
+/// names are exported in sorted order so JSON output is deterministic.
+/// Thread-safe.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+
+  /// `bounds` applies only when the histogram does not exist yet.
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds =
+                              DefaultHistogramBounds());
+
+  /// The counter's current value, or 0 when it was never created.
+  uint64_t CounterValue(std::string_view name) const;
+
+  size_t NumInstruments() const;
+
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms": {...}} as
+  /// one JSON object value (the caller provides the surrounding key).
+  void WriteJson(JsonWriter* w) const;
+
+  /// Convenience: the WriteJson document as a standalone string.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ems

@@ -1,0 +1,18 @@
+// The knob that enables pipeline observability without making option
+// structs depend on the obs machinery: a borrowed ObsContext pointer.
+// Null (the default) disables instrumentation — call sites check the
+// pointer once, so the disabled path costs one predictable branch.
+#pragma once
+
+namespace ems {
+
+struct ObsContext;
+
+/// Observability configuration of a pipeline run.
+struct ObsOptions {
+  /// Borrowed context receiving spans and metrics; null = disabled.
+  /// The context must outlive the run that uses it.
+  ObsContext* context = nullptr;
+};
+
+}  // namespace ems

@@ -1,0 +1,52 @@
+// PipelineReport: the one document a run hands to tooling — span tree,
+// metric values, and the pipeline's own counters (EmsStats /
+// CompositeStats) merged and serialized through util/json_writer. This
+// is what `ems_match --metrics-out=...` writes and what bench_common.h
+// folds into BENCH_*.json.
+#pragma once
+
+#include <string>
+
+#include "core/composite_matcher.h"
+#include "core/ems_similarity.h"
+#include "util/status.h"
+
+namespace ems {
+
+struct ObsContext;
+
+/// \brief Merged observability snapshot of one pipeline run.
+struct PipelineReport {
+  /// End-to-end wall time as measured by the caller (spans cover the
+  /// instrumented phases; this anchors them to the full run).
+  double total_millis = 0.0;
+
+  /// Pipeline counters, accumulated by the caller (see the reset
+  /// semantics documented on the structs).
+  EmsStats ems_stats;
+  CompositeStats composite_stats;
+
+  /// Borrowed span/metric source; may be null (stats-only report).
+  const ObsContext* obs = nullptr;
+
+  /// {"total_millis": .., "spans": [...], "metrics": {...},
+  ///  "ems": {...}, "composite": {...}}
+  std::string ToJson() const;
+
+  /// Chrome trace_event document ("{}" when obs is null).
+  std::string ToChromeTraceJson() const;
+
+  /// Human-readable span tree plus headline counters.
+  std::string RenderText() const;
+
+  Status WriteJsonFile(const std::string& path) const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+};
+
+/// Assembles a report from a context and the match result counters.
+PipelineReport BuildPipelineReport(const ObsContext* obs,
+                                   const EmsStats& ems_stats,
+                                   const CompositeStats& composite_stats,
+                                   double total_millis);
+
+}  // namespace ems

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/context.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+
+namespace ems {
+
+TraceRecorder::TraceRecorder(size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()), max_spans_(max_spans) {}
+
+int64_t TraceRecorder::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int32_t TraceRecorder::BeginSpan(std::string_view name) {
+  const int64_t now = ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  SpanRecord span;
+  span.name = std::string(name);
+  span.id = static_cast<int32_t>(spans_.size());
+  span.parent = stack_.empty() ? -1 : stack_.back();
+  span.depth = static_cast<int32_t>(stack_.size());
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void TraceRecorder::EndSpan(int32_t id) {
+  if (id < 0) return;
+  const int64_t now = ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(id) >= spans_.size()) return;
+  spans_[static_cast<size_t>(id)].duration_us =
+      now - spans_[static_cast<size_t>(id)].start_us;
+  // LIFO discipline: pop the stack down to (and including) this span.
+  // Stray ids deeper in the stack indicate a scoping bug upstream; the
+  // pop keeps the recorder consistent regardless.
+  while (!stack_.empty()) {
+    int32_t top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+  }
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceRecorder::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+uint64_t TraceRecorder::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceRecorder::RenderTree() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  char line[256];
+  for (const SpanRecord& s : spans) {
+    double ms = s.duration_us < 0 ? -1.0
+                                  : static_cast<double>(s.duration_us) / 1000.0;
+    std::snprintf(line, sizeof(line), "%*s%s %s%.3f ms\n", s.depth * 2, "",
+                  s.name.c_str(), s.duration_us < 0 ? "(open) " : "",
+                  ms < 0 ? 0.0 : ms);
+    out += line;
+  }
+  return out;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const SpanRecord& s : spans) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(s.name);
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Int(s.start_us);
+    w.Key("dur");
+    w.Int(s.duration_us < 0 ? 0 : s.duration_us);
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(1);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+namespace {
+
+void WriteSpanSubtree(const std::vector<SpanRecord>& spans,
+                      const std::vector<std::vector<int32_t>>& children,
+                      int32_t id, JsonWriter* w) {
+  const SpanRecord& s = spans[static_cast<size_t>(id)];
+  w->BeginObject();
+  w->Key("name");
+  w->String(s.name);
+  w->Key("start_us");
+  w->Int(s.start_us);
+  w->Key("duration_us");
+  w->Int(s.duration_us);
+  w->Key("children");
+  w->BeginArray();
+  for (int32_t child : children[static_cast<size_t>(id)]) {
+    WriteSpanSubtree(spans, children, child, w);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+void TraceRecorder::WriteJson(JsonWriter* w) const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::vector<std::vector<int32_t>> children(spans.size());
+  w->BeginArray();
+  for (const SpanRecord& s : spans) {
+    if (s.parent >= 0) {
+      children[static_cast<size_t>(s.parent)].push_back(s.id);
+    }
+  }
+  for (const SpanRecord& s : spans) {
+    if (s.parent < 0) WriteSpanSubtree(spans, children, s.id, w);
+  }
+  w->EndArray();
+}
+
+ScopedSpan::ScopedSpan(ObsContext* obs, std::string_view name)
+    : ScopedSpan(obs != nullptr ? &obs->trace : nullptr, name) {}
+
+}  // namespace ems

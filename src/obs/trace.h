@@ -1,0 +1,106 @@
+// Phase tracing: nested spans with start/stop timestamps and parent
+// links, recording where pipeline time goes (graph build -> label
+// similarity -> EMS fixpoint -> pruning -> selection -> composite
+// search). Exports a human-readable tree and Chrome trace_event JSON
+// (load chrome://tracing or https://ui.perfetto.dev).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ems {
+
+class JsonWriter;
+struct ObsContext;
+
+/// One closed (or still-open) span.
+struct SpanRecord {
+  std::string name;
+  int32_t id = -1;
+  int32_t parent = -1;  // index of the enclosing span; -1 for roots
+  int32_t depth = 0;
+  int64_t start_us = 0;      // microseconds since recorder creation
+  int64_t duration_us = -1;  // -1 while the span is open
+};
+
+/// \brief Records a tree of timed spans.
+///
+/// Spans must be opened and closed on one thread in LIFO order (the
+/// ScopedSpan RAII guard guarantees this); a mutex makes concurrent
+/// recorders from different call sites safe. The recorder caps the span
+/// count (composite search evaluates hundreds of candidates) — once the
+/// cap is hit, BeginSpan returns -1 and `dropped_spans` counts the loss.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t max_spans = 4096);
+
+  /// Opens a span as a child of the innermost open span. Returns the
+  /// span id, or -1 when the recorder is at capacity.
+  int32_t BeginSpan(std::string_view name);
+
+  /// Closes the span; -1 is a no-op (capped BeginSpan).
+  void EndSpan(int32_t id);
+
+  /// Snapshot of all spans recorded so far (open spans have
+  /// duration_us == -1).
+  std::vector<SpanRecord> Snapshot() const;
+
+  size_t NumSpans() const;
+  uint64_t dropped_spans() const;
+
+  /// Microseconds elapsed since the recorder was created.
+  int64_t ElapsedMicros() const;
+
+  /// Indented human-readable tree with per-span durations in ms.
+  std::string RenderTree() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"name", "ph": "X",
+  /// "ts", "dur", "pid", "tid"}, ...]}.
+  std::string ToChromeTraceJson() const;
+
+  /// Emits the span tree as one JSON array value of nested
+  /// {"name", "start_us", "duration_us", "children": [...]} objects.
+  void WriteJson(JsonWriter* w) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<int32_t> stack_;  // open span ids, innermost last
+  uint64_t dropped_ = 0;
+  size_t max_spans_;
+};
+
+/// \brief RAII span guard; a null context/recorder disables it entirely.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string_view name)
+      : recorder_(recorder),
+        id_(recorder != nullptr ? recorder->BeginSpan(name) : -1) {}
+
+  /// Convenience: spans the trace recorder of `obs` (null = no-op).
+  ScopedSpan(ObsContext* obs, std::string_view name);
+
+  ~ScopedSpan() { End(); }
+
+  /// Closes the span early; the destructor then becomes a no-op.
+  void End() {
+    if (recorder_ != nullptr) {
+      recorder_->EndSpan(id_);
+      recorder_ = nullptr;
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  int32_t id_;
+};
+
+}  // namespace ems

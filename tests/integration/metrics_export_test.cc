@@ -1,0 +1,132 @@
+// End-to-end check of `ems_match --metrics-out`: runs the real binary on
+// two small trace-format logs and asserts the exported PipelineReport is
+// well-formed JSON carrying the expected phase spans and counters. The
+// binary path is injected by CMake as EMS_MATCH_BINARY.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return env != nullptr ? env : "/tmp";
+}
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << path;
+  out << body;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Minimal structural validator: walks the document and checks that
+// braces/brackets nest correctly outside of string literals.
+bool BalancedJson(const std::string& s) {
+  std::string stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') stack += c;
+    else if (c == '}') {
+      if (stack.empty() || stack.back() != '{') return false;
+      stack.pop_back();
+    } else if (c == ']') {
+      if (stack.empty() || stack.back() != '[') return false;
+      stack.pop_back();
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(MetricsExportTest, EmsMatchWritesPipelineReportJson) {
+  const std::string dir = TempDir();
+  const std::string log1 = dir + "/metrics_export_log1.txt";
+  const std::string log2 = dir + "/metrics_export_log2.txt";
+  const std::string metrics = dir + "/metrics_export_report.json";
+  const std::string trace = dir + "/metrics_export_trace.json";
+  WriteFile(log1, "a;b;c;d\na;b;d\na;c;d\nb;a;c;d\n");
+  WriteFile(log2, "a;b;c;d\na;b;d\na;c;b;d\nb;c;d\n");
+
+  std::string cmd = std::string(EMS_MATCH_BINARY) + " --labels=none" +
+                    " --metrics-out=" + metrics + " --trace-out=" + trace +
+                    " " + log1 + " " + log2 + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::string report = ReadFile(metrics);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(BalancedJson(report));
+
+  // The span tree covers the pipeline phases...
+  EXPECT_NE(report.find("\"match\""), std::string::npos);
+  EXPECT_NE(report.find("\"graph_build\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems_fixpoint\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems_forward\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems_backward\""), std::string::npos);
+  EXPECT_NE(report.find("\"selection\""), std::string::npos);
+  // ...and the registry carries the headline counters.
+  EXPECT_NE(report.find("\"ems.iterations\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems.formula_evaluations\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems.pairs_pruned_converged\""), std::string::npos);
+  EXPECT_NE(report.find("\"graph.builds\":2"), std::string::npos);
+  EXPECT_NE(report.find("\"total_millis\""), std::string::npos);
+
+  // The Chrome trace is a separate, also balanced document.
+  std::string chrome = ReadFile(trace);
+  ASSERT_FALSE(chrome.empty());
+  EXPECT_TRUE(BalancedJson(chrome));
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+}
+
+TEST(MetricsExportTest, CompositeModeExportsCompositeCounters) {
+  const std::string dir = TempDir();
+  const std::string log1 = dir + "/metrics_export_comp1.txt";
+  const std::string log2 = dir + "/metrics_export_comp2.txt";
+  const std::string metrics = dir + "/metrics_export_comp.json";
+  WriteFile(log1, "a;b;c;d\na;b;c;d\na;c;d\n");
+  WriteFile(log2, "a;x;d\na;x;d\na;d\n");
+
+  std::string cmd = std::string(EMS_MATCH_BINARY) + " --labels=none" +
+                    " --composites --metrics-out=" + metrics + " " + log1 +
+                    " " + log2 + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::string report = ReadFile(metrics);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(BalancedJson(report));
+  EXPECT_NE(report.find("\"composite_search\""), std::string::npos);
+  EXPECT_NE(report.find("\"candidate_discovery\""), std::string::npos);
+  EXPECT_NE(report.find("\"composite.candidates_evaluated\""),
+            std::string::npos);
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+  std::remove(metrics.c_str());
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,114 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/context.h"
+
+namespace ems {
+namespace {
+
+TEST(StatsAccumulationTest, EmsStatsAddSumsEveryField) {
+  EmsStats a;
+  a.iterations = 3;
+  a.formula_evaluations = 10;
+  a.pairs_pruned_converged = 4;
+  EmsStats b;
+  b.iterations = 2;
+  b.formula_evaluations = 7;
+  b.pairs_pruned_converged = 1;
+  a.Add(b);
+  EXPECT_EQ(a.iterations, 5);
+  EXPECT_EQ(a.formula_evaluations, 17u);
+  EXPECT_EQ(a.pairs_pruned_converged, 5u);
+}
+
+TEST(StatsAccumulationTest, CompositeStatsAddAndAddEmsRunAreConsistent) {
+  CompositeStats s;
+  EmsStats run;
+  run.iterations = 4;
+  run.formula_evaluations = 100;
+  run.pairs_pruned_converged = 6;
+  s.AddEmsRun(run);
+  s.AddEmsRun(run);
+  // AddEmsRun keeps the Figure-12 top-level counter and the nested
+  // aggregate in lock-step.
+  EXPECT_EQ(s.formula_evaluations, 200u);
+  EXPECT_EQ(s.ems.formula_evaluations, 200u);
+  EXPECT_EQ(s.ems.iterations, 8);
+  EXPECT_EQ(s.ems.pairs_pruned_converged, 12u);
+
+  CompositeStats t;
+  t.candidates_evaluated = 3;
+  t.candidates_pruned_by_bound = 1;
+  t.merges_accepted = 2;
+  t.rows_frozen = 9;
+  t.AddEmsRun(run);
+  s.Add(t);
+  EXPECT_EQ(s.formula_evaluations, 300u);
+  EXPECT_EQ(s.ems.formula_evaluations, 300u);
+  EXPECT_EQ(s.candidates_evaluated, 3);
+  EXPECT_EQ(s.candidates_pruned_by_bound, 1);
+  EXPECT_EQ(s.merges_accepted, 2);
+  EXPECT_EQ(s.rows_frozen, 9u);
+}
+
+TEST(PipelineReportTest, JsonMergesSpansMetricsAndStats) {
+  ObsContext obs;
+  {
+    ScopedSpan span(&obs, "match");
+    ScopedSpan inner(&obs, "ems_fixpoint");
+  }
+  ObsIncrement(&obs, "ems.iterations", 5);
+  ObsSetGauge(&obs, "graph.nodes_left", 12);
+
+  EmsStats ems_stats;
+  ems_stats.iterations = 5;
+  ems_stats.formula_evaluations = 68;
+  ems_stats.pairs_pruned_converged = 9;
+  CompositeStats composite_stats;
+  composite_stats.candidates_evaluated = 2;
+
+  PipelineReport report =
+      BuildPipelineReport(&obs, ems_stats, composite_stats, 12.5);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"total_millis\":12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"match\""), std::string::npos);
+  EXPECT_NE(json.find("\"ems_fixpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"ems.iterations\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"graph.nodes_left\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"formula_evaluations\":68"), std::string::npos);
+  EXPECT_NE(json.find("\"pairs_pruned_converged\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates_evaluated\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+TEST(PipelineReportTest, NullContextStillProducesValidStatsOnlyJson) {
+  EmsStats ems_stats;
+  ems_stats.iterations = 1;
+  PipelineReport report =
+      BuildPipelineReport(nullptr, ems_stats, CompositeStats{}, 1.0);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{}"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":1"), std::string::npos);
+  EXPECT_EQ(report.ToChromeTraceJson(), "{}");
+}
+
+TEST(PipelineReportTest, RenderTextShowsTotalsAndTree) {
+  ObsContext obs;
+  {
+    ScopedSpan span(&obs, "match");
+  }
+  EmsStats ems_stats;
+  ems_stats.iterations = 3;
+  PipelineReport report =
+      BuildPipelineReport(&obs, ems_stats, CompositeStats{}, 2.0);
+  std::string text = report.RenderText();
+  EXPECT_NE(text.find("total: 2.000 ms"), std::string::npos);
+  EXPECT_NE(text.find("3 iterations"), std::string::npos);
+  EXPECT_NE(text.find("match"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/context.h"
+#include "util/json_writer.h"
+
+namespace ems {
+namespace {
+
+TEST(TraceRecorderTest, RecordsNestingViaParentAndDepth) {
+  TraceRecorder recorder;
+  int32_t outer = recorder.BeginSpan("outer");
+  int32_t inner = recorder.BeginSpan("inner");
+  recorder.EndSpan(inner);
+  int32_t sibling = recorder.BeginSpan("sibling");
+  recorder.EndSpan(sibling);
+  recorder.EndSpan(outer);
+  int32_t root2 = recorder.BeginSpan("root2");
+  recorder.EndSpan(root2);
+
+  std::vector<SpanRecord> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, outer);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent, outer);
+  EXPECT_EQ(spans[3].name, "root2");
+  EXPECT_EQ(spans[3].parent, -1);
+  for (const SpanRecord& s : spans) {
+    EXPECT_GE(s.duration_us, 0) << s.name;
+    EXPECT_GE(s.start_us, 0) << s.name;
+  }
+  // Children lie within the parent's window.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].start_us + spans[1].duration_us,
+            spans[0].start_us + spans[0].duration_us);
+}
+
+TEST(TraceRecorderTest, ScopedSpanClosesOnDestruction) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan outer(&recorder, "outer");
+    ScopedSpan inner(&recorder, "inner");
+  }
+  std::vector<SpanRecord> spans = recorder.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_GE(spans[0].duration_us, 0);
+  EXPECT_GE(spans[1].duration_us, 0);
+}
+
+TEST(TraceRecorderTest, ExplicitEndIsIdempotent) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan span(&recorder, "phase");
+    span.End();
+    span.End();  // second End and the destructor are no-ops
+  }
+  ASSERT_EQ(recorder.NumSpans(), 1u);
+  EXPECT_GE(recorder.Snapshot()[0].duration_us, 0);
+}
+
+TEST(TraceRecorderTest, NullRecorderAndContextAreNoOps) {
+  ScopedSpan a(static_cast<TraceRecorder*>(nullptr), "x");
+  ScopedSpan b(static_cast<ObsContext*>(nullptr), "y");
+  a.End();
+  // Destructors must not crash.
+}
+
+TEST(TraceRecorderTest, CapsSpansAndCountsDrops) {
+  TraceRecorder recorder(/*max_spans=*/2);
+  int32_t a = recorder.BeginSpan("a");
+  recorder.EndSpan(a);
+  int32_t b = recorder.BeginSpan("b");
+  recorder.EndSpan(b);
+  int32_t c = recorder.BeginSpan("c");
+  EXPECT_EQ(c, -1);
+  recorder.EndSpan(c);  // no-op
+  EXPECT_EQ(recorder.NumSpans(), 2u);
+  EXPECT_EQ(recorder.dropped_spans(), 1u);
+}
+
+TEST(TraceRecorderTest, JsonTreeRoundTripsNesting) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan outer(&recorder, "match");
+    ScopedSpan inner(&recorder, "ems_fixpoint");
+  }
+  JsonWriter w;
+  recorder.WriteJson(&w);
+  std::string json = w.str();
+  // The inner span is nested in the outer span's children array.
+  size_t outer_pos = json.find("\"match\"");
+  size_t children_pos = json.find("\"children\":[", outer_pos);
+  size_t inner_pos = json.find("\"ems_fixpoint\"", children_pos);
+  EXPECT_NE(outer_pos, std::string::npos);
+  EXPECT_NE(children_pos, std::string::npos);
+  EXPECT_NE(inner_pos, std::string::npos);
+}
+
+TEST(TraceRecorderTest, ChromeTraceExportsCompleteEvents) {
+  TraceRecorder recorder;
+  int32_t id = recorder.BeginSpan("phase");
+  recorder.EndSpan(id);
+  std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, RenderTreeIndentsByDepth) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan outer(&recorder, "outer");
+    ScopedSpan inner(&recorder, "inner");
+  }
+  std::string tree = recorder.RenderTree();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("  inner"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,41 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+TEST(TimerTest, StartsAtZeroAndGrowsMonotonically) {
+  Timer timer;
+  double first = timer.ElapsedMillis();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  double second = timer.ElapsedMillis();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 2.0);
+}
+
+TEST(TimerTest, ResetRestartsTheStopwatch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double before = timer.ElapsedMillis();
+  EXPECT_GE(before, 5.0);
+  timer.Reset();
+  double after = timer.ElapsedMillis();
+  EXPECT_LT(after, before);
+}
+
+TEST(TimerTest, SecondsMatchMillis) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  double millis = timer.ElapsedMillis();
+  double seconds = timer.ElapsedSeconds();
+  // Seconds is sampled after millis, so it may only be larger.
+  EXPECT_GE(seconds * 1000.0, millis);
+  EXPECT_NEAR(seconds * 1000.0, millis, 5.0);
+}
+
+}  // namespace
+}  // namespace ems

@@ -3,14 +3,20 @@
 // exactly what ems_generate exports and `ems_match --tsv` emits, after
 // expanding "a + b" groups into their member links).
 //
-//   ems_eval TRUTH.tsv FOUND.tsv
+//   ems_eval [--metrics-out=PATH] TRUTH.tsv FOUND.tsv
+//
+// --metrics-out writes a PipelineReport JSON with spans for the
+// load_truth / load_found / evaluate phases and link counters.
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <string>
 
 #include "eval/metrics.h"
+#include "obs/context.h"
+#include "obs/report.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -60,26 +66,69 @@ Result<std::set<std::pair<std::string, std::string>>> ReadLinks(
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s TRUTH.tsv FOUND.tsv\n", argv[0]);
+  std::string metrics_out;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--metrics-out=";
+    if (arg.rfind(prefix, 0) == 0) {
+      metrics_out = arg.substr(prefix.size());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "usage: %s [--metrics-out=PATH] TRUTH.tsv FOUND.tsv\n",
+                 argv[0]);
     return 2;
   }
-  auto truth = ReadLinks(argv[1]);
+
+  ObsContext obs_storage;
+  ObsContext* obs = metrics_out.empty() ? nullptr : &obs_storage;
+  Timer total_timer;
+
+  ScopedSpan truth_span(obs, "load_truth");
+  auto truth = ReadLinks(positional[0]);
+  truth_span.End();
   if (!truth.ok()) {
     std::fprintf(stderr, "error: %s\n", truth.status().ToString().c_str());
     return 1;
   }
-  auto found = ReadLinks(argv[2]);
+  ScopedSpan found_span(obs, "load_found");
+  auto found = ReadLinks(positional[1]);
+  found_span.End();
   if (!found.ok()) {
     std::fprintf(stderr, "error: %s\n", found.status().ToString().c_str());
     return 1;
   }
+  ScopedSpan eval_span(obs, "evaluate");
   MatchQuality q = EvaluateLinks(*truth, *found);
+  eval_span.End();
   std::printf("truth links:   %zu\n", q.truth_links);
   std::printf("found links:   %zu\n", q.found_links);
   std::printf("correct links: %zu\n", q.correct_links);
   std::printf("precision:     %.4f\n", q.precision);
   std::printf("recall:        %.4f\n", q.recall);
   std::printf("f-measure:     %.4f\n", q.f_measure);
+
+  if (obs != nullptr) {
+    ObsIncrement(obs, "eval.truth_links", q.truth_links);
+    ObsIncrement(obs, "eval.found_links", q.found_links);
+    ObsIncrement(obs, "eval.correct_links", q.correct_links);
+    ObsSetGauge(obs, "eval.precision", q.precision);
+    ObsSetGauge(obs, "eval.recall", q.recall);
+    ObsSetGauge(obs, "eval.f_measure", q.f_measure);
+    PipelineReport report = BuildPipelineReport(
+        obs, EmsStats{}, CompositeStats{}, total_timer.ElapsedMillis());
+    Status st = report.WriteJsonFile(metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", metrics_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

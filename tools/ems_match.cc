@@ -22,6 +22,10 @@
 //   --matrix                      also print the similarity matrix
 //   --tsv                         machine-readable tab-separated output
 //   --json                        JSON output (correspondences + stats)
+//   --metrics-out=PATH            write a PipelineReport JSON (span tree,
+//                                 counters, gauges, histograms) to PATH
+//   --trace-out=PATH              write Chrome trace_event JSON to PATH
+//                                 (open in chrome://tracing / Perfetto)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,7 +35,10 @@
 #include "log/log_io.h"
 #include "log/mxml.h"
 #include "log/xes.h"
+#include "obs/context.h"
+#include "obs/report.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -76,6 +83,8 @@ struct Flags {
   bool matrix = false;
   bool tsv = false;
   bool json = false;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> positional;
 };
 
@@ -111,6 +120,10 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       flags.min_similarity = std::atof(value.c_str());
     } else if (ParseFlag(arg, "min-edge-frequency", &value)) {
       flags.min_edge_frequency = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      flags.metrics_out = value;
+    } else if (ParseFlag(arg, "trace-out", &value)) {
+      flags.trace_out = value;
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown option '" + arg + "'");
     } else {
@@ -214,12 +227,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Matcher matcher(*options);
+  const bool want_obs = !flags.metrics_out.empty() || !flags.trace_out.empty();
+  ObsContext obs;
+  MatchOptions match_options = *options;
+  if (want_obs) match_options.obs.context = &obs;
+
+  Matcher matcher(match_options);
+  Timer total_timer;
   Result<MatchResult> result = matcher.Match(*log1, *log2);
+  const double total_millis = total_timer.ElapsedMillis();
   if (!result.ok()) {
     std::fprintf(stderr, "matching failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
+  }
+
+  if (want_obs) {
+    PipelineReport report =
+        BuildPipelineReport(&obs, result->ems_stats, result->composite_stats,
+                            total_millis);
+    if (!flags.metrics_out.empty()) {
+      Status st = report.WriteJsonFile(flags.metrics_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error writing %s: %s\n",
+                     flags.metrics_out.c_str(), st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (!flags.trace_out.empty()) {
+      Status st = report.WriteChromeTraceFile(flags.trace_out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error writing %s: %s\n",
+                     flags.trace_out.c_str(), st.ToString().c_str());
+        return 1;
+      }
+    }
   }
 
   if (flags.json) {
