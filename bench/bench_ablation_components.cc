@@ -38,7 +38,8 @@ double RunDirectional(const LogPair& pair, Direction direction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Ablation", "EMS components (directions, artificial event, "
                           "edge coefficients)");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());

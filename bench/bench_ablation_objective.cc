@@ -9,7 +9,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Ablation", "composite greedy objective");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
   std::vector<const LogPair*> pairs = Pointers(ds.composite);

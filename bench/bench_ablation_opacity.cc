@@ -8,7 +8,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Ablation", "label opacity: structural EMS vs label-only ICoP");
   TextTable table({"opaque fraction", "EMS (structural)", "EMS (labels)",
                    "ICoP (labels)", "BHV (labels)"});

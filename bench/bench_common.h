@@ -15,11 +15,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/harness.h"
 #include "eval/table.h"
+#include "exec/thread_pool.h"
 #include "obs/context.h"
 #include "synth/dataset.h"
 #include "util/json_writer.h"
@@ -27,6 +29,47 @@
 
 namespace ems {
 namespace bench {
+
+/// Requested worker threads for the RunGroup sweeps. Settable via
+/// `--threads=N` (see Init) or the EMS_BENCH_THREADS environment
+/// variable; -1 (unset) means hardware concurrency, 0 means serial.
+inline int& BenchThreadsFlag() {
+  static int threads = [] {
+    const char* env = std::getenv("EMS_BENCH_THREADS");
+    return env != nullptr ? std::atoi(env) : -1;
+  }();
+  return threads;
+}
+
+/// Effective worker count (>= 1; 1 = serial sweeps).
+inline int BenchWorkers() {
+  const int t = BenchThreadsFlag();
+  if (t < 0) return exec::ThreadPool::EffectiveThreads(0);
+  return t == 0 ? 1 : t;
+}
+
+/// The pool shared by every RunGroup sweep of this binary, or null when
+/// running serially. Sized on first use — call Init before RunGroup.
+inline exec::ThreadPool* BenchPool() {
+  if (BenchWorkers() <= 1) return nullptr;
+  static exec::ThreadPool pool(BenchWorkers());
+  return &pool;
+}
+
+/// Parses the shared bench flags (currently `--threads=N`) from argv.
+/// Call at the top of main, before the first RunGroup.
+inline void Init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      BenchThreadsFlag() = std::atoi(arg.substr(prefix.size()).c_str());
+    } else {
+      std::fprintf(stderr, "warning: ignoring unknown option '%s'\n",
+                   arg.c_str());
+    }
+  }
+}
 
 /// Aggregated outcome of running one method over a group of log pairs.
 struct GroupResult {
@@ -39,6 +82,10 @@ struct GroupResult {
   /// Total wall time per instrumented phase across all pairs of the
   /// group, in ms. Empty unless EMS_BENCH_JSON_DIR enabled tracing.
   std::map<std::string, double> phase_millis;
+
+  /// Wall-time speedup vs a serial reference sweep (bench_parallel);
+  /// 0 when the group was not measured against one.
+  double speedup = 0.0;
 };
 
 /// Directory for BENCH_*.json exports, or empty when disabled.
@@ -68,23 +115,15 @@ class BenchJsonRecorder {
   void AddGroup(const std::string& method, const GroupResult& group) {
     if (BenchJsonDir().empty()) return;
     records_.push_back({method, group});
+    // Rewritten after every group: a run that dies mid-way (OPQ budget
+    // blowup, OOM kill, ^C between groups) leaves the last complete
+    // document instead of nothing.
+    Flush();
   }
 
-  ~BenchJsonRecorder() { Flush(); }
-
- private:
-  BenchJsonRecorder() = default;
-
-  static std::string Sanitize(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (std::isalnum(static_cast<unsigned char>(c))) out += c;
-      else if (!out.empty() && out.back() != '_') out += '_';
-    }
-    while (!out.empty() && out.back() == '_') out.pop_back();
-    return out;
-  }
-
+  /// Writes BENCH_<figure>.json with the records so far. Atomic
+  /// (tmp file + rename), so readers never observe truncated JSON.
+  /// Idempotent; also runs on destruction (program exit).
   void Flush() {
     if (BenchJsonDir().empty() || records_.empty()) return;
     JsonWriter w;
@@ -93,6 +132,8 @@ class BenchJsonRecorder {
     w.String(figure_.empty() ? "unknown" : figure_);
     w.Key("description");
     w.String(description_);
+    w.Key("threads");
+    w.Int(BenchWorkers());
     w.Key("groups");
     w.BeginArray();
     for (const auto& [method, group] : records_) {
@@ -113,6 +154,10 @@ class BenchJsonRecorder {
       w.Number(group.mean_millis);
       w.Key("formula_evaluations");
       w.Int(static_cast<long long>(group.formula_evaluations));
+      if (group.speedup > 0.0) {
+        w.Key("speedup");
+        w.Number(group.speedup);
+      }
       w.Key("phase_millis");
       w.BeginObject();
       for (const auto& [phase, ms] : group.phase_millis) {
@@ -127,8 +172,30 @@ class BenchJsonRecorder {
     const std::string path =
         BenchJsonDir() + "/BENCH_" +
         (figure_.empty() ? std::string("unknown") : figure_) + ".json";
-    std::ofstream out(path);
-    if (out) out << w.str() << "\n";
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp);
+    if (!out) return;
+    out << w.str() << "\n";
+    out.flush();
+    const bool good = out.good();
+    out.close();
+    if (good) std::rename(tmp.c_str(), path.c_str());
+    else std::remove(tmp.c_str());
+  }
+
+  ~BenchJsonRecorder() { Flush(); }
+
+ private:
+  BenchJsonRecorder() = default;
+
+  static std::string Sanitize(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      else if (!out.empty() && out.back() != '_') out += '_';
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
   }
 
   std::string figure_;
@@ -143,16 +210,18 @@ inline GroupResult RunGroup(Method method,
   QualityAccumulator acc;
   double total_ms = 0.0;
   const bool tracing = !BenchJsonDir().empty();
-  for (const LogPair* pair : pairs) {
-    // A fresh context per pair keeps the span count well under the
-    // recorder's cap; durations aggregate by phase name below.
-    ObsContext obs;
-    HarnessOptions run_options = options;
-    if (tracing) run_options.obs = &obs;
-    MethodRun run = RunMethod(method, *pair, run_options);
+  // Pairs fan out across the bench pool (serial when --threads=0); runs
+  // come back index-aligned and bit-identical to a serial sweep. A fresh
+  // context per pair keeps the span count well under the recorder's cap;
+  // durations aggregate by phase name below.
+  std::vector<std::unique_ptr<ObsContext>> per_pair_obs;
+  const std::vector<MethodRun> runs = RunMethodOnPairs(
+      method, pairs, options, BenchPool(), tracing ? &per_pair_obs : nullptr);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const MethodRun& run = runs[i];
     total_ms += run.millis;
     if (tracing) {
-      for (const SpanRecord& span : obs.trace.Snapshot()) {
+      for (const SpanRecord& span : per_pair_obs[i]->trace.Snapshot()) {
         if (span.duration_us < 0) continue;
         group.phase_millis[span.name] +=
             static_cast<double>(span.duration_us) / 1000.0;

@@ -8,7 +8,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Extension", "empirical estimation error (the paper's open "
                            "question)");
   PairOptions opts;

@@ -6,7 +6,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 3", "matching singleton events (structural only)");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
 

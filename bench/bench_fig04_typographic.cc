@@ -7,7 +7,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 4",
               "matching singleton events + typographic similarity");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());

@@ -34,7 +34,8 @@ PruneStats RunWithPruning(const std::vector<const LogPair*>& pairs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 6", "prune power of early convergence");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
 

@@ -6,7 +6,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 7", "minimum frequency control");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
   std::vector<const LogPair*> pairs = Pointers(ds.ds_fb);

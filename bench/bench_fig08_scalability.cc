@@ -7,7 +7,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 8", "scalability over the number of events");
   const char* pairs_env = std::getenv("EMS_BENCH_PAIRS_PER_SIZE");
   int pairs_per_size = pairs_env != nullptr ? std::atoi(pairs_env) : 5;

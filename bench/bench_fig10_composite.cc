@@ -7,7 +7,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 10", "matching composite events (structural only)");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
   std::vector<const LogPair*> pairs = Pointers(ds.composite);

@@ -5,7 +5,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 11",
               "matching composite events + typographic similarity");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());

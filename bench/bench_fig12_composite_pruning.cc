@@ -9,7 +9,8 @@
 using namespace ems;
 using namespace ems::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv);
   PrintHeader("Figure 12", "prune power of Uc and Bd (composite matching)");
   RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
 

@@ -1,0 +1,93 @@
+// Parallel-sweep figure: wall time of a Figure-7-style harness sweep
+// (EMS and EMS+es over DS-FB) at 1 and 4 worker threads, plus the
+// speedup. Both sweeps produce bit-identical quality numbers — the
+// parallel runs are pure functions of (method, pair, options) — so the
+// table doubles as an equivalence check; a mismatch prints loudly.
+//
+// With EMS_BENCH_JSON_DIR set, BENCH_Parallel_sweep.json records one
+// group per (method, threads) cell; the "threads" suffix in the method
+// name and the speedup rows make perf trajectories comparable across
+// machines.
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace ems;
+using namespace ems::bench;
+
+namespace {
+
+struct SweepResult {
+  GroupResult group;
+  double total_millis = 0.0;
+};
+
+SweepResult Sweep(Method method, const std::vector<const LogPair*>& pairs,
+                  const HarnessOptions& options, int threads) {
+  SweepResult sweep;
+  exec::ThreadPool pool(threads);
+  QualityAccumulator acc;
+  Timer timer;
+  const std::vector<MethodRun> runs = RunMethodOnPairs(
+      method, pairs, options, threads > 1 ? &pool : nullptr);
+  sweep.total_millis = timer.ElapsedMillis();
+  for (const MethodRun& run : runs) {
+    if (run.dnf) {
+      ++sweep.group.dnf;
+      continue;
+    }
+    acc.Add(run.quality);
+    sweep.group.formula_evaluations += run.ems_stats.formula_evaluations +
+                                       run.composite_stats.formula_evaluations;
+  }
+  sweep.group.quality = acc.Mean();
+  sweep.group.pairs = static_cast<int>(pairs.size());
+  sweep.group.mean_millis =
+      pairs.empty() ? 0.0
+                    : sweep.total_millis / static_cast<double>(pairs.size());
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Init(argc, argv);
+  PrintHeader("Parallel sweep", "harness wall time vs worker threads");
+  RealisticDataset ds = MakeRealisticDataset(ScaledDatasetOptions());
+  std::vector<const LogPair*> pairs = Pointers(ds.ds_fb);
+
+  HarnessOptions options;
+  options.use_labels = false;
+
+  bool identical = true;
+  TextTable table(
+      {"method", "serial ms", "4-thread ms", "speedup", "f-measure"});
+  for (Method m : {Method::kEms, Method::kEmsEstimated}) {
+    SweepResult serial = Sweep(m, pairs, options, 1);
+    SweepResult parallel = Sweep(m, pairs, options, 4);
+    const double speedup = parallel.total_millis > 0.0
+                               ? serial.total_millis / parallel.total_millis
+                               : 0.0;
+    if (serial.group.quality.f_measure != parallel.group.quality.f_measure ||
+        serial.group.formula_evaluations !=
+            parallel.group.formula_evaluations) {
+      identical = false;
+    }
+    table.AddRow({MethodName(m), MillisCell(serial.total_millis),
+                  MillisCell(parallel.total_millis), Cell(speedup, 2) + "x",
+                  Cell(parallel.group.quality.f_measure)});
+    BenchJsonRecorder::Instance().AddGroup(
+        std::string(MethodName(m)) + "/threads=1", serial.group);
+    GroupResult parallel_record = parallel.group;
+    parallel_record.speedup = speedup;
+    BenchJsonRecorder::Instance().AddGroup(
+        std::string(MethodName(m)) + "/threads=4", parallel_record);
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (!identical) {
+    std::printf("ERROR: parallel sweep diverged from the serial sweep\n");
+    return 1;
+  }
+  std::printf("parallel results bit-identical to serial: yes\n");
+  return 0;
+}

@@ -1,10 +1,10 @@
 #include "core/ems_similarity.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
 
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "obs/context.h"
 
 namespace ems {
@@ -24,6 +24,8 @@ EmsSimilarity::EmsSimilarity(
   }
 #endif
 }
+
+EmsSimilarity::~EmsSimilarity() = default;
 
 double EmsSimilarity::EdgeCoefficient(double fa, double fb) const {
   EMS_DCHECK(fa > 0.0 || fb > 0.0);
@@ -141,11 +143,9 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
     return result;
   };
 
-  int threads = options_.num_threads;
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
+  int threads = options_.pool != nullptr
+                    ? options_.pool->num_threads()
+                    : exec::ThreadPool::EffectiveThreads(options_.num_threads);
   threads = std::min<int>(threads, std::max<NodeId>(rows, 1));
 
   if (threads <= 1) {
@@ -155,21 +155,29 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
     return result.max_delta;
   }
 
-  // Each worker writes a disjoint row range of `next` and reads only
-  // `prev`; no synchronization needed beyond the join.
-  std::vector<RowRangeResult> results(static_cast<size_t>(threads));
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  const NodeId chunk = (rows + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    NodeId begin = t * chunk;
-    NodeId end = std::min<NodeId>(begin + chunk, rows);
-    if (begin >= end) break;
-    workers.emplace_back([&, t, begin, end] {
-      results[static_cast<size_t>(t)] = run_rows(begin, end);
-    });
+  if (options_.prune_converged) {
+    // The graphs memoize their longest-distance vectors lazily in a
+    // const accessor; first-touch them here, on the coordinating
+    // thread, so concurrent chunks calling ConvergenceHorizon only read.
+    if (direction == Direction::kForward) {
+      g1_.LongestDistancesFromArtificial();
+      g2_.LongestDistancesFromArtificial();
+    } else {
+      g1_.LongestDistancesToArtificial();
+      g2_.LongestDistancesToArtificial();
+    }
   }
-  for (std::thread& w : workers) w.join();
+
+  // Each chunk writes a disjoint row range of `next` and reads only
+  // `prev`; no synchronization needed beyond the join. Per-chunk results
+  // merge by sum/max, so the outcome is independent of scheduling.
+  std::vector<RowRangeResult> results(static_cast<size_t>(threads));
+  exec::ParallelForChunks(
+      IteratePool(threads), 0, static_cast<size_t>(rows), threads,
+      [&](int chunk, size_t begin, size_t end) {
+        results[static_cast<size_t>(chunk)] = run_rows(
+            static_cast<NodeId>(begin), static_cast<NodeId>(end));
+      });
   double max_delta = 0.0;
   for (const RowRangeResult& r : results) {
     max_delta = std::max(max_delta, r.max_delta);
@@ -177,6 +185,14 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
     stats_.pairs_pruned_converged += r.pruned;
   }
   return max_delta;
+}
+
+exec::ThreadPool* EmsSimilarity::IteratePool(int threads) {
+  if (options_.pool != nullptr) return options_.pool;
+  if (owned_pool_ == nullptr || owned_pool_->num_threads() < threads) {
+    owned_pool_ = std::make_unique<exec::ThreadPool>(threads);
+  }
+  return owned_pool_.get();
 }
 
 SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,

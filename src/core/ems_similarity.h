@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -17,6 +18,10 @@
 namespace ems {
 
 struct ObsContext;
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 
 /// Which neighbor direction the propagation follows.
 enum class Direction {
@@ -49,8 +54,17 @@ struct EmsOptions {
 
   /// Worker threads per iteration. Each iteration reads only the previous
   /// matrix, so rows partition cleanly; useful from ~50 events upward.
-  /// 1 = single-threaded (default); 0 = hardware concurrency.
+  /// 1 = single-threaded (default); 0 = hardware concurrency. Results are
+  /// bit-identical for every thread count (disjoint row writes, and the
+  /// per-chunk reductions are order-independent).
   int num_threads = 1;
+
+  /// Execution pool to run iterations on (borrowed, not owned). When
+  /// null and num_threads != 1, the similarity lazily creates a private
+  /// pool reused across all its iterations. When the computation itself
+  /// runs on one of this pool's workers (nested parallelism), iterations
+  /// degrade to serial instead of deadlocking on the bounded queue.
+  exec::ThreadPool* pool = nullptr;
 
   /// Observability sink (spans + counters); null (default) disables
   /// instrumentation with near-zero overhead. Borrowed, not owned.
@@ -123,6 +137,7 @@ class EmsSimilarity {
                 const EmsOptions& options,
                 const std::vector<std::vector<double>>* label_similarity =
                     nullptr);
+  ~EmsSimilarity();  // out-of-line: owned_pool_ is incomplete here
 
   /// Runs the iteration to convergence and returns the final combined
   /// similarity matrix (average of forward and backward for kBoth).
@@ -176,11 +191,16 @@ class EmsSimilarity {
 
   double LabelAt(NodeId v1, NodeId v2) const;
 
+  // The pool Iterate runs on: options_.pool, else a lazily-created owned
+  // pool (kept across iterations so threads spawn once per computation).
+  exec::ThreadPool* IteratePool(int threads);
+
   const DependencyGraph& g1_;
   const DependencyGraph& g2_;
   EmsOptions options_;
   const std::vector<std::vector<double>>* label_;
   EmsStats stats_;
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
 };
 
 /// Convenience wrapper: computes the EMS similarity matrix between two

@@ -31,7 +31,7 @@ void Matcher::ComputeSimilarity(const DependencyGraph& g1,
   const std::vector<std::vector<double>>* labels_ptr = nullptr;
   if (measure != nullptr && options_.label_measure != LabelMeasure::kNone) {
     ScopedSpan span(obs, "label_similarity");
-    labels = LabelSimilarityMatrix(g1, g2, *measure);
+    labels = LabelSimilarityMatrix(g1, g2, *measure, options_.ems.pool);
     labels_ptr = &labels;
   }
   EmsOptions ems_opts = options_.ems;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel.h"
+
 namespace ems {
 
 Status LogRepository::Add(const std::string& name, EventLog log) {
@@ -43,23 +45,31 @@ Result<const EventLog*> LogRepository::Get(const std::string& name) const {
 }
 
 Result<std::vector<RepositoryHit>> LogRepository::Query(
-    const EventLog& query, size_t top_k) const {
-  std::vector<RepositoryHit> hits;
-  hits.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    EMS_ASSIGN_OR_RETURN(MatchResult match, matcher_.Match(query, e.log));
-    double total = 0.0;
-    for (const Correspondence& c : match.correspondences) {
-      total += c.similarity;
-    }
-    RepositoryHit hit;
-    hit.name = e.name;
-    hit.score = match.correspondences.empty()
-                    ? 0.0
-                    : total / static_cast<double>(match.correspondences.size());
-    hit.match = std::move(match);
-    hits.push_back(std::move(hit));
+    const EventLog& query, size_t top_k, exec::ThreadPool* pool) const {
+  std::vector<RepositoryHit> hits(entries_.size());
+  exec::TaskGroup group(pool);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    group.Run([this, &query, &hits, i, token = group.token()]() -> Status {
+      if (token.cancelled()) {
+        return Status::Cancelled("repository query aborted");
+      }
+      const Entry& e = entries_[i];
+      EMS_ASSIGN_OR_RETURN(MatchResult match, matcher_.Match(query, e.log));
+      double total = 0.0;
+      for (const Correspondence& c : match.correspondences) {
+        total += c.similarity;
+      }
+      RepositoryHit& hit = hits[i];
+      hit.name = e.name;
+      hit.score = match.correspondences.empty()
+                      ? 0.0
+                      : total /
+                            static_cast<double>(match.correspondences.size());
+      hit.match = std::move(match);
+      return Status::OK();
+    });
   }
+  EMS_RETURN_NOT_OK(group.Wait());
   std::stable_sort(hits.begin(), hits.end(),
                    [](const RepositoryHit& a, const RepositoryHit& b) {
                      return a.score > b.score;

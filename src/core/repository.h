@@ -11,6 +11,10 @@
 
 namespace ems {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 /// One ranked answer to a repository query.
 struct RepositoryHit {
   std::string name;           // the stored log's name
@@ -44,8 +48,16 @@ class LogRepository {
   /// Matches `query` against every stored log and returns up to `top_k`
   /// hits, best score first. Scores are the mean similarity of selected
   /// correspondences (0 when nothing matches).
+  ///
+  /// `pool` (optional, borrowed) fans the per-log matchings out across
+  /// workers — the embarrassingly-parallel warehouse scan. Results and
+  /// ranking are identical to the serial run: each matching is a pure
+  /// function of (query, stored log, options) and ties keep insertion
+  /// order via a stable sort over the index-ordered hits.
   Result<std::vector<RepositoryHit>> Query(const EventLog& query,
-                                           size_t top_k = 5) const;
+                                           size_t top_k = 5,
+                                           exec::ThreadPool* pool =
+                                               nullptr) const;
 
   /// Access a stored log by name.
   Result<const EventLog*> Get(const std::string& name) const;

@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include "exec/parallel.h"
+
 #include "baselines/bhv.h"
 #include "baselines/ged.h"
 #include "baselines/icop.h"
@@ -268,6 +270,39 @@ MethodRun RunMethod(Method method, const LogPair& pair,
       return RunIcop(pair, options);
   }
   return MethodRun{};
+}
+
+std::vector<MethodRun> RunMethodOnPairs(
+    Method method, const std::vector<const LogPair*>& pairs,
+    const HarnessOptions& options, exec::ThreadPool* pool,
+    std::vector<std::unique_ptr<ObsContext>>* per_pair_obs) {
+  std::vector<MethodRun> runs(pairs.size());
+  if (per_pair_obs != nullptr) {
+    per_pair_obs->clear();
+    per_pair_obs->reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      per_pair_obs->push_back(std::make_unique<ObsContext>());
+    }
+  }
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
+  exec::TaskGroup group(pool);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    group.Run([&, i]() -> Status {
+      HarnessOptions run_options = options;
+      if (per_pair_obs != nullptr) {
+        run_options.obs = (*per_pair_obs)[i].get();
+      } else if (parallel) {
+        run_options.obs = nullptr;  // span trees cannot interleave
+      }
+      runs[i] = RunMethod(method, *pairs[i], run_options);
+      return Status::OK();
+    });
+  }
+  // RunMethod reports failures as DNF runs rather than statuses; the
+  // only Wait errors are escaped exceptions, which have nowhere better
+  // to surface than the (empty) runs they left behind.
+  (void)group.Wait();
+  return runs;
 }
 
 }  // namespace ems

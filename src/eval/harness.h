@@ -4,7 +4,9 @@
 // EMS, EMS+es, GED, OPQ, BHV (plus SimRank for ablation).
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/matcher.h"
 #include "eval/metrics.h"
@@ -13,6 +15,10 @@
 namespace ems {
 
 struct ObsContext;
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 
 /// The matching approaches compared in Section 5.
 enum class Method {
@@ -85,5 +91,22 @@ struct MethodRun {
 /// Runs `method` on `pair` and evaluates against the pair's ground truth.
 MethodRun RunMethod(Method method, const LogPair& pair,
                     const HarnessOptions& options);
+
+/// Runs `method` on every pair, fanned out across `pool` (serial, in
+/// index order, when null). The returned runs are index-aligned with
+/// `pairs` and bit-identical to the serial sweep: each run is a pure
+/// function of (method, pair, options) — stochastic methods (OPQ
+/// hill-climb) seed a private RNG stream from their options, so workers
+/// never share generator state.
+///
+/// When `per_pair_obs` is non-null it is filled with one fresh ObsContext
+/// per pair and `options.obs` is ignored; a single TraceRecorder cannot
+/// hold the span trees of concurrent runs (spans nest per thread), which
+/// is also why a shared `options.obs` is dropped when the sweep actually
+/// runs in parallel.
+std::vector<MethodRun> RunMethodOnPairs(
+    Method method, const std::vector<const LogPair*>& pairs,
+    const HarnessOptions& options, exec::ThreadPool* pool,
+    std::vector<std::unique_ptr<ObsContext>>* per_pair_obs = nullptr);
 
 }  // namespace ems

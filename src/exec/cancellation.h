@@ -1,0 +1,49 @@
+// Cooperative cancellation: a source flips an atomic flag, tokens poll
+// it. Tasks that honor their token stop at the next natural checkpoint
+// (an EMS iteration boundary, the next pair of a sweep); nothing is ever
+// interrupted mid-write, so cancelled state is always consistent.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace ems {
+namespace exec {
+
+/// \brief Read side of a cancellation flag. Cheap to copy; copies share
+/// the underlying flag.
+class CancellationToken {
+ public:
+  /// A token that can never be cancelled (the default for callers that
+  /// don't participate).
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief Owner of a cancellation flag.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace exec
+}  // namespace ems

@@ -1,0 +1,159 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace ems {
+namespace exec {
+
+namespace {
+
+// Completion latch for ParallelForChunks.
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = 0;
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--pending == 0) cv.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+}  // namespace
+
+void ParallelForChunks(
+    ThreadPool* pool, size_t begin, size_t end, int max_chunks,
+    const std::function<void(int chunk, size_t begin, size_t end)>& body) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  size_t chunks = max_chunks > 0 ? static_cast<size_t>(max_chunks) : 1;
+  chunks = std::min(chunks, n);
+
+  // Chunk geometry is a pure function of (n, chunks): the first `rem`
+  // chunks get one extra element. Computed identically in serial and
+  // parallel execution.
+  const size_t base = n / chunks;
+  const size_t rem = n % chunks;
+  auto chunk_range = [&](size_t c) {
+    size_t b = begin + c * base + std::min(c, rem);
+    size_t e = b + base + (c < rem ? 1 : 0);
+    return std::pair<size_t, size_t>(b, e);
+  };
+
+  const bool inline_only = pool == nullptr || pool->num_threads() <= 1 ||
+                           pool->InWorkerThread() || chunks == 1;
+  if (inline_only) {
+    for (size_t c = 0; c < chunks; ++c) {
+      auto [b, e] = chunk_range(c);
+      body(static_cast<int>(c), b, e);
+    }
+    return;
+  }
+
+  Latch latch;
+  latch.pending = static_cast<int>(chunks) - 1;
+  for (size_t c = 1; c < chunks; ++c) {
+    auto [b, e] = chunk_range(c);
+    bool submitted = pool->Submit([&body, &latch, c, b, e] {
+      body(static_cast<int>(c), b, e);
+      latch.Done();
+    });
+    if (!submitted) {  // pool shut down under us: run inline
+      body(static_cast<int>(c), b, e);
+      latch.Done();
+    }
+  }
+  auto [b0, e0] = chunk_range(0);
+  body(0, b0, e0);
+  latch.Wait();
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t i)>& body) {
+  const int chunks =
+      pool == nullptr ? 1 : ThreadPool::EffectiveThreads(pool->num_threads());
+  ParallelForChunks(pool, begin, end, chunks,
+                    [&body](int, size_t b, size_t e) {
+                      for (size_t i = b; i < e; ++i) body(i);
+                    });
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool, CancellationToken parent)
+    : pool_(pool), parent_(std::move(parent)) {}
+
+TaskGroup::~TaskGroup() {
+  // A group abandoned without Wait must still not leave tasks touching
+  // destroyed members.
+  Wait();
+}
+
+bool TaskGroup::cancelled() const {
+  return cancel_.cancelled() || parent_.cancelled();
+}
+
+void TaskGroup::Record(Status status) {
+  if (status.ok()) return;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_error_.ok()) {
+      first_error_ = std::move(status);
+      first = true;
+    }
+  }
+  if (first) cancel_.Cancel();
+}
+
+void TaskGroup::Execute(const std::function<Status()>& fn) {
+  Status status;
+  try {
+    status = fn();
+  } catch (const std::exception& e) {
+    status = Status::Internal(std::string("uncaught exception: ") + e.what());
+  } catch (...) {
+    status = Status::Internal("uncaught non-std exception");
+  }
+  Record(std::move(status));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void TaskGroup::Run(std::function<Status()> fn) {
+  if (parent_.cancelled()) cancel_.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  const bool inline_only =
+      pool_ == nullptr || pool_->num_threads() <= 0 || pool_->InWorkerThread();
+  if (inline_only) {
+    Execute(fn);
+    return;
+  }
+  std::function<void()> task = [this, fn = std::move(fn)] { Execute(fn); };
+  if (!pool_->Submit(task)) {
+    // Pool already shut down: degrade to inline execution.
+    task();
+  }
+}
+
+Status TaskGroup::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    if (!first_error_.ok()) return first_error_;
+  }
+  if (parent_.cancelled()) {
+    return Status::Cancelled("task group cancelled by caller");
+  }
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace ems

@@ -1,0 +1,87 @@
+// Structured parallelism over a ThreadPool: ParallelFor for
+// data-parallel loops with deterministic chunking, TaskGroup for
+// heterogeneous fallible tasks with Status propagation and cooperative
+// cancellation. Both degrade gracefully: a null pool, a single-threaded
+// pool, or a call from inside one of the pool's own workers runs the
+// work inline on the calling thread (re-entrant submission into a
+// bounded queue could otherwise deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+#include "util/status.h"
+
+namespace ems {
+namespace exec {
+
+/// Runs `body(chunk_index, begin, end)` over [begin, end) split into at
+/// most `max_chunks` contiguous ranges. Chunk boundaries depend only on
+/// (begin, end, max_chunks) — never on the pool size or timing — so any
+/// per-chunk accumulation a caller does is reproducible run to run.
+/// The calling thread executes chunk 0 itself and the call returns only
+/// after every chunk finished. Bodies must not throw (use TaskGroup for
+/// fallible work).
+void ParallelForChunks(
+    ThreadPool* pool, size_t begin, size_t end, int max_chunks,
+    const std::function<void(int chunk, size_t begin, size_t end)>& body);
+
+/// Element-wise loop: `body(i)` for i in [begin, end), partitioned over
+/// the pool's workers. Serial (in index order) when pool is null or has
+/// one thread.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t i)>& body);
+
+/// \brief A set of fallible tasks that completes together.
+///
+/// Run schedules a task on the pool (or runs it inline; see header
+/// comment); Wait blocks until all tasks finished and returns the first
+/// non-OK Status recorded. Exceptions escaping a task are captured as
+/// Internal statuses. The first failure (or external cancellation)
+/// cancels the group's token; queued tasks still run, so they should
+/// poll `token()` and bail early when it fires.
+class TaskGroup {
+ public:
+  /// `pool` may be null (every task runs inline). `parent` chains an
+  /// external cancellation scope into the group.
+  explicit TaskGroup(ThreadPool* pool,
+                     CancellationToken parent = CancellationToken());
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn`; a non-OK return is recorded and cancels the group.
+  void Run(std::function<Status()> fn);
+
+  /// Blocks until every scheduled task finished. Returns the first
+  /// failure, or Cancelled when the parent token fired before all tasks
+  /// completed cleanly, or OK. May be called once; Run after Wait is
+  /// invalid.
+  Status Wait();
+
+  /// Token tasks should poll for cooperative early exit.
+  CancellationToken token() const { return cancel_.token(); }
+
+  /// True once a task failed or the parent token fired.
+  bool cancelled() const;
+
+ private:
+  void Execute(const std::function<Status()>& fn);
+  void Record(Status status);
+
+  ThreadPool* pool_;
+  CancellationToken parent_;
+  CancellationSource cancel_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_;
+  int pending_ = 0;
+  Status first_error_;  // guarded by mu_
+};
+
+}  // namespace exec
+}  // namespace ems

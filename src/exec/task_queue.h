@@ -1,0 +1,112 @@
+// Bounded multi-producer multi-consumer queue: the backpressure point of
+// the execution runtime. Producers block (or fail fast via TryPush) when
+// the queue is full, so a slow pool cannot accumulate unbounded work from
+// a fast submitter — the property the batch matching service relies on
+// when a client streams thousands of jobs.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ems {
+namespace exec {
+
+/// \brief Blocking bounded FIFO queue, safe for any number of producers
+/// and consumers.
+///
+/// Closing the queue wakes every waiter: pending Push calls return false,
+/// Pop drains the remaining items and then returns nullopt. All methods
+/// are safe to call concurrently.
+template <typename T>
+class BoundedTaskQueue {
+ public:
+  /// `capacity` must be positive.
+  explicit BoundedTaskQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedTaskQueue(const BoundedTaskQueue&) = delete;
+  BoundedTaskQueue& operator=(const BoundedTaskQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes). Returns false when
+  /// the queue was closed before the item could be enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once the queue is closed
+  /// and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the queue closed; no further Push succeeds. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace exec
+}  // namespace ems

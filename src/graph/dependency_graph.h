@@ -133,7 +133,9 @@ class DependencyGraph {
   /// Longest distance l(v) from v^X to v, ignoring edges into v^X
   /// (Proposition 2). Nodes reachable from a non-trivial SCC get
   /// kInfiniteDistance. l(v^X) = 0. Requires has_artificial().
-  /// Computed lazily on first call and cached.
+  /// Computed lazily on first call and cached; the first call must not
+  /// race with other accesses — callers sharing a graph across threads
+  /// warm the cache first (see EmsSimilarity::Iterate).
   const std::vector<int>& LongestDistancesFromArtificial() const;
 
   /// Symmetric quantity for backward similarity: longest distance from v

@@ -1,0 +1,59 @@
+#include "serve/log_cache.h"
+
+#include <cstdlib>
+
+#include "log/log_io.h"
+#include "log/mxml.h"
+#include "log/xes.h"
+#include "obs/context.h"
+#include "util/string_util.h"
+
+namespace ems {
+namespace serve {
+
+std::string CanonicalPath(const std::string& path) {
+  char* resolved = ::realpath(path.c_str(), nullptr);
+  if (resolved == nullptr) return path;
+  std::string out(resolved);
+  std::free(resolved);
+  return out;
+}
+
+Result<EventLog> LoadEventLog(const std::string& path,
+                              const std::string& format) {
+  std::string fmt = format;
+  if (fmt == "auto" || fmt.empty()) {
+    if (EndsWith(path, ".xes")) fmt = "xes";
+    else if (EndsWith(path, ".mxml")) fmt = "mxml";
+    else if (EndsWith(path, ".csv")) fmt = "csv";
+    else fmt = "trace";
+  }
+  if (fmt == "xes") return ReadXesFile(path);
+  if (fmt == "mxml") return ReadMxmlFile(path);
+  if (fmt == "csv") return ReadCsvFile(path);
+  if (fmt == "trace") return ReadTraceFile(path);
+  return Status::InvalidArgument("unknown format '" + fmt + "'");
+}
+
+LogCache::LogCache(size_t capacity, ObsContext* obs)
+    : cache_(capacity), obs_(obs) {}
+
+Result<std::shared_ptr<const EventLog>> LogCache::GetOrLoad(
+    const std::string& path, const std::string& format) {
+  const std::string key = CanonicalPath(path) + "|" + format;
+  if (std::optional<std::shared_ptr<const EventLog>> hit = cache_.Get(key)) {
+    ObsIncrement(obs_, "serve.cache.hits");
+    return *hit;
+  }
+  ObsIncrement(obs_, "serve.cache.misses");
+  // Concurrent misses on one key may both load; the second Put wins.
+  // Wasted work on a cold start beats holding the cache lock across
+  // file I/O.
+  EMS_ASSIGN_OR_RETURN(EventLog log, LoadEventLog(path, format));
+  auto shared = std::make_shared<const EventLog>(std::move(log));
+  cache_.Put(key, shared);
+  return shared;
+}
+
+}  // namespace serve
+}  // namespace ems

@@ -1,0 +1,56 @@
+// LRU repository of parsed event logs keyed by canonical path + format —
+// the cache in front of the batch matching service. Bulk workloads
+// (Khan et al.'s reproducibility sweeps, warehouse scans) match the same
+// logs against many partners; parsing each log once per batch instead of
+// once per job is the difference between I/O-bound and CPU-bound.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "log/event_log.h"
+#include "serve/lru_cache.h"
+#include "util/status.h"
+
+namespace ems {
+
+struct ObsContext;
+
+namespace serve {
+
+/// \brief Thread-safe load-through cache of parsed event logs.
+///
+/// Keys are `canonical_path|format`, where the canonical path resolves
+/// symlinks and relative segments (realpath) so two spellings of one
+/// file share an entry. Values are shared_ptr<const EventLog>: eviction
+/// never invalidates a log a running job still holds.
+class LogCache {
+ public:
+  /// `obs` (borrowed, may be null) receives serve.cache.{hits,misses}.
+  explicit LogCache(size_t capacity, ObsContext* obs = nullptr);
+
+  /// The parsed log for `path`, loading and caching it on a miss.
+  /// `format` is auto|trace|csv|xes|mxml, as in the CLI tools; "auto"
+  /// detects from the extension.
+  Result<std::shared_ptr<const EventLog>> GetOrLoad(const std::string& path,
+                                                    const std::string& format);
+
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  LruCache<std::string, std::shared_ptr<const EventLog>> cache_;
+  ObsContext* obs_;
+};
+
+/// Loads one event log with the CLI tools' format auto-detection.
+Result<EventLog> LoadEventLog(const std::string& path,
+                              const std::string& format);
+
+/// Resolves symlinks/relative segments; the input path when resolution
+/// fails (e.g. the file does not exist yet — the load will report that).
+std::string CanonicalPath(const std::string& path);
+
+}  // namespace serve
+}  // namespace ems

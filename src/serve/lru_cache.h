@@ -1,0 +1,94 @@
+// Thread-safe LRU cache: the repository layer of the batch matching
+// service. Values are handed out by copy (use shared_ptr values for
+// heavy payloads like parsed event logs), so an eviction never
+// invalidates an entry a concurrent job is still matching against.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ems {
+namespace serve {
+
+/// \brief Bounded map with least-recently-used eviction.
+///
+/// Get refreshes recency; Put inserts or overwrites and evicts the
+/// coldest entry beyond `capacity`. Hit/miss counters are cumulative.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// The cached value, refreshed as most-recent; nullopt on miss.
+  std::optional<Value> Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or replaces; the entry becomes most-recent.
+  void Put(const Key& key, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // most-recent first
+  std::map<Key, typename std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace ems

@@ -1,0 +1,220 @@
+#include "serve/service.h"
+
+#include <istream>
+#include <mutex>
+#include <ostream>
+
+#include "exec/parallel.h"
+#include "obs/context.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+#include "util/timer.h"
+
+namespace ems {
+namespace serve {
+
+namespace {
+
+exec::ThreadPoolOptions PoolOptions(const ServiceOptions& options) {
+  exec::ThreadPoolOptions pool;
+  pool.num_threads = options.threads;
+  pool.queue_capacity = options.queue_capacity;
+  pool.obs = options.obs;
+  return pool;
+}
+
+Status ParseMatchOptions(const JsonValue& job, MatchOptions* out) {
+  const std::string labels = job.GetString("labels", "qgram");
+  if (labels == "none") out->label_measure = LabelMeasure::kNone;
+  else if (labels == "qgram") out->label_measure = LabelMeasure::kQGramCosine;
+  else if (labels == "levenshtein") {
+    out->label_measure = LabelMeasure::kLevenshtein;
+  } else if (labels == "jaro") {
+    out->label_measure = LabelMeasure::kJaroWinkler;
+  } else if (labels == "tokens") {
+    out->label_measure = LabelMeasure::kTokenJaccard;
+  } else {
+    return Status::InvalidArgument("unknown label measure '" + labels + "'");
+  }
+  out->ems.alpha = job.GetNumber(
+      "alpha", out->label_measure == LabelMeasure::kNone ? 1.0 : 0.5);
+  if (out->ems.alpha < 0.0 || out->ems.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  out->ems.c = job.GetNumber("c", 0.8);
+  if (out->ems.c <= 0.0 || out->ems.c >= 1.0) {
+    return Status::InvalidArgument("c must be in (0, 1)");
+  }
+  const std::string engine = job.GetString("engine", "exact");
+  if (engine == "exact") out->engine = SimilarityEngine::kExact;
+  else if (engine == "estimated") out->engine = SimilarityEngine::kEstimated;
+  else return Status::InvalidArgument("unknown engine '" + engine + "'");
+  out->estimation_iterations = job.GetInt("iterations", 5);
+  out->match_composites = job.GetBool("composites", false);
+  out->composite.delta = job.GetNumber("delta", out->composite.delta);
+  const std::string selection = job.GetString("selection", "hungarian");
+  if (selection == "hungarian") {
+    out->selection = SelectionStrategy::kMaxTotalSimilarity;
+  } else if (selection == "greedy") {
+    out->selection = SelectionStrategy::kGreedy;
+  } else if (selection == "mutual") {
+    out->selection = SelectionStrategy::kMutualBest;
+  } else {
+    return Status::InvalidArgument("unknown selection '" + selection + "'");
+  }
+  out->min_match_similarity =
+      job.GetNumber("min_similarity", out->min_match_similarity);
+  out->min_edge_frequency =
+      job.GetNumber("min_edge_frequency", out->min_edge_frequency);
+  return Status::OK();
+}
+
+void WriteNames(JsonWriter* w, const std::vector<std::string>& names) {
+  w->BeginArray();
+  for (const std::string& n : names) w->String(n);
+  w->EndArray();
+}
+
+std::string RenderError(const std::string& id, const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("error");
+  w.Key("code");
+  w.String(StatusCodeToString(status.code()));
+  w.Key("error");
+  w.String(status.message());
+  w.EndObject();
+  return w.str();
+}
+
+std::string RenderResult(const std::string& id, const MatchResult& result,
+                         double millis) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("millis");
+  w.Number(millis);
+  w.Key("correspondences");
+  w.BeginArray();
+  for (const Correspondence& c : result.correspondences) {
+    w.BeginObject();
+    w.Key("left");
+    WriteNames(&w, c.events1);
+    w.Key("right");
+    WriteNames(&w, c.events2);
+    w.Key("similarity");
+    w.Number(c.similarity);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("ems");
+  w.BeginObject();
+  w.Key("iterations");
+  w.Int(result.ems_stats.iterations);
+  w.Key("formula_evaluations");
+  w.Int(static_cast<long long>(result.ems_stats.formula_evaluations +
+                               result.composite_stats.formula_evaluations));
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+Result<JobRequest> ParseJobRequest(const std::string& line) {
+  EMS_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("job request must be a JSON object");
+  }
+  JobRequest request;
+  request.id = doc.GetString("id", "");
+  if (request.id.empty()) {
+    const JsonValue* id = doc.Find("id");
+    if (id != nullptr && id->is_number()) {
+      request.id = std::to_string(id->GetInt("", 0));
+    }
+  }
+  request.log1 = doc.GetString("log1", "");
+  request.log2 = doc.GetString("log2", "");
+  if (request.log1.empty() || request.log2.empty()) {
+    return Status::InvalidArgument("job needs 'log1' and 'log2' paths");
+  }
+  request.format = doc.GetString("format", "auto");
+  EMS_RETURN_NOT_OK(ParseMatchOptions(doc, &request.options));
+  return request;
+}
+
+BatchMatchService::BatchMatchService(const ServiceOptions& options)
+    : options_(options),
+      pool_(PoolOptions(options)),
+      cache_(options.cache_capacity, options.obs) {}
+
+std::string BatchMatchService::HandleJobLine(const std::string& line) {
+  ObsIncrement(options_.obs, "serve.jobs_submitted");
+  Result<JobRequest> request = ParseJobRequest(line);
+  if (!request.ok()) {
+    ObsIncrement(options_.obs, "serve.jobs_failed");
+    return RenderError("", request.status());
+  }
+  if (cancel_.cancelled()) {
+    ObsIncrement(options_.obs, "serve.jobs_failed");
+    return RenderError(request->id,
+                       Status::Cancelled("service shutting down"));
+  }
+  Timer timer;
+  Result<std::shared_ptr<const EventLog>> log1 =
+      cache_.GetOrLoad(request->log1, request->format);
+  if (!log1.ok()) {
+    ObsIncrement(options_.obs, "serve.jobs_failed");
+    return RenderError(request->id, log1.status());
+  }
+  Result<std::shared_ptr<const EventLog>> log2 =
+      cache_.GetOrLoad(request->log2, request->format);
+  if (!log2.ok()) {
+    ObsIncrement(options_.obs, "serve.jobs_failed");
+    return RenderError(request->id, log2.status());
+  }
+  // Jobs parallelize across the pool, so each matching runs
+  // single-threaded inside its worker (nested ParallelFor on the same
+  // pool would degrade to inline execution anyway).
+  Matcher matcher(request->options);
+  Result<MatchResult> result = matcher.Match(**log1, **log2);
+  const double millis = timer.ElapsedMillis();
+  if (!result.ok()) {
+    ObsIncrement(options_.obs, "serve.jobs_failed");
+    return RenderError(request->id, result.status());
+  }
+  ObsIncrement(options_.obs, "serve.jobs_ok");
+  ObsObserve(options_.obs, "serve.job_millis", millis);
+  return RenderResult(request->id, *result, millis);
+}
+
+size_t BatchMatchService::RunStream(std::istream& in, std::ostream& out) {
+  std::mutex out_mu;
+  size_t jobs = 0;
+  exec::TaskGroup group(&pool_, cancel_.token());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (cancel_.cancelled()) break;
+    ++jobs;
+    group.Run([this, &out, &out_mu, line]() -> Status {
+      std::string result = HandleJobLine(line);
+      std::lock_guard<std::mutex> lock(out_mu);
+      out << result << "\n";
+      out.flush();
+      return Status::OK();
+    });
+  }
+  (void)group.Wait();
+  return jobs;
+}
+
+}  // namespace serve
+}  // namespace ems

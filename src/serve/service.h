@@ -1,0 +1,105 @@
+// Concurrent batch matching service: newline-delimited JSON job requests
+// in, one JSON result line per job out. Jobs are scheduled on a
+// ThreadPool behind an LRU log cache, so a stream of thousands of
+// matchings (the paper's Section-7 evaluation regime, warehouse
+// reconciliation sweeps) parses each log once and saturates every core.
+//
+// Job request (one JSON object per line; `log1`/`log2` required):
+//   {"id": "j1", "log1": "a.xes", "log2": "b.xes",
+//    "format": "auto|trace|csv|xes|mxml",
+//    "labels": "none|qgram|levenshtein|jaro|tokens",
+//    "alpha": 0.5, "c": 0.8, "engine": "exact|estimated",
+//    "iterations": 5, "composites": false, "delta": 0.005,
+//    "selection": "hungarian|greedy|mutual",
+//    "min_similarity": 0.05, "min_edge_frequency": 0.0}
+//
+// Result line (completion order; correlate by id):
+//   {"id": "j1", "status": "ok", "millis": 12.3,
+//    "correspondences": [{"left": [..], "right": [..],
+//                         "similarity": 0.81}, ...],
+//    "ems": {"iterations": 7, "formula_evaluations": 1234}}
+// or {"id": "j1", "status": "error", "code": "NotFound",
+//     "error": "..."}.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/matcher.h"
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+#include "serve/log_cache.h"
+
+namespace ems {
+
+struct ObsContext;
+
+namespace serve {
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serve jobs serially.
+  int threads = 0;
+
+  /// Bounded job queue; a client streaming faster than the pool drains
+  /// blocks here (backpressure) instead of growing memory.
+  size_t queue_capacity = 256;
+
+  /// LRU capacity of the parsed-log cache, in logs.
+  size_t cache_capacity = 64;
+
+  /// Observability sink for serve.* and exec.pool.* metrics (borrowed;
+  /// null disables).
+  ObsContext* obs = nullptr;
+};
+
+/// A parsed job line.
+struct JobRequest {
+  std::string id;
+  std::string log1;
+  std::string log2;
+  std::string format = "auto";
+  MatchOptions options;
+};
+
+/// Parses one NDJSON job line into a request (ParseError/InvalidArgument
+/// on malformed input).
+Result<JobRequest> ParseJobRequest(const std::string& line);
+
+/// \brief The batch matching service.
+///
+/// HandleJobLine is the pure per-job path (parse -> load via cache ->
+/// match -> render), safe to call from any thread; RunStream drives it
+/// concurrently from an NDJSON stream. Results are emitted in
+/// completion order — clients correlate by id.
+class BatchMatchService {
+ public:
+  explicit BatchMatchService(const ServiceOptions& options);
+
+  /// Processes one job line synchronously and returns the result line
+  /// (without trailing newline). Never fails: malformed requests render
+  /// as status:"error" results.
+  std::string HandleJobLine(const std::string& line);
+
+  /// Reads job lines from `in` until EOF, schedules them on the pool,
+  /// and writes one result line per job to `out` as jobs complete.
+  /// Returns the number of jobs processed.
+  size_t RunStream(std::istream& in, std::ostream& out);
+
+  /// Cooperatively stops a running RunStream: no further lines are
+  /// scheduled and queued jobs report Cancelled results.
+  void Cancel() { cancel_.Cancel(); }
+
+  LogCache& cache() { return cache_; }
+  exec::ThreadPool& pool() { return pool_; }
+
+ private:
+  ServiceOptions options_;
+  exec::ThreadPool pool_;
+  LogCache cache_;
+  exec::CancellationSource cancel_;
+};
+
+}  // namespace serve
+}  // namespace ems

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/parallel.h"
 #include "text/jaro_winkler.h"
 #include "text/levenshtein.h"
 #include "text/qgram.h"
@@ -64,12 +65,15 @@ double TokenJaccardSimilarity::Similarity(std::string_view a,
 
 std::vector<std::vector<double>> LabelSimilarityMatrix(
     const DependencyGraph& g1, const DependencyGraph& g2,
-    const LabelSimilarity& measure) {
+    const LabelSimilarity& measure, exec::ThreadPool* pool) {
   const size_t n1 = g1.NumNodes();
   const size_t n2 = g2.NumNodes();
   std::vector<std::vector<double>> m(n1, std::vector<double>(n2, 0.0));
-  for (NodeId v1 = 0; v1 < static_cast<NodeId>(n1); ++v1) {
-    if (g1.IsArtificial(v1)) continue;
+  // Each row is written by exactly one worker; cells are pure functions
+  // of the two labels, so pool size cannot change the result.
+  exec::ParallelFor(pool, 0, n1, [&](size_t row) {
+    const NodeId v1 = static_cast<NodeId>(row);
+    if (g1.IsArtificial(v1)) return;
     // Composite nodes compare by member labels; the display name joins
     // members with '+', which would spuriously lower q-gram overlap.
     std::vector<std::string> parts1 = Split(g1.NodeName(v1), '+');
@@ -84,7 +88,7 @@ std::vector<std::vector<double>> LabelSimilarityMatrix(
       }
       m[static_cast<size_t>(v1)][static_cast<size_t>(v2)] = best;
     }
-  }
+  });
   return m;
 }
 

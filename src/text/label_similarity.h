@@ -14,6 +14,10 @@
 
 namespace ems {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 /// \brief Interface of a label similarity measure over event names.
 ///
 /// Implementations return values in [0, 1]; 1 means identical labels.
@@ -75,8 +79,13 @@ class TokenJaccardSimilarity final : public LabelSimilarity {
 /// Composite nodes take the maximum member-label similarity; pairs
 /// involving the artificial node get 0 (its similarity is pinned by the
 /// iteration, never read through S^L).
+///
+/// `pool` (optional, borrowed) partitions the rows across workers; every
+/// cell is an independent pure function of two labels, so the result is
+/// identical for any pool. Measures must be stateless/thread-safe (all
+/// the measures in this header are).
 std::vector<std::vector<double>> LabelSimilarityMatrix(
     const DependencyGraph& g1, const DependencyGraph& g2,
-    const LabelSimilarity& measure);
+    const LabelSimilarity& measure, exec::ThreadPool* pool = nullptr);
 
 }  // namespace ems

@@ -1,0 +1,67 @@
+// Minimal JSON parser — the read side of util/json_writer, written for
+// the batch matching service's newline-delimited job requests. Supports
+// the full JSON value grammar (objects, arrays, strings with escapes,
+// numbers, booleans, null) with a recursion-depth cap; numbers are held
+// as double, which is exact for the path/flag/threshold payloads we
+// parse. No external dependencies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ems {
+
+/// \brief One parsed JSON value (a tree; children owned by value).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+
+  /// Object member by key; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Object member keys in document order (empty otherwise).
+  const std::vector<std::string>& object_keys() const { return keys_; }
+
+  // Typed lookups with defaults — the job-request idiom.
+  std::string GetString(std::string_view key,
+                        const std::string& fallback) const;
+  double GetNumber(std::string_view key, double fallback) const;
+  int GetInt(std::string_view key, int fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;               // kArray
+  std::vector<std::string> keys_;              // kObject, document order
+  std::map<std::string, JsonValue> members_;   // kObject
+};
+
+/// Parses one JSON document; trailing non-whitespace is a ParseError.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace ems

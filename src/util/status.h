@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotImplemented,
   kResourceExhausted,
   kInternal,
+  kCancelled,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +70,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -87,6 +91,7 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

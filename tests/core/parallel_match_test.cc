@@ -1,0 +1,144 @@
+// Parallel-vs-serial equivalence at the pipeline level: the full
+// MatchResult and the harness sweep tables must be bit-identical for
+// threads in {0 (hardware), 1, 4} — the determinism contract of
+// docs/CONCURRENCY.md.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "eval/harness.h"
+#include "exec/thread_pool.h"
+#include "obs/context.h"
+#include "synth/dataset.h"
+
+namespace ems {
+namespace {
+
+LogPair MakePair(int seed) {
+  PairOptions opts;
+  opts.num_activities = 25;
+  opts.num_traces = 60;
+  opts.dislocation = 1;
+  opts.seed = seed;
+  return MakeLogPair(Testbed::kDsFB, opts);
+}
+
+void ExpectIdentical(const MatchResult& a, const MatchResult& b) {
+  ASSERT_EQ(a.correspondences.size(), b.correspondences.size());
+  for (size_t i = 0; i < a.correspondences.size(); ++i) {
+    EXPECT_EQ(a.correspondences[i].events1, b.correspondences[i].events1);
+    EXPECT_EQ(a.correspondences[i].events2, b.correspondences[i].events2);
+    // Bitwise equality, not approximate: same additions in the same order.
+    EXPECT_EQ(a.correspondences[i].similarity, b.correspondences[i].similarity);
+  }
+  EXPECT_EQ(a.similarity.MaxAbsDifference(b.similarity), 0.0);
+  EXPECT_EQ(a.ems_stats.iterations, b.ems_stats.iterations);
+  EXPECT_EQ(a.ems_stats.formula_evaluations, b.ems_stats.formula_evaluations);
+  EXPECT_EQ(a.ems_stats.pairs_pruned_converged,
+            b.ems_stats.pairs_pruned_converged);
+}
+
+class ParallelMatchTest : public ::testing::TestWithParam<int> {};
+
+// 0 = hardware concurrency, 1 = explicit serial, 4 = fixed fan-out.
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelMatchTest,
+                         ::testing::Values(0, 1, 4));
+
+TEST_P(ParallelMatchTest, MatchResultBitIdenticalToSerial) {
+  LogPair pair = MakePair(2024);
+
+  MatchOptions serial;
+  serial.label_measure = LabelMeasure::kQGramCosine;
+  serial.ems.alpha = 0.5;
+  serial.ems.num_threads = 1;
+  Result<MatchResult> expected = Matcher(serial).Match(pair.log1, pair.log2);
+  ASSERT_TRUE(expected.ok());
+
+  MatchOptions parallel = serial;
+  parallel.ems.num_threads = GetParam();
+  Result<MatchResult> actual = Matcher(parallel).Match(pair.log1, pair.log2);
+  ASSERT_TRUE(actual.ok());
+
+  ExpectIdentical(*expected, *actual);
+}
+
+TEST_P(ParallelMatchTest, SharedPoolMatchesPrivatePool) {
+  LogPair pair = MakePair(77);
+  MatchOptions serial;
+  serial.ems.num_threads = 1;
+  Result<MatchResult> expected = Matcher(serial).Match(pair.log1, pair.log2);
+  ASSERT_TRUE(expected.ok());
+
+  // A caller-provided pool (the service configuration) must behave like
+  // the lazily created private one.
+  exec::ThreadPool pool(exec::ThreadPool::EffectiveThreads(GetParam()));
+  MatchOptions pooled;
+  pooled.ems.pool = &pool;
+  Result<MatchResult> actual = Matcher(pooled).Match(pair.log1, pair.log2);
+  ASSERT_TRUE(actual.ok());
+
+  ExpectIdentical(*expected, *actual);
+}
+
+TEST_P(ParallelMatchTest, HarnessSweepTableBitIdenticalToSerial) {
+  std::vector<LogPair> pairs;
+  for (int seed : {11, 12, 13, 14, 15, 16}) pairs.push_back(MakePair(seed));
+  std::vector<const LogPair*> ptrs;
+  for (const LogPair& p : pairs) ptrs.push_back(&p);
+
+  HarnessOptions options;
+  options.use_labels = false;
+
+  for (Method method : {Method::kEms, Method::kEmsEstimated, Method::kOpq}) {
+    std::vector<MethodRun> serial =
+        RunMethodOnPairs(method, ptrs, options, nullptr);
+
+    const int threads = exec::ThreadPool::EffectiveThreads(GetParam());
+    exec::ThreadPool pool(threads);
+    std::vector<MethodRun> parallel = RunMethodOnPairs(
+        method, ptrs, options, threads > 1 ? &pool : nullptr);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      // Everything except wall time must match bit-for-bit; OPQ's
+      // hill-climb seeds a private RNG from its options, so even the
+      // stochastic method is a pure function of (method, pair, options).
+      EXPECT_EQ(serial[i].dnf, parallel[i].dnf) << i;
+      EXPECT_EQ(serial[i].quality.precision, parallel[i].quality.precision)
+          << i;
+      EXPECT_EQ(serial[i].quality.recall, parallel[i].quality.recall) << i;
+      EXPECT_EQ(serial[i].quality.f_measure, parallel[i].quality.f_measure)
+          << i;
+      EXPECT_EQ(serial[i].ems_stats.formula_evaluations,
+                parallel[i].ems_stats.formula_evaluations)
+          << i;
+      EXPECT_EQ(serial[i].composite_stats.formula_evaluations,
+                parallel[i].composite_stats.formula_evaluations)
+          << i;
+    }
+  }
+}
+
+TEST(ParallelMatchTest, PerPairObsCollectsOneContextPerPair) {
+  std::vector<LogPair> pairs = {MakePair(21), MakePair(22), MakePair(23)};
+  std::vector<const LogPair*> ptrs;
+  for (const LogPair& p : pairs) ptrs.push_back(&p);
+
+  HarnessOptions options;
+  exec::ThreadPool pool(4);
+  std::vector<std::unique_ptr<ObsContext>> per_pair_obs;
+  std::vector<MethodRun> runs =
+      RunMethodOnPairs(Method::kEms, ptrs, options, &pool, &per_pair_obs);
+  ASSERT_EQ(runs.size(), ptrs.size());
+  ASSERT_EQ(per_pair_obs.size(), ptrs.size());
+  for (const auto& obs : per_pair_obs) {
+    ASSERT_NE(obs, nullptr);
+    // Each pair recorded its own span tree (match + phases).
+    EXPECT_FALSE(obs->trace.Snapshot().empty());
+  }
+}
+
+}  // namespace
+}  // namespace ems

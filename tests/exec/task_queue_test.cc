@@ -1,0 +1,128 @@
+// BoundedTaskQueue: FIFO semantics, saturation backpressure, and Close
+// wake-ups — the contracts the thread pool and the batch service build on.
+#include <atomic>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/task_queue.h"
+
+namespace ems {
+namespace exec {
+namespace {
+
+TEST(TaskQueueTest, FifoOrder) {
+  BoundedTaskQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    std::optional<int> item = q.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(TaskQueueTest, TryPushFailsWhenSaturated) {
+  BoundedTaskQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_EQ(q.size(), q.capacity());
+  EXPECT_FALSE(q.TryPush(3));  // full: backpressure, not growth
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_TRUE(q.TryPush(3));  // room again
+}
+
+TEST(TaskQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  BoundedTaskQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks on the full queue
+    pushed.store(true);
+  });
+  // The producer cannot complete until we pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(TaskQueueTest, CloseWakesBlockedProducer) {
+  BoundedTaskQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(2));  // blocked, then woken by Close -> false
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+}
+
+TEST(TaskQueueTest, PopDrainsRemainingItemsAfterClose) {
+  BoundedTaskQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.Pop(), 1);  // closed queues still drain
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_EQ(q.Pop(), std::nullopt);  // idempotent
+}
+
+TEST(TaskQueueTest, CloseWakesBlockedConsumer) {
+  BoundedTaskQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(TaskQueueTest, TryPopOnEmptyIsNullopt) {
+  BoundedTaskQueue<int> q(2);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+  EXPECT_TRUE(q.Push(7));
+  EXPECT_EQ(q.TryPop(), 7);
+}
+
+TEST(TaskQueueTest, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedTaskQueue<int> q(8);  // far smaller than the item count
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex mu;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (std::optional<int> item = q.Pop()) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(*item).second) << "duplicate " << *item;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace ems

@@ -1,0 +1,155 @@
+// End-to-end smoke test of the ems_serve binary: pipes three job lines
+// through it and validates the JSON responses and the metrics export.
+// The binary path is injected by CMake as EMS_SERVE_BINARY.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return env != nullptr ? env : "/tmp";
+}
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << path;
+  out << body;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Brace/bracket balance outside string literals — same validator as
+// metrics_export_test.
+bool BalancedJson(const std::string& s) {
+  std::string stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') stack += c;
+    else if (c == '}') {
+      if (stack.empty() || stack.back() != '{') return false;
+      stack.pop_back();
+    } else if (c == ']') {
+      if (stack.empty() || stack.back() != '[') return false;
+      stack.pop_back();
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(ServeSmokeTest, ThreeJobsYieldThreeJsonResponsesAndMetrics) {
+  const std::string dir = TempDir();
+  const std::string log1 = dir + "/serve_smoke_log1.txt";
+  const std::string log2 = dir + "/serve_smoke_log2.txt";
+  const std::string jobs = dir + "/serve_smoke_jobs.ndjson";
+  const std::string results = dir + "/serve_smoke_results.ndjson";
+  const std::string metrics = dir + "/serve_smoke_metrics.json";
+  WriteFile(log1, "a;b;c;d\na;b;d\na;c;d\nb;a;c;d\n");
+  WriteFile(log2, "a;b;c;d\na;b;d\na;c;b;d\nb;c;d\n");
+
+  std::ostringstream job_lines;
+  const std::string pair =
+      "\"log1\":\"" + log1 + "\",\"log2\":\"" + log2 + "\"";
+  job_lines << "{\"id\":\"j1\"," << pair << ",\"labels\":\"none\"}\n";
+  job_lines << "{\"id\":\"j2\"," << pair << "}\n";
+  job_lines << "{\"id\":\"j3\"," << pair
+            << ",\"engine\":\"estimated\",\"iterations\":3}\n";
+  WriteFile(jobs, job_lines.str());
+
+  const std::string cmd = std::string(EMS_SERVE_BINARY) + " --threads=2" +
+                          " --metrics-out=" + metrics + " < " + jobs + " > " +
+                          results + " 2> /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // One well-formed JSON response per job, every one ok.
+  std::ifstream in(results);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  std::string ids;
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(BalancedJson(l)) << l;
+    EXPECT_NE(l.find("\"status\":\"ok\""), std::string::npos) << l;
+    EXPECT_NE(l.find("\"correspondences\""), std::string::npos) << l;
+    EXPECT_NE(l.find("\"millis\""), std::string::npos) << l;
+    ids += l.substr(0, l.find(','));  // {"id":"jN"
+  }
+  // All three ids came back (order may differ: completion order).
+  EXPECT_NE(ids.find("j1"), std::string::npos);
+  EXPECT_NE(ids.find("j2"), std::string::npos);
+  EXPECT_NE(ids.find("j3"), std::string::npos);
+
+  // The metrics export carries the service and pool instruments.
+  std::string report = ReadFile(metrics);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(BalancedJson(report));
+  EXPECT_NE(report.find("\"serve.jobs_submitted\":3"), std::string::npos);
+  EXPECT_NE(report.find("\"serve.jobs_ok\":3"), std::string::npos);
+  // Exact hit/miss counts vary with scheduling (concurrent first touches
+  // may both miss); the instruments must exist either way.
+  EXPECT_NE(report.find("\"serve.cache.misses\""), std::string::npos);
+  EXPECT_NE(report.find("\"serve.cache.hits\""), std::string::npos);
+  EXPECT_NE(report.find("\"serve.job_millis\""), std::string::npos);
+  EXPECT_NE(report.find("\"exec.pool.tasks_submitted\""), std::string::npos);
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+  std::remove(jobs.c_str());
+  std::remove(results.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(ServeSmokeTest, ErrorJobsRenderAsErrorLinesWithExitZero) {
+  const std::string dir = TempDir();
+  const std::string jobs = dir + "/serve_smoke_badjobs.ndjson";
+  const std::string results = dir + "/serve_smoke_badresults.ndjson";
+  WriteFile(jobs,
+            "{\"id\":\"nope\",\"log1\":\"/no/such/file.txt\","
+            "\"log2\":\"/no/such/other.txt\"}\n"
+            "this is not json\n");
+
+  const std::string cmd = std::string(EMS_SERVE_BINARY) + " < " + jobs +
+                          " > " + results + " 2> /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(results);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(BalancedJson(l)) << l;
+    EXPECT_NE(l.find("\"status\":\"error\""), std::string::npos) << l;
+  }
+
+  std::remove(jobs.c_str());
+  std::remove(results.c_str());
+}
+
+}  // namespace
+}  // namespace ems

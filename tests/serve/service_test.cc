@@ -1,0 +1,201 @@
+// serve layer: LRU cache semantics, the log load-through cache, job-line
+// parsing, and the batch service end to end over in-memory streams.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.h"
+#include "serve/log_cache.h"
+#include "serve/lru_cache.h"
+#include "serve/service.h"
+
+namespace ems {
+namespace serve {
+namespace {
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return env != nullptr ? env : "/tmp";
+}
+
+std::string WriteTraceLog(const std::string& name, const std::string& body) {
+  const std::string path = TempDir() + "/" + name;
+  std::ofstream out(path);
+  EXPECT_TRUE(out) << path;
+  out << body;
+  return path;
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_EQ(cache.Get(1), "one");  // refreshes 1: now 2 is coldest
+  cache.Put(3, "three");           // evicts 2
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+  EXPECT_EQ(cache.Get(1), "one");
+  EXPECT_EQ(cache.Get(3), "three");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutOverwritesAndRefreshes) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite refreshes 1: 2 becomes coldest
+  cache.Put(3, 30);
+  EXPECT_EQ(cache.Get(1), 11);
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+}
+
+TEST(LruCacheTest, CountsHitsAndMisses) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  (void)cache.Get(1);
+  (void)cache.Get(1);
+  (void)cache.Get(9);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LogCacheTest, SecondLoadOfSamePathHits) {
+  const std::string path =
+      WriteTraceLog("log_cache_test_a.txt", "a;b;c\na;c;b\n");
+  LogCache cache(4);
+  auto first = cache.GetOrLoad(path, "auto");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->NumTraces(), 2u);
+  auto second = cache.GetOrLoad(path, "auto");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same shared parse
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LogCacheTest, MissingFileReportsErrorWithoutCaching) {
+  LogCache cache(4);
+  auto result = cache.GetOrLoad(TempDir() + "/log_cache_missing.txt", "auto");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ParseJobRequestTest, ParsesFullRequest) {
+  Result<JobRequest> request = ParseJobRequest(
+      R"({"id":"j9","log1":"a.xes","log2":"b.csv","labels":"none",)"
+      R"("c":0.7,"engine":"estimated","iterations":3,"selection":"greedy",)"
+      R"("min_similarity":0.1})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, "j9");
+  EXPECT_EQ(request->log1, "a.xes");
+  EXPECT_EQ(request->log2, "b.csv");
+  EXPECT_EQ(request->options.label_measure, LabelMeasure::kNone);
+  EXPECT_DOUBLE_EQ(request->options.ems.alpha, 1.0);  // forced by labels=none
+  EXPECT_DOUBLE_EQ(request->options.ems.c, 0.7);
+  EXPECT_EQ(request->options.engine, SimilarityEngine::kEstimated);
+  EXPECT_EQ(request->options.estimation_iterations, 3);
+  EXPECT_EQ(request->options.selection, SelectionStrategy::kGreedy);
+  EXPECT_DOUBLE_EQ(request->options.min_match_similarity, 0.1);
+}
+
+TEST(ParseJobRequestTest, RejectsBadRequests) {
+  EXPECT_FALSE(ParseJobRequest("not json").ok());
+  EXPECT_FALSE(ParseJobRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseJobRequest(R"({"log1":"a.xes"})").ok());  // log2 missing
+  EXPECT_FALSE(
+      ParseJobRequest(R"({"log1":"a","log2":"b","alpha":1.5})").ok());
+  EXPECT_FALSE(
+      ParseJobRequest(R"({"log1":"a","log2":"b","engine":"warp"})").ok());
+  EXPECT_FALSE(
+      ParseJobRequest(R"({"log1":"a","log2":"b","selection":"best"})").ok());
+}
+
+TEST(BatchMatchServiceTest, HandlesJobsAndRendersErrors) {
+  const std::string log1 =
+      WriteTraceLog("service_test_1.txt", "a;b;c;d\na;b;d\na;c;d\n");
+  const std::string log2 =
+      WriteTraceLog("service_test_2.txt", "a;b;c;d\na;c;b;d\nb;c;d\n");
+
+  ServiceOptions options;
+  options.threads = 2;
+  BatchMatchService service(options);
+
+  std::string ok_line = service.HandleJobLine(
+      R"({"id":"good","log1":")" + log1 + R"(","log2":")" + log2 +
+      R"(","labels":"none"})");
+  EXPECT_NE(ok_line.find("\"id\":\"good\""), std::string::npos);
+  EXPECT_NE(ok_line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(ok_line.find("\"correspondences\""), std::string::npos);
+
+  std::string missing_line = service.HandleJobLine(
+      R"({"id":"gone","log1":"/definitely/not/here.txt","log2":")" + log2 +
+      R"("})");
+  EXPECT_NE(missing_line.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(missing_line.find("\"id\":\"gone\""), std::string::npos);
+
+  std::string bad_line = service.HandleJobLine("{broken");
+  EXPECT_NE(bad_line.find("\"status\":\"error\""), std::string::npos);
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
+TEST(BatchMatchServiceTest, RunStreamEmitsOneResultPerJob) {
+  const std::string log1 =
+      WriteTraceLog("service_stream_1.txt", "a;b;c\na;c;b\na;b;c\n");
+  const std::string log2 =
+      WriteTraceLog("service_stream_2.txt", "a;b;c\nb;a;c\n");
+
+  ServiceOptions options;
+  options.threads = 4;
+  BatchMatchService service(options);
+
+  std::ostringstream jobs;
+  const std::string pair = R"("log1":")" + log1 + R"(","log2":")" + log2 +
+                           R"(","labels":"none")";
+  jobs << R"({"id":"j1",)" << pair << "}\n";
+  jobs << "\n";  // blank lines are skipped
+  jobs << R"({"id":"j2",)" << pair << "}\n";
+  jobs << R"({"id":"j3",)" << pair << "}\n";
+
+  std::istringstream in(jobs.str());
+  std::ostringstream out;
+  EXPECT_EQ(service.RunStream(in, out), 3u);
+
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  std::string line;
+  while (std::getline(result, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& l : lines) {
+    EXPECT_NE(l.find("\"status\":\"ok\""), std::string::npos) << l;
+  }
+  // Six lookups over two distinct logs. Concurrent first touches may
+  // both miss (double-load is allowed by design), so only bound the
+  // counts instead of pinning them.
+  EXPECT_EQ(service.cache().hits() + service.cache().misses(), 6u);
+  EXPECT_GE(service.cache().misses(), 2u);
+  EXPECT_GE(service.cache().hits(), 1u);
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
+TEST(BatchMatchServiceTest, CancelledServiceReportsCancelledJobs) {
+  ServiceOptions options;
+  options.threads = 1;
+  BatchMatchService service(options);
+  service.Cancel();
+  std::string line = service.HandleJobLine(
+      R"({"id":"late","log1":"a.txt","log2":"b.txt"})");
+  EXPECT_NE(line.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(line.find("Cancelled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ems

@@ -1,0 +1,85 @@
+// util/json_parser: the minimal recursive-descent parser behind the
+// batch service's NDJSON job lines.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json_parser.h"
+
+namespace ems {
+namespace {
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->bool_value(), true);
+  EXPECT_EQ(ParseJson("false")->bool_value(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("3.5")->number_value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseJson("-2e3")->number_value(), -2000.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  Result<JsonValue> doc = ParseJson(
+      R"({"id":"j1","n":4,"opts":{"alpha":0.5,"on":true},"xs":[1,2,3]})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("id", ""), "j1");
+  EXPECT_EQ(doc->GetInt("n", 0), 4);
+  const JsonValue* opts = doc->Find("opts");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_DOUBLE_EQ(opts->GetNumber("alpha", 0.0), 0.5);
+  EXPECT_TRUE(opts->GetBool("on", false));
+  const JsonValue* xs = doc->Find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_TRUE(xs->is_array());
+  ASSERT_EQ(xs->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(xs->array_items()[1].number_value(), 2.0);
+}
+
+TEST(JsonParserTest, AccessorsFallBackOnMissingOrMistyped) {
+  Result<JsonValue> doc = ParseJson(R"({"s":"x","n":7})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(doc->GetString("n", "dflt"), "dflt");  // number, not string
+  EXPECT_EQ(doc->GetInt("s", 9), 9);               // string, not number
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, DecodesStringEscapes) {
+  Result<JsonValue> doc = ParseJson(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonParserTest, DecodesUnicodeEscapesToUtf8) {
+  Result<JsonValue> doc = ParseJson(R"("é€")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "\xc3\xa9\xe2\x82\xac");  // é €
+}
+
+TEST(JsonParserTest, DuplicateKeysLastWins) {
+  Result<JsonValue> doc = ParseJson(R"({"k":1,"k":2})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetInt("k", 0), 2);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson(R"({"a":})").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("01").ok());
+}
+
+TEST(JsonParserTest, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  Result<JsonValue> doc = ParseJson(deep);
+  EXPECT_FALSE(doc.ok());  // depth cap, not a stack overflow
+  EXPECT_TRUE(doc.status().IsParseError());
+}
+
+}  // namespace
+}  // namespace ems

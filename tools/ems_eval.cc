@@ -3,16 +3,22 @@
 // exactly what ems_generate exports and `ems_match --tsv` emits, after
 // expanding "a + b" groups into their member links).
 //
-//   ems_eval [--metrics-out=PATH] TRUTH.tsv FOUND.tsv
+//   ems_eval [--threads=N] [--metrics-out=PATH] TRUTH.tsv FOUND.tsv
 //
-// --metrics-out writes a PipelineReport JSON with spans for the
-// load_truth / load_found / evaluate phases and link counters.
+// --threads controls the worker pool (default hardware concurrency,
+// 0 = serial); with more than one worker the two link files load
+// concurrently. --metrics-out writes a PipelineReport JSON with spans
+// for the load_truth / load_found / evaluate phases and link counters
+// (parallel loads are counted, not spanned — spans are single-thread).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <string>
 
 #include "eval/metrics.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "obs/context.h"
 #include "obs/report.h"
 #include "util/string_util.h"
@@ -67,12 +73,20 @@ Result<std::set<std::pair<std::string, std::string>>> ReadLinks(
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  int threads = -1;  // -1 = unset -> hardware concurrency
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     const std::string prefix = "--metrics-out=";
+    const std::string threads_prefix = "--threads=";
     if (arg.rfind(prefix, 0) == 0) {
       metrics_out = arg.substr(prefix.size());
+    } else if (arg.rfind(threads_prefix, 0) == 0) {
+      threads = std::atoi(arg.substr(threads_prefix.size()).c_str());
+      if (threads < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 0\n");
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       return 2;
@@ -81,7 +95,9 @@ int main(int argc, char** argv) {
     }
   }
   if (positional.size() != 2) {
-    std::fprintf(stderr, "usage: %s [--metrics-out=PATH] TRUTH.tsv FOUND.tsv\n",
+    std::fprintf(stderr,
+                 "usage: %s [--threads=N] [--metrics-out=PATH] TRUTH.tsv "
+                 "FOUND.tsv\n",
                  argv[0]);
     return 2;
   }
@@ -90,16 +106,37 @@ int main(int argc, char** argv) {
   ObsContext* obs = metrics_out.empty() ? nullptr : &obs_storage;
   Timer total_timer;
 
-  ScopedSpan truth_span(obs, "load_truth");
-  auto truth = ReadLinks(positional[0]);
-  truth_span.End();
+  // CLI contract: default = hardware concurrency, 0 = serial.
+  const int workers =
+      threads < 0 ? exec::ThreadPool::EffectiveThreads(0) : threads;
+  Result<std::set<std::pair<std::string, std::string>>> truth =
+      Status::Internal("not loaded");
+  Result<std::set<std::pair<std::string, std::string>>> found =
+      Status::Internal("not loaded");
+  if (workers > 1) {
+    exec::ThreadPool pool(2);
+    exec::TaskGroup group(&pool);
+    group.Run([&]() -> Status {
+      truth = ReadLinks(positional[0]);
+      return Status::OK();
+    });
+    group.Run([&]() -> Status {
+      found = ReadLinks(positional[1]);
+      return Status::OK();
+    });
+    (void)group.Wait();
+  } else {
+    ScopedSpan truth_span(obs, "load_truth");
+    truth = ReadLinks(positional[0]);
+    truth_span.End();
+    ScopedSpan found_span(obs, "load_found");
+    found = ReadLinks(positional[1]);
+    found_span.End();
+  }
   if (!truth.ok()) {
     std::fprintf(stderr, "error: %s\n", truth.status().ToString().c_str());
     return 1;
   }
-  ScopedSpan found_span(obs, "load_found");
-  auto found = ReadLinks(positional[1]);
-  found_span.End();
   if (!found.ok()) {
     std::fprintf(stderr, "error: %s\n", found.status().ToString().c_str());
     return 1;

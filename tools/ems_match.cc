@@ -19,6 +19,8 @@
 //   --selection=hungarian|greedy|mutual
 //   --min-similarity=F            correspondence threshold (default 0.05)
 //   --min-edge-frequency=F        dependency-graph edge filter (default 0)
+//   --threads=N                   worker threads for the EMS iteration
+//                                 (default hardware concurrency, 0 = serial)
 //   --matrix                      also print the similarity matrix
 //   --tsv                         machine-readable tab-separated output
 //   --json                        JSON output (correspondences + stats)
@@ -80,6 +82,7 @@ struct Flags {
   std::string selection = "hungarian";
   double min_similarity = 0.05;
   double min_edge_frequency = 0.0;
+  int threads = -1;  // -1 = unset -> hardware concurrency
   bool matrix = false;
   bool tsv = false;
   bool json = false;
@@ -120,6 +123,11 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       flags.min_similarity = std::atof(value.c_str());
     } else if (ParseFlag(arg, "min-edge-frequency", &value)) {
       flags.min_edge_frequency = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      flags.threads = std::atoi(value.c_str());
+      if (flags.threads < 0) {
+        return Status::InvalidArgument("--threads must be >= 0");
+      }
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       flags.metrics_out = value;
     } else if (ParseFlag(arg, "trace-out", &value)) {
@@ -182,6 +190,10 @@ Result<MatchOptions> ToMatchOptions(const Flags& flags) {
   }
   options.min_match_similarity = flags.min_similarity;
   options.min_edge_frequency = flags.min_edge_frequency;
+  // CLI contract: default = hardware concurrency, 0 = serial. EmsOptions
+  // spells those 0 and 1 respectively.
+  options.ems.num_threads =
+      flags.threads < 0 ? 0 : (flags.threads == 0 ? 1 : flags.threads);
   return options;
 }
 

@@ -1,0 +1,199 @@
+// ems_serve: concurrent batch matching service. Reads newline-delimited
+// JSON job requests (see src/serve/service.h for the schema) from stdin
+// or a Unix socket, schedules them on a thread pool behind an LRU log
+// cache, and writes one JSON result line per job in completion order.
+//
+//   ems_serve [options] < jobs.ndjson > results.ndjson
+//
+// Options:
+//   --threads=N        worker threads (default 0 = hardware concurrency)
+//   --queue-size=N     bounded job queue capacity (default 256)
+//   --cache-size=N     parsed-log LRU capacity, in logs (default 64)
+//   --metrics-out=PATH write a PipelineReport JSON (pool, cache, and
+//                      serve.* metrics) to PATH on exit
+//   --socket=PATH      accept one client at a time on a Unix domain
+//                      socket instead of stdin/stdout (POSIX only)
+//
+// Example session (one job object per input line):
+//   $ ems_serve --threads=4 < jobs.ndjson
+//   with jobs.ndjson containing e.g.
+//   {"id":"j1","log1":"a.xes","log2":"b.xes"}
+//   {"id":"j2","log1":"a.xes","log2":"c.csv","labels":"none"}
+//   prints:
+//   {"id":"j1","status":"ok","millis":...,"correspondences":[...],...}
+//   {"id":"j2","status":"ok",...}
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <ext/stdio_filebuf.h>  // libstdc++; socket fd -> iostream
+#endif
+
+#include "obs/context.h"
+#include "obs/report.h"
+#include "serve/service.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ems;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads=N] [--queue-size=N] [--cache-size=N]\n"
+               "          [--metrics-out=PATH] [--socket=PATH]\n"
+               "reads NDJSON job lines from stdin (or the socket), writes one\n"
+               "JSON result line per job; schema documented in "
+               "src/serve/service.h\n",
+               argv0);
+}
+
+struct Flags {
+  int threads = 0;
+  size_t queue_size = 256;
+  size_t cache_size = 64;
+  std::string metrics_out;
+  std::string socket_path;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Result<Flags> ParseArgs(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "threads", &value)) {
+      flags.threads = std::atoi(value.c_str());
+      if (flags.threads < 0) {
+        return Status::InvalidArgument("--threads must be >= 0");
+      }
+    } else if (ParseFlag(arg, "queue-size", &value)) {
+      const long n = std::atol(value.c_str());
+      if (n <= 0) return Status::InvalidArgument("--queue-size must be > 0");
+      flags.queue_size = static_cast<size_t>(n);
+    } else if (ParseFlag(arg, "cache-size", &value)) {
+      const long n = std::atol(value.c_str());
+      if (n <= 0) return Status::InvalidArgument("--cache-size must be > 0");
+      flags.cache_size = static_cast<size_t>(n);
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      flags.metrics_out = value;
+    } else if (ParseFlag(arg, "socket", &value)) {
+      flags.socket_path = value;
+    } else {
+      return Status::InvalidArgument("unknown argument '" + arg + "'");
+    }
+  }
+  return flags;
+}
+
+#ifndef _WIN32
+// Serves clients on a Unix domain socket, one connection at a time (each
+// connection streams NDJSON jobs and reads NDJSON results back). Returns
+// only on accept failure; clients end their session by closing.
+int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
+  ::unlink(path.c_str());
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+    ::close(listen_fd);
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 4) < 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "ems_serve: listening on %s\n", path.c_str());
+  for (;;) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      std::perror("accept");
+      break;
+    }
+    {
+      __gnu_cxx::stdio_filebuf<char> in_buf(conn, std::ios::in);
+      __gnu_cxx::stdio_filebuf<char> out_buf(::dup(conn), std::ios::out);
+      std::istream in(&in_buf);
+      std::ostream out(&out_buf);
+      const size_t jobs = service.RunStream(in, out);
+      std::fprintf(stderr, "ems_serve: connection done (%zu jobs)\n", jobs);
+    }  // filebufs close both fds
+  }
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 1;
+}
+#endif
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags_result = ParseArgs(argc, argv);
+  if (!flags_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 flags_result.status().message().c_str());
+    Usage(argv[0]);
+    return 2;
+  }
+  const Flags& flags = *flags_result;
+
+  ObsContext obs;
+  serve::ServiceOptions options;
+  options.threads = flags.threads;
+  options.queue_capacity = flags.queue_size;
+  options.cache_capacity = flags.cache_size;
+  options.obs = flags.metrics_out.empty() ? nullptr : &obs;
+
+  serve::BatchMatchService service(options);
+  Timer total_timer;
+  int rc = 0;
+  if (!flags.socket_path.empty()) {
+#ifndef _WIN32
+    rc = ServeSocket(service, flags.socket_path);
+#else
+    std::fprintf(stderr, "error: --socket is not supported on this OS\n");
+    return 2;
+#endif
+  } else {
+    const size_t jobs = service.RunStream(std::cin, std::cout);
+    std::fprintf(stderr, "ems_serve: %zu jobs, cache %llu hits / %llu misses\n",
+                 jobs, static_cast<unsigned long long>(service.cache().hits()),
+                 static_cast<unsigned long long>(service.cache().misses()));
+  }
+
+  if (!flags.metrics_out.empty()) {
+    PipelineReport report = BuildPipelineReport(
+        &obs, EmsStats{}, CompositeStats{}, total_timer.ElapsedMillis());
+    Status st = report.WriteJsonFile(flags.metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", flags.metrics_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
