@@ -3,38 +3,155 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "exec/parallel.h"
 #include "exec/thread_pool.h"
 #include "obs/context.h"
 
 namespace ems {
 
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EMS_NOINLINE __attribute__((noinline))
+#else
+#define EMS_NOINLINE
+#endif
+
+// The edge-similarity coefficient C of Definition 2. Single definition
+// shared by EdgeCoefficient, the table builder, and the on-the-fly
+// fallback, so every path evaluates the exact same expression.
+inline double EdgeCoeff(double c, double fa, double fb) {
+  return c * (1.0 - std::fabs(fa - fb) / (fa + fb));
+}
+
+// The final blend of formula (1). Shared — and deliberately kept out of
+// line — by the naive and optimized kernels: one instruction sequence
+// rules out call-site-dependent floating-point contraction breaking the
+// kernels' bit-identity contract.
+EMS_NOINLINE double BlendPair(double alpha, double s12, double s21,
+                              double label) {
+  return alpha * (s12 + s21) / 2.0 + (1.0 - alpha) * label;
+}
+
+// dirty[v] = OR of changed[a] over v's neighbors a — the reverse-adjacency
+// marking of the delta propagation, expressed as a forward CSR scan.
+void DeriveDirty(const CsrAdjacency& adj, const std::vector<uint8_t>& changed,
+                 std::vector<uint8_t>* dirty) {
+  const size_t n = adj.offsets.size() - 1;
+  for (size_t v = 0; v < n; ++v) {
+    uint8_t d = 0;
+    for (int32_t k = adj.offsets[v]; k < adj.offsets[v + 1]; ++k) {
+      d |= changed[static_cast<size_t>(adj.neighbors[static_cast<size_t>(k)])];
+    }
+    (*dirty)[v] = d;
+  }
+}
+
+// One row of the fused scan: returns max_j crow[j] * prow[j] and updates
+// cb[j] = max(cb[j], crow[j] * prow[j]) elementwise. Two-wide under SSE2:
+// multiply and max are exact elementwise operations, max is associative
+// and commutative, and every product here is a non-negative +0.0-signed
+// double — so lane split and horizontal-max order cannot change a bit.
+inline double MulMaxRow(const double* crow, const double* prow, double* cb,
+                        int32_t d2) {
+  double best = 0.0;
+  int32_t j = 0;
+#if defined(__SSE2__)
+  __m128d vbest = _mm_setzero_pd();
+  for (; j + 2 <= d2; j += 2) {
+    const __m128d p =
+        _mm_mul_pd(_mm_loadu_pd(crow + j), _mm_loadu_pd(prow + j));
+    vbest = _mm_max_pd(vbest, p);
+    _mm_storeu_pd(cb + j, _mm_max_pd(_mm_loadu_pd(cb + j), p));
+  }
+  best = std::max(_mm_cvtsd_f64(vbest),
+                  _mm_cvtsd_f64(_mm_unpackhi_pd(vbest, vbest)));
+#endif
+  for (; j < d2; ++j) {
+    const double p = crow[j] * prow[j];
+    best = std::max(best, p);
+    cb[j] = std::max(cb[j], p);
+  }
+  return best;
+}
+
+struct RowRangeResult {
+  double max_delta = 0.0;
+  uint64_t evaluations = 0;
+  uint64_t pruned = 0;
+  uint64_t skipped = 0;
+  // Column-changed flags of this chunk's rows (delta tracking); merged by
+  // OR after the join — order-independent, so still deterministic.
+  std::vector<uint8_t> col_changed;
+};
+
+}  // namespace
+
+// Iteration-invariant per-direction state of the optimized kernel: both
+// graphs' adjacency for that direction flattened to CSR, and (memory
+// permitting) the precomputed C(fa, fb) blocks — for each real pair
+// (v1, v2) a deg(v1) x deg(v2) row-major block at
+// row_base[v1] + deg(v1) * col_base[v2].
+struct EmsSimilarity::DirectionTables {
+  CsrAdjacency a1;  // g1 neighbors (pre-sets forward, post-sets backward)
+  CsrAdjacency a2;  // g2 neighbors
+  int32_t max_degree2 = 0;
+  int32_t art2_entries = 0;    // neighbor-list entries of g2's artificial node
+  size_t panel_stride = 0;     // real g2 neighbor-list entries (panel row width)
+  bool have_coeff = false;
+  std::vector<double> coeff;
+  std::vector<size_t> row_base;  // per g1 node: offset of its first block
+  std::vector<size_t> col_base;  // per g2 node: real entries before it
+};
+
+// Changed/dirty bitmaps of one RunDirection (delta-driven recomputation):
+// row_changed/col_changed describe the previous iteration, dirty1/dirty2
+// are derived marks for the current one, next_* collect the running
+// iteration's changes.
+struct EmsSimilarity::DeltaState {
+  bool active = false;  // false for iteration 1 (no previous iteration)
+  // True once panel_ holds the previous iteration's gathers for this
+  // direction; rows whose row_changed bit is clear are then re-usable.
+  bool panel_primed = false;
+  std::vector<uint8_t> row_changed, col_changed;
+  std::vector<uint8_t> dirty1, dirty2;
+  std::vector<uint8_t> next_row_changed, next_col_changed;
+};
+
 EmsSimilarity::EmsSimilarity(
     const DependencyGraph& g1, const DependencyGraph& g2,
     const EmsOptions& options,
     const std::vector<std::vector<double>>* label_similarity)
-    : g1_(g1), g2_(g2), options_(options), label_(label_similarity) {
+    : g1_(g1), g2_(g2), options_(options) {
   EMS_DCHECK(g1.has_artificial() && g2.has_artificial());
   EMS_DCHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
   EMS_DCHECK(options.c > 0.0 && options.c < 1.0);
-#ifndef NDEBUG
-  if (label_ != nullptr) {
-    EMS_DCHECK(label_->size() == g1.NumNodes());
-    for (const auto& row : *label_) EMS_DCHECK(row.size() == g2.NumNodes());
+  if (label_similarity != nullptr) {
+    EMS_DCHECK(label_similarity->size() == g1.NumNodes());
+    has_labels_ = true;
+    label_flat_.reserve(g1.NumNodes() * g2.NumNodes());
+    for (const auto& row : *label_similarity) {
+      EMS_DCHECK(row.size() == g2.NumNodes());
+      label_flat_.insert(label_flat_.end(), row.begin(), row.end());
+    }
   }
-#endif
 }
 
 EmsSimilarity::~EmsSimilarity() = default;
 
 double EmsSimilarity::EdgeCoefficient(double fa, double fb) const {
   EMS_DCHECK(fa > 0.0 || fb > 0.0);
-  return options_.c * (1.0 - std::fabs(fa - fb) / (fa + fb));
+  return EdgeCoeff(options_.c, fa, fb);
 }
 
 double EmsSimilarity::LabelAt(NodeId v1, NodeId v2) const {
-  if (label_ == nullptr) return 0.0;
-  return (*label_)[static_cast<size_t>(v1)][static_cast<size_t>(v2)];
+  if (!has_labels_) return 0.0;
+  return label_flat_[static_cast<size_t>(v1) * g2_.NumNodes() +
+                     static_cast<size_t>(v2)];
 }
 
 int EmsSimilarity::ConvergenceHorizon(Direction direction, NodeId v1,
@@ -93,54 +210,268 @@ double EmsSimilarity::OneSide(Direction direction, const SimilarityMatrix& prev,
   return sum / static_cast<double>(nbrs_a.size());
 }
 
-namespace {
+const EmsSimilarity::DirectionTables& EmsSimilarity::TablesFor(
+    Direction direction) {
+  EMS_DCHECK(direction != Direction::kBoth);
+  std::unique_ptr<DirectionTables>& slot = direction == Direction::kForward
+                                               ? forward_tables_
+                                               : backward_tables_;
+  if (slot != nullptr) return *slot;
+  auto t = std::make_unique<DirectionTables>();
+  if (direction == Direction::kForward) {
+    t->a1 = g1_.ExportPredecessorCsr();
+    t->a2 = g2_.ExportPredecessorCsr();
+  } else {
+    t->a1 = g1_.ExportSuccessorCsr();
+    t->a2 = g2_.ExportSuccessorCsr();
+  }
+  const NodeId n1 = static_cast<NodeId>(g1_.NumNodes());
+  const NodeId n2 = static_cast<NodeId>(g2_.NumNodes());
+  for (NodeId v2 = 0; v2 < n2; ++v2) {
+    t->max_degree2 = std::max(t->max_degree2, t->a2.Degree(v2));
+  }
+  const int64_t e1 = t->a1.RealEntries(g1_.has_artificial());
+  const int64_t e2 = t->a2.RealEntries(g2_.has_artificial());
+  t->art2_entries = g2_.has_artificial() ? t->a2.Degree(0) : 0;
+  t->panel_stride = static_cast<size_t>(e2);
+  // col_base powers both the coefficient-block addressing and the panel
+  // (gathered S^{n-1}) addressing, so it is built even when the
+  // coefficient tables do not fit the cap.
+  t->col_base.assign(static_cast<size_t>(n2), 0);
+  for (NodeId v2 = 1; v2 < n2; ++v2) {
+    t->col_base[static_cast<size_t>(v2)] = static_cast<size_t>(
+        t->a2.offsets[static_cast<size_t>(v2)] - t->art2_entries);
+  }
+  // Coefficient tables need 8 * E1_real * E2_real bytes; fall back to
+  // on-the-fly coefficients when that exceeds the configured cap
+  // (division-based check to dodge overflow on adversarial sizes).
+  const int64_t cap_doubles =
+      static_cast<int64_t>(options_.coeff_table_max_bytes / sizeof(double));
+  const bool fits =
+      e1 == 0 || e2 == 0 || (cap_doubles > 0 && e2 <= cap_doubles / e1);
+  if (fits) {
+    t->coeff.reserve(static_cast<size_t>(e1 * e2));
+    t->row_base.assign(static_cast<size_t>(n1), 0);
+    for (NodeId v1 = 1; v1 < n1; ++v1) {
+      t->row_base[static_cast<size_t>(v1)] = t->coeff.size();
+      const int32_t d1 = t->a1.Degree(v1);
+      const double* f1 =
+          t->a1.frequencies.data() + t->a1.offsets[static_cast<size_t>(v1)];
+      for (NodeId v2 = 1; v2 < n2; ++v2) {
+        const int32_t d2 = t->a2.Degree(v2);
+        const double* f2 =
+            t->a2.frequencies.data() + t->a2.offsets[static_cast<size_t>(v2)];
+        for (int32_t i = 0; i < d1; ++i) {
+          for (int32_t j = 0; j < d2; ++j) {
+            t->coeff.push_back(EdgeCoeff(options_.c, f1[i], f2[j]));
+          }
+        }
+      }
+    }
+    t->have_coeff = true;
+  }
+  slot = std::move(t);
+  return *slot;
+}
 
-struct RowRangeResult {
-  double max_delta = 0.0;
-  uint64_t evaluations = 0;
-  uint64_t pruned = 0;
-};
-
-}  // namespace
+size_t EmsSimilarity::coefficient_table_bytes() const {
+  size_t total = 0;
+  if (forward_tables_ != nullptr && forward_tables_->have_coeff) {
+    total += forward_tables_->coeff.size() * sizeof(double);
+  }
+  if (backward_tables_ != nullptr && backward_tables_->have_coeff) {
+    total += backward_tables_->coeff.size() * sizeof(double);
+  }
+  return total;
+}
 
 double EmsSimilarity::Iterate(Direction direction, int iteration,
                               const SimilarityMatrix& prev,
                               SimilarityMatrix* next,
                               const std::vector<bool>* frozen_rows,
-                              const std::vector<bool>* frozen_cols) {
+                              const std::vector<bool>* frozen_cols,
+                              DeltaState* delta) {
   const NodeId rows = static_cast<NodeId>(g1_.NumNodes());
+  const NodeId cols = static_cast<NodeId>(g2_.NumNodes());
+  const bool optimized = options_.kernel == EmsKernel::kOptimized;
+  const DirectionTables* tables = optimized ? &TablesFor(direction) : nullptr;
 
-  auto run_rows = [&](NodeId row_begin, NodeId row_end) {
-    RowRangeResult result;
+  const int* l1 = nullptr;
+  const int* l2 = nullptr;
+  if (options_.prune_converged) {
+    // The graphs memoize their longest-distance vectors lazily in a
+    // const accessor; first-touch them here, on the coordinating
+    // thread, so concurrent chunks only read.
+    l1 = (direction == Direction::kForward
+              ? g1_.LongestDistancesFromArtificial()
+              : g1_.LongestDistancesToArtificial())
+             .data();
+    l2 = (direction == Direction::kForward
+              ? g2_.LongestDistancesFromArtificial()
+              : g2_.LongestDistancesToArtificial())
+             .data();
+  }
+
+  const bool use_delta = delta != nullptr && delta->active;
+  const uint8_t* dirty1 = use_delta ? delta->dirty1.data() : nullptr;
+  const uint8_t* dirty2 = use_delta ? delta->dirty2.data() : nullptr;
+  uint8_t* next_row_changed =
+      delta != nullptr ? delta->next_row_changed.data() : nullptr;
+
+  const double* prev_data = prev.data().data();
+  double* next_data = next->mutable_data();
+  const double alpha = options_.alpha;
+  const double c = options_.c;
+
+  // Gather S^{n-1} into the panel: panel row r holds prev(r, n2[k]) for
+  // every real-node neighbor slot k of g2, so the fused scan below reads
+  // coefficients and similarities as two contiguous streams. Pure copies
+  // of prev values — bit-identity is unaffected.
+  const double* panel_data = nullptr;
+  if (optimized && tables->panel_stride > 0) {
+    const size_t stride = tables->panel_stride;
+    panel_.resize(static_cast<size_t>(rows) * stride);
+    const NodeId* slots =
+        tables->a2.neighbors.data() + tables->art2_entries;
+    // Once primed, rows whose row_changed bit is clear are bit-identical
+    // to the previous iteration's prev, so their gathers are still valid.
+    const uint8_t* changed = (delta != nullptr && delta->panel_primed &&
+                              delta->active)
+                                 ? delta->row_changed.data()
+                                 : nullptr;
+    for (NodeId r = 0; r < rows; ++r) {
+      if (changed != nullptr && changed[static_cast<size_t>(r)] == 0) {
+        continue;
+      }
+      const double* pr = prev_data + static_cast<size_t>(r) * cols;
+      double* dst = panel_.data() + static_cast<size_t>(r) * stride;
+      for (size_t k = 0; k < stride; ++k) {
+        dst[k] = pr[slots[k]];
+      }
+    }
+    if (delta != nullptr) delta->panel_primed = true;
+    panel_data = panel_.data();
+  }
+
+  auto run_rows = [&](NodeId row_begin, NodeId row_end,
+                      RowRangeResult* result) {
+    // Scratch for the fused scan's per-column maxima; one allocation per
+    // chunk, reused across its pairs.
+    std::vector<double> col_best;
+    if (optimized) {
+      col_best.resize(
+          static_cast<size_t>(std::max<int32_t>(tables->max_degree2, 1)));
+    }
+    if (delta != nullptr) {
+      result->col_changed.assign(static_cast<size_t>(cols), 0);
+    }
     for (NodeId v1 = row_begin; v1 < row_end; ++v1) {
       if (g1_.IsArtificial(v1)) continue;
       const bool row_frozen =
           frozen_rows != nullptr && (*frozen_rows)[static_cast<size_t>(v1)];
-      for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
+      const bool row_dirty =
+          !use_delta || dirty1[static_cast<size_t>(v1)] != 0;
+      const size_t row_off = static_cast<size_t>(v1) * cols;
+      for (NodeId v2 = 0; v2 < cols; ++v2) {
         if (g2_.IsArtificial(v2)) continue;
+        const size_t idx = row_off + static_cast<size_t>(v2);
         if (row_frozen || (frozen_cols != nullptr &&
                            (*frozen_cols)[static_cast<size_t>(v2)])) {
-          next->set(v1, v2, prev.at(v1, v2));
+          next_data[idx] = prev_data[idx];
           continue;
         }
-        if (options_.prune_converged &&
-            iteration > ConvergenceHorizon(direction, v1, v2)) {
+        if (l1 != nullptr &&
+            iteration > std::min(l1[v1], l2[v2])) {
           // Proposition 2: the value can no longer change; keep it.
-          next->set(v1, v2, prev.at(v1, v2));
-          ++result.pruned;
+          next_data[idx] = prev_data[idx];
+          ++result->pruned;
           continue;
         }
-        double s12 = OneSide(direction, prev, v1, v2, /*transposed=*/false);
-        double s21 = OneSide(direction, prev, v1, v2, /*transposed=*/true);
-        double value = options_.alpha * (s12 + s21) / 2.0 +
-                       (1.0 - options_.alpha) * LabelAt(v1, v2);
-        ++result.evaluations;
-        next->set(v1, v2, value);
-        result.max_delta = std::max(result.max_delta,
-                                    std::fabs(value - prev.at(v1, v2)));
+        if (use_delta &&
+            !(row_dirty && dirty2[static_cast<size_t>(v2)] != 0)) {
+          // Neither input neighborhood changed last iteration: the
+          // re-evaluation would reproduce the previous value bit for
+          // bit, so copy it forward instead.
+          next_data[idx] = prev_data[idx];
+          ++result->skipped;
+          continue;
+        }
+        double value;
+        if (optimized) {
+          // Fused forward/transposed pass over the deg(v1) x deg(v2)
+          // block: one read of S^{n-1} per neighbor pair feeds both the
+          // row maxima (s12) and the column maxima (s21). Sums run in
+          // the naive kernel's index order; maxima are order-free.
+          const DirectionTables& t = *tables;
+          const int32_t d1 = t.a1.Degree(v1);
+          const int32_t d2 = t.a2.Degree(v2);
+          double s12 = 0.0;
+          double s21 = 0.0;
+          if (d1 > 0 && d2 > 0) {
+            const NodeId* n1 =
+                t.a1.neighbors.data() + t.a1.offsets[static_cast<size_t>(v1)];
+            const size_t cb_off = t.col_base[static_cast<size_t>(v2)];
+            double* cb = col_best.data();
+            for (int32_t j = 0; j < d2; ++j) cb[j] = 0.0;
+            double sum_rows = 0.0;
+            if (t.have_coeff) {
+              const double* block =
+                  t.coeff.data() + t.row_base[static_cast<size_t>(v1)] +
+                  static_cast<size_t>(d1) * cb_off;
+              for (int32_t i = 0; i < d1; ++i) {
+                const double* crow = block + static_cast<size_t>(i) * d2;
+                const double* prow = panel_data +
+                                     static_cast<size_t>(n1[i]) *
+                                         t.panel_stride +
+                                     cb_off;
+                sum_rows += MulMaxRow(crow, prow, cb, d2);
+              }
+            } else {
+              const double* f1 = t.a1.frequencies.data() +
+                                 t.a1.offsets[static_cast<size_t>(v1)];
+              const double* f2 = t.a2.frequencies.data() +
+                                 t.a2.offsets[static_cast<size_t>(v2)];
+              for (int32_t i = 0; i < d1; ++i) {
+                const double* prow = panel_data +
+                                     static_cast<size_t>(n1[i]) *
+                                         t.panel_stride +
+                                     cb_off;
+                double best = 0.0;
+                for (int32_t j = 0; j < d2; ++j) {
+                  // The divide only matters when s != 0 (matches the
+                  // naive kernel's early-out; maxes of non-negative
+                  // products are unaffected by skipped zeros).
+                  const double s = prow[j];
+                  if (s <= 0.0) continue;
+                  const double p = EdgeCoeff(c, f1[i], f2[j]) * s;
+                  best = std::max(best, p);
+                  cb[j] = std::max(cb[j], p);
+                }
+                sum_rows += best;
+              }
+            }
+            s12 = sum_rows / static_cast<double>(d1);
+            double sum_cols = 0.0;
+            for (int32_t j = 0; j < d2; ++j) sum_cols += cb[j];
+            s21 = sum_cols / static_cast<double>(d2);
+          }
+          value = BlendPair(alpha, s12, s21, LabelAt(v1, v2));
+        } else {
+          double s12 = OneSide(direction, prev, v1, v2, /*transposed=*/false);
+          double s21 = OneSide(direction, prev, v1, v2, /*transposed=*/true);
+          value = BlendPair(alpha, s12, s21, LabelAt(v1, v2));
+        }
+        ++result->evaluations;
+        const double old = prev_data[idx];
+        next_data[idx] = value;
+        const double d = std::fabs(value - old);
+        if (d > result->max_delta) result->max_delta = d;
+        if (delta != nullptr && value != old) {
+          next_row_changed[v1] = 1;
+          result->col_changed[static_cast<size_t>(v2)] = 1;
+        }
       }
     }
-    return result;
   };
 
   int threads = options_.pool != nullptr
@@ -148,42 +479,39 @@ double EmsSimilarity::Iterate(Direction direction, int iteration,
                     : exec::ThreadPool::EffectiveThreads(options_.num_threads);
   threads = std::min<int>(threads, std::max<NodeId>(rows, 1));
 
-  if (threads <= 1) {
-    RowRangeResult result = run_rows(0, rows);
-    stats_.formula_evaluations += result.evaluations;
-    stats_.pairs_pruned_converged += result.pruned;
-    return result.max_delta;
-  }
-
-  if (options_.prune_converged) {
-    // The graphs memoize their longest-distance vectors lazily in a
-    // const accessor; first-touch them here, on the coordinating
-    // thread, so concurrent chunks calling ConvergenceHorizon only read.
-    if (direction == Direction::kForward) {
-      g1_.LongestDistancesFromArtificial();
-      g2_.LongestDistancesFromArtificial();
-    } else {
-      g1_.LongestDistancesToArtificial();
-      g2_.LongestDistancesToArtificial();
+  auto merge = [&](const RowRangeResult& r, double* max_delta) {
+    *max_delta = std::max(*max_delta, r.max_delta);
+    stats_.formula_evaluations += r.evaluations;
+    stats_.pairs_pruned_converged += r.pruned;
+    stats_.pairs_skipped_unchanged += r.skipped;
+    if (delta != nullptr) {
+      for (size_t v2 = 0; v2 < r.col_changed.size(); ++v2) {
+        delta->next_col_changed[v2] |= r.col_changed[v2];
+      }
     }
+  };
+
+  if (threads <= 1) {
+    RowRangeResult result;
+    run_rows(0, rows, &result);
+    double max_delta = 0.0;
+    merge(result, &max_delta);
+    return max_delta;
   }
 
-  // Each chunk writes a disjoint row range of `next` and reads only
-  // `prev`; no synchronization needed beyond the join. Per-chunk results
-  // merge by sum/max, so the outcome is independent of scheduling.
+  // Each chunk writes a disjoint row range of `next` (and of the
+  // row-changed bitmap) and reads only `prev`; no synchronization needed
+  // beyond the join. Per-chunk results merge by sum/max/or, so the
+  // outcome is independent of scheduling.
   std::vector<RowRangeResult> results(static_cast<size_t>(threads));
   exec::ParallelForChunks(
       IteratePool(threads), 0, static_cast<size_t>(rows), threads,
       [&](int chunk, size_t begin, size_t end) {
-        results[static_cast<size_t>(chunk)] = run_rows(
-            static_cast<NodeId>(begin), static_cast<NodeId>(end));
+        run_rows(static_cast<NodeId>(begin), static_cast<NodeId>(end),
+                 &results[static_cast<size_t>(chunk)]);
       });
   double max_delta = 0.0;
-  for (const RowRangeResult& r : results) {
-    max_delta = std::max(max_delta, r.max_delta);
-    stats_.formula_evaluations += r.evaluations;
-    stats_.pairs_pruned_converged += r.pruned;
-  }
+  for (const RowRangeResult& r : results) merge(r, &max_delta);
   return max_delta;
 }
 
@@ -226,18 +554,51 @@ SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
   if (controls != nullptr && controls->aborted != nullptr) {
     *controls->aborted = false;
   }
+
+  DeltaState delta_state;
+  DeltaState* delta = nullptr;
+  if (options_.kernel == EmsKernel::kOptimized && options_.skip_unchanged) {
+    const size_t n1 = g1_.NumNodes();
+    const size_t n2 = g2_.NumNodes();
+    delta_state.row_changed.assign(n1, 0);
+    delta_state.col_changed.assign(n2, 0);
+    delta_state.dirty1.assign(n1, 0);
+    delta_state.dirty2.assign(n2, 0);
+    delta_state.next_row_changed.assign(n1, 0);
+    delta_state.next_col_changed.assign(n2, 0);
+    delta = &delta_state;
+  }
+
   SimilarityMatrix next = prev;
   int n = 0;
   while (n < max_iterations) {
     ++n;
-    double delta = Iterate(direction, n, prev, &next, frozen_rows, frozen_cols);
+    double delta_max =
+        Iterate(direction, n, prev, &next, frozen_rows, frozen_cols, delta);
     std::swap(prev, next);
+    if (delta != nullptr) {
+      // Promote this iteration's changed-entry flags and derive the next
+      // iteration's dirty marks: pair (v1, v2) must be re-evaluated only
+      // if some input row in N(v1) changed AND some input column in
+      // N(v2) changed (docs/PERFORMANCE.md explains why the conjunction
+      // is a sound over-approximation).
+      const DirectionTables& t = TablesFor(direction);
+      delta->row_changed.swap(delta->next_row_changed);
+      delta->col_changed.swap(delta->next_col_changed);
+      std::fill(delta->next_row_changed.begin(),
+                delta->next_row_changed.end(), 0);
+      std::fill(delta->next_col_changed.begin(),
+                delta->next_col_changed.end(), 0);
+      DeriveDirty(t.a1, delta->row_changed, &delta->dirty1);
+      DeriveDirty(t.a2, delta->col_changed, &delta->dirty2);
+      delta->active = true;
+    }
     if (controls != nullptr && controls->should_abort &&
         controls->should_abort(n, prev)) {
       if (controls->aborted != nullptr) *controls->aborted = true;
       break;
     }
-    if (delta <= options_.epsilon) break;
+    if (delta_max <= options_.epsilon) break;
   }
   if (iterations_done != nullptr) *iterations_done = n;
   return prev;
@@ -252,6 +613,10 @@ void EmsSimilarity::FlushStatsToObs() const {
   ObsIncrement(obs, "ems.formula_evaluations", stats_.formula_evaluations);
   ObsIncrement(obs, "ems.pairs_pruned_converged",
                stats_.pairs_pruned_converged);
+  ObsIncrement(obs, "ems.pairs_skipped_unchanged",
+               stats_.pairs_skipped_unchanged);
+  ObsSetGauge(obs, "ems.coefficient_table_bytes",
+              static_cast<double>(coefficient_table_bytes()));
   ObsObserve(obs, "ems.iterations_per_run",
              static_cast<double>(stats_.iterations));
 }
@@ -290,13 +655,27 @@ SimilarityMatrix EmsSimilarity::Compute() {
       RunDirection(Direction::kBackward, options_.max_iterations, &bwd_iters);
   stats_.iterations = std::max(fwd_iters, bwd_iters);
   FlushStatsToObs();
-  // Aggregate the two directions by average (Section 3.6).
+  // Aggregate the two directions by average (Section 3.6): an
+  // element-wise pass over the flat buffers, partitioned across the pool
+  // when one is configured. Cells are independent, so the parallel pass
+  // is bit-identical to the serial one.
   SimilarityMatrix combined(g1_.NumNodes(), g2_.NumNodes(), 0.0);
-  for (NodeId v1 = 0; v1 < static_cast<NodeId>(g1_.NumNodes()); ++v1) {
-    for (NodeId v2 = 0; v2 < static_cast<NodeId>(g2_.NumNodes()); ++v2) {
-      combined.set(v1, v2,
-                   (forward.at(v1, v2) + backward.at(v1, v2)) / 2.0);
-    }
+  const double* f = forward.data().data();
+  const double* b = backward.data().data();
+  double* out = combined.mutable_data();
+  const size_t cells = g1_.NumNodes() * g2_.NumNodes();
+  int threads = options_.pool != nullptr
+                    ? options_.pool->num_threads()
+                    : exec::ThreadPool::EffectiveThreads(options_.num_threads);
+  if (threads <= 1 || cells < 4096) {
+    for (size_t i = 0; i < cells; ++i) out[i] = (f[i] + b[i]) / 2.0;
+  } else {
+    exec::ParallelForChunks(IteratePool(threads), 0, cells, threads,
+                            [&](int, size_t begin, size_t end) {
+                              for (size_t i = begin; i < end; ++i) {
+                                out[i] = (f[i] + b[i]) / 2.0;
+                              }
+                            });
   }
   return combined;
 }

@@ -47,6 +47,10 @@ class SimilarityMatrix {
 
   const std::vector<double>& data() const { return data_; }
 
+  /// Raw row-major storage for kernels that scan/write contiguously
+  /// (the optimized EMS iteration and the forward/backward combine).
+  double* mutable_data() { return data_.data(); }
+
  private:
   bool InRange(NodeId r, NodeId c) const {
     return r >= 0 && c >= 0 && static_cast<size_t>(r) < rows_ &&

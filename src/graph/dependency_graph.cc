@@ -477,6 +477,36 @@ DependencyGraph DependencyGraph::FilterEdges(double threshold) const {
   return g;
 }
 
+namespace {
+
+CsrAdjacency FlattenAdjacency(const std::vector<std::vector<NodeId>>& nbrs,
+                              const std::vector<std::vector<double>>& freqs) {
+  CsrAdjacency csr;
+  csr.offsets.resize(nbrs.size() + 1, 0);
+  size_t total = 0;
+  for (size_t v = 0; v < nbrs.size(); ++v) total += nbrs[v].size();
+  csr.neighbors.reserve(total);
+  csr.frequencies.reserve(total);
+  for (size_t v = 0; v < nbrs.size(); ++v) {
+    csr.offsets[v] = static_cast<int32_t>(csr.neighbors.size());
+    csr.neighbors.insert(csr.neighbors.end(), nbrs[v].begin(), nbrs[v].end());
+    csr.frequencies.insert(csr.frequencies.end(), freqs[v].begin(),
+                           freqs[v].end());
+  }
+  csr.offsets[nbrs.size()] = static_cast<int32_t>(csr.neighbors.size());
+  return csr;
+}
+
+}  // namespace
+
+CsrAdjacency DependencyGraph::ExportPredecessorCsr() const {
+  return FlattenAdjacency(pre_, pre_freq_);
+}
+
+CsrAdjacency DependencyGraph::ExportSuccessorCsr() const {
+  return FlattenAdjacency(post_, post_freq_);
+}
+
 std::string DependencyGraph::DebugString() const {
   std::ostringstream out;
   out << "DependencyGraph(" << NumNodes() << " nodes, " << NumEdges()

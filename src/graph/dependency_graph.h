@@ -24,6 +24,29 @@ using NodeId = int32_t;
 /// l(v) value for nodes on/downstream of a cycle: never early-converges.
 inline constexpr int kInfiniteDistance = std::numeric_limits<int>::max();
 
+/// One direction of a graph's adjacency flattened into CSR form: node v's
+/// neighbors are `neighbors[offsets[v] .. offsets[v+1])` with the edge
+/// frequencies parallel in `frequencies`. Per-node neighbor order is
+/// exactly the order of Predecessors()/Successors(), so kernels built on
+/// the flat arrays reproduce vector-of-vector traversals bit-identically.
+struct CsrAdjacency {
+  std::vector<int32_t> offsets;    // size NumNodes() + 1
+  std::vector<NodeId> neighbors;   // concatenated per-node lists
+  std::vector<double> frequencies; // aligned with `neighbors`
+
+  int32_t Degree(NodeId v) const {
+    return offsets[static_cast<size_t>(v) + 1] -
+           offsets[static_cast<size_t>(v)];
+  }
+  /// Total neighbor entries over the real (non-artificial) nodes — the
+  /// row-dimension budget of per-pair coefficient tables.
+  int64_t RealEntries(bool has_artificial) const {
+    int64_t total = static_cast<int64_t>(neighbors.size());
+    if (has_artificial) total -= Degree(0);
+    return total;
+  }
+};
+
 /// Options controlling dependency-graph construction.
 struct DependencyGraphOptions {
   /// Adds the artificial event v^X with edges (v^X, v) and (v, v^X)
@@ -159,6 +182,11 @@ class DependencyGraph {
   /// Copy with real edges below `threshold` removed (minimum frequency
   /// control; artificial edges retained).
   DependencyGraph FilterEdges(double threshold) const;
+
+  /// Adjacency of one direction flattened into contiguous CSR arrays —
+  /// the form the optimized EMS kernel scans (see docs/PERFORMANCE.md).
+  CsrAdjacency ExportPredecessorCsr() const;
+  CsrAdjacency ExportSuccessorCsr() const;
 
   /// Human-readable adjacency dump for debugging.
   std::string DebugString() const;

@@ -18,6 +18,8 @@ void WriteEmsStats(const EmsStats& s, JsonWriter* w) {
   w->Int(static_cast<long long>(s.formula_evaluations));
   w->Key("pairs_pruned_converged");
   w->Int(static_cast<long long>(s.pairs_pruned_converged));
+  w->Key("pairs_skipped_unchanged");
+  w->Int(static_cast<long long>(s.pairs_skipped_unchanged));
   w->EndObject();
 }
 
@@ -90,11 +92,13 @@ std::string PipelineReport::RenderText() const {
   out += line;
   std::snprintf(line, sizeof(line),
                 "ems: %d iterations, %llu formula evaluations, %llu pairs "
-                "pruned\n",
+                "pruned, %llu pairs delta-skipped\n",
                 ems_stats.iterations,
                 static_cast<unsigned long long>(ems_stats.formula_evaluations),
                 static_cast<unsigned long long>(
-                    ems_stats.pairs_pruned_converged));
+                    ems_stats.pairs_pruned_converged),
+                static_cast<unsigned long long>(
+                    ems_stats.pairs_skipped_unchanged));
   out += line;
   if (composite_stats.candidates_evaluated > 0) {
     std::snprintf(line, sizeof(line),

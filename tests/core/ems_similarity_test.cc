@@ -82,10 +82,15 @@ TEST(EmsSimilarityTest, IdenticalGraphsPreferDiagonal) {
 TEST(EmsSimilarityTest, PruningDoesNotChangeResult) {
   DependencyGraph g1 = BuildPaperGraph1();
   DependencyGraph g2 = BuildPaperGraph2();
+  // Delta-skipping disabled to isolate Proposition-2 pruning: with it on,
+  // unchanged-neighborhood skips can soak up the same pairs pruning would
+  // save (their interaction is covered by ems_kernel_test).
   EmsOptions with = Opts(Direction::kBoth);
   with.prune_converged = true;
+  with.skip_unchanged = false;
   EmsOptions without = Opts(Direction::kBoth);
   without.prune_converged = false;
+  without.skip_unchanged = false;
   EmsSimilarity sim_with(g1, g2, with);
   EmsSimilarity sim_without(g1, g2, without);
   SimilarityMatrix a = sim_with.Compute();
@@ -94,6 +99,19 @@ TEST(EmsSimilarityTest, PruningDoesNotChangeResult) {
   // ... and pruning must save formula evaluations.
   EXPECT_LT(sim_with.stats().formula_evaluations,
             sim_without.stats().formula_evaluations);
+  EXPECT_GT(sim_with.stats().pairs_pruned_converged, 0u);
+  EXPECT_EQ(sim_with.stats().pairs_skipped_unchanged, 0u);
+
+  // With the default options (pruning AND delta-skipping) the matrix is
+  // still the same, and the combined savings are at least pruning's own.
+  EmsSimilarity sim_default(g1, g2, Opts(Direction::kBoth));
+  SimilarityMatrix c = sim_default.Compute();
+  EXPECT_LT(a.MaxAbsDifference(c), 1e-9);
+  EXPECT_GE(sim_default.stats().pairs_pruned_converged +
+                sim_default.stats().pairs_skipped_unchanged,
+            sim_with.stats().pairs_pruned_converged);
+  EXPECT_LE(sim_default.stats().formula_evaluations,
+            sim_with.stats().formula_evaluations);
 }
 
 TEST(EmsSimilarityTest, LabelSimilarityBlendsIn) {

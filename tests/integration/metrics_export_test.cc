@@ -86,8 +86,12 @@ TEST(MetricsExportTest, EmsMatchWritesPipelineReportJson) {
   EXPECT_NE(report.find("\"ems.iterations\""), std::string::npos);
   EXPECT_NE(report.find("\"ems.formula_evaluations\""), std::string::npos);
   EXPECT_NE(report.find("\"ems.pairs_pruned_converged\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems.pairs_skipped_unchanged\""), std::string::npos);
+  EXPECT_NE(report.find("\"ems.coefficient_table_bytes\""), std::string::npos);
   EXPECT_NE(report.find("\"graph.builds\":2"), std::string::npos);
   EXPECT_NE(report.find("\"total_millis\""), std::string::npos);
+  // The EmsStats block mirrors the delta-skip counter too.
+  EXPECT_NE(report.find("\"pairs_skipped_unchanged\""), std::string::npos);
 
   // The Chrome trace is a separate, also balanced document.
   std::string chrome = ReadFile(trace);
