@@ -1,43 +1,54 @@
 #include "core/composite_matcher.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "assignment/selection.h"
 #include "core/bounds.h"
 #include "core/estimation.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "graph/dependency_graph_builder.h"
 #include "obs/context.h"
+#include "text/cached_label_similarity.h"
+#include "util/timer.h"
 
 namespace ems {
 
 namespace {
 
-// True if candidate members intersect any accepted composite.
-bool Overlaps(const std::vector<EventId>& candidate,
-              const std::vector<std::vector<EventId>>& accepted) {
-  for (const auto& w : accepted) {
-    for (EventId e : candidate) {
-      if (std::find(w.begin(), w.end(), e) != w.end()) return true;
+// Hash index from a node's member set (order-insensitive) to its NodeId,
+// built once per lookup batch instead of scanning and re-sorting every
+// node's members per query.
+class MemberIndex {
+ public:
+  explicit MemberIndex(const DependencyGraph& g) {
+    index_.reserve(g.NumNodes());
+    for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+      if (g.IsArtificial(v)) continue;
+      index_.emplace(Key(g.Members(v)), v);
     }
   }
-  return false;
-}
 
-// Node of `g` whose member set equals `members` (order-insensitive), or
-// -1 if absent.
-NodeId FindNodeByMembers(const DependencyGraph& g,
-                         const std::vector<EventId>& members) {
-  std::vector<EventId> wanted = members;
-  std::sort(wanted.begin(), wanted.end());
-  for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
-    if (g.IsArtificial(v)) continue;
-    std::vector<EventId> have = g.Members(v);
-    std::sort(have.begin(), have.end());
-    if (have == wanted) return v;
+  // NodeId with exactly the given member set, or -1 if absent.
+  NodeId Find(const std::vector<EventId>& members) const {
+    auto it = index_.find(Key(members));
+    return it == index_.end() ? -1 : it->second;
   }
-  return -1;
-}
+
+ private:
+  static std::string Key(std::vector<EventId> members) {
+    std::sort(members.begin(), members.end());
+    return std::string(reinterpret_cast<const char*>(members.data()),
+                       members.size() * sizeof(EventId));
+  }
+
+  std::unordered_map<std::string, NodeId> index_;
+};
 
 std::unordered_map<std::string, NodeId> NameIndex(const DependencyGraph& g) {
   std::unordered_map<std::string, NodeId> idx;
@@ -118,9 +129,29 @@ CompositeMatcher::CompositeMatcher(const EventLog& log1, const EventLog& log2,
                                    const CompositeOptions& options,
                                    const LabelSimilarity* label_measure)
     : log1_(log1), log2_(log2), options_(options),
-      label_measure_(label_measure) {
+      label_measure_(label_measure),
+      denom_(std::min(log1.NumEvents(), log2.NumEvents())) {
   // One assignment instruments every inner EMS/estimation run too.
   options_.ems.obs = options_.obs;
+  if (options_.incremental_graphs) {
+    builder1_ = std::make_unique<DependencyGraphBuilder>(log1_);
+    builder2_ = std::make_unique<DependencyGraphBuilder>(log2_);
+  }
+  if (options_.cache_labels && label_measure_ != nullptr) {
+    cached_labels_ = std::make_unique<CachedLabelSimilarity>(*label_measure_);
+  }
+}
+
+CompositeMatcher::~CompositeMatcher() = default;
+
+Result<DependencyGraph> CompositeMatcher::BuildGraph(
+    int side, const std::vector<std::vector<EventId>>& w,
+    const DependencyGraphOptions& graph_opts) const {
+  const DependencyGraphBuilder* builder =
+      side == 1 ? builder1_.get() : builder2_.get();
+  if (builder != nullptr) return builder->BuildWithComposites(w, graph_opts);
+  const EventLog& log = side == 1 ? log1_ : log2_;
+  return DependencyGraph::BuildWithComposites(log, w, graph_opts);
 }
 
 void CompositeMatcher::SetCandidates(
@@ -135,38 +166,49 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
     const std::vector<std::vector<EventId>>& w1,
     const std::vector<std::vector<EventId>>& w2, const GraphState* previous,
     bool merged_on_side1, const std::vector<EventId>* new_composite,
-    double incumbent_average, bool* pruned_out) {
+    double incumbent_average, bool* pruned_out, CompositeStats* stats,
+    ObsContext* obs, bool serial_ems) const {
   if (pruned_out != nullptr) *pruned_out = false;
-  ScopedSpan span(options_.obs, "candidate_eval");
+  ScopedSpan span(obs, "candidate_eval");
   GraphState state;
   DependencyGraphOptions graph_opts = options_.graph;
   graph_opts.add_artificial_event = true;
-  EMS_ASSIGN_OR_RETURN(
-      state.g1, DependencyGraph::BuildWithComposites(log1_, w1, graph_opts));
-  EMS_ASSIGN_OR_RETURN(
-      state.g2, DependencyGraph::BuildWithComposites(log2_, w2, graph_opts));
+  EMS_ASSIGN_OR_RETURN(state.g1, BuildGraph(1, w1, graph_opts));
+  EMS_ASSIGN_OR_RETURN(state.g2, BuildGraph(2, w2, graph_opts));
 
+  const LabelSimilarity* measure =
+      cached_labels_ != nullptr ? cached_labels_.get() : label_measure_;
   std::vector<std::vector<double>> labels;
   const std::vector<std::vector<double>>* labels_ptr = nullptr;
-  if (label_measure_ != nullptr) {
-    labels = LabelSimilarityMatrix(state.g1, state.g2, *label_measure_);
+  if (measure != nullptr) {
+    labels = LabelSimilarityMatrix(state.g1, state.g2, *measure);
     labels_ptr = &labels;
   }
-  const size_t denom = std::min(log1_.NumEvents(), log2_.NumEvents());
+  const size_t denom = denom_;
+
+  EmsOptions ems_opts = options_.ems;
+  ems_opts.obs = obs;
+  if (serial_ems) {
+    // Inside a parallel greedy step the candidates already occupy the
+    // workers; nested EMS parallelism would oversubscribe (and EMS is
+    // bit-identical at any thread count, so nothing changes).
+    ems_opts.num_threads = 1;
+    ems_opts.pool = nullptr;
+  }
 
   if (options_.use_estimation) {
     // EMS+es path: estimated similarities per direction, no Uc/Bd.
     EstimationOptions est;
     est.exact_iterations = options_.estimation_iterations;
-    est.ems = options_.ems;
+    est.ems = ems_opts;
     est.ems.direction = Direction::kForward;
     EstimatedEmsSimilarity fwd(state.g1, state.g2, est, labels_ptr);
     state.forward = fwd.Compute();
-    stats_.AddEmsRun(fwd.stats());
+    stats->AddEmsRun(fwd.stats());
     est.ems.direction = Direction::kBackward;
     EstimatedEmsSimilarity bwd(state.g1, state.g2, est, labels_ptr);
     state.backward = bwd.Compute();
-    stats_.AddEmsRun(bwd.stats());
+    stats->AddEmsRun(bwd.stats());
     if (options_.objective == CompositeObjective::kAveragePairs) {
       state.average = CombinedAverage(state.forward, state.backward);
     } else {
@@ -177,8 +219,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
     return state;
   }
 
-
-  EmsSimilarity sim(state.g1, state.g2, options_.ems, labels_ptr);
+  EmsSimilarity sim(state.g1, state.g2, ems_opts, labels_ptr);
 
   // --- Uc (Proposition 4): freeze rows/columns whose similarities cannot
   // have changed relative to the previous state.
@@ -190,7 +231,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
     const DependencyGraph& g_new = merged_on_side1 ? state.g1 : state.g2;
     const DependencyGraph& g_old = merged_on_side1 ? previous->g1
                                                    : previous->g2;
-    NodeId merged = FindNodeByMembers(g_new, *new_composite);
+    NodeId merged = MemberIndex(g_new).Find(*new_composite);
     EMS_DCHECK(merged >= 0);
     // Forward similarity changes only for the merged node and everything
     // downstream of it; backward, upstream.
@@ -215,11 +256,11 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
       old_of[static_cast<size_t>(v)] = it->second;
       if (!affected_fwd[static_cast<size_t>(v)]) {
         frozen_fwd[static_cast<size_t>(v)] = true;
-        ++stats_.rows_frozen;
+        ++stats->rows_frozen;
       }
       if (!affected_bwd[static_cast<size_t>(v)]) {
         frozen_bwd[static_cast<size_t>(v)] = true;
-        ++stats_.rows_frozen;
+        ++stats->rows_frozen;
       }
     }
     // Previous-state values remapped into the new graph's indexing. The
@@ -296,7 +337,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
       Direction::kForward, /*fwd_final=*/nullptr,
       use_uc ? &frozen_fwd : nullptr, use_uc ? &frozen_fwd_vals : nullptr);
   state.forward = sim.ComputeControlled(Direction::kForward, fwd_controls);
-  stats_.AddEmsRun(sim.stats());
+  stats->AddEmsRun(sim.stats());
   if (aborted) {
     if (pruned_out != nullptr) *pruned_out = true;
     return state;
@@ -306,7 +347,7 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
       Direction::kBackward, /*fwd_final=*/&state.forward,
       use_uc ? &frozen_bwd : nullptr, use_uc ? &frozen_bwd_vals : nullptr);
   state.backward = sim.ComputeControlled(Direction::kBackward, bwd_controls);
-  stats_.AddEmsRun(sim.stats());
+  stats->AddEmsRun(sim.stats());
   if (aborted) {
     if (pruned_out != nullptr) *pruned_out = true;
     return state;
@@ -325,6 +366,12 @@ Result<CompositeMatcher::GraphState> CompositeMatcher::Evaluate(
 Result<CompositeMatchResult> CompositeMatcher::Match() {
   ScopedSpan span(options_.obs, "composite_search");
   stats_ = CompositeStats{};
+  // Cache/builder counters accumulate across Match calls on one matcher;
+  // the obs flush below reports this run's delta only.
+  const uint64_t base_hits = cached_labels_ ? cached_labels_->hits() : 0;
+  const uint64_t base_misses = cached_labels_ ? cached_labels_->misses() : 0;
+  const uint64_t base_builds1 = builder1_ ? builder1_->incremental_builds() : 0;
+  const uint64_t base_builds2 = builder2_ ? builder2_->incremental_builds() : 0;
   if (!explicit_candidates_) {
     ScopedSpan discovery(options_.obs, "candidate_discovery");
     candidates1_ = DiscoverCandidates(log1_, options_.candidates);
@@ -333,10 +380,38 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
   ObsIncrement(options_.obs, "composite.candidates_discovered",
                candidates1_.size() + candidates2_.size());
 
+  // Worker setup for parallel candidate evaluation (serial by default).
+  exec::ThreadPool* pool = options_.pool;
+  const int workers =
+      pool != nullptr ? pool->num_threads()
+                      : exec::ThreadPool::EffectiveThreads(options_.num_threads);
+  std::unique_ptr<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && workers > 1) {
+    owned_pool = std::make_unique<exec::ThreadPool>(workers);
+    pool = owned_pool.get();
+  }
+  const bool parallel_step = workers > 1;
+
+  // Accepted-member bitmaps make the per-candidate overlap test O(|cand|)
+  // instead of scanning every accepted composite.
+  std::vector<char> used1(log1_.NumEvents(), 0);
+  std::vector<char> used2(log2_.NumEvents(), 0);
+  auto overlaps_used = [](const std::vector<char>& used,
+                          const std::vector<EventId>& events) {
+    for (EventId e : events) {
+      if (e >= 0 && static_cast<size_t>(e) < used.size() &&
+          used[static_cast<size_t>(e)] != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   std::vector<std::vector<EventId>> w1, w2;
   EMS_ASSIGN_OR_RETURN(
       GraphState state,
-      Evaluate(w1, w2, nullptr, false, nullptr, /*incumbent=*/-1.0, nullptr));
+      Evaluate(w1, w2, nullptr, false, nullptr, /*incumbent=*/-1.0, nullptr,
+               &stats_, options_.obs, /*serial_ems=*/false));
 
   for (int step = 0; step < options_.max_steps; ++step) {
     ScopedSpan step_span(options_.obs, "greedy_step");
@@ -345,34 +420,119 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
     const CompositeCandidate* best_candidate = nullptr;
     GraphState best_state;
 
+    // Surviving candidates in (side, index) order — the serial evaluation
+    // order, which parallel winner selection reproduces exactly.
+    struct WorkItem {
+      int side;
+      const CompositeCandidate* cand;
+    };
+    std::vector<WorkItem> work;
     for (int side = 1; side <= 2; ++side) {
       const auto& candidates = side == 1 ? candidates1_ : candidates2_;
-      const auto& accepted = side == 1 ? w1 : w2;
+      const auto& used = side == 1 ? used1 : used2;
       for (const CompositeCandidate& cand : candidates) {
         if (cand.events.size() < 2) continue;
-        if (Overlaps(cand.events, accepted)) continue;
+        if (overlaps_used(used, cand.events)) continue;
+        work.push_back({side, &cand});
+      }
+    }
 
+    if (!parallel_step) {
+      for (const WorkItem& item : work) {
         auto try_w1 = w1;
         auto try_w2 = w2;
-        (side == 1 ? try_w1 : try_w2).push_back(cand.events);
+        (item.side == 1 ? try_w1 : try_w2).push_back(item.cand->events);
 
         double incumbent = std::max(state.average + options_.delta, best_avg);
         bool pruned = false;
         ++stats_.candidates_evaluated;
         EMS_ASSIGN_OR_RETURN(
             GraphState eval,
-            Evaluate(try_w1, try_w2, &state, side == 1, &cand.events,
-                     incumbent, &pruned));
+            Evaluate(try_w1, try_w2, &state, item.side == 1,
+                     &item.cand->events, incumbent, &pruned, &stats_,
+                     options_.obs, /*serial_ems=*/false));
         if (pruned) {
           ++stats_.candidates_pruned_by_bound;
           continue;
         }
         if (eval.average > best_avg) {
           best_avg = eval.average;
-          best_side = side;
-          best_candidate = &cand;
+          best_side = item.side;
+          best_candidate = item.cand;
           best_state = std::move(eval);
         }
+      }
+    } else {
+      // Parallel step. Every task bounds Bd against the step-entry
+      // incumbent only (no ratcheting on siblings), which prunes no more
+      // than the serial loop would; the index-ordered merge below with a
+      // strict `>` then picks the same winner the serial loop picks (the
+      // full argument is in docs/CONCURRENCY.md).
+      const double step_incumbent = state.average + options_.delta;
+      struct Slot {
+        GraphState eval;
+        bool pruned = false;
+        CompositeStats stats;
+        double millis = 0.0;
+      };
+      std::vector<Slot> slots(work.size());
+      exec::TaskGroup group(pool);
+      for (size_t i = 0; i < work.size(); ++i) {
+        group.Run([&, i]() -> Status {
+          const WorkItem& item = work[i];
+          auto try_w1 = w1;
+          auto try_w2 = w2;
+          (item.side == 1 ? try_w1 : try_w2).push_back(item.cand->events);
+          Timer timer;
+          EMS_ASSIGN_OR_RETURN(
+              slots[i].eval,
+              Evaluate(try_w1, try_w2, &state, item.side == 1,
+                       &item.cand->events, step_incumbent, &slots[i].pruned,
+                       &slots[i].stats, /*obs=*/nullptr, /*serial_ems=*/true));
+          slots[i].millis = timer.ElapsedMillis();
+          return Status::OK();
+        });
+      }
+      EMS_RETURN_NOT_OK(group.Wait());
+
+      EmsStats step_ems;
+      uint64_t step_runs = 0;
+      uint64_t step_pruned = 0;
+      for (size_t i = 0; i < work.size(); ++i) {
+        Slot& slot = slots[i];
+        ++stats_.candidates_evaluated;
+        ++stats_.candidates_evaluated_parallel;
+        step_ems.Add(slot.stats.ems);
+        step_runs += slot.stats.ems_runs;
+        stats_.Add(slot.stats);
+        ObsObserve(options_.obs, "composite.candidate_eval_millis",
+                   slot.millis);
+        if (slot.pruned) {
+          ++stats_.candidates_pruned_by_bound;
+          ++step_pruned;
+          continue;
+        }
+        if (slot.eval.average > best_avg) {
+          best_avg = slot.eval.average;
+          best_side = work[i].side;
+          best_candidate = work[i].cand;
+          best_state = std::move(slot.eval);
+        }
+      }
+      // Parallel tasks run with a null obs (one TraceRecorder cannot
+      // interleave concurrent spans), so mirror their aggregated EMS
+      // counters here; per-run histograms are serial-only.
+      if (options_.obs != nullptr && step_runs > 0) {
+        ObsIncrement(options_.obs, "ems.runs", step_runs);
+        ObsIncrement(options_.obs, "ems.iterations",
+                     static_cast<uint64_t>(step_ems.iterations));
+        ObsIncrement(options_.obs, "ems.formula_evaluations",
+                     step_ems.formula_evaluations);
+        ObsIncrement(options_.obs, "ems.pairs_pruned_converged",
+                     step_ems.pairs_pruned_converged);
+        ObsIncrement(options_.obs, "ems.pairs_skipped_unchanged",
+                     step_ems.pairs_skipped_unchanged);
+        ObsIncrement(options_.obs, "ems.aborted_runs", step_pruned);
       }
     }
 
@@ -382,6 +542,12 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
       break;
     }
     (best_side == 1 ? w1 : w2).push_back(best_candidate->events);
+    auto& used = best_side == 1 ? used1 : used2;
+    for (EventId e : best_candidate->events) {
+      if (e >= 0 && static_cast<size_t>(e) < used.size()) {
+        used[static_cast<size_t>(e)] = 1;
+      }
+    }
     state = std::move(best_state);
     ++stats_.merges_accepted;
   }
@@ -397,6 +563,8 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
   if (options_.obs != nullptr) {
     ObsIncrement(options_.obs, "composite.candidates_evaluated",
                  static_cast<uint64_t>(stats_.candidates_evaluated));
+    ObsIncrement(options_.obs, "composite.candidates_evaluated_parallel",
+                 static_cast<uint64_t>(stats_.candidates_evaluated_parallel));
     ObsIncrement(options_.obs, "composite.candidates_pruned_by_bound",
                  static_cast<uint64_t>(stats_.candidates_pruned_by_bound));
     ObsIncrement(options_.obs, "composite.merges_accepted",
@@ -404,6 +572,23 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
     ObsIncrement(options_.obs, "composite.rows_frozen", stats_.rows_frozen);
     ObsSetGauge(options_.obs, "composite.objective",
                 result.average_similarity);
+    if (cached_labels_ != nullptr) {
+      ObsIncrement(options_.obs, "text.label_cache_hits",
+                   cached_labels_->hits() - base_hits);
+      ObsIncrement(options_.obs, "text.label_cache_misses",
+                   cached_labels_->misses() - base_misses);
+    }
+    if (builder1_ != nullptr && builder2_ != nullptr) {
+      const uint64_t builds1 = builder1_->incremental_builds() - base_builds1;
+      const uint64_t builds2 = builder2_->incremental_builds() - base_builds2;
+      ObsIncrement(options_.obs, "graph.incremental_builds",
+                   builds1 + builds2);
+      // Each incremental build replaces one full scan of that log's
+      // traces in the reference path.
+      ObsIncrement(options_.obs, "graph.incremental_trace_scans_saved",
+                   builds1 * builder1_->num_traces() +
+                       builds2 * builder2_->num_traces());
+    }
   }
   return result;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/composite_candidates.h"
@@ -21,6 +22,9 @@
 #include "util/status.h"
 
 namespace ems {
+
+class CachedLabelSimilarity;
+class DependencyGraphBuilder;
 
 /// Objective the greedy search maximizes per step.
 enum class CompositeObjective {
@@ -79,6 +83,29 @@ struct CompositeOptions {
   /// finite so this is a safety net).
   int max_steps = 64;
 
+  /// Build candidate graphs from a one-time per-log direct-follows
+  /// summary (DependencyGraphBuilder) instead of re-scanning every trace
+  /// per candidate. Bit-identical to the trace-scan path, which remains
+  /// available as the equivalence reference when this is false.
+  bool incremental_graphs = true;
+
+  /// Memoize label similarities across candidate evaluations (only the
+  /// merged node's label is new per greedy step). Bit-identical scores;
+  /// hit/miss counts surface as text.label_cache_hits/_misses.
+  bool cache_labels = true;
+
+  /// Workers for evaluating one greedy step's candidates concurrently:
+  /// 1 = serial (default), 0 = hardware concurrency. Winner selection is
+  /// bit-identical to the serial loop at any count (see
+  /// docs/CONCURRENCY.md). Inner EMS runs go serial inside parallel
+  /// tasks, so total parallelism stays bounded by this count.
+  int num_threads = 1;
+
+  /// Borrowed shared pool for candidate evaluation; overrides
+  /// num_threads when set. Null (default) creates a private pool when
+  /// num_threads asks for one.
+  exec::ThreadPool* pool = nullptr;
+
   /// Observability sink (spans + counters); null (default) disables
   /// instrumentation. Borrowed, not owned. The nested `ems` options
   /// carry their own pointer; CompositeMatcher propagates this one into
@@ -98,9 +125,16 @@ struct CompositeStats {
   uint64_t formula_evaluations = 0;
 
   int candidates_evaluated = 0;
+  /// Of those, how many were evaluated by a parallel greedy step (the
+  /// same candidates a serial run would evaluate; prune counts may
+  /// differ — see docs/CONCURRENCY.md).
+  int candidates_evaluated_parallel = 0;
   int candidates_pruned_by_bound = 0;  // aborted via Bd
   int merges_accepted = 0;
   uint64_t rows_frozen = 0;  // row-freeze events via Uc
+
+  /// Inner EMS/estimation runs folded in via AddEmsRun.
+  uint64_t ems_runs = 0;
 
   /// All inner EMS runs accumulated (iterations sum over candidate
   /// evaluations; this is where EMS counters live when composite
@@ -111,14 +145,17 @@ struct CompositeStats {
   void AddEmsRun(const EmsStats& run) {
     ems.Add(run);
     formula_evaluations += run.formula_evaluations;
+    ++ems_runs;
   }
 
   void Add(const CompositeStats& other) {
     formula_evaluations += other.formula_evaluations;
     candidates_evaluated += other.candidates_evaluated;
+    candidates_evaluated_parallel += other.candidates_evaluated_parallel;
     candidates_pruned_by_bound += other.candidates_pruned_by_bound;
     merges_accepted += other.merges_accepted;
     rows_frozen += other.rows_frozen;
+    ems_runs += other.ems_runs;
     ems.Add(other.ems);
   }
 };
@@ -151,6 +188,7 @@ class CompositeMatcher {
   CompositeMatcher(const EventLog& log1, const EventLog& log2,
                    const CompositeOptions& options,
                    const LabelSimilarity* label_measure = nullptr);
+  ~CompositeMatcher();
 
   /// Runs the greedy loop to a fixed point and returns the result.
   Result<CompositeMatchResult> Match();
@@ -169,14 +207,26 @@ class CompositeMatcher {
     double average = 0.0;
   };
 
+  // Collapsed graph of one side's log under accepted composites `w`:
+  // aggregated from the per-log summary when incremental_graphs is on,
+  // the reference trace scan otherwise (bit-identical either way).
+  Result<DependencyGraph> BuildGraph(
+      int side, const std::vector<std::vector<EventId>>& w,
+      const DependencyGraphOptions& graph_opts) const;
+
   // Builds graphs for the given accepted composite sets and computes both
   // directional matrices from scratch (or with Uc row reuse against
-  // `previous` when merging `merged_on_side1`/`new_composite`).
+  // `previous` when merging `merged_on_side1`/`new_composite`). Const and
+  // data-race-free against concurrent calls: all counters go to `stats`,
+  // spans to `obs` (null inside parallel tasks — one TraceRecorder cannot
+  // interleave concurrent spans), and `serial_ems` pins the inner EMS to
+  // one thread so a parallel step never oversubscribes the machine.
   Result<GraphState> Evaluate(
       const std::vector<std::vector<EventId>>& w1,
       const std::vector<std::vector<EventId>>& w2, const GraphState* previous,
       bool merged_on_side1, const std::vector<EventId>* new_composite,
-      double incumbent_average, bool* pruned_out);
+      double incumbent_average, bool* pruned_out, CompositeStats* stats,
+      ObsContext* obs, bool serial_ems) const;
 
   const EventLog& log1_;
   const EventLog& log2_;
@@ -186,6 +236,12 @@ class CompositeMatcher {
   std::vector<CompositeCandidate> candidates2_;
   bool explicit_candidates_ = false;
   CompositeStats stats_;
+
+  // Iteration-invariant state hoisted out of the candidate loop.
+  std::unique_ptr<DependencyGraphBuilder> builder1_;
+  std::unique_ptr<DependencyGraphBuilder> builder2_;
+  std::unique_ptr<CachedLabelSimilarity> cached_labels_;
+  size_t denom_ = 0;  // min(|V1|, |V2|) of the original vocabularies
 };
 
 /// Exact optimal composite matching by exhaustive enumeration of disjoint

@@ -65,6 +65,11 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
     comp.use_estimation = options_.engine == SimilarityEngine::kEstimated;
     comp.estimation_iterations = options_.estimation_iterations;
     comp.obs = obs;
+    // --threads reaches the composite search too: the greedy step
+    // evaluates candidates on the same worker budget the EMS iteration
+    // would have used (candidate tasks force their inner EMS serial).
+    comp.num_threads = options_.ems.num_threads;
+    comp.pool = options_.ems.pool;
     CompositeMatcher matcher(log1, log2, comp,
                              options_.label_measure == LabelMeasure::kNone
                                  ? nullptr

@@ -49,6 +49,8 @@ class QGramCosineSimilarity final : public LabelSimilarity {
   double Similarity(std::string_view a, std::string_view b) const override;
   std::string Name() const override;
 
+  int q() const { return q_; }
+
  private:
   int q_;
 };

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/thread_pool.h"
 #include "paper_example.h"
 #include "synth/dataset.h"
 
@@ -228,6 +229,153 @@ TEST(CompositeMatcherTest, ResultGraphsReflectMerges) {
   EXPECT_EQ(merged_members, result->composites1.size());
   EXPECT_EQ(result->similarity.rows(), result->graph1.NumNodes());
   EXPECT_EQ(result->similarity.cols(), result->graph2.NumNodes());
+}
+
+LogPair InjectedPair() {
+  PairOptions pair_opts;
+  pair_opts.num_activities = 10;
+  pair_opts.num_traces = 80;
+  pair_opts.num_composites = 2;
+  pair_opts.dislocation = 1;
+  pair_opts.seed = 1;
+  return MakeLogPair(Testbed::kDsFB, pair_opts);
+}
+
+// The fast paths (incremental graph summaries, the label cache, and the
+// parallel greedy step) must be invisible in the result: same composites,
+// bitwise-equal objective, and a similarity matrix with zero deviation
+// from the serial reference configuration.
+void ExpectBitIdentical(const CompositeMatchResult& ref,
+                        const CompositeMatchResult& got,
+                        const std::string& what) {
+  EXPECT_EQ(ref.composites1, got.composites1) << what;
+  EXPECT_EQ(ref.composites2, got.composites2) << what;
+  EXPECT_EQ(ref.average_similarity, got.average_similarity) << what;
+  ASSERT_EQ(ref.similarity.rows(), got.similarity.rows()) << what;
+  ASSERT_EQ(ref.similarity.cols(), got.similarity.cols()) << what;
+  EXPECT_EQ(ref.similarity.MaxAbsDifference(got.similarity), 0.0) << what;
+}
+
+TEST(CompositeMatcherTest, FastPathsBitIdenticalToReference) {
+  LogPair pair = InjectedPair();
+  QGramCosineSimilarity qgram;
+  CompositeOptions reference_opts = Opts();
+  reference_opts.delta = 0.005;
+  reference_opts.ems.alpha = 0.5;
+  reference_opts.incremental_graphs = false;
+  reference_opts.cache_labels = false;
+  CompositeMatcher reference(pair.log1, pair.log2, reference_opts, &qgram);
+  Result<CompositeMatchResult> ref = reference.Match();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (bool incremental : {false, true}) {
+    for (bool cache : {false, true}) {
+      if (!incremental && !cache) continue;  // that IS the reference
+      CompositeOptions opts = reference_opts;
+      opts.incremental_graphs = incremental;
+      opts.cache_labels = cache;
+      CompositeMatcher matcher(pair.log1, pair.log2, opts, &qgram);
+      Result<CompositeMatchResult> got = matcher.Match();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectBitIdentical(*ref, *got,
+                         "incremental=" + std::to_string(incremental) +
+                             " cache=" + std::to_string(cache));
+    }
+  }
+}
+
+TEST(CompositeMatcherTest, ParallelStepBitIdenticalToSerial) {
+  LogPair pair = InjectedPair();
+  QGramCosineSimilarity qgram;
+  CompositeOptions serial_opts = Opts();
+  serial_opts.delta = 0.005;
+  serial_opts.ems.alpha = 0.5;
+  serial_opts.num_threads = 1;
+  CompositeMatcher serial(pair.log1, pair.log2, serial_opts, &qgram);
+  Result<CompositeMatchResult> ref = serial.Match();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(ref->stats.candidates_evaluated_parallel, 0);
+
+  // 0 = hardware concurrency; both must reproduce the serial bits.
+  for (int threads : {4, 0}) {
+    CompositeOptions opts = serial_opts;
+    opts.num_threads = threads;
+    CompositeMatcher matcher(pair.log1, pair.log2, opts, &qgram);
+    Result<CompositeMatchResult> got = matcher.Match();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(*ref, *got, "threads=" + std::to_string(threads));
+    // threads=0 resolves to hardware concurrency, which may be 1 on a
+    // small machine — then the step legitimately stays serial.
+    const bool parallel = exec::ThreadPool::EffectiveThreads(threads) > 1;
+    EXPECT_EQ(got->stats.candidates_evaluated_parallel,
+              parallel ? got->stats.candidates_evaluated : 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(CompositeMatcherTest, ParallelStepBitIdenticalUnderEstimation) {
+  LogPair pair = InjectedPair();
+  QGramCosineSimilarity qgram;
+  CompositeOptions serial_opts = Opts();
+  serial_opts.delta = 0.005;
+  serial_opts.ems.alpha = 0.5;
+  serial_opts.use_estimation = true;
+  serial_opts.estimation_iterations = 3;
+  serial_opts.num_threads = 1;
+  CompositeMatcher serial(pair.log1, pair.log2, serial_opts, &qgram);
+  Result<CompositeMatchResult> ref = serial.Match();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (int threads : {4, 0}) {
+    CompositeOptions opts = serial_opts;
+    opts.num_threads = threads;
+    CompositeMatcher matcher(pair.log1, pair.log2, opts, &qgram);
+    Result<CompositeMatchResult> got = matcher.Match();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(*ref, *got,
+                       "estimation threads=" + std::to_string(threads));
+  }
+}
+
+// Uc freezes rows of the PREVIOUS matrices and replays them into the next
+// evaluation; after a merge removes nodes, every frozen row index must be
+// remapped through the new node ids. Forcing two same-side merges (delta
+// < 0 accepts unconditionally) shifts ids twice; the Uc run must agree
+// with the unpruned run on the chosen composites and their objective.
+TEST(CompositeMatcherTest, UcRemapsFrozenRowsAcrossNodeIdShifts) {
+  EventLog log1 = BuildPaperLog1();
+  EventLog log2 = BuildPaperLog2();
+  ASSERT_GE(log1.NumEvents(), 6u);
+  std::vector<CompositeCandidate> c1 = {
+      CompositeCandidate{{0, 1}, 1.0},
+      CompositeCandidate{{2, 3}, 1.0},
+  };
+
+  CompositeMatchResult results[2];
+  for (bool uc : {false, true}) {
+    CompositeOptions opts = Opts();
+    opts.delta = -1.0;  // accept every step's best merge
+    opts.prune_unchanged = uc;
+    opts.prune_bounds = false;
+    opts.max_steps = 2;
+    CompositeMatcher matcher(log1, log2, opts);
+    matcher.SetCandidates(c1, {});
+    Result<CompositeMatchResult> result = matcher.Match();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Both same-side merges accepted -> node ids shifted after step 1.
+    ASSERT_EQ(result->stats.merges_accepted, 2);
+    ASSERT_EQ(result->composites1.size(), 2u);
+    if (uc) {
+      EXPECT_GT(result->stats.rows_frozen, 0u);
+    }
+    results[uc ? 1 : 0] = std::move(*result);
+  }
+  EXPECT_EQ(results[0].composites1, results[1].composites1);
+  EXPECT_EQ(results[0].composites2, results[1].composites2);
+  EXPECT_NEAR(results[0].average_similarity, results[1].average_similarity,
+              1e-3);
+  EXPECT_LE(results[0].similarity.MaxAbsDifference(results[1].similarity),
+            1e-3);
 }
 
 }  // namespace

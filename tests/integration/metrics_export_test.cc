@@ -114,9 +114,9 @@ TEST(MetricsExportTest, CompositeModeExportsCompositeCounters) {
   WriteFile(log1, "a;b;c;d\na;b;c;d\na;c;d\n");
   WriteFile(log2, "a;x;d\na;x;d\na;d\n");
 
-  std::string cmd = std::string(EMS_MATCH_BINARY) + " --labels=none" +
-                    " --composites --metrics-out=" + metrics + " " + log1 +
-                    " " + log2 + " > /dev/null";
+  std::string cmd = std::string(EMS_MATCH_BINARY) + " --labels=qgram" +
+                    " --composites --threads=4 --metrics-out=" + metrics +
+                    " " + log1 + " " + log2 + " > /dev/null";
   ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
 
   std::string report = ReadFile(metrics);
@@ -125,6 +125,13 @@ TEST(MetricsExportTest, CompositeModeExportsCompositeCounters) {
   EXPECT_NE(report.find("\"composite_search\""), std::string::npos);
   EXPECT_NE(report.find("\"candidate_discovery\""), std::string::npos);
   EXPECT_NE(report.find("\"composite.candidates_evaluated\""),
+            std::string::npos);
+  // Counters from the incremental-search engine: graph-summary builds,
+  // label-cache traffic, and the parallel-step evaluation count.
+  EXPECT_NE(report.find("\"graph.incremental_builds\""), std::string::npos);
+  EXPECT_NE(report.find("\"text.label_cache_hits\""), std::string::npos);
+  EXPECT_NE(report.find("\"text.label_cache_misses\""), std::string::npos);
+  EXPECT_NE(report.find("\"composite.candidates_evaluated_parallel\""),
             std::string::npos);
 
   std::remove(log1.c_str());

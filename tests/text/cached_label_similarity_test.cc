@@ -1,0 +1,108 @@
+// CachedLabelSimilarity must reproduce every wrapped measure bit for bit
+// (the composite search substitutes it transparently) while memoizing
+// repeated pairs and staying safe under concurrent lookups.
+#include "text/cached_label_similarity.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/label_similarity.h"
+
+namespace ems {
+namespace {
+
+const char* kLabels[] = {"Check Stock",  "check_stock", "ship order",
+                         "Ship Order",   "receive",     "RECEIVE GOODS",
+                         "a",            "",            "inventory check",
+                         "Check Inventory"};
+
+TEST(CachedLabelSimilarityTest, BitIdenticalToWrappedMeasures) {
+  QGramCosineSimilarity qgram(3);
+  QGramCosineSimilarity qgram2(2);
+  LevenshteinLabelSimilarity lev;
+  JaroWinklerLabelSimilarity jw;
+  TokenJaccardSimilarity tokens;
+  NoLabelSimilarity none;
+  const LabelSimilarity* measures[] = {&qgram, &qgram2, &lev,
+                                       &jw,    &tokens, &none};
+  for (const LabelSimilarity* base : measures) {
+    CachedLabelSimilarity cached(*base);
+    for (const char* a : kLabels) {
+      for (const char* b : kLabels) {
+        // Twice: the second call must replay the memo with the same bits.
+        double expected = base->Similarity(a, b);
+        EXPECT_EQ(expected, cached.Similarity(a, b)) << base->Name();
+        EXPECT_EQ(expected, cached.Similarity(a, b)) << base->Name();
+      }
+    }
+  }
+}
+
+TEST(CachedLabelSimilarityTest, CountsHitsAndMisses) {
+  QGramCosineSimilarity qgram(3);
+  CachedLabelSimilarity cached(qgram);
+  EXPECT_EQ(cached.hits(), 0u);
+  EXPECT_EQ(cached.misses(), 0u);
+  cached.Similarity("alpha", "beta");
+  EXPECT_EQ(cached.hits(), 0u);
+  EXPECT_EQ(cached.misses(), 1u);
+  cached.Similarity("alpha", "beta");
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 1u);
+  // Orientation is part of the key (generic measures need not be
+  // symmetric), so the swapped pair is a fresh miss.
+  cached.Similarity("beta", "alpha");
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.misses(), 2u);
+}
+
+TEST(CachedLabelSimilarityTest, KeyIsUnambiguous) {
+  // ("ab", "c") and ("a", "bc") concatenate identically; the
+  // length-prefixed key must keep them apart.
+  QGramCosineSimilarity qgram(3);
+  CachedLabelSimilarity cached(qgram);
+  EXPECT_EQ(qgram.Similarity("ab", "c"), cached.Similarity("ab", "c"));
+  EXPECT_EQ(qgram.Similarity("a", "bc"), cached.Similarity("a", "bc"));
+  EXPECT_EQ(cached.misses(), 2u);
+}
+
+TEST(CachedLabelSimilarityTest, NameReflectsWrappedMeasure) {
+  QGramCosineSimilarity qgram(3);
+  CachedLabelSimilarity cached(qgram);
+  EXPECT_EQ(cached.Name(), "cached(" + qgram.Name() + ")");
+}
+
+TEST(CachedLabelSimilarityTest, ConcurrentLookupsAgree) {
+  QGramCosineSimilarity qgram(3);
+  CachedLabelSimilarity cached(qgram);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 20; ++rep) {
+        for (const char* a : kLabels) {
+          for (const char* b : kLabels) {
+            if (cached.Similarity(a, b) != qgram.Similarity(a, b)) {
+              ++mismatches[static_cast<size_t>(t)];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int m : mismatches) EXPECT_EQ(m, 0);
+  // Every lookup was answered, racing first computations at worst
+  // double-count a miss.
+  constexpr uint64_t kPairs =
+      sizeof(kLabels) / sizeof(kLabels[0]) * (sizeof(kLabels) / sizeof(kLabels[0]));
+  EXPECT_EQ(cached.hits() + cached.misses(), kThreads * 20 * kPairs);
+  EXPECT_GE(cached.misses(), kPairs);
+}
+
+}  // namespace
+}  // namespace ems

@@ -20,7 +20,9 @@
 //   --min-similarity=F            correspondence threshold (default 0.05)
 //   --min-edge-frequency=F        dependency-graph edge filter (default 0)
 //   --threads=N                   worker threads for the EMS iteration
-//                                 (default hardware concurrency, 0 = serial)
+//                                 and, with --composites, for parallel
+//                                 candidate evaluation (default hardware
+//                                 concurrency, 0 = serial)
 //   --matrix                      also print the similarity matrix
 //   --tsv                         machine-readable tab-separated output
 //   --json                        JSON output (correspondences + stats)
