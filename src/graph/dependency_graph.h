@@ -17,6 +17,10 @@
 
 namespace ems {
 
+namespace store {
+struct SnapshotAccess;  // binary snapshot serializer (src/store/snapshot.h)
+}  // namespace store
+
 /// Dense node index within a DependencyGraph. Node 0 is always the
 /// artificial event v^X when the graph is built with artificial events.
 using NodeId = int32_t;
@@ -193,6 +197,7 @@ class DependencyGraph {
 
  private:
   friend class DependencyGraphBuilder;
+  friend struct store::SnapshotAccess;
 
   bool ValidNode(NodeId v) const {
     return v >= 0 && static_cast<size_t>(v) < names_.size();

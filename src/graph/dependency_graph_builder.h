@@ -31,6 +31,10 @@
 
 namespace ems {
 
+namespace store {
+struct SnapshotAccess;  // binary snapshot serializer (src/store/snapshot.h)
+}  // namespace store
+
 /// \brief Per-log summary that builds composite-collapsed dependency
 /// graphs without re-scanning traces.
 ///
@@ -67,6 +71,13 @@ class DependencyGraphBuilder {
   size_t num_trace_groups() const { return groups_.size(); }
 
  private:
+  friend struct store::SnapshotAccess;
+
+  // Snapshot restore: binds the log without scanning it; SnapshotAccess
+  // fills the summary fields from a decoded GraphSummary artifact.
+  struct RestoreTag {};
+  DependencyGraphBuilder(const EventLog& log, RestoreTag) : log_(log) {}
+
   // One class of traces sharing distinct-event and distinct-succession
   // sets; `multiplicity` counts the traces in the class.
   struct TraceGroup {

@@ -6,6 +6,9 @@
 #include "log/mxml.h"
 #include "log/xes.h"
 #include "obs/context.h"
+#include "store/artifact_store.h"
+#include "store/hashing.h"
+#include "store/snapshot.h"
 #include "util/string_util.h"
 
 namespace ems {
@@ -19,15 +22,18 @@ std::string CanonicalPath(const std::string& path) {
   return out;
 }
 
+std::string ResolveLogFormat(const std::string& path,
+                             const std::string& format) {
+  if (format != "auto" && !format.empty()) return format;
+  if (EndsWith(path, ".xes")) return "xes";
+  if (EndsWith(path, ".mxml")) return "mxml";
+  if (EndsWith(path, ".csv")) return "csv";
+  return "trace";
+}
+
 Result<EventLog> LoadEventLog(const std::string& path,
                               const std::string& format) {
-  std::string fmt = format;
-  if (fmt == "auto" || fmt.empty()) {
-    if (EndsWith(path, ".xes")) fmt = "xes";
-    else if (EndsWith(path, ".mxml")) fmt = "mxml";
-    else if (EndsWith(path, ".csv")) fmt = "csv";
-    else fmt = "trace";
-  }
+  const std::string fmt = ResolveLogFormat(path, format);
   if (fmt == "xes") return ReadXesFile(path);
   if (fmt == "mxml") return ReadMxmlFile(path);
   if (fmt == "csv") return ReadCsvFile(path);
@@ -35,12 +41,47 @@ Result<EventLog> LoadEventLog(const std::string& path,
   return Status::InvalidArgument("unknown format '" + fmt + "'");
 }
 
-LogCache::LogCache(size_t capacity, ObsContext* obs)
-    : cache_(capacity), obs_(obs) {}
+Result<EventLog> LoadEventLogThroughStore(store::ArtifactStore* store,
+                                          const std::string& path,
+                                          const std::string& format,
+                                          uint64_t* content_hash_out) {
+  if (store == nullptr) return LoadEventLog(path, format);
+  // An unreadable file falls through to the source parser, whose error
+  // message names the format and path.
+  Result<uint64_t> hashed = store::HashFile(path);
+  if (!hashed.ok()) return LoadEventLog(path, format);
+  if (content_hash_out != nullptr) *content_hash_out = hashed.value();
+  const std::string fmt = ResolveLogFormat(path, format);
+  const store::ArtifactKey key{store::ArtifactKind::kEventLog, hashed.value(),
+                               store::LogFingerprint(fmt)};
+  if (std::optional<std::string> snapshot = store->Load(key)) {
+    Result<EventLog> decoded = store::DecodeEventLog(*snapshot);
+    if (decoded.ok()) return decoded;
+    // The envelope verified but the payload didn't decode (a logic-level
+    // inconsistency): count the re-derive like any other fallback.
+    ObsIncrement(store->obs(), "store.fallback_rederives");
+  }
+  EMS_ASSIGN_OR_RETURN(EventLog log, LoadEventLog(path, format));
+  store->Store(key, store::EncodeEventLog(log));
+  return log;
+}
+
+LogCache::LogCache(size_t capacity, ObsContext* obs,
+                   store::ArtifactStore* store, uint64_t max_cost_bytes)
+    : cache_(capacity, max_cost_bytes), obs_(obs), store_(store) {}
 
 Result<std::shared_ptr<const EventLog>> LogCache::GetOrLoad(
     const std::string& path, const std::string& format) {
-  const std::string key = CanonicalPath(path) + "|" + format;
+  // Hash the file on every lookup: a rewritten file gets a fresh key, so
+  // no job is ever answered with a stale parse. An unreadable file hashes
+  // as 0 and misses — the load below reports the real error.
+  uint64_t content_hash = 0;
+  if (Result<uint64_t> hashed = store::HashFile(path); hashed.ok()) {
+    content_hash = hashed.value();
+  }
+  const std::string fmt = ResolveLogFormat(path, format);
+  const std::string key =
+      CanonicalPath(path) + "|" + fmt + "|" + store::HashHex(content_hash);
   if (std::optional<std::shared_ptr<const EventLog>> hit = cache_.Get(key)) {
     ObsIncrement(obs_, "serve.cache.hits");
     return *hit;
@@ -49,9 +90,13 @@ Result<std::shared_ptr<const EventLog>> LogCache::GetOrLoad(
   // Concurrent misses on one key may both load; the second Put wins.
   // Wasted work on a cold start beats holding the cache lock across
   // file I/O.
-  EMS_ASSIGN_OR_RETURN(EventLog log, LoadEventLog(path, format));
+  EMS_ASSIGN_OR_RETURN(EventLog log,
+                       LoadEventLogThroughStore(store_, path, format));
+  const uint64_t cost = store::EstimateLogSnapshotBytes(log);
   auto shared = std::make_shared<const EventLog>(std::move(log));
-  cache_.Put(key, shared);
+  cache_.Put(key, shared, cost);
+  ObsSetGauge(obs_, "serve.cache_bytes",
+              static_cast<double>(cache_.cost_bytes()));
   return shared;
 }
 

@@ -1,10 +1,17 @@
-// LRU repository of parsed event logs keyed by canonical path + format —
-// the cache in front of the batch matching service. Bulk workloads
-// (Khan et al.'s reproducibility sweeps, warehouse scans) match the same
-// logs against many partners; parsing each log once per batch instead of
-// once per job is the difference between I/O-bound and CPU-bound.
+// LRU repository of parsed event logs — the cache in front of the batch
+// matching service. Bulk workloads (Khan et al.'s reproducibility
+// sweeps, warehouse scans) match the same logs against many partners;
+// parsing each log once per batch instead of once per job is the
+// difference between I/O-bound and CPU-bound.
+//
+// Keys include the file's content hash, so a log rewritten between jobs
+// is re-parsed, never served stale. With an artifact store attached the
+// cache is two-level: a memory miss first consults the on-disk snapshot
+// store (docs/PERSISTENCE.md) and only re-parses the source format when
+// the store misses too — which is what makes a restarted ems_serve warm.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -16,18 +23,32 @@ namespace ems {
 
 struct ObsContext;
 
+namespace store {
+class ArtifactStore;
+}  // namespace store
+
 namespace serve {
 
-/// \brief Thread-safe load-through cache of parsed event logs.
+/// \brief Thread-safe two-level load-through cache of parsed event logs.
 ///
-/// Keys are `canonical_path|format`, where the canonical path resolves
-/// symlinks and relative segments (realpath) so two spellings of one
-/// file share an entry. Values are shared_ptr<const EventLog>: eviction
-/// never invalidates a log a running job still holds.
+/// Keys are `canonical_path|format|content_hash`: the canonical path
+/// resolves symlinks and relative segments (realpath) so two spellings
+/// of one file share an entry, and the XXH64 content hash makes a
+/// rewritten file a different key — hashing re-reads the file on every
+/// lookup, which is cheap next to parsing and is exactly what keeps the
+/// cache coherent without invalidation messages. Values are
+/// shared_ptr<const EventLog>: eviction never invalidates a log a
+/// running job still holds.
 class LogCache {
  public:
-  /// `obs` (borrowed, may be null) receives serve.cache.{hits,misses}.
-  explicit LogCache(size_t capacity, ObsContext* obs = nullptr);
+  /// `obs` (borrowed, may be null) receives serve.cache.{hits,misses}
+  /// and the serve.cache_bytes gauge. `store` (borrowed, may be null)
+  /// is the on-disk snapshot layer consulted between memory and source.
+  /// `max_cost_bytes` bounds resident logs by estimated snapshot size;
+  /// 0 keeps the entry-count bound alone (the default mode).
+  explicit LogCache(size_t capacity, ObsContext* obs = nullptr,
+                    store::ArtifactStore* store = nullptr,
+                    uint64_t max_cost_bytes = 0);
 
   /// The parsed log for `path`, loading and caching it on a miss.
   /// `format` is auto|trace|csv|xes|mxml, as in the CLI tools; "auto"
@@ -38,15 +59,33 @@ class LogCache {
   uint64_t hits() const { return cache_.hits(); }
   uint64_t misses() const { return cache_.misses(); }
   size_t size() const { return cache_.size(); }
+  uint64_t cost_bytes() const { return cache_.cost_bytes(); }
 
  private:
   LruCache<std::string, std::shared_ptr<const EventLog>> cache_;
   ObsContext* obs_;
+  store::ArtifactStore* store_;
 };
+
+/// The concrete format name ("trace", "csv", "xes", "mxml") that `format`
+/// resolves to for `path`; "auto"/"" detect from the extension. Unknown
+/// explicit formats pass through and fail in LoadEventLog.
+std::string ResolveLogFormat(const std::string& path,
+                             const std::string& format);
 
 /// Loads one event log with the CLI tools' format auto-detection.
 Result<EventLog> LoadEventLog(const std::string& path,
                               const std::string& format);
+
+/// Loads `path` through `store` when non-null: on a store hit the log
+/// decodes from its snapshot without touching the source parser; on a
+/// miss it parses from source and writes the snapshot back. With a null
+/// store this is LoadEventLog. `content_hash_out` (optional) receives
+/// the source file's XXH64.
+Result<EventLog> LoadEventLogThroughStore(store::ArtifactStore* store,
+                                          const std::string& path,
+                                          const std::string& format,
+                                          uint64_t* content_hash_out = nullptr);
 
 /// Resolves symlinks/relative segments; the input path when resolution
 /// fails (e.g. the file does not exist yet — the load will report that).

@@ -18,10 +18,18 @@ namespace serve {
 ///
 /// Get refreshes recency; Put inserts or overwrites and evicts the
 /// coldest entry beyond `capacity`. Hit/miss counters are cumulative.
+///
+/// Entries optionally carry a cost (bytes, for the serve layer). With a
+/// non-zero `max_cost` budget the cache additionally evicts coldest
+/// entries while the resident cost exceeds the budget — except the
+/// most-recent entry, which always stays (an over-budget single entry
+/// would otherwise make the cache useless). The default budget of 0
+/// keeps pure entry-count semantics.
 template <typename Key, typename Value>
 class LruCache {
  public:
-  explicit LruCache(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {}
+  explicit LruCache(size_t capacity, uint64_t max_cost = 0)
+      : capacity_(capacity > 0 ? capacity : 1), max_cost_(max_cost) {}
 
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
@@ -36,30 +44,34 @@ class LruCache {
     }
     ++hits_;
     order_.splice(order_.begin(), order_, it->second);
-    return it->second->second;
+    return it->second->value;
   }
 
-  /// Inserts or replaces; the entry becomes most-recent.
-  void Put(const Key& key, Value value) {
+  /// Inserts or replaces; the entry becomes most-recent. `cost` is the
+  /// entry's contribution to the byte budget (ignored when no budget).
+  void Put(const Key& key, Value value, uint64_t cost = 0) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      it->second->second = std::move(value);
+      total_cost_ -= it->second->cost;
+      total_cost_ += cost;
+      it->second->value = std::move(value);
+      it->second->cost = cost;
       order_.splice(order_.begin(), order_, it->second);
+      EvictLocked();
       return;
     }
-    order_.emplace_front(key, std::move(value));
+    order_.push_front(Entry{key, std::move(value), cost});
     index_[key] = order_.begin();
-    if (index_.size() > capacity_) {
-      index_.erase(order_.back().first);
-      order_.pop_back();
-    }
+    total_cost_ += cost;
+    EvictLocked();
   }
 
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     order_.clear();
     index_.clear();
+    total_cost_ = 0;
   }
 
   size_t size() const {
@@ -68,6 +80,19 @@ class LruCache {
   }
 
   size_t capacity() const { return capacity_; }
+
+  uint64_t max_cost() const { return max_cost_; }
+
+  /// Total cost of resident entries (the serve.cache_bytes gauge).
+  uint64_t cost_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_cost_;
+  }
+
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
   uint64_t hits() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -80,14 +105,32 @@ class LruCache {
   }
 
  private:
-  using Entry = std::pair<Key, Value>;
+  struct Entry {
+    Key key;
+    Value value;
+    uint64_t cost = 0;
+  };
+
+  // Called with mu_ held after any insert/update.
+  void EvictLocked() {
+    while (index_.size() > capacity_ ||
+           (max_cost_ > 0 && total_cost_ > max_cost_ && index_.size() > 1)) {
+      total_cost_ -= order_.back().cost;
+      index_.erase(order_.back().key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
 
   const size_t capacity_;
+  const uint64_t max_cost_;
   mutable std::mutex mu_;
   std::list<Entry> order_;  // most-recent first
   std::map<Key, typename std::list<Entry>::iterator> index_;
+  uint64_t total_cost_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace serve

@@ -150,10 +150,33 @@ Result<JobRequest> ParseJobRequest(const std::string& line) {
   return request;
 }
 
+namespace {
+
+std::optional<store::ArtifactStore> OpenStore(const ServiceOptions& options) {
+  if (options.cache_dir.empty()) return std::nullopt;
+  store::ArtifactStoreOptions store_options;
+  store_options.dir = options.cache_dir;
+  store_options.max_bytes = options.cache_dir_bytes;
+  store_options.obs = options.obs;
+  Result<store::ArtifactStore> opened =
+      store::ArtifactStore::Open(std::move(store_options));
+  if (!opened.ok()) {
+    // An unusable cache directory must not take the service down; it
+    // just runs cold.
+    ObsIncrement(options.obs, "store.open_errors");
+    return std::nullopt;
+  }
+  return std::move(opened).value();
+}
+
+}  // namespace
+
 BatchMatchService::BatchMatchService(const ServiceOptions& options)
     : options_(options),
       pool_(PoolOptions(options)),
-      cache_(options.cache_capacity, options.obs) {}
+      store_(OpenStore(options)),
+      cache_(options.cache_capacity, options.obs, artifact_store(),
+             options.cache_byte_budget) {}
 
 std::string BatchMatchService::HandleJobLine(const std::string& line) {
   ObsIncrement(options_.obs, "serve.jobs_submitted");

@@ -24,12 +24,14 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/matcher.h"
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
 #include "serve/log_cache.h"
+#include "store/artifact_store.h"
 
 namespace ems {
 
@@ -49,8 +51,22 @@ struct ServiceOptions {
   /// LRU capacity of the parsed-log cache, in logs.
   size_t cache_capacity = 64;
 
-  /// Observability sink for serve.* and exec.pool.* metrics (borrowed;
-  /// null disables).
+  /// Byte budget of the parsed-log cache (estimated snapshot bytes of
+  /// resident logs); 0 keeps the entry-count bound alone.
+  size_t cache_byte_budget = 0;
+
+  /// Directory of the persistent artifact store (docs/PERSISTENCE.md);
+  /// empty disables persistence. A restarted service with the same
+  /// directory starts warm: the first job per log loads its snapshot
+  /// instead of re-parsing the source file. An unusable directory is
+  /// tolerated — the service runs without persistence.
+  std::string cache_dir;
+
+  /// Byte budget of the on-disk store (LRU file eviction); 0 = unbounded.
+  uint64_t cache_dir_bytes = 0;
+
+  /// Observability sink for serve.*, store.*, and exec.pool.* metrics
+  /// (borrowed; null disables).
   ObsContext* obs = nullptr;
 };
 
@@ -94,9 +110,16 @@ class BatchMatchService {
   LogCache& cache() { return cache_; }
   exec::ThreadPool& pool() { return pool_; }
 
+  /// The persistent artifact store, or null when `cache_dir` was empty
+  /// or unusable.
+  store::ArtifactStore* artifact_store() {
+    return store_.has_value() ? &*store_ : nullptr;
+  }
+
  private:
   ServiceOptions options_;
   exec::ThreadPool pool_;
+  std::optional<store::ArtifactStore> store_;  // must outlive cache_
   LogCache cache_;
   exec::CancellationSource cancel_;
 };

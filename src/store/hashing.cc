@@ -1,0 +1,163 @@
+#include "store/hashing.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace ems {
+namespace store {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr uint64_t kPrime5 = 2870177450012600261ULL;
+
+inline uint64_t Rotl(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Read64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Read32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace
+
+uint64_t Hash64(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const unsigned char* limit = end - 32;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = Rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= Read32(p) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (*p) * kPrime5;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+Result<uint64_t> HashFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for hashing");
+  // Chunked XXH64 would avoid holding the file, but event logs are read
+  // fully by the parsers anyway; one contiguous read keeps the hash
+  // byte-for-byte equal to Hash64(entire contents).
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read error hashing '" + path + "'");
+  return Hash64(contents.data(), contents.size());
+}
+
+std::string HashHex(uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+// One tagged field folds in as hash(name) then hash(value bytes), each
+// chained through the accumulator as the seed — order-sensitive, and a
+// field's name always hashes adjacent to its value.
+uint64_t Fold(uint64_t acc, std::string_view name, const void* value,
+              size_t len) {
+  acc = Hash64(name.data(), name.size(), acc);
+  return Hash64(value, len, acc);
+}
+
+}  // namespace
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view name,
+                                            std::string_view value) {
+  acc_ = Fold(acc_, name, value.data(), value.size());
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view name,
+                                            uint64_t value) {
+  acc_ = Fold(acc_, name, &value, sizeof(value));
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view name,
+                                            double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  acc_ = Fold(acc_, name, &bits, sizeof(bits));
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view name,
+                                            bool value) {
+  const unsigned char byte = value ? 1 : 0;
+  acc_ = Fold(acc_, name, &byte, sizeof(byte));
+  return *this;
+}
+
+}  // namespace store
+}  // namespace ems

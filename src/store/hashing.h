@@ -1,0 +1,54 @@
+// Content hashing for the persistent artifact store: a self-contained
+// XXH64 implementation (Collet's xxHash, 64-bit variant) used for cache
+// keys, options fingerprints, and snapshot trailer checksums. The
+// algorithm is fixed — hashes are written into on-disk cache file names
+// and snapshot trailers, so changing it invalidates every cache (bump
+// kSnapshotVersion in snapshot.h if that ever becomes necessary).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ems {
+namespace store {
+
+/// XXH64 of `len` bytes at `data`.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Hash64(std::string_view bytes, uint64_t seed = 0) {
+  return Hash64(bytes.data(), bytes.size(), seed);
+}
+
+/// XXH64 of a whole file's contents (IOError when unreadable). The file
+/// is read once; for event logs this is far cheaper than parsing, which
+/// is what makes content-addressed cache keys affordable per request.
+Result<uint64_t> HashFile(const std::string& path);
+
+/// 16-character lowercase hex rendering (stable across platforms; used
+/// in cache file names).
+std::string HashHex(uint64_t h);
+
+/// \brief Order-sensitive fingerprint of a set of tagged option fields.
+///
+/// Add each field as (name, value); Finish() folds them into one 64-bit
+/// fingerprint. Two option sets collide only if they agree on every
+/// tagged field, so a fingerprint in a cache key invalidates entries
+/// whenever any relevant option changes.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& Add(std::string_view name, std::string_view value);
+  FingerprintBuilder& Add(std::string_view name, uint64_t value);
+  FingerprintBuilder& Add(std::string_view name, double value);
+  FingerprintBuilder& Add(std::string_view name, bool value);
+
+  uint64_t Finish() const { return acc_; }
+
+ private:
+  uint64_t acc_ = 0x9e3779b97f4a7c15ULL;  // arbitrary non-zero start
+};
+
+}  // namespace store
+}  // namespace ems

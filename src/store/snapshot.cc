@@ -1,0 +1,515 @@
+#include "store/snapshot.h"
+
+#include <cstring>
+
+#include "graph/dependency_graph.h"
+#include "graph/dependency_graph_builder.h"
+#include "log/event_log.h"
+#include "store/hashing.h"
+#include "text/cached_label_similarity.h"
+
+namespace ems {
+namespace store {
+
+const char* ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kEventLog: return "log";
+    case ArtifactKind::kDependencyGraph: return "graph";
+    case ArtifactKind::kGraphSummary: return "summary";
+    case ArtifactKind::kLabelCache: return "labels";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void AppendU32(std::string* out, uint32_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendU64(std::string* out, uint64_t v) { AppendRaw(out, &v, sizeof(v)); }
+
+}  // namespace
+
+void SnapshotWriter::U8(uint8_t v) { AppendRaw(&payload_, &v, sizeof(v)); }
+void SnapshotWriter::U32(uint32_t v) { AppendU32(&payload_, v); }
+void SnapshotWriter::U64(uint64_t v) { AppendU64(&payload_, v); }
+
+void SnapshotWriter::I32(int32_t v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU32(&payload_, bits);
+}
+
+void SnapshotWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(&payload_, bits);
+}
+
+void SnapshotWriter::Str(std::string_view s) {
+  U64(s.size());
+  AppendRaw(&payload_, s.data(), s.size());
+}
+
+std::string SnapshotWriter::Finish(ArtifactKind kind) const {
+  std::string out;
+  out.reserve(kSnapshotHeaderBytes + payload_.size() + kSnapshotTrailerBytes);
+  AppendU32(&out, kSnapshotMagic);
+  AppendU32(&out, kSnapshotVersion);
+  AppendU32(&out, static_cast<uint32_t>(kind));
+  AppendU32(&out, 0);  // reserved
+  AppendU64(&out, payload_.size());
+  out += payload_;
+  AppendU64(&out, Hash64(out.data(), out.size()));
+  return out;
+}
+
+Status VerifySnapshot(std::string_view snapshot, ArtifactKind expected) {
+  if (snapshot.size() < kSnapshotHeaderBytes + kSnapshotTrailerBytes) {
+    return Status::ParseError("snapshot truncated: " +
+                              std::to_string(snapshot.size()) + " bytes");
+  }
+  const char* p = snapshot.data();
+  uint32_t magic, version, kind;
+  uint64_t payload_size;
+  std::memcpy(&magic, p, sizeof(magic));
+  std::memcpy(&version, p + 4, sizeof(version));
+  std::memcpy(&kind, p + 8, sizeof(kind));
+  std::memcpy(&payload_size, p + 16, sizeof(payload_size));
+  if (magic != kSnapshotMagic) {
+    return Status::ParseError("snapshot has bad magic");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::ParseError("snapshot version skew: file has v" +
+                              std::to_string(version) + ", expected v" +
+                              std::to_string(kSnapshotVersion));
+  }
+  if (kind != static_cast<uint32_t>(expected)) {
+    return Status::ParseError(
+        "snapshot kind mismatch: expected " +
+        std::string(ArtifactKindName(expected)) + " (" +
+        std::to_string(static_cast<uint32_t>(expected)) + "), file has " +
+        std::to_string(kind));
+  }
+  if (payload_size !=
+      snapshot.size() - kSnapshotHeaderBytes - kSnapshotTrailerBytes) {
+    return Status::ParseError("snapshot payload size mismatch");
+  }
+  const size_t hashed = snapshot.size() - kSnapshotTrailerBytes;
+  uint64_t recorded;
+  std::memcpy(&recorded, p + hashed, sizeof(recorded));
+  if (recorded != Hash64(p, hashed)) {
+    return Status::ParseError("snapshot checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<SnapshotReader> SnapshotReader::Open(std::string_view snapshot,
+                                            ArtifactKind expected) {
+  EMS_RETURN_NOT_OK(VerifySnapshot(snapshot, expected));
+  const char* begin = snapshot.data() + kSnapshotHeaderBytes;
+  const char* end = snapshot.data() + snapshot.size() - kSnapshotTrailerBytes;
+  return SnapshotReader(begin, end);
+}
+
+void SnapshotReader::Fail(const std::string& what) {
+  if (status_.ok()) status_ = Status::ParseError("snapshot corrupt: " + what);
+}
+
+bool SnapshotReader::Take(void* out, size_t n) {
+  if (!status_.ok()) return false;
+  if (remaining() < n) {
+    Fail("short read");
+    return false;
+  }
+  std::memcpy(out, pos_, n);
+  pos_ += n;
+  return true;
+}
+
+uint8_t SnapshotReader::U8() {
+  uint8_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint32_t SnapshotReader::U32() {
+  uint32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint64_t SnapshotReader::U64() {
+  uint64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+int32_t SnapshotReader::I32() {
+  uint32_t bits = U32();
+  int32_t v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double SnapshotReader::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::Str() {
+  uint64_t len = U64();
+  if (!status_.ok()) return std::string();
+  if (remaining() < len) {
+    Fail("string length exceeds payload");
+    return std::string();
+  }
+  std::string s(pos_, pos_ + len);
+  pos_ += len;
+  return s;
+}
+
+bool SnapshotReader::CheckCount(uint64_t count, size_t min_bytes_each) {
+  if (!status_.ok()) return false;
+  if (min_bytes_each != 0 && count > remaining() / min_bytes_each) {
+    Fail("element count exceeds payload");
+    return false;
+  }
+  return true;
+}
+
+Status SnapshotReader::ExpectEnd() {
+  EMS_RETURN_NOT_OK(status_);
+  if (remaining() != 0) {
+    return Status::ParseError("snapshot corrupt: " +
+                              std::to_string(remaining()) +
+                              " trailing payload bytes");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// EventLog
+// ---------------------------------------------------------------------
+
+std::string EncodeEventLog(const EventLog& log) {
+  SnapshotWriter w;
+  w.U64(log.NumEvents());
+  for (const std::string& name : log.event_names()) w.Str(name);
+  w.U64(log.NumTraces());
+  for (const Trace& t : log.traces()) {
+    w.U64(t.size());
+    for (EventId e : t) w.I32(e);
+  }
+  return w.Finish(ArtifactKind::kEventLog);
+}
+
+Result<EventLog> DecodeEventLog(std::string_view snapshot) {
+  EMS_ASSIGN_OR_RETURN(SnapshotReader r,
+                       SnapshotReader::Open(snapshot, ArtifactKind::kEventLog));
+  EventLog log;
+  const uint64_t num_events = r.U64();
+  if (!r.CheckCount(num_events, 8)) return r.status();
+  for (uint64_t i = 0; i < num_events && r.ok(); ++i) {
+    log.AddEvent(r.Str());
+    if (log.NumEvents() != i + 1) {
+      return Status::ParseError("snapshot corrupt: duplicate event name");
+    }
+  }
+  EMS_RETURN_NOT_OK(r.status());
+  const uint64_t num_traces = r.U64();
+  if (!r.CheckCount(num_traces, 8)) return r.status();
+  for (uint64_t i = 0; i < num_traces && r.ok(); ++i) {
+    const uint64_t len = r.U64();
+    if (!r.CheckCount(len, 4)) return r.status();
+    Trace t;
+    t.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      EventId e = r.I32();
+      if (e < 0 || static_cast<uint64_t>(e) >= num_events) {
+        return Status::ParseError("snapshot corrupt: event id out of range");
+      }
+      t.push_back(e);
+    }
+    if (r.ok()) log.AddTraceIds(std::move(t));
+  }
+  EMS_RETURN_NOT_OK(r.ExpectEnd());
+  return log;
+}
+
+size_t EstimateLogSnapshotBytes(const EventLog& log) {
+  // Mirrors EncodeEventLog's layout field by field.
+  size_t bytes = kSnapshotHeaderBytes + kSnapshotTrailerBytes;
+  bytes += 8;  // event count
+  for (const std::string& name : log.event_names()) bytes += 8 + name.size();
+  bytes += 8;  // trace count
+  bytes += 8 * log.NumTraces();           // per-trace lengths
+  bytes += 4 * log.TotalOccurrences();    // event ids
+  return bytes;
+}
+
+// ---------------------------------------------------------------------
+// DependencyGraph / DependencyGraphBuilder (via SnapshotAccess)
+// ---------------------------------------------------------------------
+
+struct SnapshotAccess {
+  static void EncodeAdjacency(const std::vector<std::vector<NodeId>>& nbrs,
+                              const std::vector<std::vector<double>>& freqs,
+                              SnapshotWriter* w) {
+    for (size_t v = 0; v < nbrs.size(); ++v) {
+      w->U64(nbrs[v].size());
+      for (NodeId u : nbrs[v]) w->I32(u);
+      for (double f : freqs[v]) w->F64(f);
+    }
+  }
+
+  static Status DecodeAdjacency(SnapshotReader* r, size_t n,
+                                std::vector<std::vector<NodeId>>* nbrs,
+                                std::vector<std::vector<double>>* freqs) {
+    nbrs->resize(n);
+    freqs->resize(n);
+    for (size_t v = 0; v < n && r->ok(); ++v) {
+      const uint64_t deg = r->U64();
+      if (!r->CheckCount(deg, 12)) break;  // 4 (id) + 8 (freq) per entry
+      auto& adj = (*nbrs)[v];
+      auto& adj_freq = (*freqs)[v];
+      adj.reserve(deg);
+      adj_freq.reserve(deg);
+      for (uint64_t i = 0; i < deg; ++i) {
+        NodeId u = r->I32();
+        if (u < 0 || static_cast<size_t>(u) >= n) {
+          return Status::ParseError("snapshot corrupt: neighbor out of range");
+        }
+        adj.push_back(u);
+      }
+      for (uint64_t i = 0; i < deg; ++i) adj_freq.push_back(r->F64());
+    }
+    return r->status();
+  }
+
+  static std::string EncodeGraph(const DependencyGraph& g,
+                                 bool include_distances) {
+    if (include_distances && g.has_artificial() && g.NumNodes() > 0) {
+      // Force the lazy caches so the snapshot carries them.
+      (void)g.LongestDistancesFromArtificial();
+      (void)g.LongestDistancesToArtificial();
+    }
+    SnapshotWriter w;
+    w.U8(g.has_artificial_ ? 1 : 0);
+    const size_t n = g.NumNodes();
+    w.U64(n);
+    for (size_t v = 0; v < n; ++v) {
+      w.Str(g.names_[v]);
+      w.F64(g.node_freq_[v]);
+      w.U64(g.members_[v].size());
+      for (EventId e : g.members_[v]) w.I32(e);
+    }
+    EncodeAdjacency(g.pre_, g.pre_freq_, &w);
+    EncodeAdjacency(g.post_, g.post_freq_, &w);
+    for (const std::vector<int>* dist : {&g.longest_from_, &g.longest_to_}) {
+      const bool present = dist->size() == n && n > 0;
+      w.U8(present ? 1 : 0);
+      if (present) {
+        for (int d : *dist) w.I32(d);
+      }
+    }
+    return w.Finish(ArtifactKind::kDependencyGraph);
+  }
+
+  static Result<DependencyGraph> DecodeGraph(std::string_view snapshot) {
+    EMS_ASSIGN_OR_RETURN(
+        SnapshotReader r,
+        SnapshotReader::Open(snapshot, ArtifactKind::kDependencyGraph));
+    DependencyGraph g;
+    g.has_artificial_ = r.U8() != 0;
+    const uint64_t n = r.U64();
+    if (!r.CheckCount(n, 24)) return r.status();
+    g.names_.reserve(n);
+    g.node_freq_.reserve(n);
+    g.members_.reserve(n);
+    for (uint64_t v = 0; v < n && r.ok(); ++v) {
+      std::string name = r.Str();
+      double freq = r.F64();
+      const uint64_t num_members = r.U64();
+      if (!r.CheckCount(num_members, 4)) break;
+      std::vector<EventId> members;
+      members.reserve(num_members);
+      for (uint64_t i = 0; i < num_members; ++i) {
+        EventId e = r.I32();
+        if (e < 0) {
+          return Status::ParseError("snapshot corrupt: negative member id");
+        }
+        members.push_back(e);
+      }
+      if (r.ok()) g.AddNode(std::move(name), freq, std::move(members));
+    }
+    EMS_RETURN_NOT_OK(r.status());
+    EMS_RETURN_NOT_OK(DecodeAdjacency(&r, n, &g.pre_, &g.pre_freq_));
+    EMS_RETURN_NOT_OK(DecodeAdjacency(&r, n, &g.post_, &g.post_freq_));
+    for (std::vector<int>* dist : {&g.longest_from_, &g.longest_to_}) {
+      if (r.U8() != 0) {
+        if (!r.CheckCount(n, 4)) break;
+        dist->reserve(n);
+        for (uint64_t v = 0; v < n; ++v) dist->push_back(r.I32());
+      }
+    }
+    // Per-direction degree consistency: every pre entry has a matching
+    // frequency (DecodeAdjacency enforces it structurally), and the
+    // artificial flag is only meaningful with at least one node.
+    if (g.has_artificial_ && g.NumNodes() == 0) {
+      return Status::ParseError("snapshot corrupt: artificial flag on empty "
+                                "graph");
+    }
+    EMS_RETURN_NOT_OK(r.ExpectEnd());
+    return g;
+  }
+
+  static std::string EncodeBuilder(const DependencyGraphBuilder& b) {
+    SnapshotWriter w;
+    w.U64(b.num_traces_);
+    w.U8(b.plus_in_names_ ? 1 : 0);
+    w.U64(b.first_occurrence_.size());
+    for (EventId e : b.first_occurrence_) w.I32(e);
+    w.U64(b.groups_.size());
+    for (const auto& group : b.groups_) {
+      w.U64(group.events.size());
+      for (EventId e : group.events) w.I32(e);
+      w.U64(group.successions.size());
+      for (const auto& [a, bb] : group.successions) {
+        w.I32(a);
+        w.I32(bb);
+      }
+      w.U64(group.multiplicity);
+    }
+    return w.Finish(ArtifactKind::kGraphSummary);
+  }
+
+  static Result<std::unique_ptr<DependencyGraphBuilder>> DecodeBuilder(
+      std::string_view snapshot, const EventLog& log) {
+    EMS_ASSIGN_OR_RETURN(
+        SnapshotReader r,
+        SnapshotReader::Open(snapshot, ArtifactKind::kGraphSummary));
+    auto builder = std::unique_ptr<DependencyGraphBuilder>(
+        new DependencyGraphBuilder(log, DependencyGraphBuilder::RestoreTag{}));
+    builder->num_traces_ = r.U64();
+    if (builder->num_traces_ != log.NumTraces()) {
+      return Status::ParseError(
+          "snapshot does not match log: trace count differs");
+    }
+    builder->plus_in_names_ = r.U8() != 0;
+    const auto check_event = [&log](EventId e) {
+      return e >= 0 && static_cast<size_t>(e) < log.NumEvents();
+    };
+    const uint64_t num_first = r.U64();
+    if (!r.CheckCount(num_first, 4)) return r.status();
+    builder->first_occurrence_.reserve(num_first);
+    for (uint64_t i = 0; i < num_first && r.ok(); ++i) {
+      EventId e = r.I32();
+      if (!check_event(e)) {
+        return Status::ParseError("snapshot does not match log: event id out "
+                                  "of range");
+      }
+      builder->first_occurrence_.push_back(e);
+    }
+    const uint64_t num_groups = r.U64();
+    if (!r.CheckCount(num_groups, 24)) return r.status();
+    builder->groups_.reserve(num_groups);
+    for (uint64_t gi = 0; gi < num_groups && r.ok(); ++gi) {
+      DependencyGraphBuilder::TraceGroup group;
+      const uint64_t num_events = r.U64();
+      if (!r.CheckCount(num_events, 4)) break;
+      group.events.reserve(num_events);
+      for (uint64_t i = 0; i < num_events && r.ok(); ++i) {
+        EventId e = r.I32();
+        if (!check_event(e)) {
+          return Status::ParseError("snapshot does not match log: event id "
+                                    "out of range");
+        }
+        group.events.push_back(e);
+      }
+      const uint64_t num_successions = r.U64();
+      if (!r.CheckCount(num_successions, 8)) break;
+      group.successions.reserve(num_successions);
+      for (uint64_t i = 0; i < num_successions && r.ok(); ++i) {
+        EventId a = r.I32();
+        EventId b = r.I32();
+        if (!check_event(a) || !check_event(b)) {
+          return Status::ParseError("snapshot does not match log: event id "
+                                    "out of range");
+        }
+        group.successions.emplace_back(a, b);
+      }
+      group.multiplicity = r.U64();
+      if (r.ok()) builder->groups_.push_back(std::move(group));
+    }
+    EMS_RETURN_NOT_OK(r.ExpectEnd());
+    return builder;
+  }
+};
+
+std::string EncodeDependencyGraph(const DependencyGraph& g,
+                                  bool include_distances) {
+  return SnapshotAccess::EncodeGraph(g, include_distances);
+}
+
+Result<DependencyGraph> DecodeDependencyGraph(std::string_view snapshot) {
+  return SnapshotAccess::DecodeGraph(snapshot);
+}
+
+std::string EncodeGraphSummary(const DependencyGraphBuilder& builder) {
+  return SnapshotAccess::EncodeBuilder(builder);
+}
+
+Result<std::unique_ptr<DependencyGraphBuilder>> DecodeGraphSummary(
+    std::string_view snapshot, const EventLog& log) {
+  return SnapshotAccess::DecodeBuilder(snapshot, log);
+}
+
+// ---------------------------------------------------------------------
+// CachedLabelSimilarity
+// ---------------------------------------------------------------------
+
+std::string EncodeLabelCache(const CachedLabelSimilarity& cache) {
+  SnapshotWriter w;
+  w.Str(cache.Name());
+  const auto entries = cache.ExportScores();
+  w.U64(entries.size());
+  for (const auto& [key, score] : entries) {
+    w.Str(key);
+    w.F64(score);
+  }
+  return w.Finish(ArtifactKind::kLabelCache);
+}
+
+Status DecodeLabelCacheInto(std::string_view snapshot,
+                            CachedLabelSimilarity* cache) {
+  EMS_ASSIGN_OR_RETURN(
+      SnapshotReader r,
+      SnapshotReader::Open(snapshot, ArtifactKind::kLabelCache));
+  const std::string name = r.Str();
+  EMS_RETURN_NOT_OK(r.status());
+  if (name != cache->Name()) {
+    return Status::InvalidArgument("label-cache snapshot wraps measure '" +
+                                   name + "', cache wraps '" + cache->Name() +
+                                   "'");
+  }
+  const uint64_t count = r.U64();
+  if (!r.CheckCount(count, 16)) return r.status();
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    std::string key = r.Str();
+    double score = r.F64();
+    if (r.ok()) entries.emplace_back(std::move(key), score);
+  }
+  EMS_RETURN_NOT_OK(r.ExpectEnd());
+  cache->ImportScores(entries);
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace ems

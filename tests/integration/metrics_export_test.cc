@@ -106,6 +106,60 @@ TEST(MetricsExportTest, EmsMatchWritesPipelineReportJson) {
   std::remove(trace.c_str());
 }
 
+// --cache-dir wires the persistent artifact store into the exported
+// registry: a cold run writes snapshots (store.misses / store.writes),
+// a second run over the same inputs hits them (store.hits) and produces
+// byte-identical correspondences.
+TEST(MetricsExportTest, CacheDirExportsStoreCountersAndIdenticalResults) {
+  const std::string dir = TempDir();
+  const std::string log1 = dir + "/metrics_export_store1.txt";
+  const std::string log2 = dir + "/metrics_export_store2.txt";
+  const std::string cache_dir = dir + "/metrics_export_store_cache";
+  const std::string cold_metrics = dir + "/metrics_export_store_cold.json";
+  const std::string warm_metrics = dir + "/metrics_export_store_warm.json";
+  const std::string cold_out = dir + "/metrics_export_store_cold.out";
+  const std::string warm_out = dir + "/metrics_export_store_warm.out";
+  WriteFile(log1, "a;b;c;d\na;b;d\na;c;d\nb;a;c;d\n");
+  WriteFile(log2, "a;b;c;d\na;b;d\na;c;b;d\nb;c;d\n");
+  std::system(("rm -rf " + cache_dir).c_str());
+
+  const std::string base = std::string(EMS_MATCH_BINARY) +
+                           " --labels=none --json --cache-dir=" + cache_dir +
+                           " ";
+  std::string cold = base + "--metrics-out=" + cold_metrics + " " + log1 +
+                     " " + log2 + " > " + cold_out;
+  ASSERT_EQ(std::system(cold.c_str()), 0) << cold;
+  std::string warm = base + "--metrics-out=" + warm_metrics + " " + log1 +
+                     " " + log2 + " > " + warm_out;
+  ASSERT_EQ(std::system(warm.c_str()), 0) << warm;
+
+  const std::string cold_report = ReadFile(cold_metrics);
+  ASSERT_FALSE(cold_report.empty());
+  EXPECT_TRUE(BalancedJson(cold_report));
+  EXPECT_NE(cold_report.find("\"store.misses\":2"), std::string::npos);
+  EXPECT_NE(cold_report.find("\"store.writes\":2"), std::string::npos);
+  EXPECT_NE(cold_report.find("\"store.bytes_written\""), std::string::npos);
+
+  const std::string warm_report = ReadFile(warm_metrics);
+  ASSERT_FALSE(warm_report.empty());
+  EXPECT_TRUE(BalancedJson(warm_report));
+  EXPECT_NE(warm_report.find("\"store.hits\":2"), std::string::npos);
+  EXPECT_NE(warm_report.find("\"store.bytes_read\""), std::string::npos);
+  EXPECT_EQ(warm_report.find("\"store.fallback_rederives\":"),
+            warm_report.find("\"store.fallback_rederives\":0"));
+
+  // Snapshot-loaded logs drive the exact same matching.
+  const std::string cold_result = ReadFile(cold_out);
+  ASSERT_FALSE(cold_result.empty());
+  EXPECT_EQ(ReadFile(warm_out), cold_result);
+
+  std::system(("rm -rf " + cache_dir).c_str());
+  for (const std::string& f :
+       {log1, log2, cold_metrics, warm_metrics, cold_out, warm_out}) {
+    std::remove(f.c_str());
+  }
+}
+
 TEST(MetricsExportTest, CompositeModeExportsCompositeCounters) {
   const std::string dir = TempDir();
   const std::string log1 = dir + "/metrics_export_comp1.txt";

@@ -1,6 +1,7 @@
 // serve layer: LRU cache semantics, the log load-through cache, job-line
 // parsing, and the batch service end to end over in-memory streams.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -28,6 +29,16 @@ std::string WriteTraceLog(const std::string& name, const std::string& body) {
   EXPECT_TRUE(out) << path;
   out << body;
   return path;
+}
+
+// Drops the wall-clock "millis" field so result lines from different
+// runs can be compared byte for byte.
+std::string StripMillis(std::string line) {
+  const size_t pos = line.find("\"millis\":");
+  if (pos == std::string::npos) return line;
+  const size_t end = line.find(',', pos);
+  line.erase(pos, end == std::string::npos ? std::string::npos : end - pos + 1);
+  return line;
 }
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
@@ -82,6 +93,98 @@ TEST(LogCacheTest, MissingFileReportsErrorWithoutCaching) {
   auto result = cache.GetOrLoad(TempDir() + "/log_cache_missing.txt", "auto");
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(cache.size(), 0u);
+}
+
+// Regression: keys carry the file's content hash, so a log rewritten
+// between jobs must be re-parsed — the old behavior (path-only keys)
+// served the stale parse forever.
+TEST(LogCacheTest, RewrittenFileIsReparsedNotServedStale) {
+  const std::string path =
+      WriteTraceLog("log_cache_stale.txt", "a;b;c\na;c;b\n");
+  LogCache cache(4);
+  auto before = cache.GetOrLoad(path, "auto");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->NumTraces(), 2u);
+
+  WriteTraceLog("log_cache_stale.txt", "x;y\nx;z\ny;z\n");
+  auto after = cache.GetOrLoad(path, "auto");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->NumTraces(), 3u);
+  EXPECT_NE((*after)->FindEvent("x"), kInvalidEvent);
+  EXPECT_EQ(cache.misses(), 2u);  // both versions were real loads
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The same bytes again: back to a plain hit.
+  auto again = cache.GetOrLoad(path, "auto");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(after->get(), again->get());
+  EXPECT_EQ(cache.hits(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LruCacheTest, ByteBudgetEvictsColdestEntries) {
+  LruCache<int, std::string> cache(/*capacity=*/10, /*max_cost=*/100);
+  cache.Put(1, "a", 40);
+  cache.Put(2, "b", 40);
+  EXPECT_EQ(cache.cost_bytes(), 80u);
+  cache.Put(3, "c", 40);  // 120 > 100: evicts 1
+  EXPECT_EQ(cache.cost_bytes(), 80u);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  EXPECT_EQ(cache.Get(2), "b");
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, OversizedEntryAloneIsKept) {
+  LruCache<int, int> cache(4, /*max_cost=*/10);
+  cache.Put(1, 1, 3);
+  cache.Put(2, 2, 50);  // over budget by itself: evicts 1, keeps 2
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  EXPECT_EQ(cache.Get(2), 2);
+  EXPECT_EQ(cache.cost_bytes(), 50u);
+}
+
+TEST(LruCacheTest, OverwriteReplacesCost) {
+  LruCache<int, int> cache(4, /*max_cost=*/100);
+  cache.Put(1, 1, 60);
+  cache.Put(1, 2, 10);
+  EXPECT_EQ(cache.cost_bytes(), 10u);
+  EXPECT_EQ(cache.Get(1), 2);
+}
+
+TEST(LruCacheTest, ZeroBudgetKeepsEntryCountSemantics) {
+  LruCache<int, int> cache(2);  // default: no byte budget
+  cache.Put(1, 1, 1u << 30);
+  cache.Put(2, 2, 1u << 30);
+  EXPECT_EQ(cache.Get(1), 1);
+  EXPECT_EQ(cache.Get(2), 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LogCacheTest, ByteBudgetBoundsResidentLogsAndExportsGauge) {
+  const std::string big = WriteTraceLog(
+      "log_cache_budget_big.txt",
+      std::string(50, 'a') + ";" + std::string(50, 'b') + "\n");
+  const std::string small1 = WriteTraceLog("log_cache_budget_s1.txt", "a;b\n");
+  const std::string small2 = WriteTraceLog("log_cache_budget_s2.txt", "c;d\n");
+
+  ObsContext obs;
+  LogCache cache(8, &obs, nullptr, /*max_cost_bytes=*/200);
+  ASSERT_TRUE(cache.GetOrLoad(small1, "auto").ok());
+  const double gauge_one =
+      obs.metrics.GetGauge("serve.cache_bytes")->value();
+  EXPECT_GT(gauge_one, 0.0);
+  EXPECT_EQ(static_cast<uint64_t>(gauge_one), cache.cost_bytes());
+
+  ASSERT_TRUE(cache.GetOrLoad(small2, "auto").ok());
+  ASSERT_TRUE(cache.GetOrLoad(big, "auto").ok());  // evicts down to budget
+  EXPECT_LE(cache.cost_bytes(), 200u);
+  EXPECT_EQ(static_cast<uint64_t>(
+                obs.metrics.GetGauge("serve.cache_bytes")->value()),
+            cache.cost_bytes());
+
+  std::remove(big.c_str());
+  std::remove(small1.c_str());
+  std::remove(small2.c_str());
 }
 
 TEST(ParseJobRequestTest, ParsesFullRequest) {
@@ -181,6 +284,96 @@ TEST(BatchMatchServiceTest, RunStreamEmitsOneResultPerJob) {
   EXPECT_GE(service.cache().misses(), 2u);
   EXPECT_GE(service.cache().hits(), 1u);
 
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
+// Warm start: a restarted service pointed at the same --cache-dir must
+// serve its first job from log snapshots (store hits, no source
+// re-parse) and produce a byte-identical result line.
+TEST(BatchMatchServiceTest, RestartWithCacheDirStartsWarm) {
+  const std::string log1 =
+      WriteTraceLog("service_warm_1.txt", "a;b;c;d\na;b;d\na;c;d\n");
+  const std::string log2 =
+      WriteTraceLog("service_warm_2.txt", "a;b;c;d\na;c;b;d\nb;c;d\n");
+  const std::string cache_dir = TempDir() + "/service_warm_store";
+  std::filesystem::remove_all(cache_dir);
+  const std::string job = R"({"id":"w1","log1":")" + log1 + R"(","log2":")" +
+                          log2 + R"(","labels":"none"})";
+
+  std::string cold_line;
+  {
+    ObsContext obs;
+    ServiceOptions options;
+    options.threads = 1;
+    options.cache_dir = cache_dir;
+    options.obs = &obs;
+    BatchMatchService service(options);
+    cold_line = service.HandleJobLine(job);
+    EXPECT_NE(cold_line.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_EQ(obs.metrics.CounterValue("store.hits"), 0u);
+    EXPECT_EQ(obs.metrics.CounterValue("store.misses"), 2u);
+    EXPECT_EQ(obs.metrics.CounterValue("store.writes"), 2u);
+  }  // service restarts: all memory state gone, the store directory stays
+
+  {
+    ObsContext obs;
+    ServiceOptions options;
+    options.threads = 1;
+    options.cache_dir = cache_dir;
+    options.obs = &obs;
+    BatchMatchService service(options);
+    const std::string warm_line = service.HandleJobLine(job);
+    // Both logs came from snapshots, and the result is bit-identical.
+    EXPECT_EQ(obs.metrics.CounterValue("store.hits"), 2u);
+    EXPECT_EQ(obs.metrics.CounterValue("store.misses"), 0u);
+    EXPECT_EQ(StripMillis(warm_line), StripMillis(cold_line));
+  }
+
+  std::filesystem::remove_all(cache_dir);
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
+// A poisoned cache directory must never fail a request: corrupt
+// snapshot files re-derive from source transparently.
+TEST(BatchMatchServiceTest, CorruptCacheDirNeverFailsAJob) {
+  const std::string log1 =
+      WriteTraceLog("service_poison_1.txt", "a;b;c\na;c;b\n");
+  const std::string log2 = WriteTraceLog("service_poison_2.txt", "a;b\nb;a\n");
+  const std::string cache_dir = TempDir() + "/service_poison_store";
+  std::filesystem::remove_all(cache_dir);
+  const std::string job = R"({"id":"p1","log1":")" + log1 + R"(","log2":")" +
+                          log2 + R"(","labels":"none"})";
+
+  std::string cold_line;
+  {
+    ServiceOptions options;
+    options.threads = 1;
+    options.cache_dir = cache_dir;
+    BatchMatchService service(options);
+    cold_line = service.HandleJobLine(job);
+    EXPECT_NE(cold_line.find("\"status\":\"ok\""), std::string::npos);
+  }
+
+  // Vandalize every snapshot in the store.
+  for (const auto& entry : std::filesystem::directory_iterator(cache_dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "not a snapshot";
+  }
+
+  ObsContext obs;
+  ServiceOptions options;
+  options.threads = 1;
+  options.cache_dir = cache_dir;
+  options.obs = &obs;
+  BatchMatchService service(options);
+  const std::string recovered_line = service.HandleJobLine(job);
+  EXPECT_EQ(StripMillis(recovered_line), StripMillis(cold_line));
+  EXPECT_EQ(obs.metrics.CounterValue("store.fallback_rederives"), 2u);
+  EXPECT_EQ(obs.metrics.CounterValue("store.hits"), 0u);
+
+  std::filesystem::remove_all(cache_dir);
   std::remove(log1.c_str());
   std::remove(log2.c_str());
 }

@@ -30,18 +30,21 @@
 //                                 counters, gauges, histograms) to PATH
 //   --trace-out=PATH              write Chrome trace_event JSON to PATH
 //                                 (open in chrome://tracing / Perfetto)
+//   --cache-dir=PATH              persistent artifact store
+//                                 (docs/PERSISTENCE.md): parsed logs are
+//                                 snapshotted there and re-runs load the
+//                                 snapshot instead of re-parsing
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/match_report.h"
 #include "core/matcher.h"
-#include "log/log_io.h"
-#include "log/mxml.h"
-#include "log/xes.h"
 #include "obs/context.h"
 #include "obs/report.h"
-#include "util/string_util.h"
+#include "serve/log_cache.h"
+#include "store/artifact_store.h"
 #include "util/timer.h"
 
 namespace {
@@ -54,21 +57,6 @@ void Usage(const char* argv0) {
                "run '%s --help' style options are documented at the top of "
                "tools/ems_match.cc\n",
                argv0, argv0);
-}
-
-Result<EventLog> LoadLog(const std::string& path, const std::string& format) {
-  std::string fmt = format;
-  if (fmt == "auto") {
-    if (EndsWith(path, ".xes")) fmt = "xes";
-    else if (EndsWith(path, ".mxml")) fmt = "mxml";
-    else if (EndsWith(path, ".csv")) fmt = "csv";
-    else fmt = "trace";
-  }
-  if (fmt == "xes") return ReadXesFile(path);
-  if (fmt == "mxml") return ReadMxmlFile(path);
-  if (fmt == "csv") return ReadCsvFile(path);
-  if (fmt == "trace") return ReadTraceFile(path);
-  return Status::InvalidArgument("unknown format '" + fmt + "'");
 }
 
 struct Flags {
@@ -90,6 +78,7 @@ struct Flags {
   bool json = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string cache_dir;
   std::vector<std::string> positional;
 };
 
@@ -134,6 +123,8 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       flags.metrics_out = value;
     } else if (ParseFlag(arg, "trace-out", &value)) {
       flags.trace_out = value;
+    } else if (ParseFlag(arg, "cache-dir", &value)) {
+      flags.cache_dir = value;
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown option '" + arg + "'");
     } else {
@@ -220,14 +211,36 @@ int main(int argc, char** argv) {
   }
   const Flags& flags = *flags_result;
 
-  Result<EventLog> log1 = LoadLog(flags.positional[0], flags.format);
+  const bool want_obs = !flags.metrics_out.empty() || !flags.trace_out.empty();
+  ObsContext obs;
+
+  std::optional<store::ArtifactStore> artifact_store;
+  if (!flags.cache_dir.empty()) {
+    store::ArtifactStoreOptions store_options;
+    store_options.dir = flags.cache_dir;
+    store_options.obs = want_obs ? &obs : nullptr;
+    Result<store::ArtifactStore> opened =
+        store::ArtifactStore::Open(std::move(store_options));
+    if (opened.ok()) {
+      artifact_store = std::move(opened).value();
+    } else {
+      std::fprintf(stderr, "warning: %s; running without cache\n",
+                   opened.status().message().c_str());
+    }
+  }
+  store::ArtifactStore* store_ptr =
+      artifact_store.has_value() ? &*artifact_store : nullptr;
+
+  Result<EventLog> log1 = serve::LoadEventLogThroughStore(
+      store_ptr, flags.positional[0], flags.format);
   if (!log1.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n",
                  flags.positional[0].c_str(),
                  log1.status().ToString().c_str());
     return 1;
   }
-  Result<EventLog> log2 = LoadLog(flags.positional[1], flags.format);
+  Result<EventLog> log2 = serve::LoadEventLogThroughStore(
+      store_ptr, flags.positional[1], flags.format);
   if (!log2.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n",
                  flags.positional[1].c_str(),
@@ -241,8 +254,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const bool want_obs = !flags.metrics_out.empty() || !flags.trace_out.empty();
-  ObsContext obs;
   MatchOptions match_options = *options;
   if (want_obs) match_options.obs.context = &obs;
 

@@ -9,8 +9,16 @@
 //   --threads=N        worker threads (default 0 = hardware concurrency)
 //   --queue-size=N     bounded job queue capacity (default 256)
 //   --cache-size=N     parsed-log LRU capacity, in logs (default 64)
-//   --metrics-out=PATH write a PipelineReport JSON (pool, cache, and
-//                      serve.* metrics) to PATH on exit
+//   --cache-bytes=N    parsed-log LRU byte budget (default 0 = entry
+//                      count only)
+//   --cache-dir=PATH   persistent artifact store directory
+//                      (docs/PERSISTENCE.md); restarting with the same
+//                      directory starts warm — the first job per log
+//                      loads its snapshot instead of re-parsing
+//   --cache-dir-bytes=N byte budget of the on-disk store (default 0 =
+//                      unbounded; LRU file eviction)
+//   --metrics-out=PATH write a PipelineReport JSON (pool, cache, store,
+//                      and serve.* metrics) to PATH on exit
 //   --socket=PATH      accept one client at a time on a Unix domain
 //                      socket instead of stdin/stdout (POSIX only)
 //
@@ -48,6 +56,8 @@ using namespace ems;
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads=N] [--queue-size=N] [--cache-size=N]\n"
+               "          [--cache-bytes=N] [--cache-dir=PATH]\n"
+               "          [--cache-dir-bytes=N]\n"
                "          [--metrics-out=PATH] [--socket=PATH]\n"
                "reads NDJSON job lines from stdin (or the socket), writes one\n"
                "JSON result line per job; schema documented in "
@@ -59,6 +69,9 @@ struct Flags {
   int threads = 0;
   size_t queue_size = 256;
   size_t cache_size = 64;
+  size_t cache_bytes = 0;
+  std::string cache_dir;
+  unsigned long long cache_dir_bytes = 0;
   std::string metrics_out;
   std::string socket_path;
 };
@@ -88,6 +101,18 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       const long n = std::atol(value.c_str());
       if (n <= 0) return Status::InvalidArgument("--cache-size must be > 0");
       flags.cache_size = static_cast<size_t>(n);
+    } else if (ParseFlag(arg, "cache-bytes", &value)) {
+      const long long n = std::atoll(value.c_str());
+      if (n < 0) return Status::InvalidArgument("--cache-bytes must be >= 0");
+      flags.cache_bytes = static_cast<size_t>(n);
+    } else if (ParseFlag(arg, "cache-dir", &value)) {
+      flags.cache_dir = value;
+    } else if (ParseFlag(arg, "cache-dir-bytes", &value)) {
+      const long long n = std::atoll(value.c_str());
+      if (n < 0) {
+        return Status::InvalidArgument("--cache-dir-bytes must be >= 0");
+      }
+      flags.cache_dir_bytes = static_cast<unsigned long long>(n);
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       flags.metrics_out = value;
     } else if (ParseFlag(arg, "socket", &value)) {
@@ -162,6 +187,9 @@ int Run(int argc, char** argv) {
   options.threads = flags.threads;
   options.queue_capacity = flags.queue_size;
   options.cache_capacity = flags.cache_size;
+  options.cache_byte_budget = flags.cache_bytes;
+  options.cache_dir = flags.cache_dir;
+  options.cache_dir_bytes = flags.cache_dir_bytes;
   options.obs = flags.metrics_out.empty() ? nullptr : &obs;
 
   serve::BatchMatchService service(options);

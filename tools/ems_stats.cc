@@ -2,49 +2,38 @@
 // trace variants, per-event frequencies, and (optionally) the dependency
 // graph as Graphviz DOT.
 //
-//   ems_stats [--format=auto|trace|csv|xes|mxml] [--variants=N] [--dot] LOG
+//   ems_stats [--format=auto|trace|csv|xes|mxml] [--variants=N] [--dot]
+//             [--cache-dir=PATH] LOG
+//
+// With --cache-dir the parsed log is snapshotted into the persistent
+// artifact store (docs/PERSISTENCE.md) and re-runs load the snapshot
+// instead of re-parsing.
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "graph/dot_export.h"
 #include "log/log_filter.h"
-#include "log/log_io.h"
 #include "log/log_stats.h"
-#include "log/mxml.h"
-#include "log/xes.h"
+#include "serve/log_cache.h"
+#include "store/artifact_store.h"
 #include "util/string_util.h"
 
-namespace {
-
 using namespace ems;
-
-Result<EventLog> LoadLog(const std::string& path, const std::string& format) {
-  std::string fmt = format;
-  if (fmt == "auto") {
-    if (EndsWith(path, ".xes")) fmt = "xes";
-    else if (EndsWith(path, ".mxml")) fmt = "mxml";
-    else if (EndsWith(path, ".csv")) fmt = "csv";
-    else fmt = "trace";
-  }
-  if (fmt == "xes") return ReadXesFile(path);
-  if (fmt == "mxml") return ReadMxmlFile(path);
-  if (fmt == "csv") return ReadCsvFile(path);
-  if (fmt == "trace") return ReadTraceFile(path);
-  return Status::InvalidArgument("unknown format '" + fmt + "'");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::string format = "auto";
   size_t show_variants = 5;
   bool dot = false;
+  std::string cache_dir;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--format=", 0) == 0) format = arg.substr(9);
     else if (arg.rfind("--variants=", 0) == 0) {
       show_variants = static_cast<size_t>(std::atoi(arg.c_str() + 11));
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = arg.substr(12);
     } else if (arg == "--dot") dot = true;
     else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -55,7 +44,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s [options] LOG\n", argv[0]);
     return 2;
   }
-  Result<EventLog> log = LoadLog(path, format);
+
+  std::optional<store::ArtifactStore> artifact_store;
+  if (!cache_dir.empty()) {
+    store::ArtifactStoreOptions store_options;
+    store_options.dir = cache_dir;
+    Result<store::ArtifactStore> opened =
+        store::ArtifactStore::Open(std::move(store_options));
+    if (opened.ok()) {
+      artifact_store = std::move(opened).value();
+    } else {
+      std::fprintf(stderr, "warning: %s; running without cache\n",
+                   opened.status().message().c_str());
+    }
+  }
+
+  Result<EventLog> log = serve::LoadEventLogThroughStore(
+      artifact_store.has_value() ? &*artifact_store : nullptr, path, format);
   if (!log.ok()) {
     std::fprintf(stderr, "error: %s\n", log.status().ToString().c_str());
     return 1;
