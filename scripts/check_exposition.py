@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition document (ems_serve --stats-out).
+
+Checks the grammar the scrape side depends on:
+  * every line is a comment (# HELP / # TYPE), blank, or `name value`
+    with a finite value and a metric name matching [a-zA-Z_][a-zA-Z0-9_]*
+    (an optional {labels} block must balance and quote its values);
+  * a # TYPE line precedes the first sample of each metric family;
+  * counter samples end in _total;
+  * histogram bucket counts are cumulative (non-decreasing as `le`
+    rises) and every histogram has an le="+Inf" bucket whose count
+    equals its _count sample;
+  * summaries expose quantile labels with values in [0, 1].
+
+Usage: check_exposition.py FILE [--require-metric NAME]...
+Exits nonzero with one message per violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_labels(raw):
+    """`a="x",b="y"` -> dict, or None on malformed labels."""
+    if raw is None or raw == "":
+        return {}
+    labels = {}
+    # Split on commas outside quotes.
+    parts, depth, cur = [], False, ""
+    for ch in raw:
+        if ch == '"':
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    parts.append(cur)
+    for part in parts:
+        m = LABEL_RE.match(part.strip())
+        if m is None:
+            return None
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def base_family(name):
+    """Sample name -> metric family (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def le_key(value):
+    return math.inf if value == "+Inf" else float(value)
+
+
+def lint(path, required):
+    errors = []
+    types = {}  # family -> declared type
+    first_sample_line = {}  # family -> line number of first sample
+    buckets = {}  # family -> list of (le, count)
+    counts = {}  # family -> _count value
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return ["empty exposition document"]
+
+    seen_names = set()
+    for lineno, line in enumerate(lines, start=1):
+        if line == "" or line.strip() == "":
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 3 and fields[1] == "TYPE":
+                family = fields[2]
+                kind = fields[3] if len(fields) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    errors.append(f"{lineno}: unknown TYPE '{kind}'")
+                if family in first_sample_line:
+                    errors.append(
+                        f"{lineno}: TYPE for '{family}' after its first "
+                        f"sample (line {first_sample_line[family]})")
+                types[family] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"{lineno}: unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"))
+        if labels is None:
+            errors.append(f"{lineno}: malformed labels: {line!r}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"{lineno}: non-numeric value: {line!r}")
+            continue
+        if math.isnan(value) or math.isinf(value):
+            errors.append(f"{lineno}: non-finite value: {line!r}")
+        family = base_family(name)
+        first_sample_line.setdefault(name, lineno)
+        first_sample_line.setdefault(family, lineno)
+        seen_names.add(name)
+        seen_names.add(family)
+
+        # Counters declare TYPE under their full name (`# TYPE x_total
+        # counter`); histograms/summaries declare the base family that
+        # their _bucket/_sum/_count samples hang off. Accept either.
+        kind = types.get(name)
+        if kind is None:
+            kind = types.get(family)
+        if kind is None:
+            errors.append(f"{lineno}: sample '{name}' has no preceding "
+                          f"# TYPE {family}")
+            continue
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"{lineno}: counter sample '{name}' must end in _total")
+            if value < 0:
+                errors.append(f"{lineno}: negative counter: {line!r}")
+        elif kind == "histogram" and name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                errors.append(f"{lineno}: histogram bucket without le label")
+            else:
+                try:
+                    buckets.setdefault(family, []).append(
+                        (le_key(le), value, lineno))
+                except ValueError:
+                    errors.append(f"{lineno}: bad le value '{le}'")
+        elif kind == "histogram" and name.endswith("_count"):
+            counts[family] = (value, lineno)
+        elif kind == "summary" and name == family:
+            q = labels.get("quantile")
+            if q is None:
+                errors.append(
+                    f"{lineno}: summary sample without quantile label")
+            else:
+                try:
+                    qv = float(q)
+                    if not 0.0 <= qv <= 1.0:
+                        errors.append(
+                            f"{lineno}: quantile {q} outside [0, 1]")
+                except ValueError:
+                    errors.append(f"{lineno}: bad quantile '{q}'")
+
+    for family, entries in buckets.items():
+        entries.sort(key=lambda e: e[0])
+        prev = -1.0
+        for le, value, lineno in entries:
+            if value < prev:
+                errors.append(
+                    f"{lineno}: histogram '{family}' buckets not cumulative "
+                    f"(le={le}: {value} < {prev})")
+            prev = value
+        if not entries or entries[-1][0] != math.inf:
+            errors.append(f"histogram '{family}' is missing an le=\"+Inf\" "
+                          f"bucket")
+        elif family in counts and entries[-1][1] != counts[family][0]:
+            errors.append(
+                f"histogram '{family}': +Inf bucket ({entries[-1][1]}) != "
+                f"_count ({counts[family][0]})")
+
+    for name in required:
+        if name not in seen_names:
+            errors.append(f"required metric '{name}' not found")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        help="fail unless this metric name appears")
+    args = parser.parse_args()
+    errors = lint(args.file, args.require_metric)
+    for err in errors:
+        print(f"{args.file}:{err}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} exposition violation(s)", file=sys.stderr)
+        return 1
+    print(f"{args.file}: exposition OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

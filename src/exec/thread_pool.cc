@@ -22,6 +22,7 @@ ThreadPool::ThreadPool(const ThreadPoolOptions& options)
     tasks_completed_ = m.GetCounter("exec.pool.tasks_completed");
     task_millis_ = m.GetHistogram("exec.pool.task_millis");
     queue_depth_ = m.GetHistogram("exec.pool.queue_depth");
+    queued_tasks_ = m.GetGauge("exec.pool.queued_tasks");
   }
   const int n = EffectiveThreads(options.num_threads);
   workers_.reserve(static_cast<size_t>(n));
@@ -54,6 +55,9 @@ void ThreadPool::WorkerLoop() {
       (*task)();
     }
     if (tasks_completed_ != nullptr) tasks_completed_->Increment();
+    if (queued_tasks_ != nullptr) {
+      queued_tasks_->Set(static_cast<double>(queue_.size()));
+    }
   }
   t_current_pool = nullptr;
 }
@@ -62,8 +66,10 @@ bool ThreadPool::InWorkerThread() const { return t_current_pool == this; }
 
 void ThreadPool::RecordSubmit() {
   if (tasks_submitted_ != nullptr) tasks_submitted_->Increment();
-  if (queue_depth_ != nullptr) {
-    queue_depth_->Observe(static_cast<double>(queue_.size()));
+  if (queue_depth_ != nullptr || queued_tasks_ != nullptr) {
+    const double depth = static_cast<double>(queue_.size());
+    if (queue_depth_ != nullptr) queue_depth_->Observe(depth);
+    if (queued_tasks_ != nullptr) queued_tasks_->Set(depth);
   }
 }
 

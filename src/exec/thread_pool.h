@@ -16,6 +16,7 @@ namespace ems {
 
 struct ObsContext;
 class Counter;
+class Gauge;
 class Histogram;
 
 namespace exec {
@@ -87,6 +88,10 @@ class ThreadPool {
   Counter* tasks_completed_ = nullptr;
   Histogram* task_millis_ = nullptr;
   Histogram* queue_depth_ = nullptr;
+  // Live queue depth (exec.pool.queued_tasks), refreshed on submit and
+  // task completion — the admission-control signal a health endpoint
+  // reads, where the histogram above records the distribution.
+  Gauge* queued_tasks_ = nullptr;
 };
 
 }  // namespace exec

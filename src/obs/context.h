@@ -36,4 +36,10 @@ inline void ObsObserve(ObsContext* obs, std::string_view name, double value) {
   if (obs != nullptr) obs->metrics.GetHistogram(name)->Observe(value);
 }
 
+/// Null-safe quantile-histogram observation (log-scale latency buckets).
+inline void ObsObserveQuantile(ObsContext* obs, std::string_view name,
+                               double value) {
+  if (obs != nullptr) obs->metrics.GetQuantileHistogram(name)->Observe(value);
+}
+
 }  // namespace ems

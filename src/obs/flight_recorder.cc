@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "util/json_writer.h"
+
+namespace ems {
+
+namespace {
+
+// Slowest first; newer wins ties so a fresh repro beats a stale one.
+bool SlowerThan(const FlightRecord& a, const FlightRecord& b) {
+  if (a.millis != b.millis) return a.millis > b.millis;
+  return a.seq > b.seq;
+}
+
+void WriteRecord(const FlightRecord& r, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("request_id");
+  w->String(r.request_id);
+  w->Key("outcome");
+  w->String(r.outcome);
+  if (!r.error.empty()) {
+    w->Key("error");
+    w->String(r.error);
+  }
+  w->Key("millis");
+  w->Number(r.millis);
+  w->Key("seq");
+  w->Int(static_cast<long long>(r.seq));
+  w->Key("spans");
+  WriteSpanForestJson(r.spans, w);
+  w->EndObject();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t slow_capacity, size_t failed_capacity)
+    : slow_capacity_(slow_capacity), failed_capacity_(failed_capacity) {
+  slow_.reserve(slow_capacity_);
+  failed_.reserve(failed_capacity_);
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seen_;
+  record.seq = next_seq_++;
+  if (record.outcome != "ok" && failed_capacity_ > 0) {
+    if (failed_.size() == failed_capacity_) {
+      failed_.erase(failed_.begin());  // evict the oldest failure
+    }
+    failed_.push_back(record);
+  }
+  if (slow_capacity_ == 0) return;
+  if (slow_.size() < slow_capacity_) {
+    slow_.push_back(std::move(record));
+    return;
+  }
+  // At capacity: replace the fastest retained record iff this one is
+  // slower — the retained set is always the global top-N by millis.
+  // (SlowerThan orders slowest-first, so the "maximum" is the fastest.)
+  auto fastest = std::max_element(slow_.begin(), slow_.end(), SlowerThan);
+  if (SlowerThan(record, *fastest)) *fastest = std::move(record);
+}
+
+std::vector<FlightRecord> FlightRecorder::Slowest() const {
+  std::vector<FlightRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(), SlowerThan);
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::RecentFailures() const {
+  std::vector<FlightRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = failed_;
+  }
+  std::reverse(out.begin(), out.end());  // ring is oldest first
+  return out;
+}
+
+uint64_t FlightRecorder::records_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+void FlightRecorder::WriteJson(JsonWriter* w) const {
+  const std::vector<FlightRecord> slowest = Slowest();
+  const std::vector<FlightRecord> failures = RecentFailures();
+  w->BeginObject();
+  w->Key("records_seen");
+  w->Int(static_cast<long long>(records_seen()));
+  w->Key("slowest");
+  w->BeginArray();
+  for (const FlightRecord& r : slowest) WriteRecord(r, w);
+  w->EndArray();
+  w->Key("recent_failures");
+  w->BeginArray();
+  for (const FlightRecord& r : failures) WriteRecord(r, w);
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace ems

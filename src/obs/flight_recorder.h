@@ -1,0 +1,75 @@
+// Slow-request flight recorder: a bounded in-memory record of the
+// requests an operator asks about first — the N slowest and the N most
+// recently failed — each retained with its span tree, so `{"cmd":"slow"}`
+// on a live service answers "what was slow and where did the time go"
+// without external tracing infrastructure. Admission is O(N) under a
+// mutex on the request-completion path (N is small and requests are
+// milliseconds); memory is bounded by the two capacities regardless of
+// uptime.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ems {
+
+class JsonWriter;
+
+/// One completed request as retained by the recorder.
+struct FlightRecord {
+  std::string request_id;
+  std::string outcome;  // "ok" or "error"
+  std::string error;    // status message; empty for ok requests
+  double millis = 0.0;
+  /// Admission order (1-based, assigned by the recorder): a total order
+  /// for "most recent" even when wall times tie.
+  uint64_t seq = 0;
+  /// Flat span snapshot of the request's trace (may be empty).
+  std::vector<SpanRecord> spans;
+};
+
+/// \brief Bounded dual-ring retention of slow and failed requests.
+///
+/// All methods are thread-safe. The slow side keeps the `slow_capacity`
+/// largest-millis records seen so far (ties broken toward newer); the
+/// failure side keeps the `failed_capacity` most recent records whose
+/// outcome is not "ok". One record can appear on both sides.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t slow_capacity = 16,
+                          size_t failed_capacity = 16);
+
+  /// Admits one completed request (seq is assigned by the recorder).
+  void Record(FlightRecord record);
+
+  /// Slow retention, slowest first.
+  std::vector<FlightRecord> Slowest() const;
+
+  /// Failure retention, most recent first.
+  std::vector<FlightRecord> RecentFailures() const;
+
+  /// Total requests offered to Record (admitted or not).
+  uint64_t records_seen() const;
+
+  size_t slow_capacity() const { return slow_capacity_; }
+  size_t failed_capacity() const { return failed_capacity_; }
+
+  /// Emits {"records_seen": .., "slowest": [..], "recent_failures": [..]}
+  /// as one JSON object value; each record carries its span tree.
+  void WriteJson(JsonWriter* w) const;
+
+ private:
+  const size_t slow_capacity_;
+  const size_t failed_capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;
+  uint64_t seen_ = 0;
+  std::vector<FlightRecord> slow_;    // unordered; sorted on read
+  std::vector<FlightRecord> failed_;  // ring, oldest first
+};
+
+}  // namespace ems

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/json_writer.h"
 #include "util/status.h"
@@ -24,6 +25,20 @@ void Histogram::Observe(double v) {
   counts_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double HistogramQuantile(const Histogram& hist, double q) {
+  std::vector<uint64_t> counts(hist.bounds().size() + 1);
+  for (size_t i = 0; i <= hist.bounds().size(); ++i) {
+    counts[i] = hist.bucket_count(i);
+  }
+  return QuantileFromBucketCounts(hist.bounds(), counts, q);
+}
+
+bool GaugeValueIsIntegral(double v) {
+  // 2^53 bounds exact double integers; beyond it "integral" is a lie.
+  return std::isfinite(v) && std::nearbyint(v) == v &&
+         std::abs(v) <= 9007199254740992.0;
 }
 
 const std::vector<double>& DefaultHistogramBounds() {
@@ -64,6 +79,45 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+QuantileHistogram* MetricsRegistry::GetQuantileHistogram(
+    std::string_view name, const QuantileHistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quantile_histograms_.find(name);
+  if (it == quantile_histograms_.end()) {
+    it = quantile_histograms_
+             .emplace(std::string(name),
+                      std::make_unique<QuantileHistogram>(options))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) fn(name, *counter);
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, hist] : histograms_) fn(name, *hist);
+}
+
+void MetricsRegistry::ForEachQuantileHistogram(
+    const std::function<void(const std::string&, const QuantileHistogram&)>&
+        fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, hist] : quantile_histograms_) fn(name, *hist);
+}
+
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -72,7 +126,8 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
 
 size_t MetricsRegistry::NumInstruments() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         quantile_histograms_.size();
 }
 
 void MetricsRegistry::WriteJson(JsonWriter* w) const {
@@ -89,7 +144,14 @@ void MetricsRegistry::WriteJson(JsonWriter* w) const {
   w->BeginObject();
   for (const auto& [name, gauge] : gauges_) {
     w->Key(name);
-    w->Number(gauge->value());
+    const double v = gauge->value();
+    // Integer-valued gauges (queue depth, cache bytes) must read back as
+    // integers, never as scientific-notation doubles.
+    if (GaugeValueIsIntegral(v)) {
+      w->Int(static_cast<long long>(v));
+    } else {
+      w->Number(v);
+    }
   }
   w->EndObject();
   w->Key("histograms");
@@ -111,6 +173,28 @@ void MetricsRegistry::WriteJson(JsonWriter* w) const {
       w->Int(static_cast<long long>(hist->bucket_count(i)));
     }
     w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->Key("quantile_histograms");
+  w->BeginObject();
+  for (const auto& [name, hist] : quantile_histograms_) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Int(static_cast<long long>(hist->count()));
+    w->Key("sum");
+    w->Number(hist->sum());
+    w->Key("min");
+    w->Number(hist->min_value());
+    w->Key("max");
+    w->Number(hist->max_value());
+    w->Key("p50");
+    w->Number(hist->Quantile(0.50));
+    w->Key("p90");
+    w->Number(hist->Quantile(0.90));
+    w->Key("p99");
+    w->Number(hist->Quantile(0.99));
     w->EndObject();
   }
   w->EndObject();

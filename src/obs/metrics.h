@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/quantile_histogram.h"
 
 namespace ems {
 
@@ -77,6 +80,15 @@ class Histogram {
 /// iteration counts and millisecond timings alike.
 const std::vector<double>& DefaultHistogramBounds();
 
+/// The value at quantile `q` of a fixed-bucket histogram, interpolated
+/// within the containing bucket. 0 when the histogram is empty.
+double HistogramQuantile(const Histogram& hist, double q);
+
+/// True when a gauge value should render as an integer (queue depths,
+/// byte counts): integral and exactly representable, so neither JSON nor
+/// exposition output ever shows `3e+09` for a byte gauge.
+bool GaugeValueIsIntegral(double v);
+
 /// \brief Owns all named instruments of one pipeline run.
 ///
 /// Get* returns a stable pointer, creating the instrument on first use;
@@ -92,10 +104,31 @@ class MetricsRegistry {
                           const std::vector<double>& bounds =
                               DefaultHistogramBounds());
 
+  /// `options` applies only when the quantile histogram does not exist
+  /// yet (log-scale latency instrument; see quantile_histogram.h).
+  QuantileHistogram* GetQuantileHistogram(
+      std::string_view name,
+      const QuantileHistogramOptions& options = QuantileHistogramOptions());
+
   /// The counter's current value, or 0 when it was never created.
   uint64_t CounterValue(std::string_view name) const;
 
   size_t NumInstruments() const;
+
+  // Enumeration in sorted name order, for snapshot capture and text
+  // exposition. The callback runs under the registry mutex: it must not
+  // call back into the registry. Instrument reads are lock-free, so
+  // holding the mutex does not stall Observe/Increment on other threads.
+  void ForEachCounter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void ForEachGauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+  void ForEachQuantileHistogram(
+      const std::function<void(const std::string&, const QuantileHistogram&)>&
+          fn) const;
 
   /// Emits {"counters": {...}, "gauges": {...}, "histograms": {...}} as
   /// one JSON object value (the caller provides the surrounding key).
@@ -109,6 +142,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileHistogram>, std::less<>>
+      quantile_histograms_;
 };
 
 }  // namespace ems

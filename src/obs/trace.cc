@@ -134,19 +134,32 @@ void WriteSpanSubtree(const std::vector<SpanRecord>& spans,
 
 }  // namespace
 
-void TraceRecorder::WriteJson(JsonWriter* w) const {
-  std::vector<SpanRecord> spans = Snapshot();
+void WriteSpanForestJson(const std::vector<SpanRecord>& spans, JsonWriter* w) {
+  // Parent links address positions in the snapshot; the `id` field is
+  // ignored so hand-built records (tests, future deserialization) can't
+  // index out of bounds. Out-of-range parents render as roots.
   std::vector<std::vector<int32_t>> children(spans.size());
-  w->BeginArray();
-  for (const SpanRecord& s : spans) {
-    if (s.parent >= 0) {
-      children[static_cast<size_t>(s.parent)].push_back(s.id);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int32_t parent = spans[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < spans.size() &&
+        static_cast<size_t>(parent) != i) {
+      children[static_cast<size_t>(parent)].push_back(
+          static_cast<int32_t>(i));
     }
   }
-  for (const SpanRecord& s : spans) {
-    if (s.parent < 0) WriteSpanSubtree(spans, children, s.id, w);
+  w->BeginArray();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const int32_t parent = spans[i].parent;
+    const bool root = parent < 0 ||
+                      static_cast<size_t>(parent) >= spans.size() ||
+                      static_cast<size_t>(parent) == i;
+    if (root) WriteSpanSubtree(spans, children, static_cast<int32_t>(i), w);
   }
   w->EndArray();
+}
+
+void TraceRecorder::WriteJson(JsonWriter* w) const {
+  WriteSpanForestJson(Snapshot(), w);
 }
 
 ScopedSpan::ScopedSpan(ObsContext* obs, std::string_view name)

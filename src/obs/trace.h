@@ -75,6 +75,12 @@ class TraceRecorder {
   size_t max_spans_;
 };
 
+/// Emits a flat span snapshot (as returned by TraceRecorder::Snapshot)
+/// as one JSON array of nested {"name", "start_us", "duration_us",
+/// "children": [...]} objects — shared by the live report and the
+/// flight recorder's retained span trees.
+void WriteSpanForestJson(const std::vector<SpanRecord>& spans, JsonWriter* w);
+
 /// \brief RAII span guard; a null context/recorder disables it entirely.
 class ScopedSpan {
  public:

@@ -8,6 +8,7 @@
 #include "obs/context.h"
 #include "util/json_parser.h"
 #include "util/json_writer.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace ems {
@@ -164,69 +165,286 @@ std::optional<store::ArtifactStore> OpenStore(const ServiceOptions& options) {
     // An unusable cache directory must not take the service down; it
     // just runs cold.
     ObsIncrement(options.obs, "store.open_errors");
+    LogWarn("cache directory unusable, serving cold: " +
+            opened.status().message());
     return std::nullopt;
   }
   return std::move(opened).value();
 }
 
+ServiceOptions WithEffectiveObs(const ServiceOptions& options,
+                                ObsContext* owned) {
+  ServiceOptions effective = options;
+  if (effective.obs == nullptr) effective.obs = owned;
+  return effective;
+}
+
+// Admin command of a parsed line, or empty when it is a match job.
+std::string AdminCommandOf(const JsonValue& doc) {
+  return doc.is_object() ? doc.GetString("cmd", "") : "";
+}
+
 }  // namespace
 
 BatchMatchService::BatchMatchService(const ServiceOptions& options)
-    : options_(options),
-      pool_(PoolOptions(options)),
-      store_(OpenStore(options)),
-      cache_(options.cache_capacity, options.obs, artifact_store(),
-             options.cache_byte_budget) {}
+    : owned_obs_(options.obs == nullptr && options.telemetry
+                     ? std::make_unique<ObsContext>()
+                     : nullptr),
+      options_(WithEffectiveObs(options, owned_obs_.get())),
+      pool_(PoolOptions(options_)),
+      store_(OpenStore(options_)),
+      cache_(options_.cache_capacity, options_.obs, artifact_store(),
+             options_.cache_byte_budget),
+      flight_(options_.telemetry
+                  ? std::make_unique<FlightRecorder>(
+                        options_.flight_slow_capacity,
+                        options_.flight_failed_capacity)
+                  : nullptr) {}
+
+BatchMatchService::~BatchMatchService() = default;
 
 std::string BatchMatchService::HandleJobLine(const std::string& line) {
+  Result<JsonValue> doc = ParseJson(line);
+  if (doc.ok()) {
+    const std::string cmd = AdminCommandOf(*doc);
+    if (!cmd.empty()) {
+      return HandleAdminCommand(cmd, doc->GetString("id", ""));
+    }
+  }
+  return HandleMatchJob(line);
+}
+
+std::string BatchMatchService::HandleMatchJob(const std::string& line) {
   ObsIncrement(options_.obs, "serve.jobs_submitted");
-  Result<JobRequest> request = ParseJobRequest(line);
-  if (!request.ok()) {
-    ObsIncrement(options_.obs, "serve.jobs_failed");
-    return RenderError("", request.status());
-  }
-  if (cancel_.cancelled()) {
-    ObsIncrement(options_.obs, "serve.jobs_failed");
-    return RenderError(request->id,
-                       Status::Cancelled("service shutting down"));
-  }
+  jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
   Timer timer;
-  Result<std::shared_ptr<const EventLog>> log1 =
-      cache_.GetOrLoad(request->log1, request->format);
-  if (!log1.ok()) {
-    ObsIncrement(options_.obs, "serve.jobs_failed");
-    return RenderError(request->id, log1.status());
+
+  // Every job gets a request id — the client's, or an assigned req-N —
+  // propagated into the job's span tree and the flight recorder.
+  Result<JobRequest> request = ParseJobRequest(line);
+  std::string request_id;
+  if (request.ok() && !request->id.empty()) {
+    request_id = request->id;
+  } else {
+    request_id =
+        "req-" +
+        std::to_string(next_request_seq_.fetch_add(1,
+                                                   std::memory_order_relaxed));
   }
-  Result<std::shared_ptr<const EventLog>> log2 =
-      cache_.GetOrLoad(request->log2, request->format);
-  if (!log2.ok()) {
-    ObsIncrement(options_.obs, "serve.jobs_failed");
-    return RenderError(request->id, log2.status());
+
+  // The per-job trace is private to the request (the shared registry
+  // would interleave concurrent jobs); its span snapshot lands in the
+  // flight recorder at completion.
+  std::unique_ptr<ObsContext> job_obs;
+  if (flight_ != nullptr) job_obs = std::make_unique<ObsContext>();
+  ScopedSpan request_span(job_obs.get(), "request:" + request_id);
+
+  Status failure = Status::OK();
+  std::string rendered;
+  if (!request.ok()) {
+    failure = request.status();
+    rendered = RenderError(request_id, failure);
+  } else if (cancel_.cancelled()) {
+    failure = Status::Cancelled("service shutting down");
+    rendered = RenderError(request_id, failure);
+  } else {
+    if (job_obs != nullptr) {
+      request->options.obs.context = job_obs.get();
+    }
+    ScopedSpan load_span(job_obs.get(), "load_logs");
+    Result<std::shared_ptr<const EventLog>> log1 =
+        cache_.GetOrLoad(request->log1, request->format);
+    Result<std::shared_ptr<const EventLog>> log2 =
+        log1.ok() ? cache_.GetOrLoad(request->log2, request->format)
+                  : Result<std::shared_ptr<const EventLog>>(log1.status());
+    load_span.End();
+    if (!log1.ok()) {
+      failure = log1.status();
+    } else if (!log2.ok()) {
+      failure = log2.status();
+    } else {
+      // Jobs parallelize across the pool, so each matching runs
+      // single-threaded inside its worker (nested ParallelFor on the
+      // same pool would degrade to inline execution anyway).
+      Matcher matcher(request->options);
+      Result<MatchResult> result = matcher.Match(**log1, **log2);
+      if (result.ok()) {
+        rendered = RenderResult(request_id, *result, timer.ElapsedMillis());
+      } else {
+        failure = result.status();
+      }
+    }
+    if (!failure.ok()) rendered = RenderError(request_id, failure);
   }
-  // Jobs parallelize across the pool, so each matching runs
-  // single-threaded inside its worker (nested ParallelFor on the same
-  // pool would degrade to inline execution anyway).
-  Matcher matcher(request->options);
-  Result<MatchResult> result = matcher.Match(**log1, **log2);
+  request_span.End();
+
   const double millis = timer.ElapsedMillis();
-  if (!result.ok()) {
-    ObsIncrement(options_.obs, "serve.jobs_failed");
-    return RenderError(request->id, result.status());
-  }
-  ObsIncrement(options_.obs, "serve.jobs_ok");
+  const bool ok = failure.ok();
+  ObsIncrement(options_.obs, ok ? "serve.jobs_ok" : "serve.jobs_failed");
   ObsObserve(options_.obs, "serve.job_millis", millis);
-  return RenderResult(request->id, *result, millis);
+  // Per-outcome latency quantiles: the stats command's p50/p90/p99.
+  ObsObserveQuantile(options_.obs,
+                     ok ? "serve.latency_ms.ok" : "serve.latency_ms.error",
+                     millis);
+  if (flight_ != nullptr) {
+    FlightRecord record;
+    record.request_id = request_id;
+    record.outcome = ok ? "ok" : "error";
+    record.error = failure.message();
+    record.millis = millis;
+    record.spans = job_obs->trace.Snapshot();
+    flight_->Record(std::move(record));
+  }
+  if (!ok && LogEnabled(LogLevel::kInfo)) {
+    LogInfo("job " + request_id + " failed: " + failure.message());
+  }
+  jobs_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return rendered;
+}
+
+std::string BatchMatchService::HandleAdminCommand(const std::string& cmd,
+                                                  const std::string& id) {
+  ObsIncrement(options_.obs, "serve.admin_commands");
+  if (cmd == "stats") return RenderStats(id);
+  if (cmd == "health") return RenderHealth(id);
+  if (cmd == "slow") return RenderSlow(id);
+  return RenderError(id,
+                     Status::InvalidArgument(
+                         "unknown cmd '" + cmd + "' (stats|health|slow)"));
+}
+
+std::string BatchMatchService::RenderStats(const std::string& id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("stats");
+  w.Key("uptime_seconds");
+  w.Number(UptimeSeconds());
+  if (options_.obs != nullptr) {
+    MetricsSnapshot snapshot = CaptureMetricsSnapshot(options_.obs->metrics);
+    std::map<std::string, double> rates;
+    double interval = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (has_last_stats_) {
+        rates = DiffRates(last_stats_, snapshot);
+        interval = snapshot.at_seconds - last_stats_.at_seconds;
+      }
+      last_stats_ = snapshot;
+      has_last_stats_ = true;
+    }
+    w.Key("snapshot");
+    snapshot.WriteJson(&w);
+    w.Key("interval_seconds");
+    w.Number(interval);
+    w.Key("rates");
+    w.BeginObject();
+    for (const auto& [name, rate] : rates) {
+      w.Key(name);
+      w.Number(rate);
+    }
+    w.EndObject();
+  }
+  w.Key("cache");
+  w.BeginObject();
+  w.Key("entries");
+  w.Int(static_cast<long long>(cache_.size()));
+  w.Key("bytes");
+  w.Int(static_cast<long long>(cache_.cost_bytes()));
+  w.Key("hits");
+  w.Int(static_cast<long long>(cache_.hits()));
+  w.Key("misses");
+  w.Int(static_cast<long long>(cache_.misses()));
+  w.EndObject();
+  w.Key("pool");
+  w.BeginObject();
+  w.Key("threads");
+  w.Int(pool_.num_threads());
+  w.Key("queue_depth");
+  w.Int(static_cast<long long>(pool_.QueueDepth()));
+  w.Key("queue_capacity");
+  w.Int(static_cast<long long>(options_.queue_capacity));
+  w.Key("jobs_in_flight");
+  w.Int(jobs_in_flight_.load(std::memory_order_relaxed));
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string BatchMatchService::RenderHealth(const std::string& id) {
+  const size_t depth = pool_.QueueDepth();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("health");
+  w.Key("healthy");
+  w.Bool(!cancel_.cancelled());
+  w.Key("draining");
+  w.Bool(cancel_.cancelled());
+  w.Key("uptime_seconds");
+  w.Number(UptimeSeconds());
+  w.Key("queue_depth");
+  w.Int(static_cast<long long>(depth));
+  w.Key("queue_capacity");
+  w.Int(static_cast<long long>(options_.queue_capacity));
+  w.Key("threads");
+  w.Int(pool_.num_threads());
+  w.Key("jobs_in_flight");
+  w.Int(jobs_in_flight_.load(std::memory_order_relaxed));
+  w.EndObject();
+  return w.str();
+}
+
+std::string BatchMatchService::RenderSlow(const std::string& id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("slow");
+  w.Key("flight_recorder");
+  if (flight_ != nullptr) {
+    flight_->WriteJson(&w);
+  } else {
+    w.Null();
+  }
+  w.EndObject();
+  return w.str();
 }
 
 size_t BatchMatchService::RunStream(std::istream& in, std::ostream& out) {
   std::mutex out_mu;
-  size_t jobs = 0;
+  size_t lines = 0;
   exec::TaskGroup group(&pool_, cancel_.token());
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (cancel_.cancelled()) break;
-    ++jobs;
+    ++lines;
+    // Admin probes answer from the reader thread: a queue full of match
+    // jobs must never delay a stats/health scrape.
+    Result<JsonValue> doc = ParseJson(line);
+    if (doc.ok()) {
+      const std::string cmd = AdminCommandOf(*doc);
+      if (!cmd.empty()) {
+        std::string result =
+            HandleAdminCommand(cmd, doc->GetString("id", ""));
+        std::lock_guard<std::mutex> lock(out_mu);
+        out << result << "\n";
+        out.flush();
+        continue;
+      }
+    }
     group.Run([this, &out, &out_mu, line]() -> Status {
       std::string result = HandleJobLine(line);
       std::lock_guard<std::mutex> lock(out_mu);
@@ -236,7 +454,7 @@ size_t BatchMatchService::RunStream(std::istream& in, std::ostream& out) {
     });
   }
   (void)group.Wait();
-  return jobs;
+  return lines;
 }
 
 }  // namespace serve

@@ -20,22 +20,41 @@
 //    "ems": {"iterations": 7, "formula_evaluations": 1234}}
 // or {"id": "j1", "status": "error", "code": "NotFound",
 //     "error": "..."}.
+//
+// Admin commands ride the same NDJSON protocol (one object per line,
+// dispatched on the `cmd` key) and are answered inline — never queued
+// behind match jobs — so a saturated service still reports:
+//   {"cmd": "stats"}  -> metrics snapshot: counters, integer gauges,
+//                        per-outcome latency quantiles (p50/p90/p99),
+//                        interval rates since the previous stats call,
+//                        cache and pool gauges
+//   {"cmd": "health"} -> liveness: queue depth/capacity, threads,
+//                        jobs in flight, uptime
+//   {"cmd": "slow"}   -> flight-recorder dump: span trees of the N
+//                        slowest and N most recently failed requests
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "core/matcher.h"
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_snapshot.h"
 #include "serve/log_cache.h"
 #include "store/artifact_store.h"
+#include "util/timer.h"
 
 namespace ems {
 
 struct ObsContext;
+class JsonValue;
 
 namespace serve {
 
@@ -66,8 +85,20 @@ struct ServiceOptions {
   uint64_t cache_dir_bytes = 0;
 
   /// Observability sink for serve.*, store.*, and exec.pool.* metrics
-  /// (borrowed; null disables).
+  /// (borrowed). When null and `telemetry` is true (the default), the
+  /// service owns a private ObsContext so the stats/health/slow admin
+  /// commands always have live data.
   ObsContext* obs = nullptr;
+
+  /// Master switch for the telemetry plane. False runs the service bare
+  /// (no owned context, no per-job tracing, no flight recorder) — the
+  /// pre-telemetry behavior, kept measurable for bench_serve_obs.
+  bool telemetry = true;
+
+  /// Flight-recorder retention: the N slowest and the N most recently
+  /// failed requests, each with its span tree.
+  size_t flight_slow_capacity = 16;
+  size_t flight_failed_capacity = 16;
 };
 
 /// A parsed job line.
@@ -92,15 +123,18 @@ Result<JobRequest> ParseJobRequest(const std::string& line);
 class BatchMatchService {
  public:
   explicit BatchMatchService(const ServiceOptions& options);
+  ~BatchMatchService();  // out of line: ObsContext is incomplete here
 
-  /// Processes one job line synchronously and returns the result line
-  /// (without trailing newline). Never fails: malformed requests render
-  /// as status:"error" results.
+  /// Processes one job or admin line synchronously and returns the
+  /// result line (without trailing newline). Never fails: malformed
+  /// requests render as status:"error" results.
   std::string HandleJobLine(const std::string& line);
 
-  /// Reads job lines from `in` until EOF, schedules them on the pool,
+  /// Reads lines from `in` until EOF, schedules match jobs on the pool,
   /// and writes one result line per job to `out` as jobs complete.
-  /// Returns the number of jobs processed.
+  /// Admin-command lines ({"cmd": ...}) are answered inline from the
+  /// reader thread — a full queue never blocks a stats or health probe.
+  /// Returns the number of lines processed (jobs plus admin commands).
   size_t RunStream(std::istream& in, std::ostream& out);
 
   /// Cooperatively stops a running RunStream: no further lines are
@@ -116,12 +150,44 @@ class BatchMatchService {
     return store_.has_value() ? &*store_ : nullptr;
   }
 
+  /// The effective telemetry context: the caller's, the owned one, or
+  /// null when `telemetry` was disabled without a caller context.
+  ObsContext* obs() { return options_.obs; }
+
+  /// The slow/failed request retention, or null when telemetry is off.
+  FlightRecorder* flight_recorder() { return flight_.get(); }
+
+  /// Seconds since the service was constructed.
+  double UptimeSeconds() const { return uptime_.ElapsedSeconds(); }
+
+  /// Renders one admin response (the `{"cmd": ...}` path of
+  /// HandleJobLine, exposed for direct calls): "stats", "health", or
+  /// "slow". Unknown commands render as status:"error".
+  std::string HandleAdminCommand(const std::string& cmd,
+                                 const std::string& id);
+
  private:
+  std::string RenderStats(const std::string& id);
+  std::string RenderHealth(const std::string& id);
+  std::string RenderSlow(const std::string& id);
+  std::string HandleMatchJob(const std::string& line);
+
+  std::unique_ptr<ObsContext> owned_obs_;  // set before options_
   ServiceOptions options_;
   exec::ThreadPool pool_;
   std::optional<store::ArtifactStore> store_;  // must outlive cache_
   LogCache cache_;
   exec::CancellationSource cancel_;
+  std::unique_ptr<FlightRecorder> flight_;
+  Timer uptime_;
+  std::atomic<uint64_t> next_request_seq_{1};
+  std::atomic<int64_t> jobs_in_flight_{0};
+
+  // Previous stats snapshot, so consecutive {"cmd":"stats"} calls report
+  // interval rates (counter deltas / elapsed seconds).
+  std::mutex stats_mu_;
+  MetricsSnapshot last_stats_;
+  bool has_last_stats_ = false;
 };
 
 }  // namespace serve

@@ -1,0 +1,97 @@
+#include "serve/stats_exporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/context.h"
+#include "obs/exposition.h"
+#include "util/log.h"
+
+namespace ems {
+namespace serve {
+
+StatsExporter::StatsExporter(const ObsContext* obs, std::string path,
+                             double interval_seconds)
+    : obs_(obs),
+      path_(std::move(path)),
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 1.0) {
+  if (obs_ == nullptr || path_.empty()) {
+    stopped_ = true;
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+StatsExporter::~StatsExporter() { Stop(); }
+
+void StatsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(interval_seconds_));
+    if (wake_.wait_for(lock, interval, [this] { return stopping_; })) {
+      break;  // Stop() handles the final write
+    }
+    lock.unlock();
+    Status st = WriteOnce();
+    if (!st.ok()) LogWarn("stats export failed: " + st.message());
+    lock.lock();
+  }
+}
+
+void StatsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Status st = WriteOnce();
+  if (!st.ok()) LogWarn("final stats export failed: " + st.message());
+}
+
+Status StatsExporter::WriteOnce() {
+  if (obs_ == nullptr || path_.empty()) return Status::OK();
+  const std::string body = RenderExpositionText(obs_->metrics);
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++write_errors_;
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+    out << body;
+    if (!out.flush()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++write_errors_;
+      return Status::IOError("write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++write_errors_;
+    return Status::IOError("rename '" + tmp + "' -> '" + path_ + "' failed");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++writes_;
+  return Status::OK();
+}
+
+uint64_t StatsExporter::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+uint64_t StatsExporter::write_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_errors_;
+}
+
+}  // namespace serve
+}  // namespace ems

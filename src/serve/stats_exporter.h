@@ -1,0 +1,62 @@
+// Background stats export for ems_serve --stats-out/--stats-interval: a
+// thread that periodically renders the service's MetricsRegistry in text
+// exposition format (obs/exposition.h) and publishes it with the
+// atomic-tmp-rename idiom, so a scraper tailing the file never reads a
+// torn document. Stop() (also run by the destructor) wakes the thread,
+// writes one final snapshot, and joins — shutdown never waits out a full
+// interval and never drops the last stats of a short run.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace ems {
+
+struct ObsContext;
+
+namespace serve {
+
+/// \brief Periodic exposition-format metrics writer.
+class StatsExporter {
+ public:
+  /// Starts the export thread. `obs` is borrowed and must outlive the
+  /// exporter; a null context disables it (no thread, no file).
+  /// `interval_seconds` <= 0 snaps to 1s.
+  StatsExporter(const ObsContext* obs, std::string path,
+                double interval_seconds);
+  ~StatsExporter();
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// Final write + join. Idempotent; called by the destructor.
+  void Stop();
+
+  /// Renders and publishes one snapshot now (also the final write of
+  /// Stop). IOError when the temp file cannot be written or renamed.
+  Status WriteOnce();
+
+  uint64_t writes() const;
+  uint64_t write_errors() const;
+
+ private:
+  void Loop();
+
+  const ObsContext* obs_;
+  const std::string path_;
+  const double interval_seconds_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  uint64_t writes_ = 0;
+  uint64_t write_errors_ = 0;
+  std::thread thread_;  // last member: starts after everything above
+};
+
+}  // namespace serve
+}  // namespace ems

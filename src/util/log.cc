@@ -1,0 +1,90 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "util/json_writer.h"
+
+namespace ems {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+std::string FormatTimestamp(int64_t unix_millis) {
+  const std::time_t seconds = static_cast<std::time_t>(unix_millis / 1000);
+  const int millis = static_cast<int>(unix_millis % 1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return Status::InvalidArgument("unknown log level '" + std::string(name) +
+                                 "' (expected error|warn|info|debug)");
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GlobalLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         g_level.load(std::memory_order_relaxed);
+}
+
+std::string FormatLogLine(LogLevel level, std::string_view msg,
+                          int64_t unix_millis) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts");
+  w.String(FormatTimestamp(unix_millis));
+  w.Key("level");
+  w.String(LogLevelName(level));
+  w.Key("msg");
+  w.String(msg);
+  w.EndObject();
+  return w.str();
+}
+
+void LogLine(LogLevel level, std::string_view msg) {
+  if (!LogEnabled(level)) return;
+  const int64_t now = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  // One fputs per line keeps concurrent emitters from interleaving.
+  const std::string line = FormatLogLine(level, msg, now) + "\n";
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace ems

@@ -1,0 +1,53 @@
+// Structured stderr logging for long-running tools (ems_serve): one JSON
+// line per event — {"ts":"2026-08-08T12:00:00.123Z","level":"info",
+// "msg":"..."} — replacing ad-hoc std::cerr writes, so service output
+// stays machine-parseable and CI smoke runs stay quiet. The global
+// threshold defaults to warn; tools raise it with --log-level. Emission
+// is thread-safe (each line is one write(2)-sized fputs).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ems {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// "error" | "warn" | "info" | "debug".
+const char* LogLevelName(LogLevel level);
+
+/// Parses a --log-level value; InvalidArgument on anything else.
+Result<LogLevel> ParseLogLevel(std::string_view name);
+
+/// Process-wide emission threshold (default kWarn): events with a level
+/// numerically above it are dropped.
+void SetGlobalLogLevel(LogLevel level);
+LogLevel GlobalLogLevel();
+
+/// True when an event at `level` would be emitted — guard expensive
+/// message construction with this.
+bool LogEnabled(LogLevel level);
+
+/// The JSON line LogLine would emit (without trailing newline), with an
+/// explicit timestamp in milliseconds since the Unix epoch — the
+/// testable core of the logger.
+std::string FormatLogLine(LogLevel level, std::string_view msg,
+                          int64_t unix_millis);
+
+/// Emits one structured line to stderr when `level` passes the global
+/// threshold. Thread-safe.
+void LogLine(LogLevel level, std::string_view msg);
+
+inline void LogError(std::string_view msg) { LogLine(LogLevel::kError, msg); }
+inline void LogWarn(std::string_view msg) { LogLine(LogLevel::kWarn, msg); }
+inline void LogInfo(std::string_view msg) { LogLine(LogLevel::kInfo, msg); }
+inline void LogDebug(std::string_view msg) { LogLine(LogLevel::kDebug, msg); }
+
+}  // namespace ems

@@ -1,0 +1,101 @@
+#include "obs/flight_recorder.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json_writer.h"
+
+namespace ems {
+namespace {
+
+FlightRecord Make(const std::string& id, double millis,
+                  const std::string& outcome = "ok") {
+  FlightRecord r;
+  r.request_id = id;
+  r.millis = millis;
+  r.outcome = outcome;
+  if (outcome != "ok") r.error = "boom";
+  return r;
+}
+
+TEST(FlightRecorderTest, SlowSideKeepsLargestMillis) {
+  FlightRecorder recorder(/*slow_capacity=*/3, /*failed_capacity=*/3);
+  recorder.Record(Make("a", 10));
+  recorder.Record(Make("b", 50));
+  recorder.Record(Make("c", 30));
+  recorder.Record(Make("d", 5));   // slower than nothing retained: evicted
+  recorder.Record(Make("e", 40));  // evicts a (10ms, the current min)
+  std::vector<FlightRecord> slow = recorder.Slowest();
+  ASSERT_EQ(slow.size(), 3u);
+  EXPECT_EQ(slow[0].request_id, "b");  // slowest first
+  EXPECT_EQ(slow[1].request_id, "e");
+  EXPECT_EQ(slow[2].request_id, "c");
+  EXPECT_EQ(recorder.records_seen(), 5u);
+}
+
+TEST(FlightRecorderTest, SlowTieBreaksTowardNewer) {
+  FlightRecorder recorder(/*slow_capacity=*/2, /*failed_capacity=*/2);
+  recorder.Record(Make("old", 10));
+  recorder.Record(Make("mid", 10));
+  recorder.Record(Make("new", 10));  // same millis: newer replaces oldest
+  std::vector<FlightRecord> slow = recorder.Slowest();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].request_id, "new");
+  EXPECT_EQ(slow[1].request_id, "mid");
+}
+
+TEST(FlightRecorderTest, FailureSideKeepsMostRecent) {
+  FlightRecorder recorder(/*slow_capacity=*/8, /*failed_capacity=*/2);
+  recorder.Record(Make("f1", 1, "error"));
+  recorder.Record(Make("ok1", 100, "ok"));  // not a failure
+  recorder.Record(Make("f2", 2, "error"));
+  recorder.Record(Make("f3", 3, "error"));  // evicts f1 (oldest)
+  std::vector<FlightRecord> failures = recorder.RecentFailures();
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[0].request_id, "f3");  // most recent first
+  EXPECT_EQ(failures[1].request_id, "f2");
+  EXPECT_EQ(failures[0].error, "boom");
+}
+
+TEST(FlightRecorderTest, SlowAndFailedSidesAreIndependent) {
+  FlightRecorder recorder(/*slow_capacity=*/1, /*failed_capacity=*/1);
+  recorder.Record(Make("slow-ok", 500, "ok"));
+  recorder.Record(Make("fast-err", 1, "error"));
+  ASSERT_EQ(recorder.Slowest().size(), 1u);
+  EXPECT_EQ(recorder.Slowest()[0].request_id, "slow-ok");
+  ASSERT_EQ(recorder.RecentFailures().size(), 1u);
+  EXPECT_EQ(recorder.RecentFailures()[0].request_id, "fast-err");
+}
+
+TEST(FlightRecorderTest, ZeroCapacityRetainsNothing) {
+  FlightRecorder recorder(/*slow_capacity=*/0, /*failed_capacity=*/0);
+  recorder.Record(Make("a", 10, "error"));
+  EXPECT_TRUE(recorder.Slowest().empty());
+  EXPECT_TRUE(recorder.RecentFailures().empty());
+  EXPECT_EQ(recorder.records_seen(), 1u);
+}
+
+TEST(FlightRecorderTest, WriteJsonEmitsBothSidesWithSpans) {
+  FlightRecorder recorder(/*slow_capacity=*/2, /*failed_capacity=*/2);
+  FlightRecord r = Make("req-1", 25, "error");
+  SpanRecord span;
+  span.name = "load_logs";
+  span.parent = -1;
+  span.duration_us = 1500;
+  r.spans.push_back(span);
+  recorder.Record(std::move(r));
+  JsonWriter w;
+  recorder.WriteJson(&w);
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"records_seen\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"slowest\""), std::string::npos);
+  EXPECT_NE(json.find("\"recent_failures\""), std::string::npos);
+  EXPECT_NE(json.find("\"req-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"load_logs\""), std::string::npos);
+  EXPECT_NE(json.find("\"boom\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

@@ -1,0 +1,80 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ems {
+namespace {
+
+// The global level is process state; each test restores the default.
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetGlobalLogLevel(LogLevel::kWarn); }
+};
+
+TEST_F(LogTest, ParseLogLevelAcceptsTheFourNames) {
+  EXPECT_EQ(*ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(*ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(*ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(*ParseLogLevel("debug"), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, ParseLogLevelRejectsAnythingElse) {
+  EXPECT_FALSE(ParseLogLevel("verbose").ok());
+  EXPECT_FALSE(ParseLogLevel("WARN").ok());
+  EXPECT_FALSE(ParseLogLevel("").ok());
+  EXPECT_EQ(ParseLogLevel("trace").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LogTest, LevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                         LogLevel::kDebug}) {
+    EXPECT_EQ(*ParseLogLevel(LogLevelName(level)), level);
+  }
+}
+
+TEST_F(LogTest, DefaultThresholdIsWarn) {
+  EXPECT_EQ(GlobalLogLevel(), LogLevel::kWarn);
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+}
+
+TEST_F(LogTest, ThresholdGatesHigherLevels) {
+  SetGlobalLogLevel(LogLevel::kError);
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarn));
+  SetGlobalLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  EXPECT_TRUE(LogEnabled(LogLevel::kInfo));
+}
+
+TEST_F(LogTest, FormatLogLineIsOneJsonObject) {
+  // 2026-08-08T12:00:00.123Z.
+  const int64_t millis = 1786536000123;
+  const std::string line =
+      FormatLogLine(LogLevel::kInfo, "cache warm", millis);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"cache warm\""), std::string::npos);
+  EXPECT_NE(line.find("\"ts\":\""), std::string::npos);
+  EXPECT_NE(line.find(".123Z\""), std::string::npos);
+}
+
+TEST_F(LogTest, FormatLogLineEscapesTheMessage) {
+  const std::string line = FormatLogLine(
+      LogLevel::kError, "path \"a\\b\"\nbroke", 0);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\\\"a\\\\b\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+}
+
+TEST_F(LogTest, EpochFormatsAs1970) {
+  const std::string line = FormatLogLine(LogLevel::kWarn, "x", 0);
+  EXPECT_NE(line.find("1970-01-01T00:00:00.000Z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ems

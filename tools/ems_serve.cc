@@ -2,6 +2,9 @@
 // JSON job requests (see src/serve/service.h for the schema) from stdin
 // or a Unix socket, schedules them on a thread pool behind an LRU log
 // cache, and writes one JSON result line per job in completion order.
+// Admin commands ({"cmd":"stats"|"health"|"slow"}) ride the same
+// protocol and are answered inline; tools/ems_top renders them as a
+// live dashboard.
 //
 //   ems_serve [options] < jobs.ndjson > results.ndjson
 //
@@ -19,6 +22,17 @@
 //                      unbounded; LRU file eviction)
 //   --metrics-out=PATH write a PipelineReport JSON (pool, cache, store,
 //                      and serve.* metrics) to PATH on exit
+//   --stats-out=PATH   publish metrics in Prometheus text exposition
+//                      format to PATH, atomically (tmp + rename), from a
+//                      background thread; one final write on shutdown
+//   --stats-interval=S exposition write period in seconds (default 5;
+//                      requires --stats-out)
+//   --flight-slow=N    flight recorder: retain the N slowest requests
+//                      (default 16); --flight-failed=N likewise for the
+//                      most recent failures
+//   --log-level=L      structured stderr logging threshold:
+//                      error|warn|info|debug (default warn; one JSON
+//                      line per event)
 //   --socket=PATH      accept one client at a time on a Unix domain
 //                      socket instead of stdin/stdout (POSIX only)
 //
@@ -26,10 +40,9 @@
 //   $ ems_serve --threads=4 < jobs.ndjson
 //   with jobs.ndjson containing e.g.
 //   {"id":"j1","log1":"a.xes","log2":"b.xes"}
-//   {"id":"j2","log1":"a.xes","log2":"c.csv","labels":"none"}
-//   prints:
-//   {"id":"j1","status":"ok","millis":...,"correspondences":[...],...}
-//   {"id":"j2","status":"ok",...}
+//   {"cmd":"stats","id":"s1"}
+//   prints one result line per job and one snapshot line for the stats
+//   command.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +60,8 @@
 #include "obs/context.h"
 #include "obs/report.h"
 #include "serve/service.h"
+#include "serve/stats_exporter.h"
+#include "util/log.h"
 #include "util/timer.h"
 
 namespace {
@@ -58,7 +73,10 @@ void Usage(const char* argv0) {
                "usage: %s [--threads=N] [--queue-size=N] [--cache-size=N]\n"
                "          [--cache-bytes=N] [--cache-dir=PATH]\n"
                "          [--cache-dir-bytes=N]\n"
-               "          [--metrics-out=PATH] [--socket=PATH]\n"
+               "          [--metrics-out=PATH] [--stats-out=PATH]\n"
+               "          [--stats-interval=SECONDS] [--flight-slow=N]\n"
+               "          [--flight-failed=N] [--log-level=LEVEL]\n"
+               "          [--socket=PATH]\n"
                "reads NDJSON job lines from stdin (or the socket), writes one\n"
                "JSON result line per job; schema documented in "
                "src/serve/service.h\n",
@@ -73,6 +91,10 @@ struct Flags {
   std::string cache_dir;
   unsigned long long cache_dir_bytes = 0;
   std::string metrics_out;
+  std::string stats_out;
+  double stats_interval = 5.0;
+  size_t flight_slow = 16;
+  size_t flight_failed = 16;
   std::string socket_path;
 };
 
@@ -115,6 +137,27 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       flags.cache_dir_bytes = static_cast<unsigned long long>(n);
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       flags.metrics_out = value;
+    } else if (ParseFlag(arg, "stats-out", &value)) {
+      flags.stats_out = value;
+    } else if (ParseFlag(arg, "stats-interval", &value)) {
+      flags.stats_interval = std::atof(value.c_str());
+      if (flags.stats_interval <= 0.0) {
+        return Status::InvalidArgument("--stats-interval must be > 0");
+      }
+    } else if (ParseFlag(arg, "flight-slow", &value)) {
+      const long n = std::atol(value.c_str());
+      if (n < 0) return Status::InvalidArgument("--flight-slow must be >= 0");
+      flags.flight_slow = static_cast<size_t>(n);
+    } else if (ParseFlag(arg, "flight-failed", &value)) {
+      const long n = std::atol(value.c_str());
+      if (n < 0) {
+        return Status::InvalidArgument("--flight-failed must be >= 0");
+      }
+      flags.flight_failed = static_cast<size_t>(n);
+    } else if (ParseFlag(arg, "log-level", &value)) {
+      Result<LogLevel> level = ParseLogLevel(value);
+      if (!level.ok()) return level.status();
+      SetGlobalLogLevel(*level);
     } else if (ParseFlag(arg, "socket", &value)) {
       flags.socket_path = value;
     } else {
@@ -132,13 +175,13 @@ int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
   ::unlink(path.c_str());
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
-    std::perror("socket");
+    LogError(std::string("socket: ") + std::strerror(errno));
     return 1;
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "error: socket path too long: %s\n", path.c_str());
+    LogError("socket path too long: " + path);
     ::close(listen_fd);
     return 2;
   }
@@ -146,15 +189,15 @@ int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
           0 ||
       ::listen(listen_fd, 4) < 0) {
-    std::perror("bind/listen");
+    LogError(std::string("bind/listen: ") + std::strerror(errno));
     ::close(listen_fd);
     return 1;
   }
-  std::fprintf(stderr, "ems_serve: listening on %s\n", path.c_str());
+  LogInfo("listening on " + path);
   for (;;) {
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
-      std::perror("accept");
+      LogError(std::string("accept: ") + std::strerror(errno));
       break;
     }
     {
@@ -163,7 +206,7 @@ int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
       std::istream in(&in_buf);
       std::ostream out(&out_buf);
       const size_t jobs = service.RunStream(in, out);
-      std::fprintf(stderr, "ems_serve: connection done (%zu jobs)\n", jobs);
+      LogInfo("connection done (" + std::to_string(jobs) + " lines)");
     }  // filebufs close both fds
   }
   ::close(listen_fd);
@@ -175,14 +218,12 @@ int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
 int Run(int argc, char** argv) {
   Result<Flags> flags_result = ParseArgs(argc, argv);
   if (!flags_result.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 flags_result.status().message().c_str());
+    LogError(flags_result.status().message());
     Usage(argv[0]);
     return 2;
   }
   const Flags& flags = *flags_result;
 
-  ObsContext obs;
   serve::ServiceOptions options;
   options.threads = flags.threads;
   options.queue_capacity = flags.queue_size;
@@ -190,32 +231,39 @@ int Run(int argc, char** argv) {
   options.cache_byte_budget = flags.cache_bytes;
   options.cache_dir = flags.cache_dir;
   options.cache_dir_bytes = flags.cache_dir_bytes;
-  options.obs = flags.metrics_out.empty() ? nullptr : &obs;
+  options.flight_slow_capacity = flags.flight_slow;
+  options.flight_failed_capacity = flags.flight_failed;
+  // The service owns its telemetry context (options.obs stays null), so
+  // stats/health/slow and the exposition export always have live data.
 
   serve::BatchMatchService service(options);
+  serve::StatsExporter stats_exporter(
+      flags.stats_out.empty() ? nullptr : service.obs(), flags.stats_out,
+      flags.stats_interval);
   Timer total_timer;
   int rc = 0;
   if (!flags.socket_path.empty()) {
 #ifndef _WIN32
     rc = ServeSocket(service, flags.socket_path);
 #else
-    std::fprintf(stderr, "error: --socket is not supported on this OS\n");
+    LogError("--socket is not supported on this OS");
     return 2;
 #endif
   } else {
     const size_t jobs = service.RunStream(std::cin, std::cout);
-    std::fprintf(stderr, "ems_serve: %zu jobs, cache %llu hits / %llu misses\n",
-                 jobs, static_cast<unsigned long long>(service.cache().hits()),
-                 static_cast<unsigned long long>(service.cache().misses()));
+    LogInfo("stream done: " + std::to_string(jobs) + " lines, cache " +
+            std::to_string(service.cache().hits()) + " hits / " +
+            std::to_string(service.cache().misses()) + " misses");
   }
 
+  stats_exporter.Stop();  // final exposition write before the report
   if (!flags.metrics_out.empty()) {
-    PipelineReport report = BuildPipelineReport(
-        &obs, EmsStats{}, CompositeStats{}, total_timer.ElapsedMillis());
+    PipelineReport report =
+        BuildPipelineReport(service.obs(), EmsStats{}, CompositeStats{},
+                            total_timer.ElapsedMillis());
     Status st = report.WriteJsonFile(flags.metrics_out);
     if (!st.ok()) {
-      std::fprintf(stderr, "error writing %s: %s\n", flags.metrics_out.c_str(),
-                   st.ToString().c_str());
+      LogError("error writing " + flags.metrics_out + ": " + st.ToString());
       return 1;
     }
   }

@@ -1,0 +1,312 @@
+// ems_top: polling terminal dashboard for a running ems_serve. Connects
+// to the service's Unix socket, issues {"cmd":"stats"} probes (answered
+// inline by the service, so the dashboard stays live even when the job
+// queue is saturated), and renders throughput, latency quantiles, cache
+// hit rates, and pool utilization as a compact top-style screen.
+//
+//   ems_top --socket=/tmp/ems.sock [--interval=SECONDS] [--count=N]
+//   ems_top --socket=/tmp/ems.sock --once
+//   ems_top --from-file=stats.json        # render one captured response
+//
+// Options:
+//   --socket=PATH    Unix socket of a running `ems_serve --socket=PATH`
+//   --interval=S     seconds between probes (default 2)
+//   --count=N        exit after N frames (default 0 = until interrupted)
+//   --once           shorthand for --count=1 (no screen clearing)
+//   --from-file=PATH render a stats response line captured to a file and
+//                    exit — the offline/testing mode, no socket needed
+//
+// Each frame sends one stats probe; the service computes interval rates
+// against the previous probe, so QPS settles after the first frame.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "util/json_parser.h"
+#include "util/log.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace ems;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--interval=SECONDS] [--count=N] "
+               "[--once]\n"
+               "       %s --from-file=PATH\n"
+               "polls a running ems_serve for {\"cmd\":\"stats\"} and renders "
+               "a dashboard\n",
+               argv0, argv0);
+}
+
+struct Flags {
+  std::string socket_path;
+  std::string from_file;
+  double interval = 2.0;
+  long count = 0;  // 0 = run until interrupted
+  bool clear_screen = true;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Result<Flags> ParseArgs(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "socket", &value)) {
+      flags.socket_path = value;
+    } else if (ParseFlag(arg, "from-file", &value)) {
+      flags.from_file = value;
+    } else if (ParseFlag(arg, "interval", &value)) {
+      flags.interval = std::atof(value.c_str());
+      if (flags.interval <= 0.0) {
+        return Status::InvalidArgument("--interval must be > 0");
+      }
+    } else if (ParseFlag(arg, "count", &value)) {
+      flags.count = std::atol(value.c_str());
+      if (flags.count < 0) {
+        return Status::InvalidArgument("--count must be >= 0");
+      }
+    } else if (arg == "--once") {
+      flags.count = 1;
+      flags.clear_screen = false;
+    } else {
+      return Status::InvalidArgument("unknown argument '" + arg + "'");
+    }
+  }
+  if (flags.socket_path.empty() == flags.from_file.empty()) {
+    return Status::InvalidArgument(
+        "exactly one of --socket or --from-file is required");
+  }
+  return flags;
+}
+
+double FindRate(const JsonValue& stats, const char* counter) {
+  const JsonValue* rates = stats.Find("rates");
+  return rates == nullptr ? 0.0 : rates->GetNumber(counter, 0.0);
+}
+
+// Latency digest of one quantile histogram in the snapshot, or zeros.
+struct Latency {
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+Latency FindLatency(const JsonValue& stats, const char* name) {
+  Latency latency;
+  const JsonValue* snapshot = stats.Find("snapshot");
+  if (snapshot == nullptr) return latency;
+  const JsonValue* quantiles = snapshot->Find("quantile_histograms");
+  if (quantiles == nullptr) return latency;
+  const JsonValue* h = quantiles->Find(name);
+  if (h == nullptr) return latency;
+  latency.count = static_cast<uint64_t>(h->GetNumber("count", 0.0));
+  latency.p50 = h->GetNumber("p50", 0.0);
+  latency.p90 = h->GetNumber("p90", 0.0);
+  latency.p99 = h->GetNumber("p99", 0.0);
+  return latency;
+}
+
+// Renders one stats response as the dashboard frame. Returns false (and
+// prints the raw line) when the response is not a stats document.
+bool RenderFrame(const std::string& line, bool clear_screen) {
+  Result<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok() || !parsed->is_object() ||
+      parsed->GetString("status", "") != "ok") {
+    std::fprintf(stderr, "unexpected response: %s\n", line.c_str());
+    return false;
+  }
+  const JsonValue& stats = *parsed;
+  if (clear_screen) std::fputs("\x1b[H\x1b[2J", stdout);
+
+  std::printf("ems_top — uptime %.1fs, interval %.1fs\n",
+              stats.GetNumber("uptime_seconds", 0.0),
+              stats.GetNumber("interval_seconds", 0.0));
+
+  const double qps_ok = FindRate(stats, "serve.jobs_ok");
+  const double qps_failed = FindRate(stats, "serve.jobs_failed");
+  std::printf("throughput  %8.2f jobs/s ok  %8.2f jobs/s failed\n", qps_ok,
+              qps_failed);
+
+  const Latency ok = FindLatency(stats, "serve.latency_ms.ok");
+  const Latency err = FindLatency(stats, "serve.latency_ms.error");
+  std::printf("latency ok  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  (n=%llu)\n",
+              ok.p50, ok.p90, ok.p99,
+              static_cast<unsigned long long>(ok.count));
+  if (err.count > 0) {
+    std::printf(
+        "latency err p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  (n=%llu)\n",
+        err.p50, err.p90, err.p99,
+        static_cast<unsigned long long>(err.count));
+  }
+
+  if (const JsonValue* cache = stats.Find("cache")) {
+    const double hits = cache->GetNumber("hits", 0.0);
+    const double misses = cache->GetNumber("misses", 0.0);
+    const double lookups = hits + misses;
+    std::printf("cache       %lld logs, %lld bytes, hit rate %5.1f%% "
+                "(%lld/%lld)\n",
+                static_cast<long long>(cache->GetNumber("entries", 0.0)),
+                static_cast<long long>(cache->GetNumber("bytes", 0.0)),
+                lookups > 0.0 ? 100.0 * hits / lookups : 0.0,
+                static_cast<long long>(hits),
+                static_cast<long long>(lookups));
+  }
+
+  if (const JsonValue* pool = stats.Find("pool")) {
+    const double threads = pool->GetNumber("threads", 0.0);
+    const double in_flight = pool->GetNumber("jobs_in_flight", 0.0);
+    std::printf("pool        %lld threads, %lld in flight (%5.1f%% busy), "
+                "queue %lld/%lld\n",
+                static_cast<long long>(threads),
+                static_cast<long long>(in_flight),
+                threads > 0.0 ? 100.0 * in_flight / threads : 0.0,
+                static_cast<long long>(pool->GetNumber("queue_depth", 0.0)),
+                static_cast<long long>(
+                    pool->GetNumber("queue_capacity", 0.0)));
+  }
+  std::fflush(stdout);
+  return true;
+}
+
+int RunFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    LogError("cannot open " + path);
+    return 1;
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  // Render the first non-empty line (a captured stats response).
+  size_t start = content.find_first_not_of("\r\n");
+  if (start == std::string::npos) {
+    LogError("empty stats file " + path);
+    return 1;
+  }
+  size_t end = content.find('\n', start);
+  const std::string line = content.substr(
+      start, end == std::string::npos ? std::string::npos : end - start);
+  return RenderFrame(line, /*clear_screen=*/false) ? 0 : 1;
+}
+
+#ifndef _WIN32
+// One connection per run: send a probe line, read the answer line.
+class SocketClient {
+ public:
+  ~SocketClient() { Close(); }
+
+  Status Connect(const std::string& path) {
+    Close();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return Status::IOError("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      Close();
+      return Status::InvalidArgument("socket path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Close();
+      return Status::IOError("cannot connect to " + path + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status SendLine(const std::string& line) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::write(fd_, framed.data() + sent,
+                                framed.size() - sent);
+      if (n <= 0) return Status::IOError("write to service failed");
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ReadLine() {
+    std::string line;
+    char c;
+    for (;;) {
+      const ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) return Status::IOError("service closed the connection");
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+ private:
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  int fd_ = -1;
+};
+
+int RunPolling(const Flags& flags) {
+  SocketClient client;
+  Status connected = client.Connect(flags.socket_path);
+  if (!connected.ok()) {
+    LogError(connected.message());
+    return 1;
+  }
+  long frame = 0;
+  for (;;) {
+    Status sent = client.SendLine("{\"cmd\":\"stats\",\"id\":\"ems_top\"}");
+    Result<std::string> line =
+        sent.ok() ? client.ReadLine() : Result<std::string>(sent);
+    if (!line.ok()) {
+      LogError(line.status().message());
+      return 1;
+    }
+    RenderFrame(*line, flags.clear_screen);
+    ++frame;
+    if (flags.count > 0 && frame >= flags.count) break;
+    ::usleep(static_cast<useconds_t>(flags.interval * 1e6));
+  }
+  return 0;
+}
+#endif
+
+int Run(int argc, char** argv) {
+  Result<Flags> flags = ParseArgs(argc, argv);
+  if (!flags.ok()) {
+    LogError(flags.status().message());
+    Usage(argv[0]);
+    return 2;
+  }
+  if (!flags->from_file.empty()) return RunFromFile(flags->from_file);
+#ifndef _WIN32
+  return RunPolling(*flags);
+#else
+  LogError("--socket polling is not supported on this OS");
+  return 2;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
