@@ -66,6 +66,10 @@ class ThreadPool {
   /// Tasks currently waiting in the queue (racy snapshot, for metrics).
   size_t QueueDepth() const { return queue_.size(); }
 
+  /// The bounded queue's capacity — the admission-control headroom a
+  /// router compares QueueDepth against.
+  size_t QueueCapacity() const { return queue_.capacity(); }
+
   /// True when the calling thread is one of this pool's workers. Used by
   /// ParallelFor/TaskGroup to degrade to inline execution instead of
   /// deadlocking on nested submission into a saturated queue.

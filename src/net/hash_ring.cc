@@ -1,0 +1,45 @@
+#include "net/hash_ring.h"
+
+#include <algorithm>
+#include <string>
+
+#include "store/hashing.h"
+
+namespace ems {
+namespace net {
+
+HashRing::HashRing(const HashRingOptions& options)
+    : num_shards_(std::max(1, options.num_shards)),
+      vnodes_per_shard_(std::max(1, options.vnodes_per_shard)) {
+  points_.reserve(static_cast<size_t>(num_shards_) *
+                  static_cast<size_t>(vnodes_per_shard_));
+  for (int shard = 0; shard < num_shards_; ++shard) {
+    for (int vnode = 0; vnode < vnodes_per_shard_; ++vnode) {
+      // The point label is the only input to placement: never change it,
+      // or every deployed router remaps its whole corpus at once.
+      const std::string label =
+          "shard-" + std::to_string(shard) + "/vnode-" + std::to_string(vnode);
+      points_.push_back(Point{store::Hash64(label), shard});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Position ties (vanishingly rare at 64 bits) break by
+              // shard id so the ring order stays deterministic.
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+}
+
+int HashRing::ShardFor(std::string_view key) const {
+  const uint64_t h = store::Hash64(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, uint64_t value) {
+                               return p.position < value;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->shard;
+}
+
+}  // namespace net
+}  // namespace ems

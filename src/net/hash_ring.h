@@ -1,0 +1,67 @@
+// Consistent-hash ring with virtual nodes — the shard router's placement
+// function. Every shard owns `vnodes_per_shard` points on a 64-bit ring
+// (XXH64 of "shard-<i>/vnode-<j>", so placement is a pure function of
+// the shard count and vnode count: deterministic across processes and
+// restarts); a key routes to the shard owning the first point at or
+// after the key's own hash, wrapping at the top.
+//
+// Virtual nodes are what make the two properties the service relies on
+// hold together:
+//   * balance — with ~64 points per shard the arc lengths average out,
+//     so shard loads stay within a few percent of uniform;
+//   * minimal remapping — growing N -> N+1 only inserts the new shard's
+//     points, so exactly the keys falling on the stolen arcs move
+//     (~1/(N+1) of them) while every other key keeps its shard, and the
+//     per-shard warm caches it implies stay warm.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ems {
+namespace net {
+
+/// Ring configuration.
+struct HashRingOptions {
+  /// Number of shards (>= 1; lower values clamp to 1).
+  int num_shards = 1;
+
+  /// Ring points per shard. More points -> better balance, slower
+  /// construction; lookup cost is O(log(num_shards * vnodes)) either
+  /// way. The default keeps shard shares within a few percent.
+  int vnodes_per_shard = 64;
+};
+
+/// \brief Deterministic consistent-hash ring over integer shard ids.
+///
+/// Immutable after construction and safe to share across threads.
+class HashRing {
+ public:
+  explicit HashRing(const HashRingOptions& options);
+  HashRing(int num_shards, int vnodes_per_shard = 64)
+      : HashRing(HashRingOptions{num_shards, vnodes_per_shard}) {}
+
+  /// The shard in [0, num_shards) owning `key`. Keys are arbitrary
+  /// bytes; the router uses the canonical path of a job's first log.
+  int ShardFor(std::string_view key) const;
+
+  int num_shards() const { return num_shards_; }
+  int vnodes_per_shard() const { return vnodes_per_shard_; }
+
+  /// Ring points (for diagnostics/tests); sorted by position.
+  size_t num_points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    uint64_t position;
+    int shard;
+  };
+
+  std::vector<Point> points_;  // sorted by (position, shard)
+  int num_shards_;
+  int vnodes_per_shard_;
+};
+
+}  // namespace net
+}  // namespace ems

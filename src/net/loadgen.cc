@@ -1,0 +1,191 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire.h"
+#include "util/json_parser.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace ems {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double>(now - start).count();
+}
+
+std::string DefaultLine(uint64_t /*seq*/, const std::string& id) {
+  return "{\"id\":\"" + id + "\",\"cmd\":\"health\"}";
+}
+
+// Everything one connection's sender and reader share.
+struct ConnState {
+  int fd = -1;
+  std::mutex mu;
+  std::unordered_map<std::string, Clock::time_point> outstanding;
+  std::vector<double> latencies_ms;
+  std::map<std::string, uint64_t> status_counts;
+  uint64_t sent = 0;
+  uint64_t responses = 0;
+  uint64_t send_errors = 0;
+  uint64_t protocol_errors = 0;
+  double max_lag_seconds = 0.0;
+};
+
+}  // namespace
+
+double LoadGenReport::LatencyQuantileMs(double q) const {
+  if (latencies_ms.empty()) return 0.0;
+  // Nearest-rank on the sorted sample.
+  const double rank = q * static_cast<double>(latencies_ms.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  index = std::min(index, latencies_ms.size() - 1);
+  return latencies_ms[index];
+}
+
+double LoadGenReport::MeanLatencyMs() const {
+  if (latencies_ms.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : latencies_ms) sum += v;
+  return sum / static_cast<double>(latencies_ms.size());
+}
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
+#ifdef _WIN32
+  return Status::NotImplemented("loadgen requires POSIX sockets");
+#else
+  if (options.connections < 1) {
+    return Status::InvalidArgument("loadgen needs at least one connection");
+  }
+  if (options.target_qps <= 0.0) {
+    return Status::InvalidArgument("target_qps must be positive");
+  }
+  const MakeLineFn make_line =
+      options.make_line ? options.make_line : DefaultLine;
+
+  std::vector<std::unique_ptr<ConnState>> conns;
+  conns.reserve(static_cast<size_t>(options.connections));
+  for (int i = 0; i < options.connections; ++i) {
+    EMS_ASSIGN_OR_RETURN(int fd,
+                         ConnectEndpoint(options.tcp, options.socket_path));
+    auto conn = std::make_unique<ConnState>();
+    conn->fd = fd;
+    conns.push_back(std::move(conn));
+  }
+
+  // The open-loop schedule: slot k is due at start + k/target_qps,
+  // claimed by whichever sender gets there first.
+  std::atomic<uint64_t> next_seq{0};
+  const Clock::time_point start = Clock::now();
+  const double interval = 1.0 / options.target_qps;
+
+  std::vector<std::thread> threads;
+  threads.reserve(conns.size() * 2);
+  for (auto& conn_ptr : conns) {
+    ConnState* conn = conn_ptr.get();
+
+    threads.emplace_back([&, conn] {
+      for (;;) {
+        const uint64_t seq =
+            next_seq.fetch_add(1, std::memory_order_relaxed);
+        if (options.max_requests != 0 && seq >= options.max_requests) break;
+        const double due = static_cast<double>(seq) * interval;
+        if (due >= options.duration_seconds) break;
+        const Clock::time_point due_at =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(due));
+        std::this_thread::sleep_until(due_at);
+
+        const std::string id = std::to_string(seq);
+        const std::string line = make_line(seq, id) + "\n";
+        const Clock::time_point send_at = Clock::now();
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->outstanding.emplace(id, send_at);
+          conn->max_lag_seconds = std::max(conn->max_lag_seconds,
+                                           SecondsSince(due_at, send_at));
+        }
+        if (!WriteAll(conn->fd, line).ok()) {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->outstanding.erase(id);
+          ++conn->send_errors;
+          break;  // this connection is gone; others keep the load up
+        }
+        std::lock_guard<std::mutex> lock(conn->mu);
+        ++conn->sent;
+      }
+      // Half-close: the server sees EOF, answers everything in flight,
+      // then closes, which EOFs our reader below.
+      ::shutdown(conn->fd, SHUT_WR);
+    });
+
+    threads.emplace_back([conn] {
+      FdLineReader reader(conn->fd);
+      std::string line;
+      while (reader.ReadLine(&line)) {
+        const Clock::time_point now = Clock::now();
+        Result<JsonValue> doc = ParseJson(line);
+        std::lock_guard<std::mutex> lock(conn->mu);
+        ++conn->responses;
+        if (!doc.ok() || !doc->is_object()) {
+          ++conn->protocol_errors;
+          continue;
+        }
+        conn->status_counts[doc->GetString("status", "")]++;
+        const std::string id = doc->GetString("id", "");
+        auto it = conn->outstanding.find(id);
+        if (it == conn->outstanding.end()) {
+          // Admin responses and rejects still correlate; anything else
+          // (unknown id) is the server talking out of turn.
+          if (id.empty()) ++conn->protocol_errors;
+          continue;
+        }
+        conn->latencies_ms.push_back(SecondsSince(it->second, now) *
+                                     1000.0);
+        conn->outstanding.erase(it);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = SecondsSince(start, Clock::now());
+
+  LoadGenReport report;
+  for (auto& conn : conns) {
+    ::close(conn->fd);
+    report.sent += conn->sent;
+    report.responses += conn->responses;
+    report.send_errors += conn->send_errors;
+    report.protocol_errors += conn->protocol_errors;
+    for (const auto& [status, count] : conn->status_counts) {
+      report.status_counts[status] += count;
+    }
+    report.latencies_ms.insert(report.latencies_ms.end(),
+                               conn->latencies_ms.begin(),
+                               conn->latencies_ms.end());
+    report.max_lag_seconds =
+        std::max(report.max_lag_seconds, conn->max_lag_seconds);
+  }
+  std::sort(report.latencies_ms.begin(), report.latencies_ms.end());
+  report.elapsed_seconds = elapsed;
+  report.achieved_qps =
+      elapsed > 0.0 ? static_cast<double>(report.sent) / elapsed : 0.0;
+  return report;
+#endif
+}
+
+}  // namespace net
+}  // namespace ems

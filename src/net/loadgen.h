@@ -1,0 +1,93 @@
+// Open-loop NDJSON load generator — the measurement core shared by
+// tools/ems_loadgen and bench/bench_serve_load. Requests are scheduled
+// on a global clock (request k is due at start + k/target_qps) and the
+// schedule does not slow down when the service does: senders that fall
+// behind send immediately and the lag is reported, so saturation shows
+// up as achieved_qps < target plus rising latency instead of being
+// hidden by a closed feedback loop.
+//
+// The generator owns ids: request k carries id "<k>", each connection
+// records send timestamps per id, and a reader thread per connection
+// matches response lines back by id to produce a latency distribution
+// plus per-status counts (ok / error / overloaded / draining).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ems {
+namespace net {
+
+/// Builds the request line for global sequence `seq`; the line MUST
+/// carry `id` as its "id" field (the reader correlates responses by it)
+/// and MUST NOT contain '\n'.
+using MakeLineFn = std::function<std::string(uint64_t seq,
+                                             const std::string& id)>;
+
+/// Load profile.
+struct LoadGenOptions {
+  /// Target endpoint: exactly one of `tcp` ("host:port") or
+  /// `socket_path` must be non-empty.
+  std::string tcp;
+  std::string socket_path;
+
+  /// Concurrent connections; requests round-robin by whichever sender
+  /// claims the next schedule slot first.
+  int connections = 4;
+
+  /// Open-loop arrival rate across all connections.
+  double target_qps = 200.0;
+
+  /// Generation window; senders stop claiming slots once it elapses.
+  double duration_seconds = 5.0;
+
+  /// Hard cap on requests (0 = duration alone governs).
+  uint64_t max_requests = 0;
+
+  /// Request factory. Null sends {"id":ID,"cmd":"health"} probes.
+  MakeLineFn make_line;
+};
+
+/// What happened, aggregated across connections.
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t responses = 0;
+  uint64_t send_errors = 0;
+
+  /// Response lines that failed to parse or carried an unknown id.
+  uint64_t protocol_errors = 0;
+
+  /// Responses by "status" value ("ok", "error", "overloaded", ...).
+  std::map<std::string, uint64_t> status_counts;
+
+  double elapsed_seconds = 0.0;
+  double achieved_qps = 0.0;
+
+  /// Worst schedule slip: how far (seconds) a send lagged its slot.
+  double max_lag_seconds = 0.0;
+
+  /// Send-to-response latencies, sorted ascending (milliseconds).
+  std::vector<double> latencies_ms;
+
+  /// Nearest-rank quantile over latencies_ms (0 when empty).
+  double LatencyQuantileMs(double q) const;
+  double MeanLatencyMs() const;
+
+  uint64_t StatusCount(const std::string& status) const {
+    auto it = status_counts.find(status);
+    return it == status_counts.end() ? 0 : it->second;
+  }
+};
+
+/// Runs the profile to completion. Fails only when no connection could
+/// be established or the options are invalid; per-request failures are
+/// reported in the counts.
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace net
+}  // namespace ems

@@ -1,0 +1,268 @@
+#include "net/tcp_server.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+#include "net/wire.h"
+#include "obs/context.h"
+#include "util/log.h"
+
+namespace ems {
+namespace net {
+
+// One accepted client: the socket, the response-side serialization, and
+// the pending-emit accounting that keeps the socket open until every
+// handled line was answered.
+struct TcpServer::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> finished{false};
+
+  std::mutex write_mu;
+  bool dead = false;  // write failed; swallow further emits
+
+  std::mutex pending_mu;
+  std::condition_variable pending_cv;
+  size_t pending = 0;
+};
+
+TcpServer::TcpServer(const TcpServerOptions& options, LineHandler* handler)
+    : options_(options), handler_(handler) {}
+
+TcpServer::~TcpServer() {
+  RequestDrain();
+  Wait();
+#ifndef _WIN32
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+#endif
+}
+
+Status TcpServer::Start() {
+#ifdef _WIN32
+  return Status::NotImplemented("TcpServer is POSIX-only");
+#else
+  if (listen_fd_ >= 0) return Status::Internal("TcpServer already started");
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad IPv4 address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind/listen " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+#endif
+}
+
+void TcpServer::RequestDrain() {
+#ifndef _WIN32
+  // Called from signal handlers: one flag store plus one pipe write,
+  // both async-signal-safe. The accept loop does the actual teardown.
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'd';
+    // A full pipe would mean a prior wake is still unread — fine either way.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+#endif
+}
+
+uint64_t TcpServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ReapFinished(/*join_all=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_served_;
+}
+
+void TcpServer::ReapFinished(bool join_all) {
+  std::vector<std::shared_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (join_all || (*it)->finished.load(std::memory_order_acquire)) {
+        to_join.push_back(*it);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : to_join) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+#ifndef _WIN32
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      LogError(std::string("poll: ") + std::strerror(errno));
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || draining()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      LogError(std::string("accept: ") + std::strerror(errno));
+      break;
+    }
+    ReapFinished(/*join_all=*/false);
+    ObsIncrement(options_.obs, "net.connections_accepted");
+
+    size_t live;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      live = connections_.size();
+    }
+    if (live >= static_cast<size_t>(options_.max_connections)) {
+      // Connection-level load shedding: one explicit line, then close —
+      // never a silent drop, never an unbounded thread count.
+      ObsIncrement(options_.obs, "net.connections_rejected");
+      (void)WriteAll(conn_fd,
+                     "{\"status\":\"overloaded\",\"error\":\"connection "
+                     "limit reached\"}\n");
+      ::close(conn_fd);
+      continue;
+    }
+
+    int one = 1;
+    ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = conn_fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(conn);
+      ++connections_served_;
+      ObsSetGauge(options_.obs, "net.connections_active",
+                  static_cast<double>(connections_.size()));
+    }
+    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
+  }
+
+  // Draining: no new clients; half-close the read side of every live
+  // connection so its reader sees EOF once in-flight bytes are consumed.
+  // Responses for already-handled lines still flow — SHUT_RD only.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::shared_ptr<Connection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live = connections_;
+  }
+  for (auto& conn : live) {
+    // write_mu guards fd lifetime: a finished connection has already
+    // closed (and reset) its descriptor, and the number may have been
+    // reused by an unrelated socket by now.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+#endif
+}
+
+void TcpServer::ServeConnection(std::shared_ptr<Connection> conn) {
+#ifndef _WIN32
+  FdLineReader reader(conn->fd);
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    ObsIncrement(options_.obs, "net.lines_read");
+    {
+      std::lock_guard<std::mutex> lock(conn->pending_mu);
+      ++conn->pending;
+    }
+    ObsContext* obs = options_.obs;
+    EmitFn emit = [this, conn, obs](const std::string& response) {
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (!conn->dead) {
+          Status st = WriteAll(conn->fd, response + "\n");
+          if (!st.ok()) {
+            // The peer is gone; jobs already admitted still run to
+            // completion, their responses just have nowhere to go.
+            conn->dead = true;
+            ObsIncrement(obs, "net.write_errors");
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->pending_mu);
+        --conn->pending;
+      }
+      conn->pending_cv.notify_all();
+    };
+    handler_->HandleLine(line, std::move(emit));
+  }
+
+  // EOF (client done or drain half-close): every handled line must be
+  // answered before the socket closes.
+  {
+    std::unique_lock<std::mutex> lock(conn->pending_mu);
+    conn->pending_cv.wait(lock, [&conn] { return conn->pending == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    ::close(conn->fd);
+    conn->fd = -1;
+    conn->dead = true;
+  }
+  conn->finished.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t active = 0;
+    for (const auto& c : connections_) {
+      if (!c->finished.load(std::memory_order_acquire)) ++active;
+    }
+    ObsSetGauge(options_.obs, "net.connections_active",
+                static_cast<double>(active));
+  }
+#endif
+}
+
+}  // namespace net
+}  // namespace ems

@@ -41,6 +41,16 @@ bool GaugeValueIsIntegral(double v) {
          std::abs(v) <= 9007199254740992.0;
 }
 
+std::string ShardMetricName(std::string_view prefix, int shard,
+                            std::string_view name) {
+  std::string out(prefix);
+  out += '.';
+  out += std::to_string(shard);
+  out += '.';
+  out += name;
+  return out;
+}
+
 const std::vector<double>& DefaultHistogramBounds() {
   static const std::vector<double> kBounds = {1,   2,   5,    10,   20,  50,
                                               100, 200, 500,  1000, 2000,

@@ -89,6 +89,13 @@ double HistogramQuantile(const Histogram& hist, double q);
 /// exposition output ever shows `3e+09` for a byte gauge.
 bool GaugeValueIsIntegral(double v);
 
+/// The per-shard metric naming convention of the sharded service:
+/// `<prefix>.<shard>.<name>` (e.g. "serve.shard.0.routed", exposed as
+/// serve_shard_0_routed_total). One blessed spot so the router, the
+/// dashboard, and the CI exposition checks can never drift apart.
+std::string ShardMetricName(std::string_view prefix, int shard,
+                            std::string_view name);
+
 /// \brief Owns all named instruments of one pipeline run.
 ///
 /// Get* returns a stable pointer, creating the instrument on first use;

@@ -160,6 +160,15 @@ class BatchMatchService {
   /// Seconds since the service was constructed.
   double UptimeSeconds() const { return uptime_.ElapsedSeconds(); }
 
+  /// Jobs currently inside HandleMatchJob (racy snapshot; the sharded
+  /// router reads this for per-shard health).
+  int64_t jobs_in_flight() const {
+    return jobs_in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// The configured bounded-queue capacity (admission headroom).
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
   /// Renders one admin response (the `{"cmd": ...}` path of
   /// HandleJobLine, exposed for direct calls): "stats", "health", or
   /// "slow". Unknown commands render as status:"error".

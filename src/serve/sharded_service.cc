@@ -1,0 +1,461 @@
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <utility>
+
+#include "obs/context.h"
+#include "serve/log_cache.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+#include "util/log.h"
+
+namespace ems {
+namespace serve {
+
+namespace {
+
+// Admin command of a parsed line, or empty when it is a match job.
+std::string AdminCommandOf(const JsonValue& doc) {
+  return doc.is_object() ? doc.GetString("cmd", "") : "";
+}
+
+std::string RenderError(const std::string& id, const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("error");
+  w.Key("code");
+  w.String(StatusCodeToString(status.code()));
+  w.Key("error");
+  w.String(status.message());
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+// One worker shard: a full BatchMatchService slice plus the router-side
+// admission state and pre-resolved per-shard instruments.
+struct ShardedMatchService::Shard {
+  int index = 0;
+  std::unique_ptr<BatchMatchService> service;
+  std::atomic<int64_t> inflight{0};
+  size_t max_inflight = 0;
+
+  // serve.shard.<i>.* instruments; null when telemetry is off.
+  Counter* routed = nullptr;
+  Counter* rejected_overloaded = nullptr;
+  Counter* rejected_draining = nullptr;
+  Gauge* inflight_gauge = nullptr;
+  Gauge* queue_depth_gauge = nullptr;
+};
+
+ShardedMatchService::ShardedMatchService(const ShardedServiceOptions& options)
+    : owned_obs_(options.obs == nullptr && options.telemetry
+                     ? std::make_unique<ObsContext>()
+                     : nullptr),
+      options_([&] {
+        ShardedServiceOptions effective = options;
+        if (effective.num_shards < 1) effective.num_shards = 1;
+        if (effective.obs == nullptr) effective.obs = owned_obs_.get();
+        return effective;
+      }()),
+      ring_(net::HashRingOptions{options_.num_shards,
+                                 options_.vnodes_per_shard}) {
+  const int total =
+      exec::ThreadPool::EffectiveThreads(options_.total_threads);
+  const int per_shard = std::max(1, total / options_.num_shards);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+
+    ServiceOptions shard_options;
+    shard_options.threads = per_shard;
+    shard_options.queue_capacity = options_.shard_queue_capacity;
+    shard_options.cache_capacity = options_.cache_capacity;
+    shard_options.cache_byte_budget = options_.cache_byte_budget;
+    if (!options_.cache_dir.empty()) {
+      // Consistent placement makes disk caches shard-local: the keys a
+      // shard serves are the keys whose snapshots live in its directory,
+      // and a resize only re-derives the ~1/N that actually moved.
+      shard_options.cache_dir =
+          options_.cache_dir + "/shard-" + std::to_string(i);
+    }
+    shard_options.cache_dir_bytes = options_.cache_dir_bytes;
+    shard_options.obs = options_.obs;  // shared: serve.* totals aggregate
+    shard_options.telemetry = options_.telemetry;
+    shard_options.flight_slow_capacity = options_.flight_slow_capacity;
+    shard_options.flight_failed_capacity = options_.flight_failed_capacity;
+    shard->service = std::make_unique<BatchMatchService>(shard_options);
+
+    shard->max_inflight =
+        options_.max_inflight_per_shard != 0
+            ? options_.max_inflight_per_shard
+            : options_.shard_queue_capacity + static_cast<size_t>(per_shard);
+    if (options_.obs != nullptr) {
+      MetricsRegistry& metrics = options_.obs->metrics;
+      shard->routed =
+          metrics.GetCounter(ShardMetricName("serve.shard", i, "routed"));
+      shard->rejected_overloaded = metrics.GetCounter(
+          ShardMetricName("serve.shard", i, "rejected_overloaded"));
+      shard->rejected_draining = metrics.GetCounter(
+          ShardMetricName("serve.shard", i, "rejected_draining"));
+      shard->inflight_gauge =
+          metrics.GetGauge(ShardMetricName("serve.shard", i, "inflight"));
+      shard->queue_depth_gauge =
+          metrics.GetGauge(ShardMetricName("serve.shard", i, "queue_depth"));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedMatchService::~ShardedMatchService() {
+  Drain();
+  WaitDrained();
+}
+
+BatchMatchService& ShardedMatchService::shard_service(int i) {
+  return *shards_[static_cast<size_t>(i)]->service;
+}
+
+int64_t ShardedMatchService::shard_inflight(int i) const {
+  return shards_[static_cast<size_t>(i)]->inflight.load(
+      std::memory_order_relaxed);
+}
+
+int ShardedMatchService::ShardForPath(const std::string& path) const {
+  return ring_.ShardFor(CanonicalPath(path));
+}
+
+void ShardedMatchService::HandleLine(const std::string& line,
+                                     net::EmitFn emit) {
+  Result<JsonValue> doc = ParseJson(line);
+  if (!doc.ok()) {
+    // Unroutable bytes: answered inline through shard 0's renderer so
+    // malformed input gets the same error shape as the single service.
+    ObsIncrement(options_.obs, "net.protocol_errors");
+    emit(shards_[0]->service->HandleJobLine(line));
+    return;
+  }
+  const std::string cmd = AdminCommandOf(*doc);
+  if (!cmd.empty()) {
+    emit(HandleAdmin(cmd, doc->GetString("id", "")));
+    return;
+  }
+
+  Result<JobRequest> request = ParseJobRequest(line);
+  if (!request.ok()) {
+    // Parseable but invalid (missing logs, bad options): no routing key,
+    // answered inline with the single service's error rendering.
+    emit(shards_[0]->service->HandleJobLine(line));
+    return;
+  }
+
+  Shard& shard = *shards_[ring_.ShardFor(CanonicalPath(request->log1))];
+  if (shard.routed != nullptr) shard.routed->Increment();
+
+  if (draining()) {
+    if (shard.rejected_draining != nullptr) {
+      shard.rejected_draining->Increment();
+    }
+    ObsIncrement(options_.obs, "net.jobs_rejected_draining");
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id");
+    w.String(request->id);
+    w.Key("status");
+    w.String("draining");
+    w.Key("shard");
+    w.Int(shard.index);
+    w.Key("error");
+    w.String("service is draining; resubmit elsewhere");
+    w.EndObject();
+    emit(w.str());
+    return;
+  }
+
+  // Admission control at the network boundary: a bounded inflight budget
+  // per shard, shedding with an explicit response instead of buffering.
+  const int64_t admitted =
+      shard.inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  bool accepted = admitted <= static_cast<int64_t>(shard.max_inflight);
+  if (accepted) {
+    const std::string job_line = line;
+    net::EmitFn job_emit = emit;
+    accepted = shard.service->pool().TrySubmit(
+        [this, &shard, job_line, job_emit] {
+          EmitJobResponse(shard, job_line, job_emit);
+        });
+  }
+  if (!accepted) {
+    shard.inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (shard.rejected_overloaded != nullptr) {
+      shard.rejected_overloaded->Increment();
+    }
+    ObsIncrement(options_.obs, "net.jobs_rejected_overloaded");
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id");
+    w.String(request->id);
+    w.Key("status");
+    w.String("overloaded");
+    w.Key("shard");
+    w.Int(shard.index);
+    w.Key("error");
+    w.String("shard " + std::to_string(shard.index) +
+             " at admission capacity (" +
+             std::to_string(shard.max_inflight) + " jobs in flight)");
+    w.EndObject();
+    emit(w.str());
+    return;
+  }
+  if (shard.inflight_gauge != nullptr) {
+    shard.inflight_gauge->Set(static_cast<double>(admitted));
+  }
+  if (shard.queue_depth_gauge != nullptr) {
+    shard.queue_depth_gauge->Set(
+        static_cast<double>(shard.service->pool().QueueDepth()));
+  }
+}
+
+void ShardedMatchService::EmitJobResponse(Shard& shard,
+                                          const std::string& line,
+                                          const net::EmitFn& emit) {
+  emit(shard.service->HandleJobLine(line));
+  const int64_t now =
+      shard.inflight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (shard.inflight_gauge != nullptr) {
+    shard.inflight_gauge->Set(static_cast<double>(now));
+  }
+  if (shard.queue_depth_gauge != nullptr) {
+    shard.queue_depth_gauge->Set(
+        static_cast<double>(shard.service->pool().QueueDepth()));
+  }
+  // Publish the decrement under the drain mutex so WaitDrained's
+  // predicate re-check cannot miss the final completion.
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+std::string ShardedMatchService::HandleLineSync(const std::string& line) {
+  std::promise<std::string> done;
+  std::future<std::string> response = done.get_future();
+  HandleLine(line,
+             [&done](const std::string& result) { done.set_value(result); });
+  return response.get();
+}
+
+void ShardedMatchService::Drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void ShardedMatchService::WaitDrained() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] {
+    for (const auto& shard : shards_) {
+      if (shard->inflight.load(std::memory_order_acquire) != 0) return false;
+    }
+    return true;
+  });
+}
+
+std::string ShardedMatchService::HandleAdmin(const std::string& cmd,
+                                             const std::string& id) {
+  ObsIncrement(options_.obs, "serve.admin_commands");
+  if (cmd == "stats") return RenderStats(id);
+  if (cmd == "health") return RenderHealth(id);
+  if (cmd == "slow") return RenderSlow(id);
+  if (cmd == "drain") return RenderDrainAck(id);
+  return RenderError(
+      id, Status::InvalidArgument("unknown cmd '" + cmd +
+                                  "' (stats|health|slow|drain)"));
+}
+
+std::string ShardedMatchService::RenderDrainAck(const std::string& id) {
+  LogInfo("drain requested via admin command");
+  Drain();
+  // The transport stops accepting while the router stops admitting; the
+  // callback fires once even if drain is commanded repeatedly.
+  bool expected = false;
+  if (drain_callback_fired_.compare_exchange_strong(expected, true) &&
+      drain_callback_) {
+    drain_callback_();
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("drain");
+  w.Key("draining");
+  w.Bool(true);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ShardedMatchService::RenderStats(const std::string& id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("stats");
+  w.Key("uptime_seconds");
+  w.Number(uptime_.ElapsedSeconds());
+  if (options_.obs != nullptr) {
+    MetricsSnapshot snapshot = CaptureMetricsSnapshot(options_.obs->metrics);
+    std::map<std::string, double> rates;
+    double interval = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (has_last_stats_) {
+        rates = DiffRates(last_stats_, snapshot);
+        interval = snapshot.at_seconds - last_stats_.at_seconds;
+      }
+      last_stats_ = snapshot;
+      has_last_stats_ = true;
+    }
+    w.Key("snapshot");
+    snapshot.WriteJson(&w);
+    w.Key("interval_seconds");
+    w.Number(interval);
+    w.Key("rates");
+    w.BeginObject();
+    for (const auto& [name, rate] : rates) {
+      w.Key(name);
+      w.Number(rate);
+    }
+    w.EndObject();
+  }
+  w.Key("router");
+  w.BeginObject();
+  w.Key("num_shards");
+  w.Int(ring_.num_shards());
+  w.Key("vnodes_per_shard");
+  w.Int(ring_.vnodes_per_shard());
+  w.Key("draining");
+  w.Bool(draining());
+  w.EndObject();
+  w.Key("shards");
+  w.BeginArray();
+  for (const auto& shard : shards_) {
+    BatchMatchService& service = *shard->service;
+    w.BeginObject();
+    w.Key("shard");
+    w.Int(shard->index);
+    w.Key("routed");
+    w.Int(static_cast<long long>(
+        shard->routed != nullptr ? shard->routed->value() : 0));
+    w.Key("rejected_overloaded");
+    w.Int(static_cast<long long>(shard->rejected_overloaded != nullptr
+                                     ? shard->rejected_overloaded->value()
+                                     : 0));
+    w.Key("inflight");
+    w.Int(shard->inflight.load(std::memory_order_relaxed));
+    w.Key("max_inflight");
+    w.Int(static_cast<long long>(shard->max_inflight));
+    w.Key("queue_depth");
+    w.Int(static_cast<long long>(service.pool().QueueDepth()));
+    w.Key("queue_capacity");
+    w.Int(static_cast<long long>(service.queue_capacity()));
+    w.Key("threads");
+    w.Int(service.pool().num_threads());
+    w.Key("cache");
+    w.BeginObject();
+    w.Key("entries");
+    w.Int(static_cast<long long>(service.cache().size()));
+    w.Key("bytes");
+    w.Int(static_cast<long long>(service.cache().cost_bytes()));
+    w.Key("hits");
+    w.Int(static_cast<long long>(service.cache().hits()));
+    w.Key("misses");
+    w.Int(static_cast<long long>(service.cache().misses()));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ShardedMatchService::RenderHealth(const std::string& id) {
+  int64_t total_inflight = 0;
+  for (const auto& shard : shards_) {
+    total_inflight += shard->inflight.load(std::memory_order_relaxed);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("health");
+  w.Key("healthy");
+  w.Bool(!draining());
+  w.Key("draining");
+  w.Bool(draining());
+  w.Key("uptime_seconds");
+  w.Number(uptime_.ElapsedSeconds());
+  w.Key("num_shards");
+  w.Int(ring_.num_shards());
+  w.Key("jobs_in_flight");
+  w.Int(total_inflight);
+  w.Key("shards");
+  w.BeginArray();
+  for (const auto& shard : shards_) {
+    w.BeginObject();
+    w.Key("shard");
+    w.Int(shard->index);
+    w.Key("inflight");
+    w.Int(shard->inflight.load(std::memory_order_relaxed));
+    w.Key("queue_depth");
+    w.Int(static_cast<long long>(shard->service->pool().QueueDepth()));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ShardedMatchService::RenderSlow(const std::string& id) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("cmd");
+  w.String("slow");
+  w.Key("shards");
+  w.BeginArray();
+  for (const auto& shard : shards_) {
+    w.BeginObject();
+    w.Key("shard");
+    w.Int(shard->index);
+    w.Key("flight_recorder");
+    if (shard->service->flight_recorder() != nullptr) {
+      shard->service->flight_recorder()->WriteJson(&w);
+    } else {
+      w.Null();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace serve
+}  // namespace ems

@@ -1,0 +1,136 @@
+// The open-loop loadgen core against a trivial in-process server: every
+// scheduled request is sent, answered, matched back by id, and counted;
+// the report's quantile math is checked on known samples.
+#include "net/loadgen.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/tcp_server.h"
+#include "util/json_parser.h"
+#include "util/json_writer.h"
+
+namespace ems {
+namespace net {
+namespace {
+
+#ifndef _WIN32
+// Answers every request with {"id":<id>,"status":"ok"}.
+class OkHandler : public LineHandler {
+ public:
+  void HandleLine(const std::string& line, EmitFn emit) override {
+    std::string id;
+    if (Result<JsonValue> doc = ParseJson(line); doc.ok()) {
+      id = doc->GetString("id", "");
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id");
+    w.String(id);
+    w.Key("status");
+    w.String("ok");
+    w.EndObject();
+    emit(w.str());
+  }
+};
+
+TEST(LoadGenTest, EveryScheduledRequestIsSentAnsweredAndMeasured) {
+  OkHandler handler;
+  TcpServerOptions server_options;
+  TcpServer server(server_options, &handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions options;
+  options.tcp = "127.0.0.1:" + std::to_string(server.port());
+  options.connections = 2;
+  options.target_qps = 500.0;
+  options.duration_seconds = 10.0;  // max_requests governs
+  options.max_requests = 100;
+  Result<LoadGenReport> run = RunLoadGen(options);
+  server.RequestDrain();
+  server.Wait();
+
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->sent, 100u);
+  EXPECT_EQ(run->responses, 100u);
+  EXPECT_EQ(run->send_errors, 0u);
+  EXPECT_EQ(run->protocol_errors, 0u);
+  EXPECT_EQ(run->StatusCount("ok"), 100u);
+  EXPECT_EQ(run->latencies_ms.size(), 100u);
+  EXPECT_GT(run->achieved_qps, 0.0);
+  EXPECT_GT(run->elapsed_seconds, 0.0);
+  // Sorted sample: quantiles are monotone.
+  EXPECT_LE(run->LatencyQuantileMs(0.50), run->LatencyQuantileMs(0.99));
+  EXPECT_LE(run->LatencyQuantileMs(0.99), run->latencies_ms.back());
+}
+
+TEST(LoadGenTest, CustomLineFactoryReceivesSequenceAndId) {
+  OkHandler handler;
+  TcpServerOptions server_options;
+  TcpServer server(server_options, &handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions options;
+  options.tcp = "127.0.0.1:" + std::to_string(server.port());
+  options.connections = 1;
+  options.target_qps = 1000.0;
+  options.duration_seconds = 10.0;
+  options.max_requests = 10;
+  options.make_line = [](uint64_t seq, const std::string& id) {
+    EXPECT_EQ(std::to_string(seq), id);
+    return "{\"id\":\"" + id + "\",\"cmd\":\"probe\"}";
+  };
+  Result<LoadGenReport> run = RunLoadGen(options);
+  server.RequestDrain();
+  server.Wait();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->sent, 10u);
+  EXPECT_EQ(run->responses, 10u);
+}
+
+TEST(LoadGenTest, ConnectFailureSurfacesAsError) {
+  LoadGenOptions options;
+  options.tcp = "127.0.0.1:1";  // nothing listens on port 1
+  options.duration_seconds = 0.1;
+  EXPECT_FALSE(RunLoadGen(options).ok());
+}
+#endif  // _WIN32
+
+TEST(LoadGenTest, RejectsInvalidOptions) {
+  LoadGenOptions no_connections;
+  no_connections.tcp = "127.0.0.1:1";
+  no_connections.connections = 0;
+  EXPECT_TRUE(RunLoadGen(no_connections).status().IsInvalidArgument());
+
+  LoadGenOptions bad_qps;
+  bad_qps.tcp = "127.0.0.1:1";
+  bad_qps.target_qps = 0.0;
+  EXPECT_TRUE(RunLoadGen(bad_qps).status().IsInvalidArgument());
+}
+
+TEST(LoadGenReportTest, NearestRankQuantilesAndMean) {
+  LoadGenReport report;
+  report.latencies_ms = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0,
+                         10.0};
+  EXPECT_DOUBLE_EQ(report.LatencyQuantileMs(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(report.LatencyQuantileMs(0.90), 9.0);
+  EXPECT_DOUBLE_EQ(report.LatencyQuantileMs(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(report.LatencyQuantileMs(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(report.MeanLatencyMs(), 5.5);
+
+  LoadGenReport empty;
+  EXPECT_DOUBLE_EQ(empty.LatencyQuantileMs(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.MeanLatencyMs(), 0.0);
+}
+
+TEST(LoadGenReportTest, StatusCountLookup) {
+  LoadGenReport report;
+  report.status_counts["ok"] = 7;
+  EXPECT_EQ(report.StatusCount("ok"), 7u);
+  EXPECT_EQ(report.StatusCount("overloaded"), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ems

@@ -1,0 +1,275 @@
+// Router semantics: single-shard equivalence with the plain service,
+// deterministic canonical-path routing, admission-control rejections,
+// drain behavior, per-shard metrics, and the aggregated admin commands.
+#include "serve/sharded_service.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.h"
+#include "serve/service.h"
+
+namespace ems {
+namespace serve {
+namespace {
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return env != nullptr ? env : "/tmp";
+}
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << path;
+  out << body;
+}
+
+// Strips the "millis" member — the only nondeterministic bytes of a
+// result line.
+std::string StripMillis(const std::string& line) {
+  const size_t key = line.find("\"millis\":");
+  if (key == std::string::npos) return line;
+  size_t end = key + 9;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  if (end < line.size() && line[end] == ',') ++end;
+  return line.substr(0, key) + line.substr(end);
+}
+
+class ShardedServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log1_ = TempDir() + "/sharded_service_log1.txt";
+    log2_ = TempDir() + "/sharded_service_log2.txt";
+    WriteFile(log1_, "a;b;c;d\na;b;d\na;c;d\n");
+    WriteFile(log2_, "a;b;c;d\na;c;b;d\nb;c;d\n");
+  }
+
+  void TearDown() override {
+    std::remove(log1_.c_str());
+    std::remove(log2_.c_str());
+  }
+
+  std::string JobLine(const std::string& id) const {
+    return "{\"id\":\"" + id + "\",\"log1\":\"" + log1_ + "\",\"log2\":\"" +
+           log2_ + "\",\"labels\":\"none\"}";
+  }
+
+  std::string log1_;
+  std::string log2_;
+};
+
+// A single-shard router is the plain service behind a hash ring that
+// always answers 0: results must be byte-identical modulo millis.
+TEST_F(ShardedServiceTest, SingleShardMatchesPlainServiceByteForByte) {
+  ShardedServiceOptions sharded_options;
+  sharded_options.num_shards = 1;
+  sharded_options.total_threads = 2;
+  ShardedMatchService router(sharded_options);
+
+  ServiceOptions plain_options;
+  plain_options.threads = 2;
+  BatchMatchService plain(plain_options);
+
+  for (const std::string id : {"j1", "j2"}) {
+    const std::string via_router = router.HandleLineSync(JobLine(id));
+    const std::string via_plain = plain.HandleJobLine(JobLine(id));
+    EXPECT_EQ(StripMillis(via_router), StripMillis(via_plain));
+    EXPECT_NE(via_router.find("\"status\":\"ok\""), std::string::npos)
+        << via_router;
+  }
+}
+
+TEST_F(ShardedServiceTest, RoutingIsDeterministicAndCanonicalized) {
+  ShardedServiceOptions options;
+  options.num_shards = 4;
+  options.total_threads = 4;
+  ShardedMatchService router(options);
+  const int shard = router.ShardForPath(log1_);
+  EXPECT_EQ(router.ShardForPath(log1_), shard);
+  // CanonicalPath realpath()s existing files: spelling variants of one
+  // log must land on one shard (one warm cache). log1_ is
+  // "<tmpdir>/sharded_service_log1.txt", so dot and double-slash
+  // variants resolve to it.
+  const size_t slash = log1_.rfind('/');
+  const std::string dotted =
+      log1_.substr(0, slash) + "/./" + log1_.substr(slash + 1);
+  const std::string doubled =
+      log1_.substr(0, slash) + "//" + log1_.substr(slash + 1);
+  EXPECT_EQ(router.ShardForPath(dotted), shard);
+  EXPECT_EQ(router.ShardForPath(doubled), shard);
+}
+
+TEST_F(ShardedServiceTest, JobsAreAnsweredAndRoutedCountersAdvance) {
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.total_threads = 2;
+  ShardedMatchService router(options);
+
+  const std::string response = router.HandleLineSync(JobLine("j1"));
+  EXPECT_NE(response.find("\"id\":\"j1\""), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+
+  uint64_t routed_total = 0;
+  for (int i = 0; i < router.num_shards(); ++i) {
+    routed_total += router.obs()->metrics.CounterValue(
+        ShardMetricName("serve.shard", i, "routed"));
+  }
+  EXPECT_EQ(routed_total, 1u);
+  // The inflight count drops after the emit fires; WaitDrained is the
+  // rendezvous for "all admitted jobs fully answered".
+  router.WaitDrained();
+  EXPECT_EQ(router.shard_inflight(0), 0);
+  EXPECT_EQ(router.shard_inflight(1), 0);
+}
+
+TEST_F(ShardedServiceTest, MalformedLinesRenderErrorsInline) {
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.total_threads = 2;
+  ShardedMatchService router(options);
+
+  const std::string not_json = router.HandleLineSync("this is not json");
+  EXPECT_NE(not_json.find("\"status\":\"error\""), std::string::npos)
+      << not_json;
+  const std::string no_logs =
+      router.HandleLineSync("{\"id\":\"x\",\"log1\":\"only-one.xes\"}");
+  EXPECT_NE(no_logs.find("\"status\":\"error\""), std::string::npos)
+      << no_logs;
+  EXPECT_EQ(router.obs()->metrics.CounterValue("net.protocol_errors"), 1u);
+}
+
+// Deterministic overload: block the target shard's only worker, fill
+// the single admission slot, and watch the next job shed.
+TEST_F(ShardedServiceTest, OverAdmissionShedsWithExplicitResponse) {
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.total_threads = 2;  // one worker per shard
+  options.max_inflight_per_shard = 1;
+  ShardedMatchService router(options);
+  const int shard = router.ShardForPath(log1_);
+
+  // Park the shard's worker so the admitted job cannot start.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(router.shard_service(shard).pool().Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+
+  std::mutex emit_mu;
+  std::vector<std::string> async_responses;
+  router.HandleLine(JobLine("admitted"), [&](const std::string& response) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    async_responses.push_back(response);
+  });
+  EXPECT_EQ(router.shard_inflight(shard), 1);
+
+  // Admission budget exhausted: the second job must be answered inline
+  // with an explicit overloaded response naming the shard.
+  const std::string shed = router.HandleLineSync(JobLine("shed"));
+  EXPECT_NE(shed.find("\"status\":\"overloaded\""), std::string::npos)
+      << shed;
+  EXPECT_NE(shed.find("\"id\":\"shed\""), std::string::npos);
+  EXPECT_NE(shed.find("\"shard\":" + std::to_string(shard)),
+            std::string::npos)
+      << shed;
+  EXPECT_EQ(router.obs()->metrics.CounterValue(
+                ShardMetricName("serve.shard", shard,
+                                "rejected_overloaded")),
+            1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  router.WaitDrained();  // inflight back to zero = admitted job answered
+  std::lock_guard<std::mutex> lock(emit_mu);
+  ASSERT_EQ(async_responses.size(), 1u);
+  EXPECT_NE(async_responses[0].find("\"id\":\"admitted\""),
+            std::string::npos);
+  EXPECT_NE(async_responses[0].find("\"status\":\"ok\""),
+            std::string::npos);
+}
+
+TEST_F(ShardedServiceTest, DrainRejectsNewJobsButAnswersAdmin) {
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.total_threads = 2;
+  ShardedMatchService router(options);
+
+  int callbacks = 0;
+  router.SetDrainRequestCallback([&callbacks] { ++callbacks; });
+
+  const std::string ack =
+      router.HandleLineSync("{\"cmd\":\"drain\",\"id\":\"d1\"}");
+  EXPECT_NE(ack.find("\"draining\":true"), std::string::npos) << ack;
+  EXPECT_TRUE(router.draining());
+  EXPECT_EQ(callbacks, 1);
+
+  // Jobs are rejected — but still answered — while admin commands keep
+  // working; a second drain acks again without re-firing the callback.
+  const std::string rejected = router.HandleLineSync(JobLine("late"));
+  EXPECT_NE(rejected.find("\"status\":\"draining\""), std::string::npos)
+      << rejected;
+  EXPECT_NE(rejected.find("\"id\":\"late\""), std::string::npos);
+  const std::string health =
+      router.HandleLineSync("{\"cmd\":\"health\",\"id\":\"h\"}");
+  EXPECT_NE(health.find("\"healthy\":false"), std::string::npos) << health;
+  router.HandleLineSync("{\"cmd\":\"drain\",\"id\":\"d2\"}");
+  EXPECT_EQ(callbacks, 1);
+
+  router.WaitDrained();  // nothing in flight: returns immediately
+}
+
+TEST_F(ShardedServiceTest, StatsCarriesRouterAndPerShardBreakdown) {
+  ShardedServiceOptions options;
+  options.num_shards = 3;
+  options.total_threads = 3;
+  ShardedMatchService router(options);
+  router.HandleLineSync(JobLine("j1"));
+
+  const std::string stats =
+      router.HandleLineSync("{\"cmd\":\"stats\",\"id\":\"s\"}");
+  EXPECT_NE(stats.find("\"router\""), std::string::npos);
+  EXPECT_NE(stats.find("\"num_shards\":3"), std::string::npos);
+  EXPECT_NE(stats.find("\"shards\":["), std::string::npos);
+  EXPECT_NE(stats.find("\"queue_capacity\""), std::string::npos);
+  EXPECT_NE(stats.find("\"max_inflight\""), std::string::npos);
+  EXPECT_NE(stats.find("\"serve.shard.0.routed\""), std::string::npos)
+      << "per-shard instruments missing from the snapshot";
+
+  const std::string slow =
+      router.HandleLineSync("{\"cmd\":\"slow\",\"id\":\"sl\"}");
+  EXPECT_NE(slow.find("\"flight_recorder\""), std::string::npos);
+  const std::string unknown =
+      router.HandleLineSync("{\"cmd\":\"nope\",\"id\":\"u\"}");
+  EXPECT_NE(unknown.find("\"status\":\"error\""), std::string::npos);
+}
+
+TEST_F(ShardedServiceTest, PerShardCacheDirsAreDisjoint) {
+  const std::string root = TempDir() + "/sharded_service_store_test";
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.total_threads = 2;
+  options.cache_dir = root;
+  ShardedMatchService router(options);
+  for (int i = 0; i < 2; ++i) {
+    auto* store = router.shard_service(i).artifact_store();
+    ASSERT_NE(store, nullptr) << "shard " << i;
+  }
+  router.HandleLineSync(JobLine("warm"));
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ems

@@ -1,23 +1,27 @@
 // ems_serve: concurrent batch matching service. Reads newline-delimited
-// JSON job requests (see src/serve/service.h for the schema) from stdin
-// or a Unix socket, schedules them on a thread pool behind an LRU log
-// cache, and writes one JSON result line per job in completion order.
-// Admin commands ({"cmd":"stats"|"health"|"slow"}) ride the same
-// protocol and are answered inline; tools/ems_top renders them as a
-// live dashboard.
+// JSON job requests (see src/serve/service.h for the schema) from stdin,
+// a Unix socket, or a TCP listener, schedules them on a thread pool
+// behind an LRU log cache, and writes one JSON result line per job in
+// completion order. Admin commands ({"cmd":"stats"|"health"|"slow"|
+// "drain"}) ride the same protocol and are answered inline; tools/
+// ems_top renders them as a live dashboard.
 //
 //   ems_serve [options] < jobs.ndjson > results.ndjson
 //
 // Options:
-//   --threads=N        worker threads (default 0 = hardware concurrency)
-//   --queue-size=N     bounded job queue capacity (default 256)
+//   --threads=N        worker threads (default 0 = hardware concurrency;
+//                      in --tcp mode, the total across all shards)
+//   --queue-size=N     bounded job queue capacity (default 256; per
+//                      shard in --tcp mode)
 //   --cache-size=N     parsed-log LRU capacity, in logs (default 64)
 //   --cache-bytes=N    parsed-log LRU byte budget (default 0 = entry
 //                      count only)
 //   --cache-dir=PATH   persistent artifact store directory
 //                      (docs/PERSISTENCE.md); restarting with the same
 //                      directory starts warm — the first job per log
-//                      loads its snapshot instead of re-parsing
+//                      loads its snapshot instead of re-parsing. In
+//                      --tcp mode shard i persists under
+//                      PATH/shard-<i>.
 //   --cache-dir-bytes=N byte budget of the on-disk store (default 0 =
 //                      unbounded; LRU file eviction)
 //   --metrics-out=PATH write a PipelineReport JSON (pool, cache, store,
@@ -34,7 +38,26 @@
 //                      error|warn|info|debug (default warn; one JSON
 //                      line per event)
 //   --socket=PATH      accept one client at a time on a Unix domain
-//                      socket instead of stdin/stdout (POSIX only)
+//                      socket instead of stdin/stdout (POSIX only). A
+//                      stale socket file left by a killed process is
+//                      replaced; a path owned by a live server is
+//                      refused.
+//   --tcp=HOST:PORT    sharded TCP mode (docs/SERVING.md): accept
+//                      concurrent connections, consistent-hash jobs
+//                      across shards, shed overload with explicit
+//                      `overloaded` responses. PORT 0 binds an ephemeral
+//                      port (see --tcp-announce).
+//   --tcp-announce=PATH write the bound "host:port" to PATH atomically
+//                      once listening (scripts discover ephemeral ports
+//                      this way)
+//   --shards=N         worker shards in --tcp mode (default 4)
+//   --vnodes=N         hash-ring virtual nodes per shard (default 64)
+//   --max-inflight=N   per-shard admission cap (default 0 = shard
+//                      threads + queue capacity)
+//
+// SIGTERM/SIGINT trigger a graceful drain in --socket and --tcp modes:
+// stop accepting, finish every admitted job, flush the stats exporter,
+// exit 0.
 //
 // Example session (one job object per input line):
 //   $ ems_serve --threads=4 < jobs.ndjson
@@ -43,6 +66,7 @@
 //   {"cmd":"stats","id":"s1"}
 //   prints one result line per job and one snapshot line for the stats
 //   command.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +74,8 @@
 #include <string>
 
 #ifndef _WIN32
+#include <csignal>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -57,9 +83,12 @@
 #include <ext/stdio_filebuf.h>  // libstdc++; socket fd -> iostream
 #endif
 
+#include "net/tcp_server.h"
+#include "net/wire.h"
 #include "obs/context.h"
 #include "obs/report.h"
 #include "serve/service.h"
+#include "serve/sharded_service.h"
 #include "serve/stats_exporter.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -77,9 +106,12 @@ void Usage(const char* argv0) {
                "          [--stats-interval=SECONDS] [--flight-slow=N]\n"
                "          [--flight-failed=N] [--log-level=LEVEL]\n"
                "          [--socket=PATH]\n"
-               "reads NDJSON job lines from stdin (or the socket), writes one\n"
-               "JSON result line per job; schema documented in "
-               "src/serve/service.h\n",
+               "          [--tcp=HOST:PORT] [--tcp-announce=PATH]\n"
+               "          [--shards=N] [--vnodes=N] [--max-inflight=N]\n"
+               "reads NDJSON job lines from stdin (or the socket/TCP\n"
+               "listener), writes one JSON result line per job; schema\n"
+               "documented in src/serve/service.h, wire protocol in\n"
+               "docs/SERVING.md\n",
                argv0);
 }
 
@@ -96,6 +128,11 @@ struct Flags {
   size_t flight_slow = 16;
   size_t flight_failed = 16;
   std::string socket_path;
+  std::string tcp;
+  std::string tcp_announce;
+  int shards = 4;
+  int vnodes = 64;
+  size_t max_inflight = 0;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -160,18 +197,81 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       SetGlobalLogLevel(*level);
     } else if (ParseFlag(arg, "socket", &value)) {
       flags.socket_path = value;
+    } else if (ParseFlag(arg, "tcp", &value)) {
+      flags.tcp = value;
+    } else if (ParseFlag(arg, "tcp-announce", &value)) {
+      flags.tcp_announce = value;
+    } else if (ParseFlag(arg, "shards", &value)) {
+      flags.shards = std::atoi(value.c_str());
+      if (flags.shards < 1) {
+        return Status::InvalidArgument("--shards must be >= 1");
+      }
+    } else if (ParseFlag(arg, "vnodes", &value)) {
+      flags.vnodes = std::atoi(value.c_str());
+      if (flags.vnodes < 1) {
+        return Status::InvalidArgument("--vnodes must be >= 1");
+      }
+    } else if (ParseFlag(arg, "max-inflight", &value)) {
+      const long long n = std::atoll(value.c_str());
+      if (n < 0) {
+        return Status::InvalidArgument("--max-inflight must be >= 0");
+      }
+      flags.max_inflight = static_cast<size_t>(n);
     } else {
       return Status::InvalidArgument("unknown argument '" + arg + "'");
     }
+  }
+  if (!flags.socket_path.empty() && !flags.tcp.empty()) {
+    return Status::InvalidArgument("--socket and --tcp are exclusive");
   }
   return flags;
 }
 
 #ifndef _WIN32
+// Graceful-drain signal plumbing. The handler may only touch lock-free
+// atomics and async-signal-safe syscalls (write/shutdown), so it pokes
+// the wake pipe, half-closes the in-flight socket-mode connection, and
+// forwards to TcpServer::RequestDrain (itself a CAS + pipe write).
+std::atomic<bool> g_drain_requested{false};
+std::atomic<int> g_active_conn_fd{-1};
+int g_signal_pipe[2] = {-1, -1};
+net::TcpServer* g_tcp_server = nullptr;  // set before handlers install
+
+extern "C" void HandleDrainSignal(int /*signo*/) {
+  g_drain_requested.store(true, std::memory_order_release);
+  if (g_tcp_server != nullptr) g_tcp_server->RequestDrain();
+  const int conn = g_active_conn_fd.load(std::memory_order_acquire);
+  if (conn >= 0) ::shutdown(conn, SHUT_RD);
+  if (g_signal_pipe[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  }
+}
+
+void InstallDrainHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleDrainSignal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
 // Serves clients on a Unix domain socket, one connection at a time (each
-// connection streams NDJSON jobs and reads NDJSON results back). Returns
-// only on accept failure; clients end their session by closing.
+// connection streams NDJSON jobs and reads NDJSON results back). Clients
+// end their session by closing; SIGTERM/SIGINT drain: the current
+// connection's read side is half-closed so RunStream sees EOF, finishes
+// every queued job, and the loop exits 0.
 int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
+  // A leftover socket file from a killed process must not block restart,
+  // but a path a live server still answers on must not be stolen: probe
+  // with a connect first — success means "address in use", refusal means
+  // the file is stale and safe to unlink.
+  if (Result<int> probe = net::ConnectUnix(path); probe.ok()) {
+    ::close(*probe);
+    LogError("socket " + path + " is in use by a running server");
+    return 2;
+  }
   ::unlink(path.c_str());
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -193,12 +293,42 @@ int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
     ::close(listen_fd);
     return 1;
   }
+  if (::pipe(g_signal_pipe) != 0) {
+    LogError(std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return 1;
+  }
+  InstallDrainHandlers();
   LogInfo("listening on " + path);
+  int rc = 1;
   for (;;) {
+    if (g_drain_requested.load(std::memory_order_acquire)) {
+      rc = 0;
+      break;
+    }
+    struct pollfd fds[2] = {{listen_fd, POLLIN, 0},
+                            {g_signal_pipe[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      LogError(std::string("poll: ") + std::strerror(errno));
+      break;
+    }
+    if (fds[1].revents != 0) {
+      rc = 0;  // drain signal; nothing in flight
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
+      if (errno == EINTR) continue;
       LogError(std::string("accept: ") + std::strerror(errno));
       break;
+    }
+    g_active_conn_fd.store(conn, std::memory_order_release);
+    if (g_drain_requested.load(std::memory_order_acquire)) {
+      // The signal raced the accept: the handler saw fd -1, so half-
+      // close here; RunStream still answers whatever arrived first.
+      ::shutdown(conn, SHUT_RD);
     }
     {
       __gnu_cxx::stdio_filebuf<char> in_buf(conn, std::ios::in);
@@ -206,12 +336,115 @@ int ServeSocket(serve::BatchMatchService& service, const std::string& path) {
       std::istream in(&in_buf);
       std::ostream out(&out_buf);
       const size_t jobs = service.RunStream(in, out);
+      g_active_conn_fd.store(-1, std::memory_order_release);
       LogInfo("connection done (" + std::to_string(jobs) + " lines)");
     }  // filebufs close both fds
+    if (g_drain_requested.load(std::memory_order_acquire)) {
+      rc = 0;
+      break;
+    }
   }
   ::close(listen_fd);
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
   ::unlink(path.c_str());
-  return 1;
+  if (rc == 0) LogInfo("drained; all accepted jobs answered");
+  return rc;
+}
+
+// Writes the bound endpoint to the announce file atomically (tmp +
+// rename), so scripts using --tcp=...:0 can discover the real port.
+Status AnnounceEndpoint(const std::string& path, const std::string& host,
+                        int port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return Status::IOError("open " + tmp + " failed");
+  const std::string line = host + ":" + std::to_string(port) + "\n";
+  const bool wrote = std::fwrite(line.data(), 1, line.size(), f) ==
+                     line.size();
+  if (std::fclose(f) != 0 || !wrote ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write " + path + " failed");
+  }
+  return Status::OK();
+}
+
+// Sharded TCP mode: router + transport + drain wiring (the tentpole
+// deployment shape; docs/SERVING.md).
+int ServeTcp(const Flags& flags) {
+  Result<net::HostPort> endpoint = net::ParseHostPort(flags.tcp);
+  if (!endpoint.ok()) {
+    LogError("--tcp: " + endpoint.status().message());
+    return 2;
+  }
+
+  serve::ShardedServiceOptions options;
+  options.num_shards = flags.shards;
+  options.vnodes_per_shard = flags.vnodes;
+  options.total_threads = flags.threads;
+  options.shard_queue_capacity = flags.queue_size;
+  options.max_inflight_per_shard = flags.max_inflight;
+  options.cache_capacity = flags.cache_size;
+  options.cache_byte_budget = flags.cache_bytes;
+  options.cache_dir = flags.cache_dir;
+  options.cache_dir_bytes = flags.cache_dir_bytes;
+  options.flight_slow_capacity = flags.flight_slow;
+  options.flight_failed_capacity = flags.flight_failed;
+  serve::ShardedMatchService router(options);
+
+  serve::StatsExporter stats_exporter(
+      flags.stats_out.empty() ? nullptr : router.obs(), flags.stats_out,
+      flags.stats_interval);
+  Timer total_timer;
+
+  net::TcpServerOptions server_options;
+  server_options.host = endpoint->host;
+  server_options.port = endpoint->port;
+  server_options.obs = router.obs();
+  net::TcpServer server(server_options, &router);
+  Status started = server.Start();
+  if (!started.ok()) {
+    LogError("listen on " + flags.tcp + ": " + started.message());
+    return 1;
+  }
+  // The `drain` admin command stops the transport too; signals stop the
+  // transport first and the router drains once connections are done.
+  router.SetDrainRequestCallback([&server] { server.RequestDrain(); });
+  g_tcp_server = &server;
+  InstallDrainHandlers();
+
+  LogInfo("listening on " + endpoint->host + ":" +
+          std::to_string(server.port()) + " (" +
+          std::to_string(router.num_shards()) + " shards)");
+  if (!flags.tcp_announce.empty()) {
+    Status announced =
+        AnnounceEndpoint(flags.tcp_announce, endpoint->host, server.port());
+    if (!announced.ok()) {
+      LogError(announced.message());
+      g_tcp_server = nullptr;
+      return 1;
+    }
+  }
+
+  const uint64_t served = server.Wait();
+  g_tcp_server = nullptr;
+  router.Drain();
+  router.WaitDrained();
+  LogInfo("drained after " + std::to_string(served) + " connections");
+
+  stats_exporter.Stop();  // final exposition write before the report
+  if (!flags.metrics_out.empty()) {
+    PipelineReport report =
+        BuildPipelineReport(router.obs(), EmsStats{}, CompositeStats{},
+                            total_timer.ElapsedMillis());
+    Status st = report.WriteJsonFile(flags.metrics_out);
+    if (!st.ok()) {
+      LogError("error writing " + flags.metrics_out + ": " + st.ToString());
+      return 1;
+    }
+  }
+  return 0;
 }
 #endif
 
@@ -223,6 +456,15 @@ int Run(int argc, char** argv) {
     return 2;
   }
   const Flags& flags = *flags_result;
+
+  if (!flags.tcp.empty()) {
+#ifndef _WIN32
+    return ServeTcp(flags);
+#else
+    LogError("--tcp is not supported on this OS");
+    return 2;
+#endif
+  }
 
   serve::ServiceOptions options;
   options.threads = flags.threads;

@@ -1,35 +1,38 @@
 // ems_top: polling terminal dashboard for a running ems_serve. Connects
-// to the service's Unix socket, issues {"cmd":"stats"} probes (answered
-// inline by the service, so the dashboard stays live even when the job
-// queue is saturated), and renders throughput, latency quantiles, cache
-// hit rates, and pool utilization as a compact top-style screen.
+// to the service's Unix socket or TCP endpoint, issues {"cmd":"stats"}
+// probes (answered inline by the service, so the dashboard stays live
+// even when the job queue is saturated), and renders throughput, latency
+// quantiles, cache hit rates, and pool utilization as a compact
+// top-style screen. Against a sharded `ems_serve --tcp` deployment it
+// additionally renders per-shard queue-depth/inflight gauges and the
+// shard-balance spread.
 //
 //   ems_top --socket=/tmp/ems.sock [--interval=SECONDS] [--count=N]
-//   ems_top --socket=/tmp/ems.sock --once
+//   ems_top --tcp=127.0.0.1:7463 --once
 //   ems_top --from-file=stats.json        # render one captured response
 //
 // Options:
 //   --socket=PATH    Unix socket of a running `ems_serve --socket=PATH`
+//   --tcp=HOST:PORT  TCP endpoint of a running `ems_serve --tcp=...`
 //   --interval=S     seconds between probes (default 2)
 //   --count=N        exit after N frames (default 0 = until interrupted)
 //   --once           shorthand for --count=1 (no screen clearing)
 //   --from-file=PATH render a stats response line captured to a file and
-//                    exit — the offline/testing mode, no socket needed
+//                    exit — the offline/testing mode, no connection
+//                    needed
 //
 // Each frame sends one stats probe; the service computes interval rates
 // against the previous probe, so QPS settles after the first frame.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #ifndef _WIN32
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 #endif
 
+#include "net/wire.h"
 #include "util/json_parser.h"
 #include "util/log.h"
 #include "util/status.h"
@@ -40,8 +43,8 @@ using namespace ems;
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket=PATH [--interval=SECONDS] [--count=N] "
-               "[--once]\n"
+               "usage: %s (--socket=PATH | --tcp=HOST:PORT) "
+               "[--interval=SECONDS] [--count=N] [--once]\n"
                "       %s --from-file=PATH\n"
                "polls a running ems_serve for {\"cmd\":\"stats\"} and renders "
                "a dashboard\n",
@@ -50,6 +53,7 @@ void Usage(const char* argv0) {
 
 struct Flags {
   std::string socket_path;
+  std::string tcp;
   std::string from_file;
   double interval = 2.0;
   long count = 0;  // 0 = run until interrupted
@@ -70,6 +74,8 @@ Result<Flags> ParseArgs(int argc, char** argv) {
     std::string value;
     if (ParseFlag(arg, "socket", &value)) {
       flags.socket_path = value;
+    } else if (ParseFlag(arg, "tcp", &value)) {
+      flags.tcp = value;
     } else if (ParseFlag(arg, "from-file", &value)) {
       flags.from_file = value;
     } else if (ParseFlag(arg, "interval", &value)) {
@@ -89,9 +95,12 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unknown argument '" + arg + "'");
     }
   }
-  if (flags.socket_path.empty() == flags.from_file.empty()) {
+  const int endpoints = (flags.socket_path.empty() ? 0 : 1) +
+                        (flags.tcp.empty() ? 0 : 1) +
+                        (flags.from_file.empty() ? 0 : 1);
+  if (endpoints != 1) {
     return Status::InvalidArgument(
-        "exactly one of --socket or --from-file is required");
+        "exactly one of --socket, --tcp, or --from-file is required");
   }
   return flags;
 }
@@ -122,6 +131,66 @@ Latency FindLatency(const JsonValue& stats, const char* name) {
   latency.p90 = h->GetNumber("p90", 0.0);
   latency.p99 = h->GetNumber("p99", 0.0);
   return latency;
+}
+
+// A ten-cell [=====     ] gauge of value/capacity.
+std::string GaugeBar(double value, double capacity) {
+  const int cells = 10;
+  int filled = capacity > 0.0
+                   ? static_cast<int>(cells * value / capacity + 0.5)
+                   : 0;
+  if (filled > cells) filled = cells;
+  if (filled < 0) filled = 0;
+  std::string bar = "[";
+  bar.append(static_cast<size_t>(filled), '=');
+  bar.append(static_cast<size_t>(cells - filled), ' ');
+  bar += "]";
+  return bar;
+}
+
+// The sharded deployment's breakdown: one row per shard with queue and
+// inflight gauges, plus the routed-job balance spread. Single-service
+// responses carry no "shards" array, so this renders nothing for them.
+void RenderShards(const JsonValue& stats) {
+  const JsonValue* shards = stats.Find("shards");
+  if (shards == nullptr || !shards->is_array() ||
+      shards->array_items().empty()) {
+    return;
+  }
+  if (const JsonValue* router = stats.Find("router")) {
+    std::printf("router      %d shards, %d vnodes/shard%s\n",
+                router->GetInt("num_shards", 0),
+                router->GetInt("vnodes_per_shard", 0),
+                router->GetBool("draining", false) ? ", DRAINING" : "");
+  }
+  double routed_total = 0.0;
+  double routed_max = 0.0;
+  for (const JsonValue& shard : shards->array_items()) {
+    const double routed = shard.GetNumber("routed", 0.0);
+    routed_total += routed;
+    if (routed > routed_max) routed_max = routed;
+    const double queue_depth = shard.GetNumber("queue_depth", 0.0);
+    const double queue_capacity = shard.GetNumber("queue_capacity", 0.0);
+    const double inflight = shard.GetNumber("inflight", 0.0);
+    const double max_inflight = shard.GetNumber("max_inflight", 0.0);
+    std::printf("shard %-3d   queue %s %4lld/%-4lld  inflight %s "
+                "%4lld/%-4lld  routed %lld  shed %lld\n",
+                shard.GetInt("shard", 0),
+                GaugeBar(queue_depth, queue_capacity).c_str(),
+                static_cast<long long>(queue_depth),
+                static_cast<long long>(queue_capacity),
+                GaugeBar(inflight, max_inflight).c_str(),
+                static_cast<long long>(inflight),
+                static_cast<long long>(max_inflight),
+                static_cast<long long>(routed),
+                static_cast<long long>(
+                    shard.GetNumber("rejected_overloaded", 0.0)));
+  }
+  const double mean =
+      routed_total / static_cast<double>(shards->array_items().size());
+  std::printf("balance     max/mean %.3f over %lld routed jobs\n",
+              mean > 0.0 ? routed_max / mean : 0.0,
+              static_cast<long long>(routed_total));
 }
 
 // Renders one stats response as the dashboard frame. Returns false (and
@@ -182,6 +251,7 @@ bool RenderFrame(const std::string& line, bool clear_screen) {
                 static_cast<long long>(
                     pool->GetNumber("queue_capacity", 0.0)));
   }
+  RenderShards(stats);
   std::fflush(stdout);
   return true;
 }
@@ -210,84 +280,39 @@ int RunFromFile(const std::string& path) {
 }
 
 #ifndef _WIN32
-// One connection per run: send a probe line, read the answer line.
-class SocketClient {
- public:
-  ~SocketClient() { Close(); }
-
-  Status Connect(const std::string& path) {
-    Close();
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) return Status::IOError("socket() failed");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-      Close();
-      return Status::InvalidArgument("socket path too long: " + path);
-    }
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-        0) {
-      Close();
-      return Status::IOError("cannot connect to " + path + ": " +
-                             std::strerror(errno));
-    }
-    return Status::OK();
-  }
-
-  Status SendLine(const std::string& line) {
-    const std::string framed = line + "\n";
-    size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t n = ::write(fd_, framed.data() + sent,
-                                framed.size() - sent);
-      if (n <= 0) return Status::IOError("write to service failed");
-      sent += static_cast<size_t>(n);
-    }
-    return Status::OK();
-  }
-
-  Result<std::string> ReadLine() {
-    std::string line;
-    char c;
-    for (;;) {
-      const ssize_t n = ::read(fd_, &c, 1);
-      if (n <= 0) return Status::IOError("service closed the connection");
-      if (c == '\n') return line;
-      line.push_back(c);
-    }
-  }
-
- private:
-  void Close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-  int fd_ = -1;
-};
-
+// One connection per run, over either transport: send a probe line,
+// read the answer line. ConnectEndpoint picks TCP when flags.tcp is
+// set and the Unix socket otherwise.
 int RunPolling(const Flags& flags) {
-  SocketClient client;
-  Status connected = client.Connect(flags.socket_path);
-  if (!connected.ok()) {
-    LogError(connected.message());
+  Result<int> fd = net::ConnectEndpoint(flags.tcp, flags.socket_path);
+  if (!fd.ok()) {
+    LogError(fd.status().message());
     return 1;
   }
+  net::FdLineReader reader(*fd);
   long frame = 0;
+  int rc = 0;
   for (;;) {
-    Status sent = client.SendLine("{\"cmd\":\"stats\",\"id\":\"ems_top\"}");
-    Result<std::string> line =
-        sent.ok() ? client.ReadLine() : Result<std::string>(sent);
-    if (!line.ok()) {
-      LogError(line.status().message());
-      return 1;
+    const Status sent =
+        net::WriteAll(*fd, "{\"cmd\":\"stats\",\"id\":\"ems_top\"}\n");
+    if (!sent.ok()) {
+      LogError(sent.message());
+      rc = 1;
+      break;
     }
-    RenderFrame(*line, flags.clear_screen);
+    std::string line;
+    if (!reader.ReadLine(&line)) {
+      LogError("service closed the connection");
+      rc = 1;
+      break;
+    }
+    RenderFrame(line, flags.clear_screen);
     ++frame;
     if (flags.count > 0 && frame >= flags.count) break;
     ::usleep(static_cast<useconds_t>(flags.interval * 1e6));
   }
-  return 0;
+  ::close(*fd);
+  return rc;
 }
 #endif
 
