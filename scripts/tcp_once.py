@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""One-shot NDJSON client for ems_serve --tcp.
+
+Reads request lines from stdin, sends them over one TCP connection,
+half-closes the write side, and prints every response line the server
+answers with. Exit 0 iff one response arrived per request.
+
+    printf '{"id":"j1",...}\n' | python3 scripts/tcp_once.py HOST:PORT
+"""
+import socket
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2 or ":" not in sys.argv[1]:
+        print(f"usage: {sys.argv[0]} HOST:PORT < requests.ndjson",
+              file=sys.stderr)
+        return 2
+    host, port = sys.argv[1].rsplit(":", 1)
+    requests = [line for line in sys.stdin.read().splitlines() if line.strip()]
+
+    with socket.create_connection((host, int(port)), timeout=60) as sock:
+        sock.sendall(("".join(r + "\n" for r in requests)).encode())
+        sock.shutdown(socket.SHUT_WR)
+        buf = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf = buf + chunk
+
+    responses = [line for line in buf.decode().splitlines() if line.strip()]
+    for line in responses:
+        print(line)
+    if len(responses) != len(requests):
+        print(f"expected {len(requests)} responses, got {len(responses)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,18 @@ double HorizonUpperBound(double s_at_k, int k, int horizon, double alpha,
   return std::min(1.0, s_at_k + tail);
 }
 
+double LabeledHorizonUpperBound(double s_at_k, int k, int horizon,
+                                double alpha, double c, double label_max) {
+  if (horizon != kInfiniteDistance && horizon <= k) return s_at_k;
+  const double r = alpha * c;
+  EMS_DCHECK(r >= 0.0 && r < 1.0);
+  EMS_DCHECK(label_max >= 0.0);
+  const double delta1 = r + (1.0 - alpha) * label_max;
+  const double rh = horizon == kInfiniteDistance ? 0.0 : std::pow(r, horizon);
+  const double tail = delta1 * (std::pow(r, k) - rh) / (1.0 - r);
+  return std::min(1.0, s_at_k + tail);
+}
+
 double AverageUpperBound(const EmsSimilarity& ems, Direction direction,
                          const SimilarityMatrix& s_at_k, int k,
                          const DependencyGraph& g1,

@@ -29,6 +29,21 @@ double PaperUpperBound(double s_at_k, int k, double alpha, double c);
 double HorizonUpperBound(double s_at_k, int k, int horizon, double alpha,
                          double c);
 
+/// Label-aware horizon bound. With label similarities present
+/// (alpha < 1), a single iteration can raise a pair's value by up to
+///   delta1 = alpha*c + (1 - alpha) * label_max
+/// where label_max bounds every entry of the label-similarity matrix
+/// S^L — strictly more than the alpha*c of Lemma 5, so HorizonUpperBound
+/// is NOT admissible for labeled runs. Bounding every increment k+1..h
+/// by delta1 * (alpha*c)^i / (alpha*c) gives
+///   S <= S^k + delta1 * ((alpha*c)^k - (alpha*c)^h) / (1 - alpha*c),
+/// which degenerates exactly to HorizonUpperBound at label_max = 0 and
+/// is monotonically non-increasing in k. `horizon` may be
+/// kInfiniteDistance (the (alpha*c)^h term vanishes). The corpus index
+/// prunes with this bound (docs/CORPUS.md).
+double LabeledHorizonUpperBound(double s_at_k, int k, int horizon,
+                                double alpha, double c, double label_max);
+
 /// Upper bound on the average of all real-pair similarities of a matrix
 /// after k iterations, each pair bounded with its own horizon. `ems` must
 /// be the EmsSimilarity that produced `s_at_k` (for horizons), and

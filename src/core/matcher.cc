@@ -96,14 +96,21 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
                 static_cast<double>(result.graph2.NumNodes()));
   }
 
+  SelectCorrespondences(options_, log1, log2, &result);
+  return result;
+}
+
+void SelectCorrespondences(const MatchOptions& options, const EventLog& log1,
+                           const EventLog& log2, MatchResult* result) {
+  ObsContext* obs = options.obs.context;
   // Resolve correspondences with member names taken from the logs.
   ScopedSpan selection_span(obs, "selection");
-  std::vector<std::vector<double>> sim = result.similarity.RealSubmatrix(
-      result.graph1.has_artificial(), result.graph2.has_artificial());
+  std::vector<std::vector<double>> sim = result->similarity.RealSubmatrix(
+      result->graph1.has_artificial(), result->graph2.has_artificial());
   SelectionOptions sel;
-  sel.min_similarity = options_.min_match_similarity;
+  sel.min_similarity = options.min_match_similarity;
   std::vector<ems::Match> matches;
-  switch (options_.selection) {
+  switch (options.selection) {
     case SelectionStrategy::kMaxTotalSimilarity:
       matches = SelectMaxTotalSimilarity(sim, sel);
       break;
@@ -114,23 +121,22 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
       matches = SelectMutualBest(sim, sel);
       break;
   }
-  const NodeId off1 = result.graph1.has_artificial() ? 1 : 0;
-  const NodeId off2 = result.graph2.has_artificial() ? 1 : 0;
+  const NodeId off1 = result->graph1.has_artificial() ? 1 : 0;
+  const NodeId off2 = result->graph2.has_artificial() ? 1 : 0;
   for (const ems::Match& m : matches) {
     Correspondence corr;
     corr.similarity = m.similarity;
-    for (EventId e : result.graph1.Members(m.row + off1)) {
+    for (EventId e : result->graph1.Members(m.row + off1)) {
       corr.events1.push_back(log1.EventName(e));
     }
-    for (EventId e : result.graph2.Members(m.col + off2)) {
+    for (EventId e : result->graph2.Members(m.col + off2)) {
       corr.events2.push_back(log2.EventName(e));
     }
     if (corr.events1.empty() || corr.events2.empty()) continue;
-    result.correspondences.push_back(std::move(corr));
+    result->correspondences.push_back(std::move(corr));
   }
   ObsIncrement(obs, "selection.matches",
-               static_cast<uint64_t>(result.correspondences.size()));
-  return result;
+               static_cast<uint64_t>(result->correspondences.size()));
 }
 
 }  // namespace ems

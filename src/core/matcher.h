@@ -105,6 +105,14 @@ struct MatchResult {
 /// Creates a label-similarity measure instance.
 std::unique_ptr<LabelSimilarity> MakeLabelMeasure(LabelMeasure measure);
 
+/// Resolves `result->correspondences` from an already-computed
+/// `result->similarity` over `result->graph1/graph2`, with member names
+/// taken from the logs — the selection tail of Matcher::Match, exposed
+/// so the corpus top-k scheduler (src/index/) can finish candidates it
+/// ran EMS on itself.
+void SelectCorrespondences(const MatchOptions& options, const EventLog& log1,
+                           const EventLog& log2, MatchResult* result);
+
 /// \brief End-to-end event matcher.
 class Matcher {
  public:

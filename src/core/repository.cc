@@ -1,80 +1,78 @@
 #include "core/repository.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "exec/parallel.h"
+#include "index/topk_scheduler.h"
 
 namespace ems {
 
+namespace {
+
+index::CorpusIndexOptions IndexOptionsFor(const MatchOptions& options) {
+  index::CorpusIndexOptions opts;
+  opts.min_edge_frequency = options.min_edge_frequency;
+  opts.obs = options.obs.context;
+  return opts;
+}
+
+}  // namespace
+
+LogRepository::LogRepository(const MatchOptions& options)
+    : options_(options), index_(IndexOptionsFor(options)) {}
+
 Status LogRepository::Add(const std::string& name, EventLog log) {
-  if (name.empty()) {
-    return Status::InvalidArgument("repository entry needs a name");
-  }
-  for (const Entry& e : entries_) {
-    if (e.name == name) {
-      return Status::InvalidArgument("duplicate repository entry '" + name +
-                                     "'");
-    }
-  }
-  entries_.push_back(Entry{name, std::move(log)});
-  return Status::OK();
+  return index_.Add(name, std::move(log));
 }
 
 Status LogRepository::Remove(const std::string& name) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->name == name) {
-      entries_.erase(it);
-      return Status::OK();
-    }
-  }
-  return Status::NotFound("no repository entry '" + name + "'");
+  return index_.Remove(name);
 }
 
 std::vector<std::string> LogRepository::Names() const {
   std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const Entry& e : entries_) names.push_back(e.name);
+  names.reserve(index_.size());
+  for (size_t i = 0; i < index_.size(); ++i) {
+    names.push_back(index_.entry(i).name);
+  }
   return names;
 }
 
 Result<const EventLog*> LogRepository::Get(const std::string& name) const {
-  for (const Entry& e : entries_) {
-    if (e.name == name) return &e.log;
-  }
-  return Status::NotFound("no repository entry '" + name + "'");
+  const int i = index_.FindIndex(name);
+  if (i < 0) return Status::NotFound("no repository entry '" + name + "'");
+  return &index_.entry(static_cast<size_t>(i)).log;
 }
 
 Result<std::vector<RepositoryHit>> LogRepository::Query(
     const EventLog& query, size_t top_k, exec::ThreadPool* pool) const {
-  std::vector<RepositoryHit> hits(entries_.size());
-  exec::TaskGroup group(pool);
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    group.Run([this, &query, &hits, i, token = group.token()]() -> Status {
-      if (token.cancelled()) {
-        return Status::Cancelled("repository query aborted");
-      }
-      const Entry& e = entries_[i];
-      EMS_ASSIGN_OR_RETURN(MatchResult match, matcher_.Match(query, e.log));
-      double total = 0.0;
-      for (const Correspondence& c : match.correspondences) {
-        total += c.similarity;
-      }
-      RepositoryHit& hit = hits[i];
-      hit.name = e.name;
-      hit.score = match.correspondences.empty()
-                      ? 0.0
-                      : total /
-                            static_cast<double>(match.correspondences.size());
-      hit.match = std::move(match);
-      return Status::OK();
-    });
+  return RunQuery(query, top_k, pool, /*brute_force=*/false);
+}
+
+Result<std::vector<RepositoryHit>> LogRepository::QueryBruteForce(
+    const EventLog& query, size_t top_k, exec::ThreadPool* pool) const {
+  return RunQuery(query, top_k, pool, /*brute_force=*/true);
+}
+
+Result<std::vector<RepositoryHit>> LogRepository::RunQuery(
+    const EventLog& query, size_t top_k, exec::ThreadPool* pool,
+    bool brute_force) const {
+  index::TopKOptions opts;
+  opts.k = top_k;
+  opts.match = options_;
+  opts.pool = pool;
+  opts.force_brute_force = brute_force;
+  index::TopKScheduler scheduler(index_, opts);
+  EMS_ASSIGN_OR_RETURN(std::vector<index::TopKHit> top,
+                       scheduler.Query(query));
+  std::vector<RepositoryHit> hits;
+  hits.reserve(top.size());
+  for (index::TopKHit& hit : top) {
+    RepositoryHit out;
+    out.name = std::move(hit.name);
+    out.score = hit.score;
+    out.match = std::move(hit.match);
+    hits.push_back(std::move(out));
   }
-  EMS_RETURN_NOT_OK(group.Wait());
-  std::stable_sort(hits.begin(), hits.end(),
-                   [](const RepositoryHit& a, const RepositoryHit& b) {
-                     return a.score > b.score;
-                   });
-  if (hits.size() > top_k) hits.resize(top_k);
   return hits;
 }
 

@@ -2,12 +2,20 @@
 // (Section 1) — a collection of event logs from many subsidiaries that
 // can be queried for the processes most similar to a given log, with the
 // event-level correspondences that make cross-log analysis meaningful.
+//
+// Queries run on the corpus index (src/index/): every stored log keeps
+// its prebuilt dependency graph and q-gram label postings, so a query
+// costs one graph build for the query log plus exact EMS only on the
+// candidates whose admissible score bound survives the top-k incumbent
+// (docs/CORPUS.md). Results are byte-identical to the retained
+// brute-force scan.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/matcher.h"
+#include "index/corpus_index.h"
 
 namespace ems {
 
@@ -25,51 +33,63 @@ struct RepositoryHit {
 /// \brief A searchable collection of event logs.
 ///
 /// Logs are stored by value together with their prebuilt dependency
-/// graphs; queries run the configured matcher against every stored log
-/// and rank by the mean similarity of the selected correspondences.
+/// graphs; queries rank by the mean similarity of the selected
+/// correspondences.
 class LogRepository {
  public:
-  explicit LogRepository(const MatchOptions& options = {})
-      : matcher_(options) {}
+  explicit LogRepository(const MatchOptions& options = {});
 
   /// Adds a log under a unique name. InvalidArgument on duplicates or
-  /// empty names.
+  /// empty names. Builds the log's graph and index postings once, here,
+  /// instead of on every query.
   Status Add(const std::string& name, EventLog log);
 
   /// Removes the named log; NotFound if absent.
   Status Remove(const std::string& name);
 
   /// Number of stored logs.
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return index_.size(); }
 
   /// Names of all stored logs, in insertion order.
   std::vector<std::string> Names() const;
 
-  /// Matches `query` against every stored log and returns up to `top_k`
+  /// Matches `query` against the stored logs and returns up to `top_k`
   /// hits, best score first. Scores are the mean similarity of selected
   /// correspondences (0 when nothing matches).
   ///
-  /// `pool` (optional, borrowed) fans the per-log matchings out across
-  /// workers — the embarrassingly-parallel warehouse scan. Results and
-  /// ranking are identical to the serial run: each matching is a pure
-  /// function of (query, stored log, options) and ties keep insertion
-  /// order via a stable sort over the index-ordered hits.
+  /// Runs the index-backed top-k scheduler: candidates are ranked by an
+  /// admissible upper bound and exact matching stops once the k-th best
+  /// exact score beats every remaining bound. `pool` (optional,
+  /// borrowed) fans the candidate evaluations out across workers.
+  /// Results and ranking are byte-identical to QueryBruteForce for every
+  /// pool: pruning is strict, so boundary ties always run to completion
+  /// and keep insertion order via the final stable sort.
   Result<std::vector<RepositoryHit>> Query(const EventLog& query,
                                            size_t top_k = 5,
                                            exec::ThreadPool* pool =
                                                nullptr) const;
 
+  /// The pre-index scan: matches `query` against every stored log
+  /// unconditionally. Retained as the equivalence reference for tests
+  /// and benchmarks.
+  Result<std::vector<RepositoryHit>> QueryBruteForce(
+      const EventLog& query, size_t top_k = 5,
+      exec::ThreadPool* pool = nullptr) const;
+
   /// Access a stored log by name.
   Result<const EventLog*> Get(const std::string& name) const;
 
- private:
-  struct Entry {
-    std::string name;
-    EventLog log;
-  };
+  /// The underlying corpus index (serving layer, tests).
+  const index::CorpusIndex& corpus_index() const { return index_; }
 
-  Matcher matcher_;
-  std::vector<Entry> entries_;
+ private:
+  Result<std::vector<RepositoryHit>> RunQuery(const EventLog& query,
+                                              size_t top_k,
+                                              exec::ThreadPool* pool,
+                                              bool brute_force) const;
+
+  MatchOptions options_;
+  index::CorpusIndex index_;
 };
 
 }  // namespace ems

@@ -1,0 +1,74 @@
+// Corpus index persistence and directory loading (docs/CORPUS.md).
+//
+// A corpus directory is a flat set of log files (trace/csv/xes/mxml,
+// sorted lexicographically for a deterministic member order). Loading
+// goes through the artifact store twice when one is attached:
+//
+//   1. whole-index snapshot — kind `corpus`, keyed by the XXH64 fold of
+//      every member's (path, content hash) plus the index options
+//      fingerprint; a hit decodes every member log AND its prebuilt
+//      dependency graph (distance caches included) in one read, so a
+//      warm restart skips parsing, graph builds, and distance
+//      derivation entirely;
+//   2. per-log snapshots (LoadEventLogThroughStore) on the cold path,
+//      so even a first-time index build reuses any log snapshots other
+//      tools already wrote.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index/corpus_index.h"
+#include "store/artifact_store.h"
+#include "util/status.h"
+
+namespace ems {
+namespace index {
+
+struct CorpusLoadOptions {
+  /// Log format passed to the parser: auto|trace|csv|xes|mxml.
+  std::string format = "auto";
+
+  /// Index build options (q, min_edge_frequency, obs).
+  CorpusIndexOptions index;
+
+  /// Artifact store for warm loads (borrowed, may be null = always cold).
+  store::ArtifactStore* store = nullptr;
+};
+
+/// The member files of a corpus directory: regular files with a log
+/// extension (.txt/.log/.trace/.csv/.xes/.mxml), sorted by path.
+/// IOError when the directory cannot be read.
+Result<std::vector<std::string>> ListCorpusFiles(const std::string& dir);
+
+/// Loads every member of `dir` into a corpus index, warm when possible.
+Result<CorpusIndex> LoadCorpusFromDirectory(const std::string& dir,
+                                            const CorpusLoadOptions& options);
+
+/// Builds an index over an explicit member list (the sharded service's
+/// per-shard subsets). Same warm-load behavior; the whole-index snapshot
+/// is keyed by the member list, so disjoint subsets cache independently.
+Result<CorpusIndex> LoadCorpusFromFiles(const std::vector<std::string>& paths,
+                                        const CorpusLoadOptions& options);
+
+/// The artifact key LoadCorpusFromFiles would store the index under:
+/// content hash folds every member's (path, file hash), fingerprint
+/// folds the load options. Re-hashes every file — a changed member
+/// yields a different key, which is what keeps in-memory index caches
+/// built on this key coherent without invalidation.
+Result<store::ArtifactKey> CorpusKeyForFiles(
+    const std::vector<std::string>& paths, const CorpusLoadOptions& options);
+
+/// Framed `corpus` snapshot of an index: options + per-entry source
+/// metadata + embedded log and graph snapshots.
+std::string EncodeCorpusIndex(const CorpusIndex& index);
+
+/// Decodes a corpus snapshot into a fresh index built with `options`.
+/// Fails (without side effects worth keeping) when the snapshot's build
+/// options disagree with `options` — the caller falls back to a cold
+/// build.
+Result<CorpusIndex> DecodeCorpusIndex(std::string_view snapshot,
+                                      const CorpusIndexOptions& options);
+
+}  // namespace index
+}  // namespace ems

@@ -1,0 +1,505 @@
+#include "index/topk_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/bounds.h"
+#include "core/ems_similarity.h"
+#include "exec/parallel.h"
+#include "obs/context.h"
+#include "text/label_similarity.h"
+#include "text/qgram.h"
+#include "util/string_util.h"
+
+namespace ems {
+namespace index {
+
+namespace {
+
+// A candidate in the bound-ordered max-heap; ties pop in member order so
+// the scan is deterministic.
+struct HeapItem {
+  double bound;
+  size_t idx;
+};
+
+struct HeapLess {
+  bool operator()(const HeapItem& a, const HeapItem& b) const {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    return a.idx > b.idx;
+  }
+};
+
+// Outcome of one candidate evaluation.
+struct EvalOutcome {
+  bool aborted = false;
+  double score = 0.0;
+  MatchResult match;
+};
+
+// min(l(query), l(entry)) per real pair, folded to r^h (0 for pairs that
+// never early-converge). `l1`/`l2` are the direction's longest-distance
+// arrays of the two graphs.
+std::vector<double> PairHorizonPowers(const DependencyGraph& g1,
+                                      const DependencyGraph& g2,
+                                      const std::vector<int>& l1,
+                                      const std::vector<int>& l2, double r) {
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  std::vector<double> rh((n1 - 1) * (n2 - 1), 0.0);
+  for (size_t v1 = 1; v1 < n1; ++v1) {
+    for (size_t v2 = 1; v2 < n2; ++v2) {
+      const int h = std::min(l1[v1], l2[v2]);
+      rh[(v1 - 1) * (n2 - 1) + (v2 - 1)] =
+          h == kInfiniteDistance ? 0.0 : std::pow(r, h);
+    }
+  }
+  return rh;
+}
+
+// The query-side counterpart of CorpusEntry::label_profiles: per node,
+// the q-gram profiles of its lower-cased '+'-parts.
+std::vector<std::vector<QGramProfile>> NodeLabelProfiles(
+    const DependencyGraph& g, int q) {
+  std::vector<std::vector<QGramProfile>> profiles(g.NumNodes());
+  for (NodeId v = 0; v < static_cast<NodeId>(g.NumNodes()); ++v) {
+    if (g.IsArtificial(v)) continue;
+    for (const std::string& part : Split(g.NodeName(v), '+')) {
+      profiles[static_cast<size_t>(v)].emplace_back(ToLower(part), q);
+    }
+  }
+  return profiles;
+}
+
+// LabelSimilarityMatrix for the q-gram measure, assembled from
+// precomputed profiles: same all-nodes layout with zeroed artificial
+// rows/columns, same max over '+'-part pairs, same receiver/argument
+// order into Cosine. Profiles built from identical strings hold
+// identical count maps, so every cell is bit-identical to the freshly-
+// profiled path — the corpus pays the profiling cost once at build time
+// instead of once per candidate evaluation.
+std::vector<std::vector<double>> LabelMatrixFromProfiles(
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const std::vector<std::vector<QGramProfile>>& p1,
+    const std::vector<std::vector<QGramProfile>>& p2) {
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  std::vector<std::vector<double>> m(n1, std::vector<double>(n2, 0.0));
+  for (size_t v1 = 0; v1 < n1; ++v1) {
+    if (g1.IsArtificial(static_cast<NodeId>(v1))) continue;
+    for (size_t v2 = 0; v2 < n2; ++v2) {
+      if (g2.IsArtificial(static_cast<NodeId>(v2))) continue;
+      double best = 0.0;
+      for (const QGramProfile& a : p1[v1]) {
+        for (const QGramProfile& b : p2[v2]) {
+          best = std::max(best, a.Cosine(b));
+        }
+      }
+      m[v1][v2] = best;
+    }
+  }
+  return m;
+}
+
+double MaxLabelValue(const std::vector<std::vector<double>>& labels) {
+  double max_l = 0.0;
+  for (const auto& row : labels) {
+    for (double v : row) max_l = std::max(max_l, v);
+  }
+  return max_l;
+}
+
+// Runs the exact match of (query, entry) with the in-run abandonment
+// bound: after each EMS iteration, if every real pair's admissible final-
+// score component is strictly below the incumbent, the run aborts —
+// the candidate provably cannot reach the top k (docs/CORPUS.md).
+// Completed runs reproduce Matcher::Match's non-composite path
+// bit-identically (same graphs, same label matrix, same kernel and
+// direction aggregation, same selection tail).
+EvalOutcome EvaluateCandidate(
+    const EventLog& query, const DependencyGraph& query_graph,
+    const CorpusEntry& entry, const LabelSimilarity* measure,
+    const std::vector<std::vector<QGramProfile>>* query_profiles,
+    const MatchOptions& match, double incumbent) {
+  EvalOutcome out;
+  const DependencyGraph& g1 = query_graph;
+  const DependencyGraph& g2 = entry.graph;
+
+  std::vector<std::vector<double>> labels;
+  const std::vector<std::vector<double>>* labels_ptr = nullptr;
+  double label_max = 0.0;
+  if (measure != nullptr && match.label_measure != LabelMeasure::kNone) {
+    if (query_profiles != nullptr &&
+        entry.label_profiles.size() == g2.NumNodes()) {
+      labels = LabelMatrixFromProfiles(g1, g2, *query_profiles,
+                                       entry.label_profiles);
+    } else {
+      labels = LabelSimilarityMatrix(g1, g2, *measure, match.ems.pool);
+    }
+    labels_ptr = &labels;
+    label_max = MaxLabelValue(labels);
+  }
+
+  const double alpha = match.ems.alpha;
+  const double r = alpha * match.ems.c;
+  // Per-increment cap with labels present: one iteration moves a pair by
+  // at most alpha*c + (1-alpha)*max S^L (see LabeledHorizonUpperBound).
+  const double coef = (r + (1.0 - alpha) * label_max) / (1.0 - r);
+  const size_t n1 = g1.NumNodes();
+  const size_t n2 = g2.NumNodes();
+  const size_t cols = n2 - 1;
+  const Direction direction = match.ems.direction;
+  const bool run_fwd = direction != Direction::kBackward;
+  const bool run_bwd = direction != Direction::kForward;
+
+  std::vector<double> rh_f, rh_b, b0_b;
+  if (run_fwd) {
+    rh_f = PairHorizonPowers(g1, g2, g1.LongestDistancesFromArtificial(),
+                             g2.LongestDistancesFromArtificial(), r);
+  }
+  if (run_bwd) {
+    rh_b = PairHorizonPowers(g1, g2, g1.LongestDistancesToArtificial(),
+                             g2.LongestDistancesToArtificial(), r);
+  }
+  if (direction == Direction::kBoth) {
+    // Backward component during the forward run: its k=0 bound.
+    b0_b.resize(rh_b.size());
+    for (size_t p = 0; p < rh_b.size(); ++p) {
+      b0_b[p] = std::min(1.0, coef * (1.0 - rh_b[p]));
+    }
+  }
+
+  // Admissible upper bound on a pair's final value in one direction,
+  // given its value s after n iterations: max(0, ...) collapses the tail
+  // for pairs already past their horizon.
+  const auto pair_bound = [coef](double s, double rn, double rh) {
+    return std::min(1.0, s + coef * std::max(0.0, rn - rh));
+  };
+
+  EmsOptions ems_opts = match.ems;
+  ems_opts.obs = match.obs.context;
+  EmsSimilarity sim(g1, g2, ems_opts, labels_ptr);
+
+  bool aborted = false;
+  SimilarityMatrix forward;
+  EmsStats stats_fwd;
+  if (run_fwd) {
+    RunControls rc;
+    rc.aborted = &aborted;
+    if (incumbent >= 0.0) {
+      rc.should_abort = [&](int n, const SimilarityMatrix& s) {
+        const double rn = std::pow(r, n);
+        for (size_t v1 = 1; v1 < n1; ++v1) {
+          for (size_t v2 = 1; v2 < n2; ++v2) {
+            const size_t p = (v1 - 1) * cols + (v2 - 1);
+            const double bf = pair_bound(
+                s.at(static_cast<NodeId>(v1), static_cast<NodeId>(v2)), rn,
+                rh_f[p]);
+            const double total =
+                direction == Direction::kBoth ? 0.5 * (bf + b0_b[p]) : bf;
+            if (total >= incumbent) return false;
+          }
+        }
+        return true;
+      };
+    }
+    forward = sim.ComputeControlled(Direction::kForward, rc);
+    stats_fwd = sim.stats();
+    if (aborted) {
+      out.aborted = true;
+      return out;
+    }
+    if (direction == Direction::kForward) {
+      out.match.similarity = std::move(forward);
+      out.match.ems_stats = stats_fwd;
+    }
+  }
+  if (run_bwd) {
+    RunControls rc;
+    rc.aborted = &aborted;
+    if (incumbent >= 0.0) {
+      rc.should_abort = [&](int n, const SimilarityMatrix& s) {
+        const double rn = std::pow(r, n);
+        for (size_t v1 = 1; v1 < n1; ++v1) {
+          for (size_t v2 = 1; v2 < n2; ++v2) {
+            const size_t p = (v1 - 1) * cols + (v2 - 1);
+            const double bb = pair_bound(
+                s.at(static_cast<NodeId>(v1), static_cast<NodeId>(v2)), rn,
+                rh_b[p]);
+            const double total =
+                direction == Direction::kBoth
+                    ? 0.5 * (forward.at(static_cast<NodeId>(v1),
+                                        static_cast<NodeId>(v2)) +
+                             bb)
+                    : bb;
+            if (total >= incumbent) return false;
+          }
+        }
+        return true;
+      };
+    }
+    SimilarityMatrix backward = sim.ComputeControlled(Direction::kBackward, rc);
+    EmsStats stats_bwd = sim.stats();
+    if (aborted) {
+      out.aborted = true;
+      return out;
+    }
+    if (direction == Direction::kBackward) {
+      out.match.similarity = std::move(backward);
+      out.match.ems_stats = stats_bwd;
+    } else {
+      // Combine exactly as EmsSimilarity::Compute does for kBoth:
+      // element-wise average, iteration count = max over directions,
+      // work counters summed.
+      for (size_t v1 = 0; v1 < n1; ++v1) {
+        for (size_t v2 = 0; v2 < n2; ++v2) {
+          forward.set(static_cast<NodeId>(v1), static_cast<NodeId>(v2),
+                      (forward.at(static_cast<NodeId>(v1),
+                                  static_cast<NodeId>(v2)) +
+                       backward.at(static_cast<NodeId>(v1),
+                                   static_cast<NodeId>(v2))) /
+                          2.0);
+        }
+      }
+      out.match.similarity = std::move(forward);
+      out.match.ems_stats = stats_fwd;
+      out.match.ems_stats.iterations =
+          std::max(stats_fwd.iterations, stats_bwd.iterations);
+      out.match.ems_stats.formula_evaluations +=
+          stats_bwd.formula_evaluations;
+      out.match.ems_stats.pairs_pruned_converged +=
+          stats_bwd.pairs_pruned_converged;
+      out.match.ems_stats.pairs_skipped_unchanged +=
+          stats_bwd.pairs_skipped_unchanged;
+    }
+  }
+
+  out.match.graph1 = query_graph;
+  out.match.graph2 = entry.graph;
+  SelectCorrespondences(match, query, entry.log, &out.match);
+  double total = 0.0;
+  for (const Correspondence& c : out.match.correspondences) {
+    total += c.similarity;
+  }
+  out.score =
+      out.match.correspondences.empty()
+          ? 0.0
+          : total / static_cast<double>(out.match.correspondences.size());
+  return out;
+}
+
+}  // namespace
+
+TopKScheduler::TopKScheduler(const CorpusIndex& index,
+                             const TopKOptions& options)
+    : index_(index), options_(options) {}
+
+bool TopKScheduler::CanUseIndex() const {
+  const MatchOptions& m = options_.match;
+  if (options_.force_brute_force) return false;
+  if (m.engine != SimilarityEngine::kExact) return false;
+  if (m.match_composites) return false;
+  if (m.min_edge_frequency != index_.options().min_edge_frequency) {
+    return false;
+  }
+  const double r = m.ems.alpha * m.ems.c;
+  if (!(r >= 0.0 && r < 1.0)) return false;
+  return true;
+}
+
+Result<std::vector<TopKHit>> TopKScheduler::Query(const EventLog& query) {
+  stats_ = TopKStats{};
+  ObsContext* obs =
+      options_.obs != nullptr ? options_.obs : options_.match.obs.context;
+  const size_t n = index_.size();
+  stats_.candidates_retrieved = n;
+  if (!CanUseIndex()) return BruteForce(query);
+  ObsIncrement(obs, "index.queries");
+  std::vector<TopKHit> hits;
+  if (n == 0 || options_.k == 0) {
+    stats_.pruned_by_bound = n;
+    ObsIncrement(obs, "index.candidates_retrieved", n);
+    ObsIncrement(obs, "index.pruned_by_bound", n);
+    return hits;
+  }
+
+  const MatchOptions& match = options_.match;
+  DependencyGraphOptions graph_opts;
+  graph_opts.min_edge_frequency = match.min_edge_frequency;
+  DependencyGraph query_graph = DependencyGraph::Build(query, graph_opts);
+  // Warm the lazy distance caches before candidates share this graph
+  // across worker threads.
+  int query_max_from = 0;
+  int query_max_to = 0;
+  {
+    const std::vector<int>& lf = query_graph.LongestDistancesFromArtificial();
+    const std::vector<int>& lt = query_graph.LongestDistancesToArtificial();
+    for (NodeId v = 0; v < static_cast<NodeId>(query_graph.NumNodes()); ++v) {
+      if (query_graph.IsArtificial(v)) continue;
+      query_max_from = std::max(query_max_from, lf[static_cast<size_t>(v)]);
+      query_max_to = std::max(query_max_to, lt[static_cast<size_t>(v)]);
+    }
+  }
+
+  std::unique_ptr<LabelSimilarity> measure =
+      MakeLabelMeasure(match.label_measure);
+
+  // Stage-0 label cap per entry: the exact retrieval bound for the
+  // q-gram measure (when the index was built with the measure's q), 0
+  // for structural-only matching, and the trivial 1 otherwise — every
+  // case admissible for scores in [0, 1]. The same gate enables the
+  // cached-profile label matrix inside candidate evaluations.
+  const bool qgram_labels =
+      match.label_measure == LabelMeasure::kQGramCosine &&
+      index_.options().qgram_q == QGramCosineSimilarity().q();
+  std::vector<double> label_caps(n, 1.0);
+  if (match.label_measure == LabelMeasure::kNone) {
+    std::fill(label_caps.begin(), label_caps.end(), 0.0);
+  } else if (qgram_labels) {
+    label_caps = index_.MaxLabelCosines(query);
+  }
+  std::vector<std::vector<QGramProfile>> query_profiles;
+  if (qgram_labels) {
+    query_profiles = NodeLabelProfiles(query_graph, index_.options().qgram_q);
+  }
+
+  const double alpha = match.ems.alpha;
+  const double c = match.ems.c;
+  const Direction direction = match.ems.direction;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapLess> heap;
+  std::vector<double> bounds(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const CorpusEntry& e = index_.entry(i);
+    const int h_f = std::min(query_max_from, e.max_longest_from);
+    const int h_b = std::min(query_max_to, e.max_longest_to);
+    const double bf =
+        LabeledHorizonUpperBound(0.0, 0, h_f, alpha, c, label_caps[i]);
+    const double bb =
+        LabeledHorizonUpperBound(0.0, 0, h_b, alpha, c, label_caps[i]);
+    double bound = 0.0;
+    switch (direction) {
+      case Direction::kForward: bound = bf; break;
+      case Direction::kBackward: bound = bb; break;
+      case Direction::kBoth: bound = 0.5 * (bf + bb); break;
+    }
+    bounds[i] = bound;
+    heap.push(HeapItem{bound, i});
+  }
+  ObsIncrement(obs, "index.candidates_retrieved", n);
+
+  const size_t batch_size =
+      options_.batch_size > 0
+          ? options_.batch_size
+          : std::max<size_t>(
+                4, options_.pool != nullptr
+                       ? static_cast<size_t>(options_.pool->num_threads())
+                       : 1);
+
+  // The incumbent: k-th best exact score among completed runs, or -1
+  // until k runs completed (nothing may be pruned before that).
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      top_scores;
+  const auto incumbent = [&]() -> double {
+    return top_scores.size() == options_.k ? top_scores.top() : -1.0;
+  };
+
+  std::vector<TopKHit> completed;
+  while (!heap.empty()) {
+    const double inc = incumbent();
+    if (inc >= 0.0 && heap.top().bound < inc) break;
+    std::vector<HeapItem> batch;
+    while (!heap.empty() && batch.size() < batch_size) {
+      if (inc >= 0.0 && heap.top().bound < inc) break;
+      batch.push_back(heap.top());
+      heap.pop();
+    }
+    std::vector<EvalOutcome> outcomes(batch.size());
+    exec::TaskGroup group(options_.pool);
+    for (size_t b = 0; b < batch.size(); ++b) {
+      group.Run([&, b]() -> Status {
+        outcomes[b] = EvaluateCandidate(
+            query, query_graph, index_.entry(batch[b].idx), measure.get(),
+            qgram_labels ? &query_profiles : nullptr, match, inc);
+        return Status::OK();
+      });
+    }
+    EMS_RETURN_NOT_OK(group.Wait());
+    for (size_t b = 0; b < batch.size(); ++b) {
+      EvalOutcome& o = outcomes[b];
+      if (o.aborted) {
+        ++stats_.aborted_runs;
+        continue;
+      }
+      ++stats_.exact_runs;
+      top_scores.push(o.score);
+      if (top_scores.size() > options_.k) top_scores.pop();
+      ObsObserveQuantile(obs, "index.bound_tightness",
+                         batch[b].bound - o.score);
+      TopKHit hit;
+      hit.name = index_.entry(batch[b].idx).name;
+      hit.member_index = batch[b].idx;
+      hit.score = o.score;
+      hit.bound = batch[b].bound;
+      hit.match = std::move(o.match);
+      completed.push_back(std::move(hit));
+    }
+  }
+  stats_.pruned_by_bound = heap.size();
+  ObsIncrement(obs, "index.pruned_by_bound", stats_.pruned_by_bound);
+  ObsIncrement(obs, "index.exact_runs", stats_.exact_runs);
+  ObsIncrement(obs, "index.aborted_runs", stats_.aborted_runs);
+
+  // Reproduce the brute-force ranking byte for byte: member order, then
+  // a stable sort on score — boundary ties keep insertion order.
+  std::sort(completed.begin(), completed.end(),
+            [](const TopKHit& a, const TopKHit& b) {
+              return a.member_index < b.member_index;
+            });
+  std::stable_sort(completed.begin(), completed.end(),
+                   [](const TopKHit& a, const TopKHit& b) {
+                     return a.score > b.score;
+                   });
+  if (completed.size() > options_.k) completed.resize(options_.k);
+  return completed;
+}
+
+Result<std::vector<TopKHit>> TopKScheduler::BruteForce(
+    const EventLog& query) {
+  stats_.used_brute_force = true;
+  const size_t n = index_.size();
+  stats_.exact_runs = n;
+  Matcher matcher(options_.match);
+  std::vector<TopKHit> hits(n);
+  exec::TaskGroup group(options_.pool);
+  for (size_t i = 0; i < n; ++i) {
+    group.Run([&, i, token = group.token()]() -> Status {
+      if (token.cancelled()) return Status::Cancelled("top-k query aborted");
+      const CorpusEntry& e = index_.entry(i);
+      EMS_ASSIGN_OR_RETURN(MatchResult match, matcher.Match(query, e.log));
+      double total = 0.0;
+      for (const Correspondence& corr : match.correspondences) {
+        total += corr.similarity;
+      }
+      TopKHit& hit = hits[i];
+      hit.name = e.name;
+      hit.member_index = i;
+      hit.score = match.correspondences.empty()
+                      ? 0.0
+                      : total / static_cast<double>(
+                                    match.correspondences.size());
+      hit.match = std::move(match);
+      return Status::OK();
+    });
+  }
+  EMS_RETURN_NOT_OK(group.Wait());
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const TopKHit& a, const TopKHit& b) {
+                     return a.score > b.score;
+                   });
+  if (hits.size() > options_.k) hits.resize(options_.k);
+  return hits;
+}
+
+}  // namespace index
+}  // namespace ems

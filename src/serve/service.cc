@@ -1,10 +1,13 @@
 #include "serve/service.h"
 
+#include <cstring>
 #include <istream>
 #include <mutex>
 #include <ostream>
 
 #include "exec/parallel.h"
+#include "index/corpus_io.h"
+#include "index/topk_scheduler.h"
 #include "obs/context.h"
 #include "util/json_parser.h"
 #include "util/json_writer.h"
@@ -126,6 +129,68 @@ std::string RenderResult(const std::string& id, const MatchResult& result,
   return w.str();
 }
 
+// The exact IEEE-754 bits of a score, as a hex string. JSON numbers pass
+// through the parser as double, so a 64-bit integer would lose its low
+// bits on the way back in; a string round-trips exactly, which is what
+// lets the sharded router merge per-shard rankings losslessly.
+std::string ScoreBitsHex(double score) {
+  static_assert(sizeof(unsigned long long) == sizeof(double),
+                "bit-cast width");
+  unsigned long long bits = 0;
+  std::memcpy(&bits, &score, sizeof(bits));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llx", bits);
+  return buf;
+}
+
+std::string RenderTopKResult(const std::string& id, const TopKRequest& request,
+                             const std::vector<index::TopKHit>& hits,
+                             const index::TopKStats& stats, double millis) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("millis");
+  w.Number(millis);
+  w.Key("k");
+  w.Int(static_cast<long long>(request.k));
+  w.Key("hits");
+  w.BeginArray();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    const index::TopKHit& hit = hits[i];
+    w.BeginObject();
+    w.Key("member");
+    w.String(hit.name);
+    w.Key("rank");
+    w.Int(static_cast<long long>(i + 1));
+    w.Key("score");
+    w.Number(hit.score);
+    w.Key("score_bits");
+    w.String(ScoreBitsHex(hit.score));
+    w.Key("correspondences");
+    w.Int(static_cast<long long>(hit.match.correspondences.size()));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("index");
+  w.BeginObject();
+  w.Key("candidates_retrieved");
+  w.Int(static_cast<long long>(stats.candidates_retrieved));
+  w.Key("pruned_by_bound");
+  w.Int(static_cast<long long>(stats.pruned_by_bound));
+  w.Key("exact_runs");
+  w.Int(static_cast<long long>(stats.exact_runs));
+  w.Key("aborted_runs");
+  w.Int(static_cast<long long>(stats.aborted_runs));
+  w.Key("brute_force");
+  w.Bool(stats.used_brute_force);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
 }  // namespace
 
 Result<JobRequest> ParseJobRequest(const std::string& line) {
@@ -147,6 +212,48 @@ Result<JobRequest> ParseJobRequest(const std::string& line) {
     return Status::InvalidArgument("job needs 'log1' and 'log2' paths");
   }
   request.format = doc.GetString("format", "auto");
+  EMS_RETURN_NOT_OK(ParseMatchOptions(doc, &request.options));
+  return request;
+}
+
+bool IsTopKRequest(const JsonValue& doc) {
+  return doc.is_object() && doc.Find("query") != nullptr;
+}
+
+Result<TopKRequest> ParseTopKRequest(const std::string& line) {
+  EMS_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("topk request must be a JSON object");
+  }
+  TopKRequest request;
+  request.id = doc.GetString("id", "");
+  request.query = doc.GetString("query", "");
+  if (request.query.empty()) {
+    return Status::InvalidArgument("topk request needs a 'query' log path");
+  }
+  const int k = doc.GetInt("topk", 5);
+  if (k < 0) return Status::InvalidArgument("'topk' must be >= 0");
+  request.k = static_cast<size_t>(k);
+  const JsonValue* members = doc.Find("members");
+  request.corpus = doc.GetString("corpus", "");
+  if ((members != nullptr) == !request.corpus.empty()) {
+    return Status::InvalidArgument(
+        "topk request needs exactly one of 'members' or 'corpus'");
+  }
+  if (members != nullptr) {
+    if (!members->is_array() || members->array_items().empty()) {
+      return Status::InvalidArgument(
+          "'members' must be a non-empty array of log paths");
+    }
+    for (const JsonValue& item : members->array_items()) {
+      if (!item.is_string() || item.string_value().empty()) {
+        return Status::InvalidArgument("'members' entries must be paths");
+      }
+      request.members.push_back(item.string_value());
+    }
+  }
+  request.format = doc.GetString("format", "auto");
+  request.brute_force = doc.GetBool("brute_force", false);
   EMS_RETURN_NOT_OK(ParseMatchOptions(doc, &request.options));
   return request;
 }
@@ -210,8 +317,155 @@ std::string BatchMatchService::HandleJobLine(const std::string& line) {
     if (!cmd.empty()) {
       return HandleAdminCommand(cmd, doc->GetString("id", ""));
     }
+    if (IsTopKRequest(*doc)) return HandleTopKJob(line);
   }
   return HandleMatchJob(line);
+}
+
+Result<std::shared_ptr<const index::CorpusIndex>>
+BatchMatchService::GetOrBuildCorpus(const std::vector<std::string>& members,
+                                    const std::string& format,
+                                    const MatchOptions& options) {
+  index::CorpusLoadOptions load;
+  load.format = format;
+  load.index.min_edge_frequency = options.min_edge_frequency;
+  load.index.obs = options_.obs;
+  load.store = artifact_store();
+
+  EMS_ASSIGN_OR_RETURN(store::ArtifactKey key,
+                       index::CorpusKeyForFiles(members, load));
+  const std::string cache_key = std::to_string(key.content_hash) + "/" +
+                                std::to_string(key.fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(corpus_mu_);
+    for (size_t i = 0; i < corpus_cache_.size(); ++i) {
+      if (corpus_cache_[i].key != cache_key) continue;
+      CorpusCacheEntry hit = corpus_cache_[i];
+      corpus_cache_.erase(corpus_cache_.begin() + static_cast<long>(i));
+      corpus_cache_.push_back(hit);
+      ObsIncrement(options_.obs, "serve.corpus_cache.hits");
+      return hit.index;
+    }
+  }
+  ObsIncrement(options_.obs, "serve.corpus_cache.misses");
+
+  // Built outside the lock: concurrent first queries may build twice,
+  // which wastes work but never correctness — both builds are identical.
+  EMS_ASSIGN_OR_RETURN(index::CorpusIndex built,
+                       index::LoadCorpusFromFiles(members, load));
+  auto shared =
+      std::make_shared<const index::CorpusIndex>(std::move(built));
+  {
+    std::lock_guard<std::mutex> lock(corpus_mu_);
+    corpus_cache_.push_back(CorpusCacheEntry{cache_key, shared});
+    if (corpus_cache_.size() > kCorpusCacheCapacity) {
+      corpus_cache_.erase(corpus_cache_.begin());
+    }
+  }
+  return shared;
+}
+
+std::string BatchMatchService::HandleTopKJob(const std::string& line) {
+  ObsIncrement(options_.obs, "serve.jobs_submitted");
+  ObsIncrement(options_.obs, "serve.topk_jobs");
+  jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  Timer timer;
+
+  Result<TopKRequest> request = ParseTopKRequest(line);
+  std::string request_id;
+  if (request.ok() && !request->id.empty()) {
+    request_id = request->id;
+  } else {
+    request_id =
+        "req-" +
+        std::to_string(next_request_seq_.fetch_add(1,
+                                                   std::memory_order_relaxed));
+  }
+
+  std::unique_ptr<ObsContext> job_obs;
+  if (flight_ != nullptr) job_obs = std::make_unique<ObsContext>();
+  ScopedSpan request_span(job_obs.get(), "topk:" + request_id);
+
+  Status failure = Status::OK();
+  std::string rendered;
+  if (!request.ok()) {
+    failure = request.status();
+  } else if (cancel_.cancelled()) {
+    failure = Status::Cancelled("service shutting down");
+  } else {
+    if (job_obs != nullptr) {
+      request->options.obs.context = job_obs.get();
+    }
+    std::vector<std::string> members = request->members;
+    if (!request->corpus.empty()) {
+      Result<std::vector<std::string>> listed =
+          index::ListCorpusFiles(request->corpus);
+      if (listed.ok()) {
+        members = *std::move(listed);
+      } else {
+        failure = listed.status();
+      }
+    }
+    if (failure.ok()) {
+      ScopedSpan build_span(job_obs.get(), "build_corpus");
+      Result<std::shared_ptr<const index::CorpusIndex>> corpus =
+          GetOrBuildCorpus(members, request->format, request->options);
+      build_span.End();
+      Result<std::shared_ptr<const EventLog>> query =
+          corpus.ok()
+              ? cache_.GetOrLoad(request->query, request->format)
+              : Result<std::shared_ptr<const EventLog>>(corpus.status());
+      if (!corpus.ok()) {
+        failure = corpus.status();
+      } else if (!query.ok()) {
+        failure = query.status();
+      } else {
+        index::TopKOptions opts;
+        opts.k = request->k;
+        opts.match = request->options;
+        // Candidate evaluations fan out on the service pool; when this
+        // job itself runs on a pool worker (RunStream, shard pools) the
+        // nested group degrades to serial inside the worker, which is
+        // exactly the per-job parallelism budget match jobs get.
+        opts.pool = &pool_;
+        opts.obs = options_.obs;  // index.* aggregates service-wide
+        opts.force_brute_force = request->brute_force;
+        index::TopKScheduler scheduler(**corpus, opts);
+        Result<std::vector<index::TopKHit>> hits = scheduler.Query(**query);
+        if (hits.ok()) {
+          rendered = RenderTopKResult(request_id, *request, *hits,
+                                      scheduler.stats(),
+                                      timer.ElapsedMillis());
+        } else {
+          failure = hits.status();
+        }
+      }
+    }
+  }
+  if (!failure.ok()) rendered = RenderError(request_id, failure);
+  request_span.End();
+
+  const double millis = timer.ElapsedMillis();
+  const bool ok = failure.ok();
+  ObsIncrement(options_.obs, ok ? "serve.jobs_ok" : "serve.jobs_failed");
+  ObsObserve(options_.obs, "serve.job_millis", millis);
+  ObsObserveQuantile(options_.obs,
+                     ok ? "serve.latency_ms.ok" : "serve.latency_ms.error",
+                     millis);
+  if (flight_ != nullptr) {
+    FlightRecord record;
+    record.request_id = request_id;
+    record.outcome = ok ? "ok" : "error";
+    record.error = failure.message();
+    record.millis = millis;
+    record.spans = job_obs->trace.Snapshot();
+    flight_->Record(std::move(record));
+  }
+  if (!ok && LogEnabled(LogLevel::kInfo)) {
+    LogInfo("topk " + request_id + " failed: " + failure.message());
+  }
+  jobs_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return rendered;
 }
 
 std::string BatchMatchService::HandleMatchJob(const std::string& line) {

@@ -21,6 +21,28 @@
 // or {"id": "j1", "status": "error", "code": "NotFound",
 //     "error": "..."}.
 //
+// Top-k corpus queries ride the same protocol, dispatched on the
+// `query` key (docs/CORPUS.md): rank the members of a corpus against
+// one query log and return the k best, exactly as a brute-force scan
+// would rank them but scheduled through the corpus index:
+//   {"id": "t1", "query": "q.xes", "topk": 5,
+//    "members": ["a.xes", ...]  |  "corpus": "warehouse/",
+//    "brute_force": false, ...match options as above}
+// ->
+//   {"id": "t1", "status": "ok", "millis": targeted, "k": 5,
+//    "hits": [{"member": "a.xes", "rank": 1, "score": 0.83,
+//              "score_bits": "3fe51eb851eb851f" (IEEE-754 hex, exact),
+//              "correspondences": 17}, ...],
+//    "index": {"candidates_retrieved": N, "pruned_by_bound": P,
+//              "exact_runs": E, "aborted_runs": A,
+//              "brute_force": false}}
+// Hits carry the ranking and per-member scores; for the full
+// correspondence list of one hit, issue a regular match job for that
+// pair (it is served from the same caches). Built corpus indexes are
+// cached in-process keyed by member content hashes, and persisted
+// through the artifact store, so repeated queries against one corpus
+// skip the build entirely.
+//
 // Admin commands ride the same NDJSON protocol (one object per line,
 // dispatched on the `cmd` key) and are answered inline — never queued
 // behind match jobs — so a saturated service still reports:
@@ -45,6 +67,7 @@
 #include "core/matcher.h"
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
+#include "index/corpus_index.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics_snapshot.h"
 #include "serve/log_cache.h"
@@ -114,6 +137,27 @@ struct JobRequest {
 /// on malformed input).
 Result<JobRequest> ParseJobRequest(const std::string& line);
 
+/// A parsed top-k corpus query line. Exactly one of `members` / `corpus`
+/// is set.
+struct TopKRequest {
+  std::string id;
+  std::string query;                 // the query log's path
+  std::string format = "auto";
+  size_t k = 5;
+  std::vector<std::string> members;  // explicit member paths, in rank
+                                     // tie-break order
+  std::string corpus;                // or: a corpus directory
+  bool brute_force = false;          // baseline scan (tests, CI checks)
+  MatchOptions options;
+};
+
+/// True when a parsed NDJSON line is a top-k query (has a `query` key);
+/// both services dispatch on this before the match-job path.
+bool IsTopKRequest(const JsonValue& doc);
+
+/// Parses one top-k query line.
+Result<TopKRequest> ParseTopKRequest(const std::string& line);
+
 /// \brief The batch matching service.
 ///
 /// HandleJobLine is the pure per-job path (parse -> load via cache ->
@@ -180,6 +224,16 @@ class BatchMatchService {
   std::string RenderHealth(const std::string& id);
   std::string RenderSlow(const std::string& id);
   std::string HandleMatchJob(const std::string& line);
+  std::string HandleTopKJob(const std::string& line);
+
+  /// The corpus index for `members` (in order), built with the request's
+  /// min_edge_frequency — from the in-process cache when the member
+  /// files are unchanged, else through the artifact store
+  /// (index::LoadCorpusFromFiles). Keys include member content hashes,
+  /// so a rewritten member rebuilds, never serves stale.
+  Result<std::shared_ptr<const index::CorpusIndex>> GetOrBuildCorpus(
+      const std::vector<std::string>& members, const std::string& format,
+      const MatchOptions& options);
 
   std::unique_ptr<ObsContext> owned_obs_;  // set before options_
   ServiceOptions options_;
@@ -197,6 +251,18 @@ class BatchMatchService {
   std::mutex stats_mu_;
   MetricsSnapshot last_stats_;
   bool has_last_stats_ = false;
+
+  // Tiny MRU cache of built corpus indexes (shared so concurrent top-k
+  // jobs read one immutable index). An index over a 1k-member corpus is
+  // expensive to build and cheap to keep; a handful covers the working
+  // set of corpora one deployment serves.
+  struct CorpusCacheEntry {
+    std::string key;  // content hash + options fingerprint
+    std::shared_ptr<const index::CorpusIndex> index;
+  };
+  static constexpr size_t kCorpusCacheCapacity = 4;
+  std::mutex corpus_mu_;
+  std::vector<CorpusCacheEntry> corpus_cache_;  // MRU at the back
 };
 
 }  // namespace serve

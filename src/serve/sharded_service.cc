@@ -1,10 +1,14 @@
 #include "serve/sharded_service.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <map>
+#include <unordered_map>
 #include <utility>
 
+#include "index/corpus_io.h"
 #include "obs/context.h"
 #include "serve/log_cache.h"
 #include "util/json_parser.h"
@@ -34,6 +38,57 @@ std::string RenderError(const std::string& id, const Status& status) {
   w.String(status.message());
   w.EndObject();
   return w.str();
+}
+
+// The per-job option keys a topk sub-request must carry verbatim so
+// every shard parses the same MatchOptions the single service would.
+constexpr const char* kTopKOptionKeys[] = {
+    "labels",    "alpha",          "c",
+    "engine",    "iterations",     "composites",
+    "delta",     "selection",      "min_similarity",
+    "min_edge_frequency"};
+
+std::string SubRequestLine(const JsonValue& doc, const TopKRequest& request,
+                           const std::vector<std::string>& members) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(request.id);
+  w.Key("query");
+  w.String(request.query);
+  w.Key("topk");
+  w.Int(static_cast<long long>(request.k));
+  w.Key("format");
+  w.String(request.format);
+  w.Key("brute_force");
+  w.Bool(request.brute_force);
+  w.Key("members");
+  w.BeginArray();
+  for (const std::string& m : members) w.String(m);
+  w.EndArray();
+  for (const char* key : kTopKOptionKeys) {
+    const JsonValue* value = doc.Find(key);
+    if (value == nullptr) continue;
+    w.Key(key);
+    if (value->is_string()) {
+      w.String(value->string_value());
+    } else if (value->is_number()) {
+      w.Number(value->number_value());
+    } else if (value->is_bool()) {
+      w.Bool(value->bool_value());
+    } else {
+      w.Null();  // preserved for the shard's parser to reject uniformly
+    }
+  }
+  w.EndObject();
+  return w.str();
+}
+
+double ScoreFromBits(const std::string& hex) {
+  const unsigned long long bits = std::strtoull(hex.c_str(), nullptr, 16);
+  double score = 0.0;
+  std::memcpy(&score, &bits, sizeof(score));
+  return score;
 }
 
 }  // namespace
@@ -147,6 +202,10 @@ void ShardedMatchService::HandleLine(const std::string& line,
     emit(HandleAdmin(cmd, doc->GetString("id", "")));
     return;
   }
+  if (IsTopKRequest(*doc)) {
+    HandleTopK(line, emit);
+    return;
+  }
 
   Result<JobRequest> request = ParseJobRequest(line);
   if (!request.ok()) {
@@ -227,6 +286,10 @@ void ShardedMatchService::EmitJobResponse(Shard& shard,
                                           const std::string& line,
                                           const net::EmitFn& emit) {
   emit(shard.service->HandleJobLine(line));
+  FinishShardJob(shard);
+}
+
+void ShardedMatchService::FinishShardJob(Shard& shard) {
   const int64_t now =
       shard.inflight.fetch_sub(1, std::memory_order_acq_rel) - 1;
   if (shard.inflight_gauge != nullptr) {
@@ -242,6 +305,241 @@ void ShardedMatchService::EmitJobResponse(Shard& shard,
     std::lock_guard<std::mutex> lock(drain_mu_);
   }
   drain_cv_.notify_all();
+}
+
+// Shared state of one fanned-out top-k query: per-shard responses land
+// in their slot; the last completion merges and emits.
+struct ShardedMatchService::TopKAggregate {
+  std::mutex mu;
+  size_t remaining = 0;
+  std::vector<std::string> responses;  // one slot per involved shard
+  std::string id;
+  size_t k = 5;
+  size_t shards_involved = 0;
+  // Member path -> position in the resolved full member list: the merge
+  // tie-breaker that reproduces the single service's index order.
+  std::unordered_map<std::string, size_t> global_index;
+  net::EmitFn emit;
+  Timer timer;
+};
+
+void ShardedMatchService::HandleTopK(const std::string& line,
+                                     const net::EmitFn& emit) {
+  Result<TopKRequest> request = ParseTopKRequest(line);
+  if (!request.ok()) {
+    // Parseable but invalid: answered inline with the single service's
+    // error rendering.
+    emit(shards_[0]->service->HandleJobLine(line));
+    return;
+  }
+  Result<JsonValue> doc = ParseJson(line);  // for verbatim option relay
+  if (!doc.ok()) {
+    emit(RenderError(request->id, doc.status()));
+    return;
+  }
+
+  // Resolve the full member list router-side: both the partition and the
+  // merge tie-break need the same order the single service would use.
+  std::vector<std::string> members = request->members;
+  if (!request->corpus.empty()) {
+    Result<std::vector<std::string>> listed =
+        index::ListCorpusFiles(request->corpus);
+    if (!listed.ok()) {
+      emit(RenderError(request->id, listed.status()));
+      return;
+    }
+    members = *std::move(listed);
+  }
+
+  if (draining()) {
+    ObsIncrement(options_.obs, "net.jobs_rejected_draining");
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id");
+    w.String(request->id);
+    w.Key("status");
+    w.String("draining");
+    w.Key("error");
+    w.String("service is draining; resubmit elsewhere");
+    w.EndObject();
+    emit(w.str());
+    return;
+  }
+
+  std::vector<std::vector<std::string>> shard_members(shards_.size());
+  auto aggregate = std::make_shared<TopKAggregate>();
+  aggregate->id = request->id;
+  aggregate->k = request->k;
+  aggregate->emit = emit;
+  for (size_t g = 0; g < members.size(); ++g) {
+    aggregate->global_index.emplace(members[g], g);
+    const int s = ring_.ShardFor(CanonicalPath(members[g]));
+    shard_members[static_cast<size_t>(s)].push_back(members[g]);
+  }
+  std::vector<int> involved;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!shard_members[s].empty()) involved.push_back(static_cast<int>(s));
+  }
+
+  // All-or-nothing admission: reserve an inflight slot on every involved
+  // shard, rolling back on the first full one — a partially admitted
+  // fan-out would hold slots while unable to answer.
+  for (size_t i = 0; i < involved.size(); ++i) {
+    Shard& shard = *shards_[static_cast<size_t>(involved[i])];
+    if (shard.routed != nullptr) shard.routed->Increment();
+    const int64_t admitted =
+        shard.inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (admitted <= static_cast<int64_t>(shard.max_inflight)) continue;
+    shard.inflight.fetch_sub(1, std::memory_order_acq_rel);
+    for (size_t j = 0; j < i; ++j) {
+      shards_[static_cast<size_t>(involved[j])]->inflight.fetch_sub(
+          1, std::memory_order_acq_rel);
+    }
+    if (shard.rejected_overloaded != nullptr) {
+      shard.rejected_overloaded->Increment();
+    }
+    ObsIncrement(options_.obs, "net.jobs_rejected_overloaded");
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id");
+    w.String(request->id);
+    w.Key("status");
+    w.String("overloaded");
+    w.Key("shard");
+    w.Int(shard.index);
+    w.Key("error");
+    w.String("shard " + std::to_string(shard.index) +
+             " at admission capacity (" +
+             std::to_string(shard.max_inflight) + " jobs in flight)");
+    w.EndObject();
+    emit(w.str());
+    return;
+  }
+
+  aggregate->remaining = involved.size();
+  aggregate->shards_involved = involved.size();
+  aggregate->responses.resize(involved.size());
+  for (size_t i = 0; i < involved.size(); ++i) {
+    Shard* shard = shards_[static_cast<size_t>(involved[i])].get();
+    std::string sub_line =
+        SubRequestLine(*doc, *request,
+                       shard_members[static_cast<size_t>(involved[i])]);
+    auto run = [this, shard, aggregate, i, sub_line] {
+      std::string response = shard->service->HandleJobLine(sub_line);
+      FinishShardJob(*shard);
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(aggregate->mu);
+        aggregate->responses[i] = std::move(response);
+        last = --aggregate->remaining == 0;
+      }
+      if (last) aggregate->emit(MergeTopKResponses(*aggregate));
+    };
+    // The slot is reserved; a full task queue degrades to running the
+    // sub-query on this thread instead of shedding the whole fan-out.
+    if (!shard->service->pool().TrySubmit(run)) run();
+  }
+}
+
+std::string ShardedMatchService::MergeTopKResponses(
+    const TopKAggregate& aggregate) const {
+  struct MergedHit {
+    std::string member;
+    double score = 0.0;
+    std::string score_bits;
+    long long correspondences = 0;
+    size_t global_index = 0;
+  };
+  std::vector<MergedHit> hits;
+  long long candidates = 0, pruned = 0, exact = 0, aborted = 0;
+  bool brute_force = false;
+  for (const std::string& response : aggregate.responses) {
+    Result<JsonValue> doc = ParseJson(response);
+    if (!doc.ok()) return RenderError(aggregate.id, doc.status());
+    if (doc->GetString("status", "") != "ok") {
+      // A failed shard fails the query; its rendered error already
+      // carries the request id and status code.
+      return response;
+    }
+    const JsonValue* index_stats = doc->Find("index");
+    if (index_stats != nullptr) {
+      candidates += static_cast<long long>(
+          index_stats->GetNumber("candidates_retrieved", 0));
+      pruned += static_cast<long long>(
+          index_stats->GetNumber("pruned_by_bound", 0));
+      exact +=
+          static_cast<long long>(index_stats->GetNumber("exact_runs", 0));
+      aborted +=
+          static_cast<long long>(index_stats->GetNumber("aborted_runs", 0));
+      brute_force = brute_force || index_stats->GetBool("brute_force", false);
+    }
+    const JsonValue* shard_hits = doc->Find("hits");
+    if (shard_hits == nullptr || !shard_hits->is_array()) continue;
+    for (const JsonValue& h : shard_hits->array_items()) {
+      MergedHit hit;
+      hit.member = h.GetString("member", "");
+      hit.score_bits = h.GetString("score_bits", "0");
+      hit.score = ScoreFromBits(hit.score_bits);
+      hit.correspondences =
+          static_cast<long long>(h.GetNumber("correspondences", 0));
+      auto g = aggregate.global_index.find(hit.member);
+      hit.global_index = g != aggregate.global_index.end()
+                             ? g->second
+                             : aggregate.global_index.size();
+      hits.push_back(std::move(hit));
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const MergedHit& a, const MergedHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.global_index < b.global_index;
+            });
+  if (hits.size() > aggregate.k) hits.resize(aggregate.k);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(aggregate.id);
+  w.Key("status");
+  w.String("ok");
+  w.Key("millis");
+  w.Number(aggregate.timer.ElapsedMillis());
+  w.Key("k");
+  w.Int(static_cast<long long>(aggregate.k));
+  w.Key("shards");
+  w.Int(static_cast<long long>(aggregate.shards_involved));
+  w.Key("hits");
+  w.BeginArray();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    w.BeginObject();
+    w.Key("member");
+    w.String(hits[i].member);
+    w.Key("rank");
+    w.Int(static_cast<long long>(i + 1));
+    w.Key("score");
+    w.Number(hits[i].score);
+    w.Key("score_bits");
+    w.String(hits[i].score_bits);
+    w.Key("correspondences");
+    w.Int(hits[i].correspondences);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("index");
+  w.BeginObject();
+  w.Key("candidates_retrieved");
+  w.Int(candidates);
+  w.Key("pruned_by_bound");
+  w.Int(pruned);
+  w.Key("exact_runs");
+  w.Int(exact);
+  w.Key("aborted_runs");
+  w.Int(aborted);
+  w.Key("brute_force");
+  w.Bool(brute_force);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
 }
 
 std::string ShardedMatchService::HandleLineSync(const std::string& line) {

@@ -15,6 +15,15 @@
 // so serve.* totals aggregate, and the router adds per-shard
 // serve.shard.<i>.* instruments for balance monitoring.
 //
+// Top-k corpus queries (the `query`-keyed lines of docs/CORPUS.md) fan
+// out instead of routing to one shard: the router partitions the member
+// list by each member's consistent-hash owner, reserves admission on
+// every involved shard (all-or-nothing, with rollback), runs one
+// sub-query per shard over its member subset, and merges the per-shard
+// top-k lists by (score desc, global member order) — scores travel as
+// exact IEEE-754 bit strings, so the merged ranking is the ranking the
+// single-process service would have produced over the whole corpus.
+//
 // Admin commands (stats/health/slow) answer inline with aggregated
 // documents plus a "shards" breakdown; the new `drain` command (and
 // SIGTERM in ems_serve) flips the router into draining mode: every
@@ -136,9 +145,13 @@ class ShardedMatchService : public net::LineHandler {
 
  private:
   struct Shard;
+  struct TopKAggregate;
 
   void EmitJobResponse(Shard& shard, const std::string& line,
                        const net::EmitFn& emit);
+  void HandleTopK(const std::string& line, const net::EmitFn& emit);
+  void FinishShardJob(Shard& shard);
+  std::string MergeTopKResponses(const TopKAggregate& aggregate) const;
   std::string HandleAdmin(const std::string& cmd, const std::string& id);
   std::string RenderStats(const std::string& id);
   std::string RenderHealth(const std::string& id);

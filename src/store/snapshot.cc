@@ -17,6 +17,7 @@ const char* ArtifactKindName(ArtifactKind kind) {
     case ArtifactKind::kDependencyGraph: return "graph";
     case ArtifactKind::kGraphSummary: return "summary";
     case ArtifactKind::kLabelCache: return "labels";
+    case ArtifactKind::kCorpusIndex: return "corpus";
   }
   return "unknown";
 }

@@ -43,6 +43,7 @@ enum class ArtifactKind : uint32_t {
   kDependencyGraph = 2,  // nodes, adjacency, cached l(v) distances
   kGraphSummary = 3,     // DependencyGraphBuilder trace-group summary
   kLabelCache = 4,       // CachedLabelSimilarity score memo
+  kCorpusIndex = 5,      // corpus top-k index (src/index/corpus_io.h)
 };
 
 /// Short lowercase name ("log", "graph", ...) used in cache file names;

@@ -227,4 +227,56 @@ LogPair MakeDislocationPair(int num_events, int m, uint64_t seed) {
   return pair;
 }
 
+std::vector<CorpusMember> MakeCorpus(const SynthCorpusOptions& options) {
+  std::vector<CorpusMember> members;
+  members.reserve(static_cast<size_t>(std::max(0, options.num_members)));
+  Rng meta(options.seed);
+  const int per_family = std::max(2, options.members_per_family);
+  int family = 0;
+  while (static_cast<int>(members.size()) < options.num_members) {
+    // A family-private vocabulary: random letters, no shared "act_"
+    // substring, so activity names of different families share almost no
+    // q-grams.
+    std::string prefix;
+    for (int i = 0; i < 6; ++i) {
+      prefix += static_cast<char>('a' + meta.UniformInt(0, 25));
+    }
+    prefix += '_';
+
+    PairOptions pair_opts;
+    pair_opts.tree.activity_prefix = prefix;
+    pair_opts.num_activities =
+        meta.UniformInt(options.min_activities, options.max_activities);
+    pair_opts.num_traces = options.num_traces;
+    pair_opts.dislocation = options.dislocation;
+    pair_opts.seed = meta.engine()();
+
+    // Families larger than two members are additional heterogeneous
+    // play-outs of the same specification: fresh pair seeds reuse the
+    // family seed stream but the vocabulary prefix pins the process.
+    int produced = 0;
+    while (produced < per_family &&
+           static_cast<int>(members.size()) < options.num_members) {
+      LogPair pair = MakeLogPair(Testbed::kDsFB, pair_opts);
+      const std::string base = "fam" + std::to_string(family) + "_";
+      EventLog* logs[2] = {&pair.log1, &pair.log2};
+      for (EventLog* log : logs) {
+        if (produced >= per_family ||
+            static_cast<int>(members.size()) >= options.num_members) {
+          break;
+        }
+        CorpusMember member;
+        member.family = family;
+        member.name = base + std::string(1, static_cast<char>('a' + produced));
+        member.log = std::move(*log);
+        members.push_back(std::move(member));
+        ++produced;
+      }
+      pair_opts.seed = meta.engine()();
+    }
+    ++family;
+  }
+  return members;
+}
+
 }  // namespace ems

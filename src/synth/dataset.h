@@ -118,4 +118,37 @@ std::vector<LogPair> MakeScalabilityPairs(int num_events, int num_pairs,
 /// events of every trace removed from log 2, opaque renaming applied.
 LogPair MakeDislocationPair(int num_events, int m, uint64_t seed);
 
+/// One member of a synthetic warehouse corpus (docs/CORPUS.md).
+struct CorpusMember {
+  std::string name;  // "fam<F>_<a|b|...>" — unique within the corpus
+  int family = 0;    // members of one family describe the same process
+  EventLog log;
+};
+
+/// Knobs of MakeCorpus.
+struct SynthCorpusOptions {
+  /// Total member logs. Families contribute `members_per_family` each
+  /// (the last family may be truncated).
+  int num_members = 100;
+  int members_per_family = 2;
+
+  uint64_t seed = 2014;
+
+  /// Per-family process size, drawn uniformly from [min, max].
+  int min_activities = 12;
+  int max_activities = 24;
+  int num_traces = 60;
+
+  /// Heterogeneity between members of one family (PairOptions).
+  int dislocation = 1;
+};
+
+/// The warehouse-query corpus: many distinct process families, each with
+/// a family-private activity vocabulary (random letter prefixes, so
+/// cross-family q-gram overlap is near zero — the regime where the
+/// corpus index's label bound has discriminating power) and
+/// `members_per_family` heterogeneous logs of the same process. A query
+/// with one member's log should rank its family first.
+std::vector<CorpusMember> MakeCorpus(const SynthCorpusOptions& options = {});
+
 }  // namespace ems

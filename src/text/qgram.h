@@ -28,6 +28,14 @@ class QGramProfile {
 
   int q() const { return q_; }
 
+  /// Euclidean norm of the count vector (0 for the empty string).
+  double norm() const { return norm_; }
+
+  /// The raw gram -> count map (the corpus index posts these grams).
+  const std::unordered_map<std::string, int>& counts() const {
+    return counts_;
+  }
+
  private:
   int q_;
   double norm_ = 0.0;  // Euclidean norm of the count vector

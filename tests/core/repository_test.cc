@@ -1,7 +1,10 @@
 #include "core/repository.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
+#include "exec/thread_pool.h"
 #include "synth/dataset.h"
 
 namespace ems {
@@ -82,6 +85,37 @@ TEST(RepositoryTest, TopKTruncates) {
       repo.Query(VariantLog(7, 8), 2);
   ASSERT_TRUE(hits.ok());
   EXPECT_EQ(hits->size(), 2u);
+}
+
+// The index-backed Query must reproduce the brute-force scan byte for
+// byte — names, order, and bitwise scores — for any pool.
+TEST(RepositoryTest, QueryMatchesBruteForceByteForByte) {
+  MatchOptions match_opts;
+  match_opts.ems.alpha = 0.5;
+  match_opts.label_measure = LabelMeasure::kQGramCosine;
+  LogRepository repo(match_opts);
+  for (uint64_t s = 1; s <= 6; ++s) {
+    std::string name = "p";
+    name += static_cast<char>('0' + s);
+    ASSERT_TRUE(repo.Add(name, VariantLog(s * 13, 8)).ok());
+  }
+  exec::ThreadPool pool(3);
+  const EventLog query = VariantLog(3 * 13, 8);
+  for (exec::ThreadPool* p :
+       {static_cast<exec::ThreadPool*>(nullptr), &pool}) {
+    Result<std::vector<RepositoryHit>> fast = repo.Query(query, 4, p);
+    Result<std::vector<RepositoryHit>> brute =
+        repo.QueryBruteForce(query, 4, p);
+    ASSERT_TRUE(fast.ok() && brute.ok());
+    ASSERT_EQ(fast->size(), brute->size());
+    for (size_t i = 0; i < fast->size(); ++i) {
+      EXPECT_EQ((*fast)[i].name, (*brute)[i].name) << "rank " << i;
+      EXPECT_EQ(std::memcmp(&(*fast)[i].score, &(*brute)[i].score,
+                            sizeof(double)),
+                0)
+          << "rank " << i;
+    }
+  }
 }
 
 TEST(RepositoryTest, EmptyRepositoryYieldsNoHits) {

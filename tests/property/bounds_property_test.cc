@@ -6,6 +6,7 @@
 
 #include "core/bounds.h"
 #include "synth/dataset.h"
+#include "text/label_similarity.h"
 
 namespace ems {
 namespace {
@@ -74,6 +75,62 @@ TEST_P(BoundsProperty, AverageBoundShrinksWithK) {
         AverageUpperBound(partial, Direction::kForward, s_k, k, g1, g2);
     EXPECT_LE(bound, prev_bound + 1e-9) << "k=" << k;
     prev_bound = bound;
+  }
+}
+
+// The corpus scheduler's bound (docs/CORPUS.md): on labeled runs with
+// alpha < 1, LabeledHorizonUpperBound must dominate the converged value
+// at every intermediate iteration (HorizonUpperBound is NOT admissible
+// there), must be monotone non-increasing along the iteration sequence,
+// and must degenerate to HorizonUpperBound exactly at label_max = 0.
+TEST_P(BoundsProperty, LabeledBoundDominatesLabeledRuns) {
+  const BoundsCase& p = GetParam();
+  PairOptions opts;
+  opts.num_activities = 10;
+  opts.num_traces = 50;
+  opts.dislocation = 1;
+  opts.seed = p.seed + 900;
+  LogPair pair = MakeLogPair(Testbed::kDsFB, opts);
+  DependencyGraph g1 = DependencyGraph::Build(pair.log1);
+  DependencyGraph g2 = DependencyGraph::Build(pair.log2);
+  QGramCosineSimilarity measure;
+  std::vector<std::vector<double>> labels =
+      LabelSimilarityMatrix(g1, g2, measure);
+  double label_max = 0.0;
+  for (const auto& row : labels) {
+    for (double v : row) label_max = std::max(label_max, v);
+  }
+  EmsOptions eopts;
+  // Force the labeled regime even for the alpha = 1 sweep points.
+  eopts.alpha = p.alpha < 1.0 ? p.alpha : 0.6;
+  eopts.c = p.c;
+  eopts.direction = Direction::kForward;
+  EmsSimilarity converged(g1, g2, eopts, &labels);
+  SimilarityMatrix s_inf = converged.Compute();
+  std::vector<std::vector<double>> prev_bounds(
+      s_inf.rows(), std::vector<double>(s_inf.cols(), 1e9));
+  for (int k : {0, 1, 2, 4}) {
+    EmsSimilarity partial(g1, g2, eopts, &labels);
+    SimilarityMatrix s_k = partial.ComputePartial(Direction::kForward, k);
+    for (NodeId v1 = 1; v1 < static_cast<NodeId>(s_k.rows()); ++v1) {
+      for (NodeId v2 = 1; v2 < static_cast<NodeId>(s_k.cols()); ++v2) {
+        const int h = partial.ConvergenceHorizon(Direction::kForward, v1, v2);
+        const double labeled = LabeledHorizonUpperBound(
+            s_k.at(v1, v2), k, h, eopts.alpha, eopts.c, label_max);
+        ASSERT_GE(labeled + 1e-9, s_inf.at(v1, v2))
+            << "k=" << k << " pair (" << v1 << "," << v2 << ")";
+        // Monotone along the run: tighter with every completed iteration.
+        auto& prev = prev_bounds[static_cast<size_t>(v1)]
+                                [static_cast<size_t>(v2)];
+        ASSERT_LE(labeled, prev + 1e-9) << "k=" << k;
+        prev = labeled;
+        // label_max = 0 must reproduce the structural horizon bound.
+        ASSERT_DOUBLE_EQ(LabeledHorizonUpperBound(s_k.at(v1, v2), k, h,
+                                                  eopts.alpha, eopts.c, 0.0),
+                         HorizonUpperBound(s_k.at(v1, v2), k, h, eopts.alpha,
+                                           eopts.c));
+      }
+    }
   }
 }
 

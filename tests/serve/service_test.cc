@@ -13,6 +13,7 @@
 #include "serve/log_cache.h"
 #include "serve/lru_cache.h"
 #include "serve/service.h"
+#include "util/json_parser.h"
 
 namespace ems {
 namespace serve {
@@ -551,6 +552,109 @@ TEST(BatchMatchServiceTest, CancelledServiceReportsCancelledJobs) {
       R"({"id":"late","log1":"a.txt","log2":"b.txt"})");
   EXPECT_NE(line.find("\"status\":\"error\""), std::string::npos);
   EXPECT_NE(line.find("Cancelled"), std::string::npos);
+}
+
+TEST(ParseTopKRequestTest, ParsesAndValidates) {
+  Result<TopKRequest> request = ParseTopKRequest(
+      R"({"id":"t1","query":"q.txt","topk":3,"members":["a.txt","b.txt"],)"
+      R"("alpha":0.4,"labels":"qgram"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->id, "t1");
+  EXPECT_EQ(request->query, "q.txt");
+  EXPECT_EQ(request->k, 3u);
+  EXPECT_EQ(request->members,
+            (std::vector<std::string>{"a.txt", "b.txt"}));
+  EXPECT_DOUBLE_EQ(request->options.ems.alpha, 0.4);
+  EXPECT_FALSE(request->brute_force);
+
+  EXPECT_FALSE(ParseTopKRequest(R"({"query":"q.txt"})").ok());  // no corpus
+  EXPECT_FALSE(  // both member sources
+      ParseTopKRequest(
+          R"({"query":"q","members":["a"],"corpus":"/c"})")
+          .ok());
+  EXPECT_FALSE(ParseTopKRequest(R"({"query":"q","members":[]})").ok());
+  EXPECT_FALSE(
+      ParseTopKRequest(R"({"query":"q","members":[1]})").ok());
+  EXPECT_FALSE(
+      ParseTopKRequest(R"({"topk":2,"members":["a"]})").ok());  // no query
+}
+
+// topk over an explicit member list: the indexed and the brute-forced
+// response must carry identical hits (member order, rank, exact score
+// bits) — the service-level face of the scheduler's exactness contract.
+TEST(BatchMatchServiceTest, TopKJobRanksMembersAndMatchesBruteForce) {
+  std::vector<std::string> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(WriteTraceLog(
+        "service_topk_" + std::to_string(i) + ".txt",
+        i < 2 ? "a;b;c;d\na;b;d\na;c;d\n" : "x;y;z\nx;z;y\nz;x;y\n"));
+  }
+  ServiceOptions options;
+  options.threads = 2;
+  BatchMatchService service(options);
+
+  std::string member_list;
+  for (const std::string& m : members) {
+    member_list += (member_list.empty() ? "\"" : ",\"") + m + "\"";
+  }
+  const std::string base = R"({"id":"t1","query":")" + members[0] +
+                           R"(","topk":2,"members":[)" + member_list + "]";
+  const std::string indexed_line = service.HandleJobLine(base + "}");
+  const std::string brute_line =
+      service.HandleJobLine(base + R"(,"brute_force":true})");
+
+  Result<JsonValue> indexed = ParseJson(indexed_line);
+  Result<JsonValue> brute = ParseJson(brute_line);
+  ASSERT_TRUE(indexed.ok()) << indexed_line;
+  ASSERT_TRUE(brute.ok()) << brute_line;
+  EXPECT_EQ(indexed->GetString("status", ""), "ok");
+  EXPECT_EQ(brute->GetString("status", ""), "ok");
+
+  const JsonValue* ih = indexed->Find("hits");
+  const JsonValue* bh = brute->Find("hits");
+  ASSERT_NE(ih, nullptr);
+  ASSERT_NE(bh, nullptr);
+  ASSERT_EQ(ih->array_items().size(), 2u);
+  ASSERT_EQ(bh->array_items().size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const JsonValue& a = ih->array_items()[i];
+    const JsonValue& b = bh->array_items()[i];
+    EXPECT_EQ(a.GetString("member", "?"), b.GetString("member", "!"));
+    // Exact IEEE-754 bits, hex-encoded: lossless across the wire.
+    EXPECT_EQ(a.GetString("score_bits", "?"), b.GetString("score_bits", "!"));
+    EXPECT_EQ(a.GetInt("rank", -1), static_cast<int>(i) + 1);
+  }
+  // The query is members[0] itself; its twin content is members[1].
+  EXPECT_EQ(ih->array_items()[0].GetString("member", ""), members[0]);
+  EXPECT_EQ(ih->array_items()[1].GetString("member", ""), members[1]);
+
+  const JsonValue* stats = indexed->Find("index");
+  const JsonValue* brute_stats = brute->Find("index");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_NE(brute_stats, nullptr);
+  EXPECT_EQ(stats->GetInt("candidates_retrieved", -1), 4);
+  EXPECT_FALSE(stats->GetBool("brute_force", true));
+  EXPECT_TRUE(brute_stats->GetBool("brute_force", false));
+
+  // Same members again: the corpus cache must answer the second build.
+  ASSERT_NE(service.obs(), nullptr);
+  EXPECT_GE(service.obs()->metrics.CounterValue("serve.corpus_cache.hits"),
+            1u);
+
+  for (const std::string& m : members) std::remove(m.c_str());
+}
+
+TEST(BatchMatchServiceTest, TopKJobReportsErrors) {
+  ServiceOptions options;
+  options.threads = 1;
+  BatchMatchService service(options);
+  const std::string missing = service.HandleJobLine(
+      R"({"id":"t2","query":"/not/here.txt","members":["/also/not.txt"]})");
+  EXPECT_NE(missing.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(missing.find("\"id\":\"t2\""), std::string::npos);
+  const std::string invalid = service.HandleJobLine(
+      R"({"id":"t3","query":"q.txt","members":[]})");
+  EXPECT_NE(invalid.find("\"status\":\"error\""), std::string::npos);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "obs/context.h"
 #include "serve/service.h"
+#include "util/json_parser.h"
 
 namespace ems {
 namespace serve {
@@ -253,6 +254,74 @@ TEST_F(ShardedServiceTest, StatsCarriesRouterAndPerShardBreakdown) {
   const std::string unknown =
       router.HandleLineSync("{\"cmd\":\"nope\",\"id\":\"u\"}");
   EXPECT_NE(unknown.find("\"status\":\"error\""), std::string::npos);
+}
+
+// topk fan-out: members partition across shards by the hash ring, each
+// shard ranks its subset, and the router's merge must reproduce the
+// single service's ranking — same members, same order, same exact
+// score bits.
+TEST_F(ShardedServiceTest, TopKFanOutMergesToTheSingleServiceRanking) {
+  std::vector<std::string> members;
+  for (int i = 0; i < 6; ++i) {
+    const std::string path =
+        TempDir() + "/sharded_topk_" + std::to_string(i) + ".txt";
+    WriteFile(path, i < 3 ? "a;b;c;d\na;b;d\na;c;d\n"
+                          : "x;y;z\nx;z;y\nz;x;y\n");
+    members.push_back(path);
+  }
+  std::string member_list;
+  for (const std::string& m : members) {
+    member_list += (member_list.empty() ? "\"" : ",\"") + m + "\"";
+  }
+  const std::string line = R"({"id":"tk1","query":")" + members[0] +
+                           R"(","topk":4,"members":[)" + member_list +
+                           R"(],"labels":"qgram","alpha":0.5})";
+
+  ShardedServiceOptions sharded_options;
+  sharded_options.num_shards = 2;
+  sharded_options.total_threads = 2;
+  ShardedMatchService router(sharded_options);
+  const std::string merged_line = router.HandleLineSync(line);
+  router.WaitDrained();
+
+  ServiceOptions plain_options;
+  plain_options.threads = 2;
+  BatchMatchService plain(plain_options);
+  const std::string plain_line = plain.HandleJobLine(line);
+
+  Result<JsonValue> merged = ParseJson(merged_line);
+  Result<JsonValue> single = ParseJson(plain_line);
+  ASSERT_TRUE(merged.ok()) << merged_line;
+  ASSERT_TRUE(single.ok()) << plain_line;
+  EXPECT_EQ(merged->GetString("status", ""), "ok") << merged_line;
+  EXPECT_EQ(single->GetString("status", ""), "ok") << plain_line;
+  // The hash ring decides the partition; at least one shard answered.
+  EXPECT_GE(merged->GetInt("shards", -1), 1);
+
+  const JsonValue* mh = merged->Find("hits");
+  const JsonValue* sh = single->Find("hits");
+  ASSERT_NE(mh, nullptr);
+  ASSERT_NE(sh, nullptr);
+  ASSERT_EQ(mh->array_items().size(), 4u);
+  ASSERT_EQ(sh->array_items().size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    const JsonValue& a = mh->array_items()[i];
+    const JsonValue& b = sh->array_items()[i];
+    EXPECT_EQ(a.GetString("member", "?"), b.GetString("member", "!"))
+        << "rank " << i;
+    EXPECT_EQ(a.GetString("score_bits", "?"), b.GetString("score_bits", "!"))
+        << "rank " << i;
+    EXPECT_EQ(a.GetInt("rank", -1), static_cast<int>(i) + 1);
+  }
+  // The query is members[0]; its family twins must lead the ranking.
+  EXPECT_EQ(mh->array_items()[0].GetString("member", ""), members[0]);
+
+  // The merged stats aggregate every shard's candidates.
+  const JsonValue* stats = merged->Find("index");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->GetInt("candidates_retrieved", -1), 6);
+
+  for (const std::string& m : members) std::remove(m.c_str());
 }
 
 TEST_F(ShardedServiceTest, PerShardCacheDirsAreDisjoint) {

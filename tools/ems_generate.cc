@@ -5,6 +5,11 @@
 //   ems_generate [options] OUTPUT_DIR
 //
 // Options:
+//   --corpus=N           generate an N-member warehouse corpus instead
+//                        of pairs: many process families with private
+//                        vocabularies, --family-size members each
+//                        (docs/CORPUS.md); writes <dir>/famK_<m>.<ext>
+//   --family-size=N      members per corpus family (default 2)
 //   --pairs=N            log pairs to generate (default 10)
 //   --testbed=dsf|dsb|dsfb   dislocation testbed (default dsfb)
 //   --activities=N       activities per process (default 20)
@@ -56,6 +61,8 @@ Status ExportTruth(const GroundTruth& truth, const std::string& path) {
 
 int main(int argc, char** argv) {
   int pairs = 10;
+  int corpus = 0;
+  int family_size = 2;
   std::string testbed = "dsfb";
   int activities = 20;
   int traces = 150;
@@ -73,7 +80,10 @@ int main(int argc, char** argv) {
                                        : nullptr;
     };
     if (const char* v = value_of("pairs")) pairs = std::atoi(v);
-    else if (const char* v = value_of("testbed")) testbed = v;
+    else if (const char* v = value_of("corpus")) corpus = std::atoi(v);
+    else if (const char* v = value_of("family-size")) {
+      family_size = std::atoi(v);
+    } else if (const char* v = value_of("testbed")) testbed = v;
     else if (const char* v = value_of("activities")) activities = std::atoi(v);
     else if (const char* v = value_of("traces")) traces = std::atoi(v);
     else if (const char* v = value_of("dislocation")) {
@@ -97,6 +107,30 @@ int main(int argc, char** argv) {
   Testbed tb = testbed == "dsf"   ? Testbed::kDsF
                : testbed == "dsb" ? Testbed::kDsB
                                   : Testbed::kDsFB;
+
+  if (corpus > 0) {
+    SynthCorpusOptions corpus_opts;
+    corpus_opts.num_members = corpus;
+    corpus_opts.members_per_family = family_size;
+    corpus_opts.seed = seed;
+    corpus_opts.min_activities = std::max(4, activities - 5);
+    corpus_opts.max_activities = activities + 5;
+    corpus_opts.num_traces = traces;
+    std::vector<CorpusMember> members = MakeCorpus(corpus_opts);
+    for (const CorpusMember& member : members) {
+      Status s = ExportLog(member.log, dir + "/" + member.name, format);
+      if (!s.ok()) {
+        std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    const int families =
+        members.empty() ? 0 : members.back().family + 1;
+    std::printf("generated a %zu-member corpus (%d families, ~%d members "
+                "each, %d traces) in %s\n",
+                members.size(), families, family_size, traces, dir.c_str());
+    return 0;
+  }
 
   Rng meta(seed);
   for (int k = 0; k < pairs; ++k) {

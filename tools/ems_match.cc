@@ -3,8 +3,21 @@
 // matching pipeline, and prints the correspondences.
 //
 //   ems_match [options] LOG1 LOG2
+//   ems_match [options] --corpus=DIR --topk=K QUERY
+//
+// The second form ranks every log in DIR against QUERY and prints the
+// top-k, scheduled through the corpus index (docs/CORPUS.md): candidates
+// are ranked by an admissible score bound and exact matching stops once
+// the k-th best exact score beats every remaining bound — same ranking
+// as matching QUERY against every member, at a fraction of the runs.
+// With --cache-dir the built index persists as a corpus snapshot, so
+// re-querying an unchanged directory skips parsing and graph builds.
 //
 // Options:
+//   --corpus=DIR                  corpus directory (top-k mode)
+//   --topk=K                      hits to return (default 5)
+//   --brute-force                 rank by matching every member (the
+//                                 equivalence baseline for the index)
 //   --format=auto|trace|csv|xes|mxml  input format (default auto)
 //   --labels=none|qgram|levenshtein|jaro|tokens
 //                                 label similarity (default qgram)
@@ -41,10 +54,14 @@
 
 #include "core/match_report.h"
 #include "core/matcher.h"
+#include "exec/thread_pool.h"
+#include "index/corpus_io.h"
+#include "index/topk_scheduler.h"
 #include "obs/context.h"
 #include "obs/report.h"
 #include "serve/log_cache.h"
 #include "store/artifact_store.h"
+#include "util/json_writer.h"
 #include "util/timer.h"
 
 namespace {
@@ -79,6 +96,9 @@ struct Flags {
   std::string metrics_out;
   std::string trace_out;
   std::string cache_dir;
+  std::string corpus;
+  int topk = 5;
+  bool brute_force = false;
   std::vector<std::string> positional;
 };
 
@@ -125,14 +145,28 @@ Result<Flags> ParseArgs(int argc, char** argv) {
       flags.trace_out = value;
     } else if (ParseFlag(arg, "cache-dir", &value)) {
       flags.cache_dir = value;
+    } else if (ParseFlag(arg, "corpus", &value)) {
+      flags.corpus = value;
+    } else if (ParseFlag(arg, "topk", &value)) {
+      flags.topk = std::atoi(value.c_str());
+      if (flags.topk < 0) {
+        return Status::InvalidArgument("--topk must be >= 0");
+      }
+    } else if (arg == "--brute-force") {
+      flags.brute_force = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown option '" + arg + "'");
     } else {
       flags.positional.push_back(arg);
     }
   }
-  if (flags.positional.size() != 2) {
-    return Status::InvalidArgument("expected exactly two log files");
+  if (flags.corpus.empty()) {
+    if (flags.positional.size() != 2) {
+      return Status::InvalidArgument("expected exactly two log files");
+    }
+  } else if (flags.positional.size() != 1) {
+    return Status::InvalidArgument(
+        "--corpus mode expects exactly one query log");
   }
   return flags;
 }
@@ -199,6 +233,144 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out;
 }
 
+int RunCorpusQuery(const Flags& flags, store::ArtifactStore* store,
+                   ObsContext* obs) {
+  Result<MatchOptions> options = ToMatchOptions(flags);
+  if (!options.ok()) {
+    std::fprintf(stderr, "error: %s\n", options.status().message().c_str());
+    return 2;
+  }
+  MatchOptions match_options = *options;
+  if (obs != nullptr) match_options.obs.context = obs;
+  // Parallelism goes across candidates, not inside one EMS run.
+  match_options.ems.num_threads = 1;
+
+  index::CorpusLoadOptions load;
+  load.format = flags.format;
+  load.index.min_edge_frequency = match_options.min_edge_frequency;
+  load.index.obs = obs;
+  load.store = store;
+
+  Timer build_timer;
+  Result<index::CorpusIndex> corpus =
+      index::LoadCorpusFromDirectory(flags.corpus, load);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error loading corpus %s: %s\n",
+                 flags.corpus.c_str(), corpus.status().ToString().c_str());
+    return 1;
+  }
+  const double build_millis = build_timer.ElapsedMillis();
+
+  Result<EventLog> query = serve::LoadEventLogThroughStore(
+      store, flags.positional[0], flags.format);
+  if (!query.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", flags.positional[0].c_str(),
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  exec::ThreadPoolOptions pool_options;
+  pool_options.num_threads =
+      flags.threads < 0 ? 0 : (flags.threads == 0 ? 1 : flags.threads);
+  exec::ThreadPool pool(pool_options);
+
+  index::TopKOptions topk_options;
+  topk_options.k = static_cast<size_t>(flags.topk);
+  topk_options.match = match_options;
+  topk_options.pool = &pool;
+  topk_options.obs = obs;
+  topk_options.force_brute_force = flags.brute_force;
+  index::TopKScheduler scheduler(*corpus, topk_options);
+
+  Timer query_timer;
+  Result<std::vector<index::TopKHit>> hits = scheduler.Query(*query);
+  const double query_millis = query_timer.ElapsedMillis();
+  if (!hits.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 hits.status().ToString().c_str());
+    return 1;
+  }
+  const index::TopKStats& stats = scheduler.stats();
+
+  if (flags.json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("query");
+    w.String(flags.positional[0]);
+    w.Key("corpus");
+    w.String(flags.corpus);
+    w.Key("k");
+    w.Int(flags.topk);
+    w.Key("build_millis");
+    w.Number(build_millis);
+    w.Key("query_millis");
+    w.Number(query_millis);
+    w.Key("hits");
+    w.BeginArray();
+    for (size_t i = 0; i < hits->size(); ++i) {
+      const index::TopKHit& hit = (*hits)[i];
+      w.BeginObject();
+      w.Key("member");
+      w.String(hit.name);
+      w.Key("rank");
+      w.Int(static_cast<long long>(i + 1));
+      w.Key("score");
+      w.Number(hit.score);
+      w.Key("bound");
+      w.Number(hit.bound);
+      w.Key("correspondences");
+      w.Int(static_cast<long long>(hit.match.correspondences.size()));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("index");
+    w.BeginObject();
+    w.Key("candidates_retrieved");
+    w.Int(static_cast<long long>(stats.candidates_retrieved));
+    w.Key("pruned_by_bound");
+    w.Int(static_cast<long long>(stats.pruned_by_bound));
+    w.Key("exact_runs");
+    w.Int(static_cast<long long>(stats.exact_runs));
+    w.Key("aborted_runs");
+    w.Int(static_cast<long long>(stats.aborted_runs));
+    w.Key("brute_force");
+    w.Bool(stats.used_brute_force);
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else if (flags.tsv) {
+    std::printf("rank\tmember\tscore\n");
+    for (size_t i = 0; i < hits->size(); ++i) {
+      std::printf("%zu\t%s\t%.12f\n", i + 1, (*hits)[i].name.c_str(),
+                  (*hits)[i].score);
+    }
+  } else {
+    std::printf("corpus %s: %zu members (indexed in %.1f ms)\n",
+                flags.corpus.c_str(), corpus->size(), build_millis);
+    std::printf("top %d for %s:\n", flags.topk, flags.positional[0].c_str());
+    for (size_t i = 0; i < hits->size(); ++i) {
+      const index::TopKHit& hit = (*hits)[i];
+      std::printf("  %2zu. %-48s score %.6f (%zu correspondences)\n", i + 1,
+                  hit.name.c_str(), hit.score,
+                  hit.match.correspondences.size());
+    }
+    if (stats.used_brute_force) {
+      std::printf("\nbrute force: %llu exact runs in %.1f ms\n",
+                  static_cast<unsigned long long>(stats.exact_runs),
+                  query_millis);
+    } else {
+      std::printf("\nindex: %llu candidates, %llu pruned by bound, %llu "
+                  "exact runs (%llu aborted) in %.1f ms\n",
+                  static_cast<unsigned long long>(stats.candidates_retrieved),
+                  static_cast<unsigned long long>(stats.pruned_by_bound),
+                  static_cast<unsigned long long>(stats.exact_runs),
+                  static_cast<unsigned long long>(stats.aborted_runs),
+                  query_millis);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,6 +402,10 @@ int main(int argc, char** argv) {
   }
   store::ArtifactStore* store_ptr =
       artifact_store.has_value() ? &*artifact_store : nullptr;
+
+  if (!flags.corpus.empty()) {
+    return RunCorpusQuery(flags, store_ptr, want_obs ? &obs : nullptr);
+  }
 
   Result<EventLog> log1 = serve::LoadEventLogThroughStore(
       store_ptr, flags.positional[0], flags.format);

@@ -133,6 +133,48 @@ Latency FindLatency(const JsonValue& stats, const char* name) {
   return latency;
 }
 
+// A counter from the metrics snapshot, or 0 when absent.
+double FindCounter(const JsonValue& stats, const char* name) {
+  const JsonValue* snapshot = stats.Find("snapshot");
+  if (snapshot == nullptr) return 0.0;
+  const JsonValue* counters = snapshot->Find("counters");
+  return counters == nullptr ? 0.0 : counters->GetNumber(name, 0.0);
+}
+
+// The corpus-index breakdown (docs/CORPUS.md): how the top-k scheduler
+// disposed of its candidates — pruned at the bound, aborted mid-run, or
+// run to an exact score — plus the corpus-cache hit rate and the bound
+// tightness p50/p90. Services that never answered a topk job carry no
+// index.* counters, so this renders nothing for them.
+void RenderIndexMetrics(const JsonValue& stats) {
+  const double candidates = FindCounter(stats, "index.candidates_retrieved");
+  const double topk_jobs = FindCounter(stats, "serve.topk_jobs");
+  if (candidates <= 0.0 && topk_jobs <= 0.0) return;
+  const double pruned = FindCounter(stats, "index.pruned_by_bound");
+  const double aborted = FindCounter(stats, "index.aborted_runs");
+  const double exact = FindCounter(stats, "index.exact_runs");
+  std::printf("index       %lld queries, %lld candidates: "
+              "%5.1f%% pruned  %5.1f%% aborted  %5.1f%% exact\n",
+              static_cast<long long>(FindCounter(stats, "index.queries")),
+              static_cast<long long>(candidates),
+              candidates > 0.0 ? 100.0 * pruned / candidates : 0.0,
+              candidates > 0.0 ? 100.0 * aborted / candidates : 0.0,
+              candidates > 0.0 ? 100.0 * exact / candidates : 0.0);
+  const double corpus_hits = FindCounter(stats, "serve.corpus_cache.hits");
+  const double corpus_misses =
+      FindCounter(stats, "serve.corpus_cache.misses");
+  const double corpus_lookups = corpus_hits + corpus_misses;
+  const Latency tightness = FindLatency(stats, "index.bound_tightness");
+  std::printf("corpus      %lld topk jobs, index cache hit rate %5.1f%% "
+              "(%lld/%lld), bound tightness p50 %.3f p90 %.3f\n",
+              static_cast<long long>(topk_jobs),
+              corpus_lookups > 0.0 ? 100.0 * corpus_hits / corpus_lookups
+                                   : 0.0,
+              static_cast<long long>(corpus_hits),
+              static_cast<long long>(corpus_lookups), tightness.p50,
+              tightness.p90);
+}
+
 // A ten-cell [=====     ] gauge of value/capacity.
 std::string GaugeBar(double value, double capacity) {
   const int cells = 10;
@@ -251,6 +293,7 @@ bool RenderFrame(const std::string& line, bool clear_screen) {
                 static_cast<long long>(
                     pool->GetNumber("queue_capacity", 0.0)));
   }
+  RenderIndexMetrics(stats);
   RenderShards(stats);
   std::fflush(stdout);
   return true;
