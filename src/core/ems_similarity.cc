@@ -531,6 +531,31 @@ SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
                                     ? "ems_forward"
                                     : "ems_backward");
   SimilarityMatrix prev = InitialMatrix();
+  const SimilarityMatrix* seed_matrix = nullptr;
+  if (options_.seed != nullptr) {
+    seed_matrix = direction == Direction::kForward ? options_.seed->forward
+                                                   : options_.seed->backward;
+    if (seed_matrix != nullptr && seed_matrix->rows() == 0) {
+      seed_matrix = nullptr;
+    }
+  }
+  if (seed_matrix != nullptr) {
+    // Warm start: overlay the seed's real block over S^0 (see EmsSeed in
+    // the header for why any seed converges to the same fixpoint). The
+    // artificial row/column keeps the S^0 boundary, and nodes beyond the
+    // seed's dimensions (appended vocabulary) start cold at 0.
+    const NodeId copy_rows = static_cast<NodeId>(
+        std::min(g1_.NumNodes(), seed_matrix->rows()));
+    const NodeId copy_cols = static_cast<NodeId>(
+        std::min(g2_.NumNodes(), seed_matrix->cols()));
+    for (NodeId v1 = 0; v1 < copy_rows; ++v1) {
+      if (g1_.IsArtificial(v1)) continue;
+      for (NodeId v2 = 0; v2 < copy_cols; ++v2) {
+        if (g2_.IsArtificial(v2)) continue;
+        prev.set(v1, v2, seed_matrix->at(v1, v2));
+      }
+    }
+  }
   const std::vector<bool>* frozen_rows = nullptr;
   const std::vector<bool>* frozen_cols = nullptr;
   if (controls != nullptr &&
@@ -567,6 +592,44 @@ SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
     delta_state.next_row_changed.assign(n1, 0);
     delta_state.next_col_changed.assign(n2, 0);
     delta = &delta_state;
+    if (seed_matrix != nullptr) {
+      // Prime the change bitmaps from the caller's hints so iteration 1
+      // may copy pairs whose input neighborhoods are entirely clean
+      // (EmsSeed documents when a clear bit is sound). Absent hints mean
+      // everything changed; indices past a hint's length are new nodes.
+      auto prime = [](std::vector<uint8_t>* bits,
+                      const std::vector<uint8_t>* hint) {
+        for (size_t i = 0; i < bits->size(); ++i) {
+          (*bits)[i] = hint != nullptr && i < hint->size() ? (*hint)[i] : 1;
+        }
+      };
+      prime(&delta_state.row_changed, options_.seed->changed_rows);
+      prime(&delta_state.col_changed, options_.seed->changed_cols);
+      const DirectionTables& t = TablesFor(direction);
+      DeriveDirty(t.a1, delta_state.row_changed, &delta_state.dirty1);
+      DeriveDirty(t.a2, delta_state.col_changed, &delta_state.dirty2);
+      delta_state.active = true;
+    }
+  }
+
+  // With run_to_horizon, keep iterating at least through the largest
+  // finite convergence horizon of this direction: every finite-horizon
+  // pair then holds its seed-independent exact fixpoint bits on return
+  // (warm == cold byte-identical on acyclic instances).
+  int horizon_floor = 0;
+  if (options_.run_to_horizon) {
+    const std::vector<int>& h1 = direction == Direction::kForward
+                                     ? g1_.LongestDistancesFromArtificial()
+                                     : g1_.LongestDistancesToArtificial();
+    const std::vector<int>& h2 = direction == Direction::kForward
+                                     ? g2_.LongestDistancesFromArtificial()
+                                     : g2_.LongestDistancesToArtificial();
+    for (int d : h1) {
+      if (d != kInfiniteDistance) horizon_floor = std::max(horizon_floor, d);
+    }
+    for (int d : h2) {
+      if (d != kInfiniteDistance) horizon_floor = std::max(horizon_floor, d);
+    }
   }
 
   SimilarityMatrix next = prev;
@@ -598,7 +661,7 @@ SimilarityMatrix EmsSimilarity::RunDirection(Direction direction,
       if (controls->aborted != nullptr) *controls->aborted = true;
       break;
     }
-    if (delta_max <= options_.epsilon) break;
+    if (delta_max <= options_.epsilon && n >= horizon_floor) break;
   }
   if (iterations_done != nullptr) *iterations_done = n;
   return prev;
@@ -639,11 +702,18 @@ SimilarityMatrix EmsSimilarity::ComputeControlled(Direction direction,
 SimilarityMatrix EmsSimilarity::Compute() {
   ScopedSpan span(options_.obs, "ems_fixpoint");
   stats_ = EmsStats{};
+  captured_forward_.reset();
+  captured_backward_.reset();
   if (options_.direction != Direction::kBoth) {
     int iters = 0;
     SimilarityMatrix result =
         RunDirection(options_.direction, options_.max_iterations, &iters);
     stats_.iterations = iters;
+    if (options_.capture_direction_matrices) {
+      (options_.direction == Direction::kForward ? captured_forward_
+                                                 : captured_backward_) =
+          result;
+    }
     FlushStatsToObs();
     return result;
   }
@@ -654,6 +724,10 @@ SimilarityMatrix EmsSimilarity::Compute() {
   SimilarityMatrix backward =
       RunDirection(Direction::kBackward, options_.max_iterations, &bwd_iters);
   stats_.iterations = std::max(fwd_iters, bwd_iters);
+  if (options_.capture_direction_matrices) {
+    captured_forward_ = forward;
+    captured_backward_ = backward;
+  }
   FlushStatsToObs();
   // Aggregate the two directions by average (Section 3.6): an
   // element-wise pass over the flat buffers, partitioned across the pool

@@ -102,6 +102,59 @@ struct EmsOptions {
   /// coefficients on the fly (still CSR + fused + delta-skipping).
   /// 0 disables the tables outright.
   size_t coeff_table_max_bytes = 64ull << 20;
+
+  /// Warm-start seed (borrowed, not owned); null = cold start from S^0.
+  /// See EmsSeed for the soundness contract.
+  const struct EmsSeed* seed = nullptr;
+
+  /// Floor the iteration count at the largest finite convergence horizon
+  /// of the direction (max over both graphs of the finite longest
+  /// distances). With this set, every finite-horizon pair is recomputed
+  /// at least through its horizon, so the returned values of those pairs
+  /// are the exact fixpoint bits REGARDLESS of the starting matrix — a
+  /// warm-started run and a cold run return byte-identical matrices on
+  /// acyclic instances. Costs nothing on cold runs (the epsilon stop
+  /// rarely fires before the horizon).
+  bool run_to_horizon = false;
+
+  /// Keep a copy of each direction's converged matrix (retrievable via
+  /// captured_forward()/captured_backward() after Compute) — the raw
+  /// material of the next warm-start seed. Off by default: it doubles
+  /// the matrix footprint of a kBoth run.
+  bool capture_direction_matrices = false;
+};
+
+/// Warm-start seed for EmsSimilarity: per-direction starting matrices
+/// (typically the previous run's fixpoints) plus optional change hints.
+///
+/// Soundness: ANY seed matrix yields the correct fixpoint. Pairs with a
+/// finite convergence horizon h recompute their exact value at iteration
+/// h from inputs that are themselves exact (the Proposition 2 induction
+/// never reads S^0 at or beyond the horizon), and infinite-horizon pairs
+/// contract geometrically (Theorem 1) from the nearer starting point —
+/// that contraction is where warm starts save iterations under the
+/// epsilon stop. The artificial row/column boundary of S^0 is always
+/// re-asserted over the seed.
+///
+/// Hints: a CLEAR bit in changed_rows[v] (changed_cols[v]) asserts that
+/// row v (column v) of the seed is carried over from a fixpoint computed
+/// on graphs whose frequencies and similarities relevant to that node
+/// are unchanged — iteration 1 may then copy pairs whose input
+/// neighborhoods are entirely clean instead of re-evaluating them. Null
+/// hints mean "everything changed" (always sound; the right call after a
+/// real append, where the trace-count denominator moves every
+/// frequency). All-clean hints are the identical-state resume: one
+/// iteration, byte-identical return of the seed. Indices beyond a hint's
+/// length (new nodes) are treated as changed.
+struct EmsSeed {
+  /// Starting matrices per direction (borrowed). Null — or smaller than
+  /// the current graphs, in which case the overlap is used — falls back
+  /// to S^0 entries. A matrix with zero rows is treated as absent.
+  const SimilarityMatrix* forward = nullptr;
+  const SimilarityMatrix* backward = nullptr;
+
+  const std::vector<uint8_t>* changed_rows = nullptr;
+  const std::vector<uint8_t>* changed_cols = nullptr;
 };
 
 /// Counters describing one similarity computation (Figures 6 and 12
@@ -195,6 +248,16 @@ class EmsSimilarity {
   /// Counters of the last Compute/ComputePartial call.
   const EmsStats& stats() const { return stats_; }
 
+  /// Per-direction converged matrices of the last Compute call; null
+  /// unless options.capture_direction_matrices was set (and, for a
+  /// single-direction run, for the direction that ran).
+  const SimilarityMatrix* captured_forward() const {
+    return captured_forward_ ? &*captured_forward_ : nullptr;
+  }
+  const SimilarityMatrix* captured_backward() const {
+    return captured_backward_ ? &*captured_backward_ : nullptr;
+  }
+
   /// The per-pair convergence horizon h = min(l(v1), l(v2)) for the given
   /// direction (kInfiniteDistance when a cycle prevents early
   /// convergence). Requires artificial events on both graphs.
@@ -258,6 +321,8 @@ class EmsSimilarity {
   std::vector<double> label_flat_;
   bool has_labels_ = false;
   EmsStats stats_;
+  std::optional<SimilarityMatrix> captured_forward_;
+  std::optional<SimilarityMatrix> captured_backward_;
   std::unique_ptr<exec::ThreadPool> owned_pool_;
   std::unique_ptr<DirectionTables> forward_tables_;
   std::unique_ptr<DirectionTables> backward_tables_;

@@ -1,0 +1,96 @@
+#include "core/warm_match.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ems_similarity.h"
+#include "obs/context.h"
+#include "text/label_similarity.h"
+
+namespace ems {
+
+Result<MatchResult> MatchWithGraphsWarm(
+    const MatchOptions& options, const EventLog& log1, const EventLog& log2,
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const WarmSeed* seed, bool assume_unchanged, WarmSeed* next_seed,
+    WarmMatchStats* stats) {
+  if (options.match_composites) {
+    return Status::InvalidArgument(
+        "warm matching requires match_composites == false");
+  }
+  if (options.engine != SimilarityEngine::kExact) {
+    return Status::InvalidArgument("warm matching requires the exact engine");
+  }
+  ObsContext* obs = options.obs.context;
+  ScopedSpan root(obs, "warm_match");
+
+  MatchResult result;
+  result.graph1 = g1;
+  result.graph2 = g2;
+
+  std::unique_ptr<LabelSimilarity> measure =
+      MakeLabelMeasure(options.label_measure);
+  std::vector<std::vector<double>> labels;
+  const std::vector<std::vector<double>>* labels_ptr = nullptr;
+  if (options.label_measure != LabelMeasure::kNone) {
+    ScopedSpan span(obs, "label_similarity");
+    labels = LabelSimilarityMatrix(g1, g2, *measure, options.ems.pool);
+    labels_ptr = &labels;
+  }
+
+  EmsOptions ems_opts = options.ems;
+  ems_opts.obs = obs;
+  ems_opts.capture_direction_matrices = true;
+  EmsSeed ems_seed;
+  std::vector<uint8_t> clean_rows, clean_cols;
+  const bool warm = seed != nullptr && seed->valid;
+  if (warm) {
+    ems_seed.forward = &seed->forward;
+    ems_seed.backward = &seed->backward;
+    if (assume_unchanged) {
+      clean_rows.assign(g1.NumNodes(), 0);
+      clean_cols.assign(g2.NumNodes(), 0);
+      ems_seed.changed_rows = &clean_rows;
+      ems_seed.changed_cols = &clean_cols;
+    }
+    ems_opts.seed = &ems_seed;
+  }
+
+  EmsSimilarity sim(g1, g2, ems_opts, labels_ptr);
+  result.similarity = sim.Compute();
+  result.ems_stats = sim.stats();
+
+  if (next_seed != nullptr) {
+    const SimilarityMatrix* fwd = sim.captured_forward();
+    const SimilarityMatrix* bwd = sim.captured_backward();
+    next_seed->forward = fwd != nullptr ? *fwd : SimilarityMatrix();
+    next_seed->backward = bwd != nullptr ? *bwd : SimilarityMatrix();
+    // A warm chain keeps measuring against the cold run that started it.
+    next_seed->cold_iterations =
+        warm ? seed->cold_iterations : sim.stats().iterations;
+    next_seed->valid = true;
+  }
+  if (stats != nullptr) {
+    stats->iterations = sim.stats().iterations;
+    stats->warm = warm;
+    stats->iterations_saved =
+        warm ? std::max(0, seed->cold_iterations - sim.stats().iterations)
+             : 0;
+  }
+  if (obs != nullptr && warm) {
+    ObsIncrement(obs, "stream.warm_matches");
+    ObsIncrement(obs, "stream.warm_iterations",
+                 static_cast<uint64_t>(sim.stats().iterations));
+    ObsIncrement(
+        obs, "stream.iterations_saved",
+        static_cast<uint64_t>(std::max(
+            0, (seed->cold_iterations - sim.stats().iterations))));
+  }
+
+  SelectCorrespondences(options, log1, log2, &result);
+  return result;
+}
+
+}  // namespace ems

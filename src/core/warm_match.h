@@ -1,0 +1,66 @@
+// Warm-start matching for streaming ingestion: re-runs the 1:1 match
+// pipeline over already-maintained dependency graphs, seeding the EMS
+// iteration with the previous fixpoint (EmsOptions::seed) so small
+// appends converge in a fraction of the cold iteration count. The seed
+// produced by each run feeds the next one, and `cold_iterations` carries
+// the chain's cold baseline forward so iterations_saved stays meaningful
+// across warm generations.
+#pragma once
+
+#include "core/matcher.h"
+#include "graph/dependency_graph.h"
+#include "log/event_log.h"
+#include "util/status.h"
+
+namespace ems {
+
+/// State carried between warm re-matches of one log pair: the converged
+/// per-direction EMS matrices plus the iteration count of the cold run
+/// that started the chain.
+struct WarmSeed {
+  SimilarityMatrix forward;
+  SimilarityMatrix backward;
+
+  /// Iterations of the chain's cold (unseeded) run — the baseline that
+  /// iterations_saved is measured against. Propagated, not recomputed,
+  /// across warm generations.
+  int cold_iterations = 0;
+
+  bool valid = false;
+};
+
+/// Counters of one MatchWithGraphsWarm call.
+struct WarmMatchStats {
+  /// Iterations of this run (max over directions).
+  int iterations = 0;
+
+  /// max(0, seed cold_iterations - iterations); 0 on cold runs.
+  int iterations_saved = 0;
+
+  /// True when a valid seed was applied.
+  bool warm = false;
+};
+
+/// Runs the non-composite exact match pipeline (label similarity, EMS,
+/// selection) over prebuilt graphs, warm-started from `seed` when it is
+/// non-null and valid.
+///
+/// `assume_unchanged` asserts the graphs are bit-identical to the ones
+/// the seed converged on (restart resume, or an append that folded zero
+/// traces): the run then passes all-clean change hints and returns the
+/// seed byte-identically after one iteration. For real appends leave it
+/// false — the trace-count denominator moves every frequency, so
+/// everything must be marked changed (null hints).
+///
+/// On success fills `next_seed` (when non-null) with this run's
+/// per-direction fixpoints for the next generation, and `stats` (when
+/// non-null) with iteration counters. Requires engine == kExact and
+/// match_composites == false; composite and estimated pipelines restart
+/// cold by design (their inner runs are not seedable).
+Result<MatchResult> MatchWithGraphsWarm(
+    const MatchOptions& options, const EventLog& log1, const EventLog& log2,
+    const DependencyGraph& g1, const DependencyGraph& g2,
+    const WarmSeed* seed, bool assume_unchanged, WarmSeed* next_seed,
+    WarmMatchStats* stats);
+
+}  // namespace ems

@@ -197,6 +197,7 @@ class DependencyGraph {
 
  private:
   friend class DependencyGraphBuilder;
+  friend class StreamingDependencyGraph;  // in-place append maintenance
   friend struct store::SnapshotAccess;
 
   bool ValidNode(NodeId v) const {

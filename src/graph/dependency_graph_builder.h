@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -53,6 +54,16 @@ class DependencyGraphBuilder {
   Result<DependencyGraph> BuildWithComposites(
       const std::vector<std::vector<EventId>>& composites,
       const DependencyGraphOptions& options = {}) const;
+
+  /// Folds traces [first_new_trace, log.NumTraces()) of the borrowed log
+  /// into the summary (streaming ingestion, docs/STREAMING.md). The log
+  /// must have grown in place via EventLog::AppendTraces;
+  /// `first_new_trace` must equal num_traces(). The resulting builder
+  /// state — group order, multiplicities, first-occurrence order — is
+  /// identical to constructing a fresh builder over the extended log, so
+  /// subsequent BuildWithComposites calls stay bit-identical to the
+  /// trace-scan reference.
+  void Append(size_t first_new_trace);
 
   /// Builds completed from the summary (no trace re-scan).
   uint64_t incremental_builds() const {
@@ -98,6 +109,13 @@ class DependencyGraphBuilder {
   // with singleton names under by-name interning; delegate to the
   // reference path instead of reproducing the aliasing arithmetic.
   bool plus_in_names_ = false;
+
+  // Group key -> index into groups_, rebuilt lazily on the first Append
+  // (the constructor's map is transient) and maintained thereafter.
+  using GroupKey = std::pair<std::vector<EventId>,
+                             std::vector<std::pair<EventId, EventId>>>;
+  std::map<GroupKey, size_t> group_index_;
+  bool has_group_index_ = false;
 
   mutable std::atomic<uint64_t> incremental_builds_{0};
   mutable std::atomic<uint64_t> fallback_builds_{0};

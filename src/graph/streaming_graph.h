@@ -1,0 +1,97 @@
+// Incremental dependency-graph maintenance for streaming ingestion
+// (docs/STREAMING.md). A batch of appended traces changes the graph in
+// two very different ways:
+//   * structurally, it is sparse — only direct-follows pairs whose trace
+//     count crossed zero (or crossed the minimum-frequency threshold as
+//     the denominator grew) add or remove edges, and only new vocabulary
+//     adds nodes;
+//   * numerically, it is dense — every normalized frequency is a count
+//     divided by the trace total, so one appended trace rescales every
+//     node and edge weight.
+// StreamingDependencyGraph therefore keeps the cumulative distinct-event
+// and distinct-succession trace counts, patches both adjacency
+// directions in place for the structural delta, rewrites the frequency
+// doubles with the exact count/num_traces divisions the batch builder
+// uses, and re-derives longest-distance cache rows only for nodes whose
+// path set could have changed (the reachability closure of the changed
+// edges). The maintained graph is bit-identical to
+// DependencyGraph::Build over the extended log — node order, edge order,
+// every double, and both distance caches (pinned by
+// tests/graph/streaming_graph_test.cc and the append-sequence fuzz in
+// tests/property/streaming_property_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "log/event_log.h"
+
+namespace ems {
+
+/// Per-append maintenance report (feeds the stream.* serve metrics).
+struct StreamingGraphStats {
+  size_t appended_traces = 0;
+  size_t new_nodes = 0;
+  /// Real edges inserted (new pairs, or pairs that crossed the
+  /// minimum-frequency threshold upward).
+  size_t added_edges = 0;
+  /// Real edges dropped (frequency fell below the threshold as the
+  /// trace denominator grew).
+  size_t removed_edges = 0;
+  /// Longest-distance cache rows re-derived across both directions; 0
+  /// when the caches were cold (still lazy) or the delta was purely
+  /// numeric (distances depend on structure only).
+  size_t distance_rows_invalidated = 0;
+};
+
+/// \brief Owns a DependencyGraph kept incrementally in sync with a
+/// growing EventLog.
+///
+/// The log is borrowed and must outlive this object; it must only grow
+/// through EventLog::AppendTraces between ApplyAppend calls (strict
+/// extension — existing trace indices and EventIds unchanged). Not
+/// thread-safe; callers serialize appends against readers of graph()
+/// (the serve layer holds a per-session lock).
+class StreamingDependencyGraph {
+ public:
+  explicit StreamingDependencyGraph(const EventLog& log,
+                                    const DependencyGraphOptions& options = {});
+
+  /// Folds traces [first_new_trace, log.NumTraces()) into the graph.
+  /// `first_new_trace` is AppendDelta::first_new_trace of the
+  /// corresponding EventLog::AppendTraces call (appends may be coalesced:
+  /// folding two batches at once is equivalent to folding them one by
+  /// one).
+  StreamingGraphStats ApplyAppend(size_t first_new_trace);
+
+  /// The maintained graph. Valid until the next ApplyAppend.
+  const DependencyGraph& graph() const { return graph_; }
+
+  size_t num_traces() const { return num_traces_; }
+  const DependencyGraphOptions& options() const { return options_; }
+
+ private:
+  using EdgeKey = std::pair<EventId, EventId>;
+
+  // Re-derives the rows of one longest-distance cache whose values could
+  // have changed: the reachability closure (along `forward` edges) of
+  // the changed-edge endpoints and new nodes, computed by a Tarjan pass
+  // restricted to the closure with clean-boundary reads from the cached
+  // array. Returns the number of rows rewritten.
+  size_t MaintainDistances(std::vector<int>& dist, bool forward,
+                           const std::vector<NodeId>& seeds) const;
+
+  const EventLog& log_;
+  DependencyGraphOptions options_;
+  DependencyGraph graph_;
+  size_t num_traces_ = 0;
+  // Cumulative Definition-1 counters: traces containing each event /
+  // each ordered direct-follows pair at least once.
+  std::vector<size_t> event_trace_counts_;
+  std::map<EdgeKey, size_t> follows_trace_counts_;
+};
+
+}  // namespace ems

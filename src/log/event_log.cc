@@ -23,6 +23,18 @@ void EventLog::AddTrace(const std::vector<std::string>& names) {
   traces_.push_back(std::move(t));
 }
 
+AppendDelta EventLog::AppendTraces(
+    const std::vector<std::vector<std::string>>& batch) {
+  AppendDelta delta;
+  delta.first_new_trace = traces_.size();
+  delta.first_new_event = names_.size();
+  delta.appended_traces = batch.size();
+  traces_.reserve(traces_.size() + batch.size());
+  for (const auto& names : batch) AddTrace(names);
+  delta.new_events = names_.size() - delta.first_new_event;
+  return delta;
+}
+
 void EventLog::AddTraceIds(Trace trace) {
 #ifndef NDEBUG
   for (EventId id : trace) {

@@ -22,6 +22,18 @@ inline constexpr EventId kInvalidEvent = -1;
 /// A trace is a finite sequence of events from the log's vocabulary.
 using Trace = std::vector<EventId>;
 
+/// \brief Delta descriptor of one EventLog::AppendTraces call.
+///
+/// Identifies the appended suffix so downstream incremental structures
+/// (StreamingDependencyGraph, DependencyGraphBuilder::Append) can fold in
+/// exactly the new traces instead of rescanning the log.
+struct AppendDelta {
+  size_t first_new_trace = 0;  ///< Trace count before the append.
+  size_t first_new_event = 0;  ///< Vocabulary size before the append.
+  size_t appended_traces = 0;  ///< Traces added by this call.
+  size_t new_events = 0;       ///< Names interned by this call.
+};
+
 /// \brief A multi-set of traces over an interned event vocabulary.
 ///
 /// An event log L is a multiset of traces from V* (paper, Section 2). The
@@ -48,6 +60,13 @@ class EventLog {
 
   /// Appends a trace given by event names, interning as needed.
   void AddTrace(const std::vector<std::string>& names);
+
+  /// Appends a batch of traces in place, interning new names at the end
+  /// of the vocabulary: existing EventIds, trace indices, and names are
+  /// all preserved (the appended log is a strict extension — the prefix
+  /// property incremental consumers rely on). Returns the delta.
+  AppendDelta AppendTraces(
+      const std::vector<std::vector<std::string>>& batch);
 
   /// Appends a trace of already-interned ids. Ids must be valid.
   void AddTraceIds(Trace trace);

@@ -129,6 +129,46 @@ std::string RenderResult(const std::string& id, const MatchResult& result,
   return w.str();
 }
 
+// An append result is a match result plus the streaming report: what the
+// batch changed and what the warm start saved.
+std::string RenderAppendResult(const std::string& id,
+                               const StreamAppendOutcome& outcome,
+                               double millis) {
+  std::string base = RenderResult(id, outcome.match, millis);
+  // Splice the "stream" object before the closing brace of the match
+  // rendering, keeping the two renderers from drifting apart.
+  base.pop_back();  // '}'
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("appended_traces");
+  w.Int(static_cast<long long>(outcome.graph_stats.appended_traces));
+  w.Key("total_traces");
+  w.Int(static_cast<long long>(outcome.total_traces));
+  w.Key("new_events");
+  w.Int(static_cast<long long>(outcome.new_events));
+  w.Key("new_nodes");
+  w.Int(static_cast<long long>(outcome.graph_stats.new_nodes));
+  w.Key("added_edges");
+  w.Int(static_cast<long long>(outcome.graph_stats.added_edges));
+  w.Key("removed_edges");
+  w.Int(static_cast<long long>(outcome.graph_stats.removed_edges));
+  w.Key("distance_rows_invalidated");
+  w.Int(static_cast<long long>(
+      outcome.graph_stats.distance_rows_invalidated));
+  w.Key("warm");
+  w.Bool(outcome.match_stats.warm);
+  w.Key("iterations");
+  w.Int(outcome.match_stats.iterations);
+  w.Key("iterations_saved");
+  w.Int(outcome.match_stats.iterations_saved);
+  w.Key("session_created");
+  w.Bool(outcome.session_created);
+  w.Key("resumed_from_store");
+  w.Bool(outcome.resumed_from_store);
+  w.EndObject();
+  return base + ",\"stream\":" + w.str() + "}";
+}
+
 // The exact IEEE-754 bits of a score, as a hex string. JSON numbers pass
 // through the parser as double, so a 64-bit integer would lose its low
 // bits on the way back in; a string round-trips exactly, which is what
@@ -212,6 +252,45 @@ Result<JobRequest> ParseJobRequest(const std::string& line) {
     return Status::InvalidArgument("job needs 'log1' and 'log2' paths");
   }
   request.format = doc.GetString("format", "auto");
+  EMS_RETURN_NOT_OK(ParseMatchOptions(doc, &request.options));
+  return request;
+}
+
+Result<AppendRequest> ParseAppendRequest(const std::string& line) {
+  EMS_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("append request must be a JSON object");
+  }
+  AppendRequest request;
+  request.id = doc.GetString("id", "");
+  request.log1 = doc.GetString("log1", "");
+  request.log2 = doc.GetString("log2", "");
+  if (request.log1.empty() || request.log2.empty()) {
+    return Status::InvalidArgument("append needs 'log1' and 'log2' paths");
+  }
+  request.format = doc.GetString("format", "auto");
+  request.delta = doc.GetString("delta", "");
+  const JsonValue* traces = doc.Find("traces");
+  if (traces != nullptr) {
+    if (!traces->is_array()) {
+      return Status::InvalidArgument(
+          "'traces' must be an array of arrays of event names");
+    }
+    for (const JsonValue& trace : traces->array_items()) {
+      if (!trace.is_array()) {
+        return Status::InvalidArgument("each appended trace must be an array");
+      }
+      std::vector<std::string> names;
+      names.reserve(trace.array_items().size());
+      for (const JsonValue& event : trace.array_items()) {
+        if (!event.is_string()) {
+          return Status::InvalidArgument("trace events must be strings");
+        }
+        names.push_back(event.string_value());
+      }
+      request.traces.push_back(std::move(names));
+    }
+  }
   EMS_RETURN_NOT_OK(ParseMatchOptions(doc, &request.options));
   return request;
 }
@@ -302,6 +381,7 @@ BatchMatchService::BatchMatchService(const ServiceOptions& options)
       store_(OpenStore(options_)),
       cache_(options_.cache_capacity, options_.obs, artifact_store(),
              options_.cache_byte_budget),
+      stream_sessions_(artifact_store(), options_.obs),
       flight_(options_.telemetry
                   ? std::make_unique<FlightRecorder>(
                         options_.flight_slow_capacity,
@@ -314,6 +394,7 @@ std::string BatchMatchService::HandleJobLine(const std::string& line) {
   Result<JsonValue> doc = ParseJson(line);
   if (doc.ok()) {
     const std::string cmd = AdminCommandOf(*doc);
+    if (cmd == "append") return HandleAppendJob(line);
     if (!cmd.empty()) {
       return HandleAdminCommand(cmd, doc->GetString("id", ""));
     }
@@ -505,27 +586,42 @@ std::string BatchMatchService::HandleMatchJob(const std::string& line) {
     if (job_obs != nullptr) {
       request->options.obs.context = job_obs.get();
     }
-    ScopedSpan load_span(job_obs.get(), "load_logs");
-    Result<std::shared_ptr<const EventLog>> log1 =
-        cache_.GetOrLoad(request->log1, request->format);
-    Result<std::shared_ptr<const EventLog>> log2 =
-        log1.ok() ? cache_.GetOrLoad(request->log2, request->format)
-                  : Result<std::shared_ptr<const EventLog>>(log1.status());
-    load_span.End();
-    if (!log1.ok()) {
-      failure = log1.status();
-    } else if (!log2.ok()) {
-      failure = log2.status();
-    } else {
-      // Jobs parallelize across the pool, so each matching runs
-      // single-threaded inside its worker (nested ParallelFor on the
-      // same pool would degrade to inline execution anyway).
-      Matcher matcher(request->options);
-      Result<MatchResult> result = matcher.Match(**log1, **log2);
-      if (result.ok()) {
-        rendered = RenderResult(request_id, *result, timer.ElapsedMillis());
+    // A live streaming session covering this pair is authoritative: its
+    // in-memory log carries appended traces the on-disk file (and hence
+    // the parsed-log cache) never sees. Consulting it FIRST is what
+    // keeps an append-then-match sequence from serving a stale parse.
+    std::optional<Result<StreamMatchOutcome>> session_match =
+        stream_sessions_.TryMatch(*request, job_obs.get());
+    if (session_match.has_value()) {
+      if (session_match->ok()) {
+        rendered = RenderResult(request_id, (*session_match)->match,
+                                timer.ElapsedMillis());
       } else {
-        failure = result.status();
+        failure = session_match->status();
+      }
+    } else {
+      ScopedSpan load_span(job_obs.get(), "load_logs");
+      Result<std::shared_ptr<const EventLog>> log1 =
+          cache_.GetOrLoad(request->log1, request->format);
+      Result<std::shared_ptr<const EventLog>> log2 =
+          log1.ok() ? cache_.GetOrLoad(request->log2, request->format)
+                    : Result<std::shared_ptr<const EventLog>>(log1.status());
+      load_span.End();
+      if (!log1.ok()) {
+        failure = log1.status();
+      } else if (!log2.ok()) {
+        failure = log2.status();
+      } else {
+        // Jobs parallelize across the pool, so each matching runs
+        // single-threaded inside its worker (nested ParallelFor on the
+        // same pool would degrade to inline execution anyway).
+        Matcher matcher(request->options);
+        Result<MatchResult> result = matcher.Match(**log1, **log2);
+        if (result.ok()) {
+          rendered = RenderResult(request_id, *result, timer.ElapsedMillis());
+        } else {
+          failure = result.status();
+        }
       }
     }
     if (!failure.ok()) rendered = RenderError(request_id, failure);
@@ -554,6 +650,107 @@ std::string BatchMatchService::HandleMatchJob(const std::string& line) {
   }
   jobs_in_flight_.fetch_sub(1, std::memory_order_relaxed);
   return rendered;
+}
+
+std::string BatchMatchService::HandleAppendJob(const std::string& line) {
+  ObsIncrement(options_.obs, "serve.jobs_submitted");
+  ObsIncrement(options_.obs, "serve.append_jobs");
+  jobs_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  Timer timer;
+
+  Result<AppendRequest> request = ParseAppendRequest(line);
+  std::string request_id;
+  if (request.ok() && !request->id.empty()) {
+    request_id = request->id;
+  } else {
+    request_id =
+        "req-" +
+        std::to_string(next_request_seq_.fetch_add(1,
+                                                   std::memory_order_relaxed));
+  }
+
+  std::unique_ptr<ObsContext> job_obs;
+  if (flight_ != nullptr) job_obs = std::make_unique<ObsContext>();
+  ScopedSpan request_span(job_obs.get(), "append:" + request_id);
+
+  Status failure = Status::OK();
+  std::string rendered;
+  if (!request.ok()) {
+    failure = request.status();
+  } else if (cancel_.cancelled()) {
+    failure = Status::Cancelled("service shutting down");
+  } else {
+    Result<StreamAppendOutcome> outcome =
+        stream_sessions_.Append(*request, job_obs.get());
+    if (outcome.ok()) {
+      rendered =
+          RenderAppendResult(request_id, *outcome, timer.ElapsedMillis());
+      if (outcome->graph_stats.appended_traces > 0) {
+        RefreshCorpusMember(request->log1, outcome->log_snapshot,
+                            request->format);
+      }
+    } else {
+      failure = outcome.status();
+    }
+  }
+  if (!failure.ok()) rendered = RenderError(request_id, failure);
+  request_span.End();
+
+  const double millis = timer.ElapsedMillis();
+  const bool ok = failure.ok();
+  ObsIncrement(options_.obs, ok ? "serve.jobs_ok" : "serve.jobs_failed");
+  ObsObserve(options_.obs, "serve.job_millis", millis);
+  ObsObserveQuantile(options_.obs,
+                     ok ? "serve.latency_ms.ok" : "serve.latency_ms.error",
+                     millis);
+  if (flight_ != nullptr) {
+    FlightRecord record;
+    record.request_id = request_id;
+    record.outcome = ok ? "ok" : "error";
+    record.error = failure.message();
+    record.millis = millis;
+    record.spans = job_obs->trace.Snapshot();
+    flight_->Record(std::move(record));
+  }
+  if (!ok && LogEnabled(LogLevel::kInfo)) {
+    LogInfo("append " + request_id + " failed: " + failure.message());
+  }
+  jobs_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return rendered;
+}
+
+void BatchMatchService::RefreshCorpusMember(const std::string& path,
+                                            const EventLog& log,
+                                            const std::string& format) {
+  const std::string canon = CanonicalPath(path);
+  std::lock_guard<std::mutex> lock(corpus_mu_);
+  for (CorpusCacheEntry& cached : corpus_cache_) {
+    int member = -1;
+    for (size_t i = 0; i < cached.index->size(); ++i) {
+      const index::CorpusEntry& entry = cached.index->entry(i);
+      const std::string& source =
+          entry.source_path.empty() ? entry.name : entry.source_path;
+      if (CanonicalPath(source) == canon) {
+        member = static_cast<int>(i);
+        break;
+      }
+    }
+    if (member < 0) continue;
+    // Copy-on-write: concurrent top-k jobs keep reading the old immutable
+    // index; the cache entry flips to the refreshed copy when done.
+    const index::CorpusEntry stale = cached.index->entry(member);
+    index::CorpusIndex refreshed = *cached.index;
+    if (!refreshed.Remove(stale.name).ok()) continue;
+    if (!refreshed
+             .Add(stale.name, log, stale.source_path, stale.content_hash,
+                  stale.format.empty() ? format : stale.format)
+             .ok()) {
+      continue;
+    }
+    cached.index =
+        std::make_shared<const index::CorpusIndex>(std::move(refreshed));
+    ObsIncrement(options_.obs, "stream.corpus_refreshes");
+  }
 }
 
 std::string BatchMatchService::HandleAdminCommand(const std::string& cmd,
@@ -686,11 +883,13 @@ size_t BatchMatchService::RunStream(std::istream& in, std::ostream& out) {
     if (cancel_.cancelled()) break;
     ++lines;
     // Admin probes answer from the reader thread: a queue full of match
-    // jobs must never delay a stats/health scrape.
+    // jobs must never delay a stats/health scrape. Appends are real work
+    // (parse, graph maintenance, a warm match) and schedule on the pool
+    // like any job.
     Result<JsonValue> doc = ParseJson(line);
     if (doc.ok()) {
       const std::string cmd = AdminCommandOf(*doc);
-      if (!cmd.empty()) {
+      if (!cmd.empty() && cmd != "append") {
         std::string result =
             HandleAdminCommand(cmd, doc->GetString("id", ""));
         std::lock_guard<std::mutex> lock(out_mu);

@@ -71,6 +71,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics_snapshot.h"
 #include "serve/log_cache.h"
+#include "serve/stream_session.h"
 #include "store/artifact_store.h"
 #include "util/timer.h"
 
@@ -137,6 +138,14 @@ struct JobRequest {
 /// on malformed input).
 Result<JobRequest> ParseJobRequest(const std::string& line);
 
+/// Parses one {"cmd": "append"} streaming-ingestion line
+/// (docs/STREAMING.md): a match-job line plus either `traces` (array of
+/// arrays of event names appended to log1) or `delta` (a log file whose
+/// traces are appended), e.g.
+///   {"cmd": "append", "id": "a1", "log1": "live.xes", "log2": "ref.xes",
+///    "traces": [["receive", "check", "ship"]], ...match options}
+Result<AppendRequest> ParseAppendRequest(const std::string& line);
+
 /// A parsed top-k corpus query line. Exactly one of `members` / `corpus`
 /// is set.
 struct TopKRequest {
@@ -188,6 +197,9 @@ class BatchMatchService {
   LogCache& cache() { return cache_; }
   exec::ThreadPool& pool() { return pool_; }
 
+  /// Live streaming-ingestion sessions (docs/STREAMING.md).
+  StreamSessionManager& stream_sessions() { return stream_sessions_; }
+
   /// The persistent artifact store, or null when `cache_dir` was empty
   /// or unusable.
   store::ArtifactStore* artifact_store() {
@@ -225,6 +237,13 @@ class BatchMatchService {
   std::string RenderSlow(const std::string& id);
   std::string HandleMatchJob(const std::string& line);
   std::string HandleTopKJob(const std::string& line);
+  std::string HandleAppendJob(const std::string& line);
+
+  /// Refreshes cached corpus indexes containing `path` after an append:
+  /// the member is re-added from `log` (the session's appended state) so
+  /// top-k queries rank against the stream, not the stale file.
+  void RefreshCorpusMember(const std::string& path, const EventLog& log,
+                           const std::string& format);
 
   /// The corpus index for `members` (in order), built with the request's
   /// min_edge_frequency — from the in-process cache when the member
@@ -240,6 +259,7 @@ class BatchMatchService {
   exec::ThreadPool pool_;
   std::optional<store::ArtifactStore> store_;  // must outlive cache_
   LogCache cache_;
+  StreamSessionManager stream_sessions_;  // after store_: borrows it
   exec::CancellationSource cancel_;
   std::unique_ptr<FlightRecorder> flight_;
   Timer uptime_;

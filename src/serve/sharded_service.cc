@@ -197,8 +197,12 @@ void ShardedMatchService::HandleLine(const std::string& line,
     emit(shards_[0]->service->HandleJobLine(line));
     return;
   }
+  // Append lines are jobs, not admin probes: they carry log1/log2, so
+  // they fall through to ParseJobRequest below and route to the shard
+  // owning log1 — the same shard every match for that pair routes to,
+  // which is what keeps each streaming session on exactly one shard.
   const std::string cmd = AdminCommandOf(*doc);
-  if (!cmd.empty()) {
+  if (!cmd.empty() && cmd != "append") {
     emit(HandleAdmin(cmd, doc->GetString("id", "")));
     return;
   }

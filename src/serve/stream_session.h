@@ -1,0 +1,126 @@
+// Streaming ingestion sessions for the batch matching service: one
+// session per (log pair, options) holds the appended-to event log, the
+// incrementally maintained dependency graph, and the warm-start seed of
+// the last EMS fixpoint. An {"cmd": "append"} wire request folds a batch
+// of traces into the session and warm re-matches in a fraction of the
+// cold iteration count (docs/STREAMING.md).
+//
+// Sessions are also the authority for plain match jobs over a pair they
+// cover: after an append, the file on disk is stale relative to the
+// session, so the service consults TryMatch BEFORE the parsed-log cache
+// — the append-then-match stale-parse regression test pins this order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/warm_match.h"
+#include "graph/streaming_graph.h"
+#include "log/event_log.h"
+#include "util/status.h"
+
+namespace ems {
+
+struct ObsContext;
+
+namespace store {
+class ArtifactStore;
+}  // namespace store
+
+namespace serve {
+
+struct JobRequest;
+
+/// One parsed {"cmd": "append"} line. Exactly one of `traces` (inline
+/// batch: an array of arrays of event names) or `delta` (a log file in
+/// any supported format, appended trace by trace) provides the batch;
+/// an empty batch is allowed and resumes/creates the session without
+/// changing it.
+struct AppendRequest {
+  std::string id;
+  std::string log1;  // the log the batch appends to (session routing key)
+  std::string log2;
+  std::string format = "auto";
+  std::vector<std::vector<std::string>> traces;
+  std::string delta;
+  MatchOptions options;
+};
+
+/// Everything one append produced — the response material.
+struct StreamAppendOutcome {
+  MatchResult match;
+  WarmMatchStats match_stats;
+  StreamingGraphStats graph_stats;
+  size_t new_events = 0;
+  size_t total_traces = 0;  // traces in the session log after the batch
+  bool session_created = false;
+  bool resumed_from_store = false;  // seed loaded from a persisted snapshot
+
+  /// Copy of the session's log1 after the batch — what downstream caches
+  /// (the service's corpus indexes) refresh their member state from,
+  /// taken under the session lock so it is a consistent snapshot.
+  EventLog log_snapshot;
+};
+
+/// A match served from a live session (byte-identical to the session's
+/// last fixpoint, one warm iteration).
+struct StreamMatchOutcome {
+  MatchResult match;
+  WarmMatchStats match_stats;
+};
+
+/// Fingerprint of every MatchOptions field that affects a session's
+/// graphs, similarity, or selection — part of the session key and of the
+/// persisted seed's artifact key.
+uint64_t StreamOptionsFingerprint(const MatchOptions& options);
+
+/// \brief Registry of live streaming sessions.
+///
+/// Thread-safe: the registry map has its own mutex; each session carries
+/// a shared_mutex (appends exclusive — they mutate log, graph, and seed
+/// and re-match inside the lock; session-served matches shared). Both
+/// `store` and `obs` are borrowed and may be null: without a store,
+/// seeds live only in memory and restarts resume cold.
+class StreamSessionManager {
+ public:
+  StreamSessionManager(store::ArtifactStore* store, ObsContext* obs);
+  ~StreamSessionManager();
+
+  /// Folds one append batch into the pair's session (creating it from
+  /// the on-disk files — through the artifact store when available — on
+  /// first touch) and warm re-matches. Requires the exact engine and no
+  /// composites. `job_obs` (may be null) receives the match's span tree.
+  Result<StreamAppendOutcome> Append(const AppendRequest& request,
+                                     ObsContext* job_obs);
+
+  /// Serves a match from a live session when one covers the request's
+  /// pair with the same options and the backing files are unchanged on
+  /// disk since session start; nullopt sends the caller down the normal
+  /// cache path. A session whose backing file WAS rewritten on disk is
+  /// dropped here (the disk state wins over lost in-memory appends).
+  std::optional<Result<StreamMatchOutcome>> TryMatch(
+      const JobRequest& request, ObsContext* job_obs);
+
+  size_t live_sessions() const;
+
+ private:
+  struct Session;
+
+  Result<std::shared_ptr<Session>> GetOrCreate(const AppendRequest& request,
+                                               bool* created, bool* resumed);
+  void PersistSeed(const Session& session);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  store::ArtifactStore* store_;
+  ObsContext* obs_;
+};
+
+}  // namespace serve
+}  // namespace ems

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/warm_match.h"
 #include "graph/dependency_graph.h"
 #include "graph/dependency_graph_builder.h"
 #include "log/event_log.h"
@@ -18,6 +19,7 @@ const char* ArtifactKindName(ArtifactKind kind) {
     case ArtifactKind::kGraphSummary: return "summary";
     case ArtifactKind::kLabelCache: return "labels";
     case ArtifactKind::kCorpusIndex: return "corpus";
+    case ArtifactKind::kSimilarityMatrix: return "seed";
   }
   return "unknown";
 }
@@ -510,6 +512,58 @@ Status DecodeLabelCacheInto(std::string_view snapshot,
   EMS_RETURN_NOT_OK(r.ExpectEnd());
   cache->ImportScores(entries);
   return Status::OK();
+}
+
+namespace {
+
+void EncodeMatrix(SnapshotWriter* w, const SimilarityMatrix& m) {
+  w->U64(m.rows());
+  w->U64(m.cols());
+  for (double v : m.data()) w->F64(v);
+}
+
+SimilarityMatrix DecodeMatrix(SnapshotReader* r) {
+  const uint64_t rows = r->U64();
+  const uint64_t cols = r->U64();
+  // Guard rows * cols against overflow before the count check sizes the
+  // allocation; an impossible count trips the reader's sticky error.
+  if (rows != 0 && cols > (UINT64_MAX / rows)) {
+    r->CheckCount(UINT64_MAX, sizeof(double));
+    return SimilarityMatrix();
+  }
+  const uint64_t cells = rows * cols;
+  if (!r->CheckCount(cells, sizeof(double))) return SimilarityMatrix();
+  SimilarityMatrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  double* data = m.mutable_data();
+  for (uint64_t i = 0; i < cells && r->ok(); ++i) data[i] = r->F64();
+  return m;
+}
+
+}  // namespace
+
+std::string EncodeWarmSeed(const WarmSeed& seed) {
+  EMS_DCHECK(seed.valid);
+  SnapshotWriter w;
+  w.I32(seed.cold_iterations);
+  EncodeMatrix(&w, seed.forward);
+  EncodeMatrix(&w, seed.backward);
+  return w.Finish(ArtifactKind::kSimilarityMatrix);
+}
+
+Result<WarmSeed> DecodeWarmSeed(std::string_view snapshot) {
+  EMS_ASSIGN_OR_RETURN(
+      SnapshotReader r,
+      SnapshotReader::Open(snapshot, ArtifactKind::kSimilarityMatrix));
+  WarmSeed seed;
+  seed.cold_iterations = r.I32();
+  seed.forward = DecodeMatrix(&r);
+  seed.backward = DecodeMatrix(&r);
+  if (seed.cold_iterations < 0) {
+    return Status::InvalidArgument("warm-seed snapshot: negative baseline");
+  }
+  EMS_RETURN_NOT_OK(r.ExpectEnd());
+  seed.valid = true;
+  return seed;
 }
 
 }  // namespace store

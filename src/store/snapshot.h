@@ -33,6 +33,7 @@ class EventLog;
 class DependencyGraph;
 class DependencyGraphBuilder;
 class CachedLabelSimilarity;
+struct WarmSeed;
 
 namespace store {
 
@@ -44,6 +45,7 @@ enum class ArtifactKind : uint32_t {
   kGraphSummary = 3,     // DependencyGraphBuilder trace-group summary
   kLabelCache = 4,       // CachedLabelSimilarity score memo
   kCorpusIndex = 5,      // corpus top-k index (src/index/corpus_io.h)
+  kSimilarityMatrix = 6,  // warm-start seed: per-direction EMS fixpoints
 };
 
 /// Short lowercase name ("log", "graph", ...) used in cache file names;
@@ -160,6 +162,14 @@ Result<std::unique_ptr<DependencyGraphBuilder>> DecodeGraphSummary(
 std::string EncodeLabelCache(const CachedLabelSimilarity& cache);
 Status DecodeLabelCacheInto(std::string_view snapshot,
                             CachedLabelSimilarity* cache);
+
+/// Warm-start seed (src/core/warm_match.h): both per-direction EMS
+/// fixpoint matrices plus the chain's cold-iteration baseline. The store
+/// keys these by the content hashes of BOTH logs and the match-option
+/// fingerprint, so a restarted server only resumes a seed produced by
+/// the exact state it is re-matching. Only valid seeds encode.
+std::string EncodeWarmSeed(const WarmSeed& seed);
+Result<WarmSeed> DecodeWarmSeed(std::string_view snapshot);
 
 /// Size EncodeEventLog(log) would produce, computed arithmetically
 /// (no encoding) — the cost estimate for byte-budget caches.

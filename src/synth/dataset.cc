@@ -31,6 +31,37 @@ std::set<std::string> Vocabulary(const EventLog& log) {
 
 }  // namespace
 
+std::vector<EventLog> MakeAppendBatches(const PairOptions& options,
+                                        int batch_traces, int num_batches) {
+  // Mirror MakeLogPair's rng choreography exactly up to the log-1
+  // play-out — same tree, same composite injection, same fork order — so
+  // rng1 starts from the identical state the pair's log 1 was drawn from.
+  Rng rng(options.seed);
+  ProcessTreeOptions tree_opts = options.tree;
+  tree_opts.num_activities = options.num_activities;
+  std::unique_ptr<ProcessNode> tree = GenerateProcessTree(tree_opts, &rng);
+  if (options.num_composites > 0) {
+    (void)InjectSequentialPairs(tree.get(), options.num_composites, &rng);
+  }
+  if (options.frequency_drift > 0.0) {
+    (void)rng.Fork();  // MakeLogPair's drift_rng; drift touches log 2 only
+  }
+  Rng rng1 = rng.Fork();
+
+  // Replay the base play-out to advance rng1 to the continuation point,
+  // then slice the extension into batches.
+  PlayoutOptions playout = options.playout;
+  playout.num_traces = options.num_traces;
+  (void)PlayoutLog(*tree, playout, &rng1);
+  playout.num_traces = batch_traces;
+  std::vector<EventLog> batches;
+  batches.reserve(static_cast<size_t>(std::max(0, num_batches)));
+  for (int j = 0; j < num_batches; ++j) {
+    batches.push_back(PlayoutLog(*tree, playout, &rng1));
+  }
+  return batches;
+}
+
 LogPair MakeLogPair(Testbed testbed, const PairOptions& options) {
   Rng rng(options.seed);
   ProcessTreeOptions tree_opts = options.tree;

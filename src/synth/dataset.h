@@ -79,6 +79,17 @@ struct PairOptions {
 /// Generates one log pair for the given testbed.
 LogPair MakeLogPair(Testbed testbed, const PairOptions& options);
 
+/// Streaming-ingestion delta batches for the pair `options` generates:
+/// plays log 1's OWN trace stream `num_batches * batch_traces` traces
+/// further, so the pair's log 1 followed by the batches in order is
+/// trace-for-trace the log a single play-out with
+/// `num_traces + num_batches * batch_traces` traces would have produced
+/// (PlayoutLog draws one trace at a time, so prefixes are deterministic).
+/// Log 2 and the ground truth are untouched — appends extend the
+/// observed case history of subsidiary 1, not the process.
+std::vector<EventLog> MakeAppendBatches(const PairOptions& options,
+                                        int batch_traces, int num_batches);
+
 /// The 149-pair replacement corpus: 23 DS-F + 22 DS-B + 58 DS-FB pairs
 /// without composites, and 46 composite pairs (DS-FB style dislocation).
 struct RealisticDataset {

@@ -22,6 +22,31 @@ TEST(EventLogTest, FindEvent) {
   EXPECT_EQ(log.FindEvent("missing"), kInvalidEvent);
 }
 
+TEST(EventLogTest, AppendTracesExtendsInPlace) {
+  EventLog log;
+  log.AddTrace({"a", "b"});
+  log.AddTrace({"b", "c"});
+
+  AppendDelta delta = log.AppendTraces({{"c", "a"}, {"a", "d"}});
+  EXPECT_EQ(delta.first_new_trace, 2u);
+  EXPECT_EQ(delta.first_new_event, 3u);
+  EXPECT_EQ(delta.appended_traces, 2u);
+  EXPECT_EQ(delta.new_events, 1u);  // only "d" is new
+
+  // Strict extension: old ids, names, and traces are untouched; new
+  // vocabulary interns at the end.
+  EXPECT_EQ(log.NumTraces(), 4u);
+  EXPECT_EQ(log.trace(0), (Trace{0, 1}));
+  EXPECT_EQ(log.trace(2), (Trace{2, 0}));
+  EXPECT_EQ(log.trace(3), (Trace{0, 3}));
+  EXPECT_EQ(log.FindEvent("d"), 3);
+
+  AppendDelta empty = log.AppendTraces({});
+  EXPECT_EQ(empty.appended_traces, 0u);
+  EXPECT_EQ(empty.new_events, 0u);
+  EXPECT_EQ(log.NumTraces(), 4u);
+}
+
 TEST(EventLogTest, AddTraceInternsNames) {
   EventLog log;
   log.AddTrace({"a", "b", "a"});

@@ -657,6 +657,160 @@ TEST(BatchMatchServiceTest, TopKJobReportsErrors) {
   EXPECT_NE(invalid.find("\"status\":\"error\""), std::string::npos);
 }
 
+TEST(BatchMatchServiceTest, AppendJobReportsStreamFieldsAndWarms) {
+  const std::string log1 =
+      WriteTraceLog("service_append_1.txt", "a;b;c\na;b;c\na;c\n");
+  const std::string log2 =
+      WriteTraceLog("service_append_2.txt", "a;b;c\na;c;b\n");
+
+  ObsContext obs;
+  ServiceOptions options;
+  options.threads = 1;
+  options.obs = &obs;
+  BatchMatchService service(options);
+
+  const std::string pair =
+      R"("log1":")" + log1 + R"(","log2":")" + log2 + R"(")";
+  const std::string first = service.HandleJobLine(
+      R"({"cmd":"append","id":"a1",)" + pair +
+      R"(,"traces":[["a","b","c"]]})");
+  EXPECT_NE(first.find("\"status\":\"ok\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"stream\":{"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"appended_traces\":1"), std::string::npos);
+  EXPECT_NE(first.find("\"total_traces\":4"), std::string::npos);
+  EXPECT_NE(first.find("\"session_created\":true"), std::string::npos);
+  EXPECT_NE(first.find("\"resumed_from_store\":false"), std::string::npos);
+  // The first append starts the chain: nothing to warm from yet.
+  EXPECT_NE(first.find("\"warm\":false"), std::string::npos);
+
+  const std::string second = service.HandleJobLine(
+      R"({"cmd":"append","id":"a2",)" + pair +
+      R"(,"traces":[["a","c"]]})");
+  EXPECT_NE(second.find("\"status\":\"ok\""), std::string::npos) << second;
+  EXPECT_NE(second.find("\"session_created\":false"), std::string::npos);
+  EXPECT_NE(second.find("\"warm\":true"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"iterations_saved\":"), std::string::npos);
+  EXPECT_NE(second.find("\"total_traces\":5"), std::string::npos);
+
+  EXPECT_EQ(obs.metrics.CounterValue("serve.append_jobs"), 2u);
+  EXPECT_EQ(obs.metrics.CounterValue("stream.appends"), 2u);
+  EXPECT_EQ(obs.metrics.CounterValue("stream.appended_traces"), 2u);
+  EXPECT_EQ(obs.metrics.CounterValue("stream.warm_matches"), 1u);
+
+  // An empty append is a no-op touch: the graphs are bit-identical to
+  // the seed's, so the re-match degenerates to a one-iteration resume.
+  const std::string empty = service.HandleJobLine(
+      R"({"cmd":"append","id":"a3",)" + pair + "}");
+  EXPECT_NE(empty.find("\"status\":\"ok\""), std::string::npos) << empty;
+  EXPECT_NE(empty.find("\"appended_traces\":0"), std::string::npos);
+  EXPECT_NE(empty.find("\"warm\":true"), std::string::npos);
+  EXPECT_NE(empty.find("\"iterations\":1"), std::string::npos) << empty;
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
+// Regression for the stale-parse hazard: a match job after an append
+// must be answered from the session's grown state, never from the
+// parsed-log cache entry of the original file (which no longer reflects
+// the pair being served).
+TEST(BatchMatchServiceTest, MatchAfterAppendServesSessionStateNotStaleParse) {
+  const std::string log1 =
+      WriteTraceLog("service_append_stale_1.txt", "a;b\na;b\n");
+  const std::string log2 =
+      WriteTraceLog("service_append_stale_2.txt", "a;b;c\na;c;b\n");
+
+  ObsContext obs;
+  ServiceOptions options;
+  options.threads = 1;
+  options.obs = &obs;
+  BatchMatchService service(options);
+
+  const std::string pair =
+      R"("log1":")" + log1 + R"(","log2":")" + log2 + R"(")";
+  // Prime the parsed-log cache with the original two-trace file.
+  const std::string before =
+      service.HandleJobLine(R"({"id":"m1",)" + pair + "}");
+  EXPECT_NE(before.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(before.find("\"c\""), std::string::npos)
+      << "log1 has no 'c' yet: " << before;
+
+  // The append introduces 'c' into log 1 — in the session only, the
+  // file on disk is untouched (and still cached).
+  const std::string append = service.HandleJobLine(
+      R"({"cmd":"append","id":"a1",)" + pair +
+      R"(,"traces":[["a","c","b"],["a","c","b"]]})");
+  EXPECT_NE(append.find("\"status\":\"ok\""), std::string::npos) << append;
+  EXPECT_NE(append.find("\"new_events\":1"), std::string::npos) << append;
+
+  const std::string after =
+      service.HandleJobLine(R"({"id":"m2",)" + pair + "}");
+  EXPECT_NE(after.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(after.find("\"c\""), std::string::npos)
+      << "match after append served the stale parse: " << after;
+  EXPECT_EQ(obs.metrics.CounterValue("stream.session_matches"), 1u);
+
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
+// Restart resume: a new service pointed at the same --cache-dir picks a
+// streaming session back up from the persisted seed matrix — log
+// snapshots answer the parses and the first re-match is warm.
+TEST(BatchMatchServiceTest, RestartWithCacheDirResumesStreamSessionWarm) {
+  const std::string log1 =
+      WriteTraceLog("service_stream_warm_1.txt", "a;b;c\na;b;c\na;c\n");
+  const std::string log2 =
+      WriteTraceLog("service_stream_warm_2.txt", "a;b;c\na;c;b\n");
+  const std::string cache_dir = TempDir() + "/service_stream_warm_store";
+  std::filesystem::remove_all(cache_dir);
+
+  const std::string pair =
+      R"("log1":")" + log1 + R"(","log2":")" + log2 + R"(")";
+  // The batch stays inside the base vocabulary so the persisted seed's
+  // dimensions still fit the graphs a restarted service rebuilds from
+  // the unchanged base files.
+  const std::string append_line = R"({"cmd":"append","id":"a1",)" + pair +
+                                  R"(,"traces":[["a","b","c"]]})";
+
+  {
+    ObsContext obs;
+    ServiceOptions options;
+    options.threads = 1;
+    options.cache_dir = cache_dir;
+    options.obs = &obs;
+    BatchMatchService service(options);
+    const std::string first = service.HandleJobLine(append_line);
+    EXPECT_NE(first.find("\"status\":\"ok\""), std::string::npos) << first;
+    EXPECT_NE(first.find("\"resumed_from_store\":false"), std::string::npos);
+    EXPECT_EQ(obs.metrics.CounterValue("stream.seed_resumes"), 0u);
+  }  // restart: sessions gone, the store directory survives
+
+  {
+    ObsContext obs;
+    ServiceOptions options;
+    options.threads = 1;
+    options.cache_dir = cache_dir;
+    options.obs = &obs;
+    BatchMatchService service(options);
+    const std::string resumed = service.HandleJobLine(append_line);
+    EXPECT_NE(resumed.find("\"status\":\"ok\""), std::string::npos)
+        << resumed;
+    EXPECT_NE(resumed.find("\"resumed_from_store\":true"), std::string::npos)
+        << resumed;
+    EXPECT_NE(resumed.find("\"warm\":true"), std::string::npos) << resumed;
+    // Exactly one seed snapshot resumed the chain, and both base logs
+    // came back from snapshots — zero source re-parses.
+    EXPECT_EQ(obs.metrics.CounterValue("stream.seed_resumes"), 1u);
+    EXPECT_GE(obs.metrics.CounterValue("store.hits"), 2u);
+    EXPECT_EQ(obs.metrics.CounterValue("store.misses"), 0u);
+  }
+
+  std::filesystem::remove_all(cache_dir);
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace ems

@@ -339,6 +339,52 @@ TEST_F(ShardedServiceTest, PerShardCacheDirsAreDisjoint) {
   std::filesystem::remove_all(root);
 }
 
+// Appends are jobs, not inline admin: they must route through the hash
+// ring by log 1's canonical path — the same key match jobs use — so a
+// session's appends and matches always land on the one shard that owns
+// its state.
+TEST_F(ShardedServiceTest, AppendsRouteToTheSessionOwningShard) {
+  ShardedServiceOptions options;
+  options.num_shards = 3;
+  options.total_threads = 3;
+  ShardedMatchService router(options);
+
+  const std::string pair = "\"log1\":\"" + log1_ + "\",\"log2\":\"" + log2_ +
+                           "\",\"labels\":\"none\"";
+  const std::string append_line =
+      "{\"cmd\":\"append\",\"id\":\"a1\"," + pair +
+      ",\"traces\":[[\"a\",\"b\",\"d\"]]}";
+
+  const std::string first = router.HandleLineSync(append_line);
+  EXPECT_NE(first.find("\"status\":\"ok\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"session_created\":true"), std::string::npos)
+      << first;
+
+  // A second append to the same pair must find the session created by
+  // the first — only possible if both were routed to the same shard.
+  const std::string second = router.HandleLineSync(append_line);
+  EXPECT_NE(second.find("\"status\":\"ok\""), std::string::npos) << second;
+  EXPECT_NE(second.find("\"session_created\":false"), std::string::npos)
+      << second;
+  EXPECT_NE(second.find("\"warm\":true"), std::string::npos) << second;
+
+  // And a match on the pair is answered from that session's grown state
+  // (the appended 'd' is visible), not a fresh parse of the base file.
+  const std::string match = router.HandleLineSync(JobLine("m1"));
+  EXPECT_NE(match.find("\"status\":\"ok\""), std::string::npos) << match;
+
+  router.WaitDrained();
+  uint64_t routed_total = 0;
+  for (int i = 0; i < router.num_shards(); ++i) {
+    routed_total += router.obs()->metrics.CounterValue(
+        ShardMetricName("serve.shard", i, "routed"));
+  }
+  EXPECT_EQ(routed_total, 3u);
+  EXPECT_EQ(router.obs()->metrics.CounterValue("stream.appends"), 2u);
+  EXPECT_EQ(router.obs()->metrics.CounterValue("stream.warm_matches"), 1u);
+  EXPECT_EQ(router.obs()->metrics.CounterValue("stream.session_matches"), 1u);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace ems

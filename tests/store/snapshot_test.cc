@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/warm_match.h"
 #include "graph/dependency_graph.h"
 #include "graph/dependency_graph_builder.h"
 #include "log/event_log.h"
@@ -514,6 +515,57 @@ TEST(TypedCorruptionTest, AllDecodersSurviveCorruptInput) {
   }
   EXPECT_FALSE(DecodeDependencyGraph(snapshot).ok());  // wrong kind
   EXPECT_FALSE(DecodeGraphSummary(snapshot, log).ok());
+}
+
+TEST(WarmSeedSnapshotTest, RoundTripsBitExactly) {
+  WarmSeed seed;
+  seed.forward = SimilarityMatrix(3, 4);
+  seed.backward = SimilarityMatrix(3, 4);
+  double v = 0.0;
+  for (NodeId r = 0; r < 3; ++r) {
+    for (NodeId c = 0; c < 4; ++c) {
+      seed.forward.set(r, c, v += 0.0625);
+      seed.backward.set(r, c, 1.0 / (v + 1.0));
+    }
+  }
+  seed.forward.set(0, 0, -0.0);  // signed-zero round-trip
+  seed.cold_iterations = 17;
+  seed.valid = true;
+
+  const std::string snapshot = EncodeWarmSeed(seed);
+  Result<WarmSeed> decoded = DecodeWarmSeed(snapshot);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->valid);
+  EXPECT_EQ(decoded->cold_iterations, 17);
+  ASSERT_EQ(decoded->forward.rows(), 3u);
+  ASSERT_EQ(decoded->forward.cols(), 4u);
+  ASSERT_EQ(decoded->backward.rows(), 3u);
+  for (size_t i = 0; i < seed.forward.data().size(); ++i) {
+    EXPECT_EQ(std::memcmp(&decoded->forward.data()[i],
+                          &seed.forward.data()[i], sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&decoded->backward.data()[i],
+                          &seed.backward.data()[i], sizeof(double)),
+              0);
+  }
+  // Re-encoding reproduces the same bytes.
+  EXPECT_EQ(EncodeWarmSeed(*decoded), snapshot);
+}
+
+TEST(WarmSeedSnapshotTest, RejectsCorruptionAndWrongKind) {
+  WarmSeed seed;
+  seed.forward = SimilarityMatrix(2, 2, 0.5);
+  seed.backward = SimilarityMatrix(2, 2, 0.25);
+  seed.cold_iterations = 3;
+  seed.valid = true;
+  const std::string snapshot = EncodeWarmSeed(seed);
+  for (size_t i = 0; i < snapshot.size(); i += 3) {
+    std::string mutated = snapshot;
+    mutated[i] ^= 0x40;
+    EXPECT_FALSE(DecodeWarmSeed(mutated).ok()) << "byte " << i;
+  }
+  EXPECT_FALSE(DecodeWarmSeed(EncodeEventLog(SampleLog())).ok());
+  EXPECT_FALSE(DecodeEventLog(snapshot).ok());
 }
 
 }  // namespace

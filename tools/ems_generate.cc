@@ -16,11 +16,18 @@
 //   --traces=N           traces per log (default 150)
 //   --dislocation=N      events removed from trace boundaries (default 2)
 //   --composites=N       composite events injected per pair (default 0)
+//   --append=N           traces per streaming delta batch (default 0:
+//                        no batches); continues log a's own play-out, so
+//                        a + batches in order == one longer play-out
+//   --append-batches=B   delta batches per pair (default 1)
 //   --seed=N             master seed (default 2014)
 //   --format=xes|mxml|csv|trace  export format (default xes)
 //
 // Each pair becomes <dir>/pairK_a.<ext>, <dir>/pairK_b.<ext>, and
-// <dir>/pairK_truth.tsv (left<TAB>right per correspondence link).
+// <dir>/pairK_truth.tsv (left<TAB>right per correspondence link); with
+// --append also <dir>/pairK_a_append<j>.<ext> per batch, ready to feed
+// the serve layer's {"cmd": "append"} as `delta` files
+// (docs/STREAMING.md).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -68,6 +75,8 @@ int main(int argc, char** argv) {
   int traces = 150;
   int dislocation = 2;
   int composites = 0;
+  int append = 0;
+  int append_batches = 1;
   uint64_t seed = 2014;
   std::string format = "xes";
   std::string dir;
@@ -90,6 +99,10 @@ int main(int argc, char** argv) {
       dislocation = std::atoi(v);
     } else if (const char* v = value_of("composites")) {
       composites = std::atoi(v);
+    } else if (const char* v = value_of("append")) {
+      append = std::atoi(v);
+    } else if (const char* v = value_of("append-batches")) {
+      append_batches = std::atoi(v);
     } else if (const char* v = value_of("seed")) {
       seed = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value_of("format")) format = v;
@@ -146,14 +159,27 @@ int main(int argc, char** argv) {
     Status s = ExportLog(pair.log1, base + "_a", format);
     if (s.ok()) s = ExportLog(pair.log2, base + "_b", format);
     if (s.ok()) s = ExportTruth(pair.truth, base + "_truth.tsv");
+    if (s.ok() && append > 0) {
+      std::vector<EventLog> batches =
+          MakeAppendBatches(opts, append, append_batches);
+      for (size_t j = 0; j < batches.size() && s.ok(); ++j) {
+        s = ExportLog(batches[j], base + "_a_append" + std::to_string(j),
+                      format);
+      }
+    }
     if (!s.ok()) {
       std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
       return 1;
     }
   }
   std::printf("generated %d %s pairs (%d activities, %d traces, "
-              "dislocation %d, %d composites) in %s\n",
+              "dislocation %d, %d composites%s) in %s\n",
               pairs, TestbedName(tb), activities, traces, dislocation,
-              composites, dir.c_str());
+              composites,
+              append > 0 ? (", " + std::to_string(append_batches) + "x" +
+                            std::to_string(append) + "-trace append batches")
+                               .c_str()
+                         : "",
+              dir.c_str());
   return 0;
 }

@@ -190,6 +190,42 @@ std::string GaugeBar(double value, double capacity) {
   return bar;
 }
 
+// A gauge from the metrics snapshot, or 0 when absent.
+double FindGauge(const JsonValue& stats, const char* name) {
+  const JsonValue* snapshot = stats.Find("snapshot");
+  if (snapshot == nullptr) return 0.0;
+  const JsonValue* gauges = snapshot->Find("gauges");
+  return gauges == nullptr ? 0.0 : gauges->GetNumber(name, 0.0);
+}
+
+// The streaming-ingestion row (docs/STREAMING.md): live sessions, what
+// the appends changed, and what the warm starts saved. Services that
+// never answered an append carry no stream.* metrics; render nothing.
+void RenderStreamMetrics(const JsonValue& stats) {
+  const double appends = FindCounter(stats, "stream.appends");
+  const double sessions = FindGauge(stats, "stream.sessions");
+  if (appends <= 0.0 && sessions <= 0.0) return;
+  const double warm = FindCounter(stats, "stream.warm_matches");
+  const double warm_iters = FindCounter(stats, "stream.warm_iterations");
+  const double saved = FindCounter(stats, "stream.iterations_saved");
+  std::printf("stream      %lld sessions, %lld appends (%lld traces, "
+              "%lld delta edges, %lld dist rows), %lld warm matches: "
+              "%lld iters run, %lld saved (%5.1f%%)\n",
+              static_cast<long long>(sessions),
+              static_cast<long long>(appends),
+              static_cast<long long>(
+                  FindCounter(stats, "stream.appended_traces")),
+              static_cast<long long>(FindCounter(stats, "stream.delta_edges")),
+              static_cast<long long>(
+                  FindCounter(stats, "stream.distance_rows_invalidated")),
+              static_cast<long long>(warm),
+              static_cast<long long>(warm_iters),
+              static_cast<long long>(saved),
+              warm_iters + saved > 0.0
+                  ? 100.0 * saved / (warm_iters + saved)
+                  : 0.0);
+}
+
 // The sharded deployment's breakdown: one row per shard with queue and
 // inflight gauges, plus the routed-job balance spread. Single-service
 // responses carry no "shards" array, so this renders nothing for them.
@@ -294,6 +330,7 @@ bool RenderFrame(const std::string& line, bool clear_screen) {
                     pool->GetNumber("queue_capacity", 0.0)));
   }
   RenderIndexMetrics(stats);
+  RenderStreamMetrics(stats);
   RenderShards(stats);
   std::fflush(stdout);
   return true;
