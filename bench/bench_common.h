@@ -88,6 +88,29 @@ struct GroupResult {
   double speedup = 0.0;
 };
 
+/// Commit the bench binary was configured from (stamped by CMake), so a
+/// BENCH_*.json lying around is attributable to the code that made it.
+inline const char* BenchGitSha() {
+#ifdef EMS_BUILD_GIT_SHA
+  return EMS_BUILD_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Compiler that built the bench binary.
+inline std::string BenchCompiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#elif defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 /// Directory for BENCH_*.json exports, or empty when disabled.
 inline const std::string& BenchJsonDir() {
   static const std::string dir = [] {
@@ -134,6 +157,10 @@ class BenchJsonRecorder {
     w.String(description_);
     w.Key("threads");
     w.Int(BenchWorkers());
+    w.Key("git_sha");
+    w.String(BenchGitSha());
+    w.Key("compiler");
+    w.String(BenchCompiler());
     w.Key("groups");
     w.BeginArray();
     for (const auto& [method, group] : records_) {

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Sanity-checks a posterior TSV written by `ems_match --prob-out`.
+
+Validates the calibrated-posterior contract (docs/PROBABILISTIC.md):
+  * the header advertises the matrix shape and every (row, col) cell is
+    present exactly once;
+  * every row is a probability distribution: sums to 1 within 1e-9,
+    no negative mass;
+  * the MAP marks form a partial 1:1 assignment (at most one mark per
+    row and per column), and each marked cell carries its row's
+    maximum-weight column under the assignment (weakly: a marked cell
+    must not be dominated by an unmarked cell in BOTH its row and
+    column — Hungarian may trade a row's argmax for global weight).
+
+Exit 0 when the file passes, 1 with a diagnostic otherwise.
+"""
+
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_posterior: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_posterior.py POSTERIOR_TSV")
+    path = sys.argv[1]
+    with open(path, encoding="utf-8") as f:
+        lines = [ln.rstrip("\n") for ln in f]
+    if not lines or not lines[0].startswith("#"):
+        fail("missing '# rows=... cols=...' header")
+    header = dict(
+        kv.split("=", 1) for kv in lines[0].lstrip("# ").split() if "=" in kv
+    )
+    try:
+        rows, cols = int(header["rows"]), int(header["cols"])
+        iterations = int(header["iterations"])
+        converged = int(header["converged"])
+    except (KeyError, ValueError) as e:
+        fail(f"bad header {lines[0]!r}: {e}")
+    if iterations < 0 or converged not in (0, 1):
+        fail(f"implausible header stats: {lines[0]!r}")
+    if lines[1].split("\t") != ["row", "col", "left", "right", "posterior", "map"]:
+        fail(f"unexpected column line {lines[1]!r}")
+
+    posterior = {}
+    map_marks = []
+    for ln in lines[2:]:
+        if not ln:
+            continue
+        parts = ln.split("\t")
+        if len(parts) != 6:
+            fail(f"malformed line {ln!r}")
+        i, j = int(parts[0]), int(parts[1])
+        p, mark = float(parts[4]), int(parts[5])
+        if not (0 <= i < rows and 0 <= j < cols):
+            fail(f"cell ({i},{j}) outside {rows}x{cols}")
+        if (i, j) in posterior:
+            fail(f"duplicate cell ({i},{j})")
+        if p < 0.0:
+            fail(f"negative posterior {p} at ({i},{j})")
+        if p > 1.0 + 1e-9:
+            fail(f"posterior {p} > 1 at ({i},{j})")
+        posterior[(i, j)] = p
+        if mark == 1:
+            map_marks.append((i, j))
+        elif mark != 0:
+            fail(f"map flag {mark} at ({i},{j}) not 0/1")
+
+    if len(posterior) != rows * cols:
+        fail(f"{len(posterior)} cells present, expected {rows * cols}")
+
+    for i in range(rows):
+        s = sum(posterior[(i, j)] for j in range(cols))
+        if abs(s - 1.0) > 1e-9:
+            fail(f"row {i} sums to {s!r}, off by {abs(s - 1.0):.3e} > 1e-9")
+
+    seen_rows, seen_cols = set(), set()
+    for i, j in map_marks:
+        if i in seen_rows:
+            fail(f"row {i} carries two MAP marks")
+        if j in seen_cols:
+            fail(f"column {j} carries two MAP marks")
+        seen_rows.add(i)
+        seen_cols.add(j)
+
+    for i, j in map_marks:
+        p = posterior[(i, j)]
+        row_max = max(posterior[(i, k)] for k in range(cols))
+        col_max = max(posterior[(k, j)] for k in range(rows))
+        if p + 1e-12 < row_max and p + 1e-12 < col_max:
+            fail(
+                f"MAP cell ({i},{j})={p} dominated in both row (max "
+                f"{row_max}) and column (max {col_max})"
+            )
+
+    print(
+        f"check_posterior: OK ({rows}x{cols}, {len(map_marks)} MAP pairs, "
+        f"{iterations} EM iterations, converged={converged})"
+    )
+
+
+if __name__ == "__main__":
+    main()

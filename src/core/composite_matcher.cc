@@ -437,6 +437,83 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
       }
     }
 
+    // Posterior-guided ranking: evaluate candidates whose members the EM
+    // posterior already sends to the same partner first. The step's
+    // winner set is unchanged except for exact ties (see
+    // CompositeOptions::prob); the payoff is the serial Bd incumbent
+    // ratcheting up sooner.
+    if (options_.prob.enabled && work.size() > 1) {
+      prob::EmOptions em = options_.prob;
+      em.pool = nullptr;  // ranking is a cheap serial side computation
+      em.num_threads = 1;
+      em.obs = nullptr;
+      const prob::SoftMatchResult soft = prob::ComputeSoftMatch(
+          CombineMatrices(state.forward, state.backward),
+          state.g1.has_artificial(), state.g2.has_artificial(), em);
+      if (!soft.empty()) {
+        const NodeId poff1 = state.g1.has_artificial() ? 1 : 0;
+        const NodeId poff2 = state.g2.has_artificial() ? 1 : 0;
+        std::vector<int> row_of(log1_.NumEvents(), -1);
+        std::vector<int> col_of(log2_.NumEvents(), -1);
+        for (NodeId v = poff1;
+             static_cast<size_t>(v) < state.g1.NumNodes(); ++v) {
+          for (EventId e : state.g1.Members(v)) {
+            if (e >= 0 && static_cast<size_t>(e) < row_of.size()) {
+              row_of[static_cast<size_t>(e)] = v - poff1;
+            }
+          }
+        }
+        for (NodeId v = poff2;
+             static_cast<size_t>(v) < state.g2.NumNodes(); ++v) {
+          for (EventId e : state.g2.Members(v)) {
+            if (e >= 0 && static_cast<size_t>(e) < col_of.size()) {
+              col_of[static_cast<size_t>(e)] = v - poff2;
+            }
+          }
+        }
+        // Overlap score: posterior mass all members place on a common
+        // partner — Σ_j min over members of r(member, j) for side 1,
+        // the column-wise analogue for side 2.
+        const size_t n1 = soft.posterior.rows();
+        const size_t n2 = soft.posterior.cols();
+        auto overlap = [&](const WorkItem& item) {
+          double total = 0.0;
+          const size_t span = item.side == 1 ? n2 : n1;
+          for (size_t k = 0; k < span; ++k) {
+            double mass = 1.0;
+            for (EventId e : item.cand->events) {
+              const std::vector<int>& idx = item.side == 1 ? row_of : col_of;
+              const int node = (e >= 0 && static_cast<size_t>(e) < idx.size())
+                                   ? idx[static_cast<size_t>(e)]
+                                   : -1;
+              if (node < 0) {
+                mass = 0.0;
+                break;
+              }
+              const double p = item.side == 1
+                                   ? soft.posterior.at(node, static_cast<NodeId>(k))
+                                   : soft.posterior.at(static_cast<NodeId>(k), node);
+              mass = std::min(mass, p);
+            }
+            total += mass;
+          }
+          return total;
+        };
+        std::vector<double> scores(work.size());
+        for (size_t i = 0; i < work.size(); ++i) scores[i] = overlap(work[i]);
+        std::vector<size_t> order(work.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return scores[a] > scores[b];
+        });
+        std::vector<WorkItem> ranked;
+        ranked.reserve(work.size());
+        for (size_t i : order) ranked.push_back(work[i]);
+        work = std::move(ranked);
+        ++stats_.prob_ranked_steps;
+      }
+    }
+
     if (!parallel_step) {
       for (const WorkItem& item : work) {
         auto try_w1 = w1;
@@ -570,6 +647,8 @@ Result<CompositeMatchResult> CompositeMatcher::Match() {
     ObsIncrement(options_.obs, "composite.merges_accepted",
                  static_cast<uint64_t>(stats_.merges_accepted));
     ObsIncrement(options_.obs, "composite.rows_frozen", stats_.rows_frozen);
+    ObsIncrement(options_.obs, "composite.prob_ranked_steps",
+                 static_cast<uint64_t>(stats_.prob_ranked_steps));
     ObsSetGauge(options_.obs, "composite.objective",
                 result.average_similarity);
     if (cached_labels_ != nullptr) {

@@ -18,6 +18,7 @@
 
 #include "core/composite_candidates.h"
 #include "core/ems_similarity.h"
+#include "prob/em_engine.h"
 #include "text/label_similarity.h"
 #include "util/status.h"
 
@@ -111,6 +112,17 @@ struct CompositeOptions {
   /// carry their own pointer; CompositeMatcher propagates this one into
   /// them so one assignment instruments the whole search.
   ObsContext* obs = nullptr;
+
+  /// Posterior-guided candidate ranking (src/prob/): when
+  /// `prob.enabled`, each greedy step runs the EM engine over the
+  /// current combined similarity and evaluates candidates in descending
+  /// posterior-overlap order (members agreeing on the same partner
+  /// first) instead of discovery order. Promising candidates then raise
+  /// the serial Bd incumbent earlier, and posterior-consistent merges
+  /// win ties. An opt-in mode: candidate order can change which of
+  /// several exactly-tied candidates merges, so it is NOT bit-identical
+  /// to the default order (off by default, which is).
+  prob::EmOptions prob;
 };
 
 /// Counters describing one composite matching run (Figure 12 reports
@@ -132,6 +144,10 @@ struct CompositeStats {
   int candidates_pruned_by_bound = 0;  // aborted via Bd
   int merges_accepted = 0;
   uint64_t rows_frozen = 0;  // row-freeze events via Uc
+
+  /// Greedy steps whose candidate order came from the EM posterior
+  /// (CompositeOptions::prob.enabled and a non-empty posterior).
+  int prob_ranked_steps = 0;
 
   /// Inner EMS/estimation runs folded in via AddEmsRun.
   uint64_t ems_runs = 0;
@@ -155,6 +171,7 @@ struct CompositeStats {
     candidates_pruned_by_bound += other.candidates_pruned_by_bound;
     merges_accepted += other.merges_accepted;
     rows_frozen += other.rows_frozen;
+    prob_ranked_steps += other.prob_ranked_steps;
     ems_runs += other.ems_runs;
     ems.Add(other.ems);
   }

@@ -21,6 +21,12 @@ std::string MatchResultToJson(const MatchResult& result) {
     w.EndArray();
     w.Key("similarity");
     w.Number(c.similarity);
+    // Only prob runs carry calibrated confidences; omitting the key
+    // otherwise keeps the report byte-identical to pre-prob builds.
+    if (result.soft.has_value()) {
+      w.Key("confidence");
+      w.Number(c.confidence);
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -44,6 +50,20 @@ std::string MatchResultToJson(const MatchResult& result) {
   w.Int(static_cast<long long>(result.graph2.NumNodes()) -
         (result.graph2.has_artificial() ? 1 : 0));
   w.EndObject();
+  if (result.soft.has_value()) {
+    const prob::EmStats& em = result.soft->stats;
+    w.Key("prob");
+    w.BeginObject();
+    w.Key("iterations");
+    w.Int(em.iterations);
+    w.Key("converged");
+    w.Bool(em.converged);
+    w.Key("final_delta");
+    w.Number(em.final_delta);
+    w.Key("mean_entropy");
+    w.Number(em.mean_entropy);
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }

@@ -70,6 +70,7 @@ Result<MatchResult> Matcher::Match(const EventLog& log1,
     // would have used (candidate tasks force their inner EMS serial).
     comp.num_threads = options_.ems.num_threads;
     comp.pool = options_.ems.pool;
+    comp.prob = options_.prob;
     CompositeMatcher matcher(log1, log2, comp,
                              options_.label_measure == LabelMeasure::kNone
                                  ? nullptr
@@ -110,22 +111,44 @@ void SelectCorrespondences(const MatchOptions& options, const EventLog& log1,
   SelectionOptions sel;
   sel.min_similarity = options.min_match_similarity;
   std::vector<ems::Match> matches;
-  switch (options.selection) {
-    case SelectionStrategy::kMaxTotalSimilarity:
-      matches = SelectMaxTotalSimilarity(sim, sel);
-      break;
-    case SelectionStrategy::kGreedy:
-      matches = SelectGreedy(sim, sel);
-      break;
-    case SelectionStrategy::kMutualBest:
-      matches = SelectMutualBest(sim, sel);
-      break;
+  std::vector<double> confidences;  // parallel to `matches` when EM ran
+  if (options.prob.enabled) {
+    // Probabilistic path: EM posterior over the converged similarity,
+    // MAP assignment filtered by similarity AND posterior confidence.
+    prob::EmOptions em = options.prob;
+    em.num_threads = options.ems.num_threads;
+    em.pool = options.ems.pool;
+    em.obs = obs;
+    result->soft = prob::ComputeSoftMatch(result->similarity,
+                                          result->graph1.has_artificial(),
+                                          result->graph2.has_artificial(), em);
+    const std::vector<prob::SoftMatch> soft_matches = prob::SelectFromPosterior(
+        *result->soft, sim, options.min_match_similarity,
+        options.prob.min_confidence);
+    for (const prob::SoftMatch& sm : soft_matches) {
+      matches.push_back({sm.row, sm.col, sm.similarity});
+      confidences.push_back(sm.confidence);
+    }
+  } else {
+    switch (options.selection) {
+      case SelectionStrategy::kMaxTotalSimilarity:
+        matches = SelectMaxTotalSimilarity(sim, sel);
+        break;
+      case SelectionStrategy::kGreedy:
+        matches = SelectGreedy(sim, sel);
+        break;
+      case SelectionStrategy::kMutualBest:
+        matches = SelectMutualBest(sim, sel);
+        break;
+    }
   }
   const NodeId off1 = result->graph1.has_artificial() ? 1 : 0;
   const NodeId off2 = result->graph2.has_artificial() ? 1 : 0;
-  for (const ems::Match& m : matches) {
+  for (size_t k = 0; k < matches.size(); ++k) {
+    const ems::Match& m = matches[k];
     Correspondence corr;
     corr.similarity = m.similarity;
+    if (k < confidences.size()) corr.confidence = confidences[k];
     for (EventId e : result->graph1.Members(m.row + off1)) {
       corr.events1.push_back(log1.EventName(e));
     }

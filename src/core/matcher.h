@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "core/composite_matcher.h"
 #include "core/estimation.h"
 #include "obs/options.h"
+#include "prob/em_engine.h"
 #include "text/label_similarity.h"
 #include "util/status.h"
 
@@ -65,6 +67,16 @@ struct MatchOptions {
   /// nested `ems` inside is overridden by the top-level `ems` above.
   CompositeOptions composite;
 
+  /// Probabilistic soft correspondences (src/prob/): when
+  /// `prob.enabled`, selection runs the EM posterior engine over the
+  /// converged similarity, picks the MAP assignment (filtered by
+  /// `prob.min_confidence` on top of `min_match_similarity`), attaches
+  /// per-correspondence confidences, and fills MatchResult::soft. The
+  /// nested pool/num_threads/obs are overridden by the pipeline's own
+  /// (`ems.pool`, `ems.num_threads`, `obs.context`). Off by default —
+  /// the hard-pick path is then byte-identical to pre-prob builds.
+  prob::EmOptions prob;
+
   /// Observability: when `obs.context` is set, Match records per-phase
   /// spans (graph_build, label_similarity, ems_fixpoint/ems_estimation,
   /// composite_search, selection) and pipeline counters into it. The
@@ -78,6 +90,10 @@ struct Correspondence {
   std::vector<std::string> events1;
   std::vector<std::string> events2;
   double similarity = 0.0;
+
+  /// Posterior confidence of the pair when the EM engine ran
+  /// (MatchOptions::prob.enabled); 0 on the classic hard-pick path.
+  double confidence = 0.0;
 };
 
 /// Everything a caller may want to inspect after matching.
@@ -100,6 +116,11 @@ struct MatchResult {
 
   /// Composite-matcher counters (zero when composites were disabled).
   CompositeStats composite_stats;
+
+  /// Full posterior of the EM run (present iff MatchOptions::prob was
+  /// enabled): responsibilities, MAP assignment, per-row entropies and
+  /// convergence stats — snapshot-able via store::EncodeSoftMatch.
+  std::optional<prob::SoftMatchResult> soft;
 };
 
 /// Creates a label-similarity measure instance.

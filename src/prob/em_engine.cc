@@ -1,0 +1,259 @@
+#include "prob/em_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "assignment/hungarian.h"
+#include "exec/parallel.h"
+#include "obs/context.h"
+
+namespace ems {
+namespace prob {
+namespace {
+
+// Prior floor: a column whose posterior mass vanishes keeps a sliver of
+// prior so a later iteration can revive it (and the Sinkhorn column
+// target never collapses to an exact zero).
+constexpr double kPriorFloor = 1e-12;
+
+// Runs `body(i)` for every row, chunked over the pool when more than one
+// worker is available. Bodies must touch only row i (and read-only
+// shared state): chunk boundaries then cannot change any row's
+// arithmetic, which is the whole bit-identity argument.
+void ForRows(exec::ThreadPool* pool, int threads, size_t rows,
+             const std::function<void(size_t row)>& body) {
+  if (threads <= 1 || rows <= 1) {
+    for (size_t i = 0; i < rows; ++i) body(i);
+    return;
+  }
+  exec::ParallelForChunks(pool, 0, rows, threads,
+                          [&](int /*chunk*/, size_t begin, size_t end) {
+                            for (size_t i = begin; i < end; ++i) body(i);
+                          });
+}
+
+// Normalizes each row of `r` (n1 x n2, row-major) to sum exactly 1.0 in
+// the "computed sum then divide" sense; a fully underflowed row falls
+// back to the uniform distribution. Row-local, so safe under ForRows.
+void NormalizeRow(double* row, size_t n2) {
+  double sum = 0.0;
+  for (size_t j = 0; j < n2; ++j) sum += row[j];
+  if (sum > 0.0) {
+    const double inv = 1.0 / sum;
+    for (size_t j = 0; j < n2; ++j) row[j] *= inv;
+  } else {
+    const double uniform = 1.0 / static_cast<double>(n2);
+    for (size_t j = 0; j < n2; ++j) row[j] = uniform;
+  }
+}
+
+}  // namespace
+
+EmCorrespondenceEngine::EmCorrespondenceEngine(
+    const SimilarityMatrix& likelihood, const EmOptions& options)
+    : likelihood_(likelihood), options_(options) {}
+
+SoftMatchResult EmCorrespondenceEngine::Run() {
+  ObsContext* obs = options_.obs;
+  ScopedSpan span(obs, "em_posterior");
+
+  SoftMatchResult out;
+  const size_t n1 = likelihood_.rows();
+  const size_t n2 = likelihood_.cols();
+  out.posterior = SimilarityMatrix(n1, n2, 0.0);
+  if (n1 == 0 || n2 == 0) {
+    out.stats.converged = true;
+    ObsIncrement(obs, "prob.runs");
+    ObsIncrement(obs, "prob.converged_runs");
+    return out;
+  }
+
+  exec::ThreadPool* pool = options_.pool;
+  int threads = pool != nullptr
+                    ? pool->num_threads()
+                    : exec::ThreadPool::EffectiveThreads(options_.num_threads);
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(threads, 1)), n1));
+  std::unique_ptr<exec::ThreadPool> owned_pool;
+  if (pool == nullptr && threads > 1) {
+    owned_pool = std::make_unique<exec::ThreadPool>(threads);
+    pool = owned_pool.get();
+  }
+
+  // Temperature softmax with the global max shifted out: exponents stay
+  // ≤ 0, so nothing overflows at any temperature; extreme sharpness can
+  // underflow whole rows, which NormalizeRow turns into uniform rows.
+  // The temperature is measured relative to the spread (max - min) of
+  // the likelihood surface: EMS similarities have no fixed scale — their
+  // dynamic range shrinks as instances grow — and an absolute
+  // temperature would leave large instances with near-uniform
+  // posteriors. With the spread divided out, temperature t means "a
+  // similarity deficit of t·spread costs a factor of e".
+  const double temperature = std::max(options_.temperature, 1e-6);
+  const std::vector<double>& s = likelihood_.data();
+  double s_max = s[0];
+  double s_min = s[0];
+  for (double v : s) {
+    s_max = std::max(s_max, v);
+    s_min = std::min(s_min, v);
+  }
+  const double spread = s_max - s_min;
+  // A flat surface carries no signal: every exponent is 0 and the
+  // posterior is uniform, as it should be.
+  const double scale = spread > 0.0 ? temperature * spread : 1.0;
+  std::vector<double> lik(n1 * n2);
+  ForRows(pool, threads, n1, [&](size_t i) {
+    for (size_t j = 0; j < n2; ++j) {
+      lik[i * n2 + j] = std::exp((s[i * n2 + j] - s_max) / scale);
+    }
+  });
+
+  std::vector<double> prior(n2, 1.0 / static_cast<double>(n2));
+  std::vector<double> prev(n1 * n2, 0.0);
+  std::vector<double> col_scale(n2, 0.0);
+  double* r = out.posterior.mutable_data();
+
+  const int max_iterations = std::max(options_.max_iterations, 1);
+  const int sweeps = std::max(options_.sinkhorn_sweeps, 1);
+  const double rtole = std::max(options_.rtole, 0.0);
+  int iterations = 0;
+  bool converged = false;
+  double delta = 0.0;
+
+  while (iterations < max_iterations) {
+    ++iterations;
+    // E-step: restart from the likelihood surface weighted by the
+    // current priors, r(i,j) ∝ π_j·lik(i,j) — the classic mixture
+    // responsibility. The priors survive the Sinkhorn passes below
+    // because each sweep row-normalizes FIRST: the row sums mix priors
+    // across columns, so the subsequent column pass no longer divides
+    // them out exactly (a column-first sweep would cancel a column
+    // multiplier identically).
+    ForRows(pool, threads, n1, [&](size_t i) {
+      const double* src = &lik[i * n2];
+      double* dst = &r[i * n2];
+      for (size_t j = 0; j < n2; ++j) dst[j] = src[j] * prior[j];
+    });
+    // Sinkhorn sweeps toward double stochasticity: uniform column
+    // targets n1/n2 inject the 1:1 competition between rows (a column
+    // claimed by many rows gets scaled down, forcing them to spread),
+    // which plain row-softmax responsibilities lack. With a single row
+    // there is nobody to compete with and the column pass would force
+    // every entry to the target — erasing the likelihood — so the sweep
+    // degenerates to the plain row softmax.
+    const double col_target =
+        static_cast<double>(n1) / static_cast<double>(n2);
+    const int effective_sweeps = n1 > 1 ? sweeps : 0;
+    for (int sweep = 0; sweep < effective_sweeps; ++sweep) {
+      ForRows(pool, threads, n1, [&](size_t i) { NormalizeRow(&r[i * n2], n2); });
+      // Column pass: sums in fixed (i, j) order — the one cross-row
+      // reduction, kept serial for determinism — then a row-local scale.
+      std::fill(col_scale.begin(), col_scale.end(), 0.0);
+      for (size_t i = 0; i < n1; ++i) {
+        const double* row = &r[i * n2];
+        for (size_t j = 0; j < n2; ++j) col_scale[j] += row[j];
+      }
+      for (size_t j = 0; j < n2; ++j) {
+        col_scale[j] = col_scale[j] > 0.0 ? col_target / col_scale[j] : 0.0;
+      }
+      ForRows(pool, threads, n1, [&](size_t i) {
+        double* row = &r[i * n2];
+        for (size_t j = 0; j < n2; ++j) row[j] *= col_scale[j];
+      });
+    }
+    ForRows(pool, threads, n1, [&](size_t i) { NormalizeRow(&r[i * n2], n2); });
+
+    // M-step: priors from the column posterior mass, floored and
+    // renormalized (serial reduction, fixed order).
+    std::fill(prior.begin(), prior.end(), 0.0);
+    for (size_t i = 0; i < n1; ++i) {
+      const double* row = &r[i * n2];
+      for (size_t j = 0; j < n2; ++j) prior[j] += row[j];
+    }
+    double prior_sum = 0.0;
+    for (size_t j = 0; j < n2; ++j) {
+      prior[j] = std::max(prior[j] / static_cast<double>(n1), kPriorFloor);
+      prior_sum += prior[j];
+    }
+    for (size_t j = 0; j < n2; ++j) prior[j] /= prior_sum;
+
+    delta = 0.0;
+    for (size_t k = 0; k < n1 * n2; ++k) {
+      delta = std::max(delta, std::abs(r[k] - prev[k]));
+    }
+    std::copy(r, r + n1 * n2, prev.begin());
+    if (delta <= rtole) {
+      converged = true;
+      break;
+    }
+  }
+
+  out.column_prior = std::move(prior);
+  out.stats.iterations = iterations;
+  out.stats.converged = converged;
+  out.stats.final_delta = delta;
+
+  // Per-row mode + normalized entropy (serial; also feeds the quantile
+  // histogram so ems_top can report the entropy distribution).
+  out.mode.resize(n1, -1);
+  out.row_entropy.resize(n1, 0.0);
+  const double entropy_denom =
+      n2 > 1 ? std::log(static_cast<double>(n2)) : 1.0;
+  double entropy_sum = 0.0;
+  for (size_t i = 0; i < n1; ++i) {
+    const double* row = &r[i * n2];
+    double best = -1.0;
+    double h = 0.0;
+    int best_j = 0;
+    for (size_t j = 0; j < n2; ++j) {
+      if (row[j] > best) {
+        best = row[j];
+        best_j = static_cast<int>(j);
+      }
+      if (row[j] > 0.0) h -= row[j] * std::log(row[j]);
+    }
+    out.mode[i] = best_j;
+    out.row_entropy[i] = std::clamp(h / entropy_denom, 0.0, 1.0);
+    entropy_sum += out.row_entropy[i];
+    ObsObserveQuantile(obs, "prob.posterior_entropy", out.row_entropy[i]);
+  }
+  out.stats.mean_entropy = entropy_sum / static_cast<double>(n1);
+
+  // MAP assignment: Hungarian over the posterior, inheriting the
+  // assignment layer's tie-break order (pinned by hungarian_test).
+  std::vector<std::vector<double>> weights(n1, std::vector<double>(n2));
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) weights[i][j] = r[i * n2 + j];
+  }
+  out.map_assignment = MaxWeightAssignment(weights);
+
+  ObsIncrement(obs, "prob.runs");
+  ObsIncrement(obs, "prob.iterations", static_cast<uint64_t>(iterations));
+  if (converged) ObsIncrement(obs, "prob.converged_runs");
+  return out;
+}
+
+SoftMatchResult ComputeSoftMatch(const SimilarityMatrix& similarity,
+                                 bool drop_row0, bool drop_col0,
+                                 const EmOptions& options) {
+  const size_t r0 = drop_row0 ? 1 : 0;
+  const size_t c0 = drop_col0 ? 1 : 0;
+  const size_t n1 = similarity.rows() > r0 ? similarity.rows() - r0 : 0;
+  const size_t n2 = similarity.cols() > c0 ? similarity.cols() - c0 : 0;
+  SimilarityMatrix real(n1, n2, 0.0);
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) {
+      real.set(static_cast<NodeId>(i), static_cast<NodeId>(j),
+               similarity.at(static_cast<NodeId>(i + r0),
+                             static_cast<NodeId>(j + c0)));
+    }
+  }
+  EmCorrespondenceEngine engine(real, options);
+  return engine.Run();
+}
+
+}  // namespace prob
+}  // namespace ems

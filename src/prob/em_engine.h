@@ -1,0 +1,113 @@
+// EM soft-correspondence engine (ROADMAP item 1): treats the converged
+// EMS similarity matrix as the likelihood surface over latent row→column
+// correspondences and iterates expectation-maximization to a calibrated
+// posterior (docs/PROBABILISTIC.md has the full derivation).
+//
+//   E-step  responsibilities start from the prior-weighted temperature
+//           softmax r(i,j) ∝ π_j · exp(S(i,j) / (T·spread(S))) and are
+//           pushed toward double stochasticity by Sinkhorn sweeps with
+//           uniform column targets n1/n2 (row pass first, so the
+//           column pass does not cancel the prior multiplier); the
+//           sweep ends with an exact row normalization, so every row
+//           sums to 1.
+//   M-step  π_j ← Σ_i r(i,j) / n1, floored and renormalized — each
+//           right-side node's estimated match propensity, which
+//           weights the next E-step's responsibilities. Columns that
+//           attract no posterior mass shrink, concentrating the
+//           distribution on plausibly-matched nodes.
+//   stop    when the max-abs posterior change of an iteration is ≤
+//           rtole (gemmulem's relative-tolerance idiom) or after
+//           max_iterations.
+//
+// Determinism contract: identical output at any thread count. Only
+// row-local work (softmax fill, row normalization, column scaling by a
+// precomputed vector) runs on the pool — chunk boundaries never change
+// a row's arithmetic — while every cross-row reduction (column sums,
+// priors, delta, entropy) runs serially in fixed index order.
+#pragma once
+
+#include <vector>
+
+#include "core/similarity_matrix.h"
+#include "prob/soft_match.h"
+
+namespace ems {
+
+struct ObsContext;
+namespace exec {
+class ThreadPool;
+}
+
+namespace prob {
+
+/// EM configuration; carried by MatchOptions/CompositeOptions as `prob`.
+struct EmOptions {
+  /// Master gate: when false the pipeline takes the classic hard-pick
+  /// path, byte-identical to builds without the prob subsystem.
+  bool enabled = false;
+
+  /// Softmax temperature, measured relative to the spread (max − min)
+  /// of the likelihood surface so sharpness is independent of the
+  /// instance's similarity scale: a similarity deficit of
+  /// temperature·spread costs a factor of e. Lower = sharper posteriors
+  /// (T → 0 recovers the hard argmax); higher = more diffuse. Clamped
+  /// to ≥ 1e-6.
+  double temperature = 0.05;
+
+  /// Relative convergence tolerance on the max-abs posterior change.
+  double rtole = 1e-6;
+
+  /// Iteration cap (candidates are finite; this is the safety net).
+  int max_iterations = 50;
+
+  /// Sinkhorn row/column renormalization sweeps per E-step.
+  int sinkhorn_sweeps = 5;
+
+  /// MAP pairs whose posterior falls below this are dropped at
+  /// selection — the calibration filter that sheds dislocated rows.
+  /// Compared against a row distribution that sums to 1, so useful
+  /// values sit near (a small multiple of) the uniform mass 1/n2.
+  double min_confidence = 0.02;
+
+  /// Workers for the row-parallel E-step phases when `pool` is null:
+  /// 1 = serial (default), 0 = hardware concurrency.
+  int num_threads = 1;
+
+  /// Borrowed shared pool; overrides num_threads when set.
+  exec::ThreadPool* pool = nullptr;
+
+  /// Observability sink (prob.* counters, em_posterior span, posterior
+  /// entropy quantile histogram); null disables instrumentation.
+  ObsContext* obs = nullptr;
+};
+
+/// \brief One EM run over a likelihood surface.
+///
+/// The matrix handed in must already be restricted to real nodes (no
+/// artificial row/column); use ComputeSoftMatch below to go straight
+/// from a pipeline SimilarityMatrix.
+class EmCorrespondenceEngine {
+ public:
+  /// `likelihood` is borrowed and must outlive Run().
+  EmCorrespondenceEngine(const SimilarityMatrix& likelihood,
+                         const EmOptions& options);
+
+  /// Runs E/M iterations to convergence and derives the MAP assignment,
+  /// per-row modes and entropies. Deterministic for fixed inputs at any
+  /// thread count.
+  SoftMatchResult Run();
+
+ private:
+  const SimilarityMatrix& likelihood_;
+  EmOptions options_;
+};
+
+/// Convenience wrapper: drops the artificial row/column of a pipeline
+/// similarity matrix (mirroring SimilarityMatrix::RealSubmatrix) and
+/// runs the engine on the real-node surface.
+SoftMatchResult ComputeSoftMatch(const SimilarityMatrix& similarity,
+                                 bool drop_row0, bool drop_col0,
+                                 const EmOptions& options);
+
+}  // namespace prob
+}  // namespace ems

@@ -1,0 +1,35 @@
+#include "prob/soft_match.h"
+
+namespace ems {
+namespace prob {
+
+double SoftMatchResult::Confidence(int row, int col) const {
+  if (row < 0 || col < 0 || static_cast<size_t>(row) >= posterior.rows() ||
+      static_cast<size_t>(col) >= posterior.cols()) {
+    return 0.0;
+  }
+  return posterior.at(row, col);
+}
+
+std::vector<SoftMatch> SelectFromPosterior(
+    const SoftMatchResult& soft,
+    const std::vector<std::vector<double>>& similarity, double min_similarity,
+    double min_confidence) {
+  std::vector<SoftMatch> out;
+  for (size_t i = 0; i < soft.map_assignment.size(); ++i) {
+    const int j = soft.map_assignment[i];
+    if (j < 0) continue;
+    const double confidence = soft.Confidence(static_cast<int>(i), j);
+    if (confidence < min_confidence) continue;
+    double sim = 0.0;
+    if (i < similarity.size() && static_cast<size_t>(j) < similarity[i].size()) {
+      sim = similarity[i][static_cast<size_t>(j)];
+    }
+    if (sim < min_similarity) continue;
+    out.push_back({static_cast<int>(i), j, sim, confidence});
+  }
+  return out;
+}
+
+}  // namespace prob
+}  // namespace ems

@@ -1,0 +1,84 @@
+// Soft correspondence results: the posterior assignment distribution the
+// EM engine (prob/em_engine.h) converges to, the MAP hard assignment
+// derived from it, and the selection helper turning both into filtered
+// matches with calibrated confidences (docs/PROBABILISTIC.md).
+#pragma once
+
+#include <vector>
+
+#include "core/similarity_matrix.h"
+
+namespace ems {
+namespace prob {
+
+/// Convergence record of one EM run (gemmulem-style rtole contract).
+struct EmStats {
+  int iterations = 0;
+  bool converged = false;
+  /// Max-abs posterior change of the last completed iteration.
+  double final_delta = 0.0;
+  /// Mean normalized row entropy in [0, 1] over the final posterior.
+  double mean_entropy = 0.0;
+};
+
+/// Posterior correspondence distribution over the REAL nodes of the two
+/// final graphs. Artificial rows/columns are dropped before the EM run:
+/// row i / column j here address graph node i + off1 / j + off2 where
+/// off is 1 when that graph carries an artificial event — the same
+/// convention as SimilarityMatrix::RealSubmatrix and the selection
+/// strategies.
+struct SoftMatchResult {
+  /// n1 x n2 responsibilities r(i, j) = P(row i corresponds to column j).
+  /// Every row sums to 1 within 1e-9 (the E-step ends with an exact row
+  /// normalization); a row whose likelihood underflowed entirely falls
+  /// back to the uniform distribution, preserving the invariant.
+  SimilarityMatrix posterior;
+
+  /// Final column priors (M-step estimate of each right-side node's
+  /// match propensity), length n2, sums to 1.
+  std::vector<double> column_prior;
+
+  /// MAP hard assignment: the maximum-total-posterior 1:1 matching via
+  /// MaxWeightAssignment (src/assignment/hungarian.h), so the EM path
+  /// reproduces the Hungarian tie-break order exactly; -1 = unassigned.
+  std::vector<int> map_assignment;
+
+  /// Per-row argmax column (Soar's map_mode idiom; first column on ties).
+  std::vector<int> mode;
+
+  /// Per-row normalized entropy in [0, 1]: 0 = deterministic assignment,
+  /// 1 = uniform over all columns. The calibration signal — dislocated
+  /// events (true partner absent) surface as high-entropy rows.
+  std::vector<double> row_entropy;
+
+  EmStats stats;
+
+  bool empty() const { return posterior.rows() == 0 || posterior.cols() == 0; }
+
+  /// Posterior mass of pair (row, col); 0 when out of range.
+  double Confidence(int row, int col) const;
+};
+
+/// One selected correspondence with its calibrated confidence.
+struct SoftMatch {
+  int row;
+  int col;
+  /// Underlying EMS similarity of the pair — comparable with the hard
+  /// path's Match::similarity (the posterior is NOT a similarity).
+  double similarity;
+  /// Posterior mass r(row, col).
+  double confidence;
+};
+
+/// Turns the MAP assignment into matches: keeps (i, map[i]) pairs whose
+/// underlying similarity reaches `min_similarity` (the hard path's
+/// contract) AND whose posterior reaches `min_confidence` (the
+/// calibration filter that drops ambiguous/dislocated rows).
+/// `similarity` is the real-node submatrix the posterior was built from.
+std::vector<SoftMatch> SelectFromPosterior(
+    const SoftMatchResult& soft,
+    const std::vector<std::vector<double>>& similarity, double min_similarity,
+    double min_confidence);
+
+}  // namespace prob
+}  // namespace ems

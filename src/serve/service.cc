@@ -70,6 +70,26 @@ Status ParseMatchOptions(const JsonValue& job, MatchOptions* out) {
       job.GetNumber("min_similarity", out->min_match_similarity);
   out->min_edge_frequency =
       job.GetNumber("min_edge_frequency", out->min_edge_frequency);
+  // Probabilistic matching (src/prob/): {"prob":true} switches the job
+  // to EM posterior selection; the knobs mirror ems_match's --prob-*.
+  out->prob.enabled = job.GetBool("prob", false);
+  out->prob.temperature = job.GetNumber("prob_temp", out->prob.temperature);
+  if (out->prob.temperature <= 0.0) {
+    return Status::InvalidArgument("prob_temp must be > 0");
+  }
+  out->prob.rtole = job.GetNumber("prob_tol", out->prob.rtole);
+  if (out->prob.rtole <= 0.0) {
+    return Status::InvalidArgument("prob_tol must be > 0");
+  }
+  out->prob.max_iterations = job.GetInt("prob_iters", out->prob.max_iterations);
+  if (out->prob.max_iterations < 1) {
+    return Status::InvalidArgument("prob_iters must be >= 1");
+  }
+  out->prob.min_confidence =
+      job.GetNumber("prob_min_confidence", out->prob.min_confidence);
+  if (out->prob.min_confidence < 0.0 || out->prob.min_confidence > 1.0) {
+    return Status::InvalidArgument("prob_min_confidence must be in [0, 1]");
+  }
   return Status::OK();
 }
 
@@ -114,6 +134,12 @@ std::string RenderResult(const std::string& id, const MatchResult& result,
     WriteNames(&w, c.events2);
     w.Key("similarity");
     w.Number(c.similarity);
+    // Calibrated confidence exists only on prob jobs; omitting the key
+    // otherwise keeps non-prob responses byte-identical to older builds.
+    if (result.soft.has_value()) {
+      w.Key("confidence");
+      w.Number(c.confidence);
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -125,8 +151,35 @@ std::string RenderResult(const std::string& id, const MatchResult& result,
   w.Int(static_cast<long long>(result.ems_stats.formula_evaluations +
                                result.composite_stats.formula_evaluations));
   w.EndObject();
+  if (result.soft.has_value()) {
+    const prob::EmStats& em = result.soft->stats;
+    w.Key("prob");
+    w.BeginObject();
+    w.Key("iterations");
+    w.Int(em.iterations);
+    w.Key("converged");
+    w.Bool(em.converged);
+    w.Key("final_delta");
+    w.Number(em.final_delta);
+    w.Key("mean_entropy");
+    w.Number(em.mean_entropy);
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
+}
+
+// Service-wide prob.* rollup (the per-job obs context the engine writes
+// into is private to the request and discarded with it).
+void RecordProbMetrics(ObsContext* obs, const MatchResult& result) {
+  if (obs == nullptr || !result.soft.has_value()) return;
+  ObsIncrement(obs, "prob.runs");
+  ObsIncrement(obs, "prob.iterations",
+               static_cast<uint64_t>(result.soft->stats.iterations));
+  if (result.soft->stats.converged) ObsIncrement(obs, "prob.converged_runs");
+  for (double h : result.soft->row_entropy) {
+    ObsObserveQuantile(obs, "prob.posterior_entropy", h);
+  }
 }
 
 // An append result is a match result plus the streaming report: what the
@@ -596,6 +649,7 @@ std::string BatchMatchService::HandleMatchJob(const std::string& line) {
       if (session_match->ok()) {
         rendered = RenderResult(request_id, (*session_match)->match,
                                 timer.ElapsedMillis());
+        RecordProbMetrics(options_.obs, (*session_match)->match);
       } else {
         failure = session_match->status();
       }
@@ -619,6 +673,7 @@ std::string BatchMatchService::HandleMatchJob(const std::string& line) {
         Result<MatchResult> result = matcher.Match(**log1, **log2);
         if (result.ok()) {
           rendered = RenderResult(request_id, *result, timer.ElapsedMillis());
+          RecordProbMetrics(options_.obs, *result);
         } else {
           failure = result.status();
         }
@@ -685,6 +740,7 @@ std::string BatchMatchService::HandleAppendJob(const std::string& line) {
     if (outcome.ok()) {
       rendered =
           RenderAppendResult(request_id, *outcome, timer.ElapsedMillis());
+      RecordProbMetrics(options_.obs, outcome->match);
       if (outcome->graph_stats.appended_traces > 0) {
         RefreshCorpusMember(request->log1, outcome->log_snapshot,
                             request->format);

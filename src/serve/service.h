@@ -11,7 +11,9 @@
 //    "alpha": 0.5, "c": 0.8, "engine": "exact|estimated",
 //    "iterations": 5, "composites": false, "delta": 0.005,
 //    "selection": "hungarian|greedy|mutual",
-//    "min_similarity": 0.05, "min_edge_frequency": 0.0}
+//    "min_similarity": 0.05, "min_edge_frequency": 0.0,
+//    "prob": false, "prob_temp": 0.05, "prob_tol": 1e-6,
+//    "prob_iters": 50, "prob_min_confidence": 0.02}
 //
 // Result line (completion order; correlate by id):
 //   {"id": "j1", "status": "ok", "millis": 12.3,
@@ -20,6 +22,12 @@
 //    "ems": {"iterations": 7, "formula_evaluations": 1234}}
 // or {"id": "j1", "status": "error", "code": "NotFound",
 //     "error": "..."}.
+// With "prob": true (docs/PROBABILISTIC.md) each correspondence gains a
+// "confidence" (its EM posterior mass) and the result a
+// "prob": {"iterations", "converged", "final_delta", "mean_entropy"}
+// object; non-prob responses are byte-identical to older builds. The
+// sharded router forwards job lines verbatim, so prob jobs work
+// unchanged under --shards/--tcp.
 //
 // Top-k corpus queries ride the same protocol, dispatched on the
 // `query` key (docs/CORPUS.md): rank the members of a corpus against

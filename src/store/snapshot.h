@@ -35,6 +35,10 @@ class DependencyGraphBuilder;
 class CachedLabelSimilarity;
 struct WarmSeed;
 
+namespace prob {
+struct SoftMatchResult;
+}
+
 namespace store {
 
 /// What a snapshot contains; written into the header and into cache
@@ -46,6 +50,7 @@ enum class ArtifactKind : uint32_t {
   kLabelCache = 4,       // CachedLabelSimilarity score memo
   kCorpusIndex = 5,      // corpus top-k index (src/index/corpus_io.h)
   kSimilarityMatrix = 6,  // warm-start seed: per-direction EMS fixpoints
+  kSoftMatch = 7,         // EM posterior + MAP (src/prob/soft_match.h)
 };
 
 /// Short lowercase name ("log", "graph", ...) used in cache file names;
@@ -170,6 +175,16 @@ Status DecodeLabelCacheInto(std::string_view snapshot,
 /// the exact state it is re-matching. Only valid seeds encode.
 std::string EncodeWarmSeed(const WarmSeed& seed);
 Result<WarmSeed> DecodeWarmSeed(std::string_view snapshot);
+
+/// EM soft-match posterior (src/prob/soft_match.h): responsibilities,
+/// column priors, MAP assignment, per-row modes/entropies and the
+/// convergence stats. The store keys these like warm seeds — content
+/// hashes of both logs plus the match-option fingerprint (temperature,
+/// tolerance, iteration caps included), so a cached posterior is only
+/// replayed for the exact run that produced it. Decoding validates all
+/// per-row/per-column array lengths against the posterior shape.
+std::string EncodeSoftMatch(const prob::SoftMatchResult& soft);
+Result<prob::SoftMatchResult> DecodeSoftMatch(std::string_view snapshot);
 
 /// Size EncodeEventLog(log) would produce, computed arithmetically
 /// (no encoding) — the cost estimate for byte-budget caches.

@@ -69,6 +69,50 @@ TEST(HungarianTest, MixedSignsTakeOnlyProfitablePairs) {
   EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 5.0);
 }
 
+// Tie-break pins: on all-equal weights every permutation is optimal, so
+// these lock in the order the solver actually produces. The EM MAP path
+// (prob/em_engine.cc) runs MaxWeightAssignment over posteriors whose
+// rows can tie exactly — downstream consumers (snapshots, serve output)
+// rely on re-runs picking the same assignment.
+TEST(HungarianTest, AllEqualSquareTieBreaksToIdentity) {
+  std::vector<std::vector<double>> w = {
+      {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 2}));
+  // Determinism: a second run reproduces the identical vector.
+  EXPECT_EQ(MaxWeightAssignment(w), a);
+}
+
+TEST(HungarianTest, AllEqualWideTieBreaksToLowestColumns) {
+  std::vector<std::vector<double>> w = {{2.0, 2.0, 2.0, 2.0},
+                                        {2.0, 2.0, 2.0, 2.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_EQ(a, (std::vector<int>{0, 1}));
+}
+
+TEST(HungarianTest, AllEqualTallLeavesExtraRowsUnassigned) {
+  std::vector<std::vector<double>> w = {{3.0}, {3.0}, {3.0}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  ASSERT_EQ(a.size(), 3u);
+  int assigned_to_0 = 0;
+  for (int x : a) {
+    if (x == 0) ++assigned_to_0;
+    else EXPECT_EQ(x, -1);
+  }
+  EXPECT_EQ(assigned_to_0, 1);
+  // The winner row is stable across runs.
+  EXPECT_EQ(MaxWeightAssignment(w), a);
+}
+
+TEST(HungarianTest, PartialTieInsideOneRowIsStable) {
+  // Row 0 ties between columns 1 and 2; the pinned choice must not
+  // depend on the (equal) weight landing first or last.
+  std::vector<std::vector<double>> w = {{0.5, 1.0, 1.0}, {0.2, 0.1, 0.3}};
+  std::vector<int> a = MaxWeightAssignment(w);
+  EXPECT_EQ(a, MaxWeightAssignment(w));
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, a), 1.0 + 0.3);
+}
+
 TEST(HungarianTest, EmptyInputs) {
   EXPECT_TRUE(MaxWeightAssignment({}).empty());
   std::vector<std::vector<double>> no_cols = {{}, {}};

@@ -1,0 +1,240 @@
+// EM soft-correspondence engine: row-stochasticity within 1e-9, the
+// rtole convergence contract, temperature sharpness, the serial/parallel
+// bit-identity guarantee, MAP = Hungarian-over-posterior, and calibrated
+// entropy surfacing ambiguity.
+#include "prob/em_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assignment/hungarian.h"
+#include "exec/thread_pool.h"
+#include "prob/soft_match.h"
+
+namespace ems {
+namespace prob {
+namespace {
+
+// A 4x4 surface with a clear diagonal structure plus one ambiguous row
+// (row 3 likes columns 2 and 3 equally).
+SimilarityMatrix ClearSurface() {
+  SimilarityMatrix s(4, 4, 0.05);
+  s.set(0, 0, 0.9);
+  s.set(1, 1, 0.8);
+  s.set(2, 2, 0.85);
+  s.set(3, 2, 0.5);
+  s.set(3, 3, 0.5);
+  return s;
+}
+
+double RowSum(const SimilarityMatrix& m, size_t i) {
+  double sum = 0.0;
+  for (size_t j = 0; j < m.cols(); ++j) {
+    sum += m.at(static_cast<NodeId>(i), static_cast<NodeId>(j));
+  }
+  return sum;
+}
+
+TEST(EmEngineTest, PosteriorRowsSumToOneWithinTolerance) {
+  SimilarityMatrix s = ClearSurface();
+  EmOptions opts;
+  opts.enabled = true;
+  EmCorrespondenceEngine engine(s, opts);
+  SoftMatchResult soft = engine.Run();
+  ASSERT_EQ(soft.posterior.rows(), 4u);
+  ASSERT_EQ(soft.posterior.cols(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(RowSum(soft.posterior, i), 1.0, 1e-9) << "row " << i;
+  }
+  // Priors are a distribution too.
+  double prior_sum = 0.0;
+  for (double p : soft.column_prior) prior_sum += p;
+  EXPECT_NEAR(prior_sum, 1.0, 1e-9);
+}
+
+TEST(EmEngineTest, ConvergesOnEasySurfaceUnderTheCap) {
+  SimilarityMatrix s = ClearSurface();
+  EmOptions opts;
+  EmCorrespondenceEngine engine(s, opts);
+  SoftMatchResult soft = engine.Run();
+  EXPECT_TRUE(soft.stats.converged);
+  EXPECT_GT(soft.stats.iterations, 0);
+  EXPECT_LT(soft.stats.iterations, opts.max_iterations);
+  EXPECT_LE(soft.stats.final_delta, opts.rtole);
+}
+
+TEST(EmEngineTest, LooseToleranceStopsAfterOneIteration) {
+  SimilarityMatrix s = ClearSurface();
+  EmOptions opts;
+  opts.rtole = 10.0;  // any first delta (<= 1) satisfies it
+  SoftMatchResult soft = EmCorrespondenceEngine(s, opts).Run();
+  EXPECT_TRUE(soft.stats.converged);
+  EXPECT_EQ(soft.stats.iterations, 1);
+}
+
+TEST(EmEngineTest, ImpossibleToleranceHitsIterationCap) {
+  SimilarityMatrix s = ClearSurface();
+  EmOptions opts;
+  opts.rtole = -1.0;  // clamped to 0; exact-zero delta is unreachable here
+  opts.max_iterations = 3;
+  SoftMatchResult soft = EmCorrespondenceEngine(s, opts).Run();
+  EXPECT_EQ(soft.stats.iterations, 3);
+}
+
+TEST(EmEngineTest, LowerTemperatureSharpensThePosterior) {
+  SimilarityMatrix s = ClearSurface();
+  EmOptions sharp;
+  sharp.temperature = 0.02;
+  EmOptions diffuse;
+  diffuse.temperature = 0.5;
+  SoftMatchResult a = EmCorrespondenceEngine(s, sharp).Run();
+  SoftMatchResult b = EmCorrespondenceEngine(s, diffuse).Run();
+  EXPECT_LT(a.stats.mean_entropy, b.stats.mean_entropy);
+  // The sharp run concentrates the diagonal row near certainty.
+  EXPECT_GT(a.Confidence(0, 0), b.Confidence(0, 0));
+}
+
+TEST(EmEngineTest, SerialAndParallelRunsAreBitIdentical) {
+  // A surface big enough that chunking actually splits rows.
+  SimilarityMatrix s(37, 29, 0.0);
+  for (size_t i = 0; i < 37; ++i) {
+    for (size_t j = 0; j < 29; ++j) {
+      const double v =
+          0.5 + 0.4 * std::sin(static_cast<double>(i * 31 + j * 17));
+      s.set(static_cast<NodeId>(i), static_cast<NodeId>(j), v);
+    }
+  }
+  EmOptions serial;
+  serial.num_threads = 1;
+  SoftMatchResult a = EmCorrespondenceEngine(s, serial).Run();
+
+  exec::ThreadPool pool(4);
+  EmOptions parallel;
+  parallel.pool = &pool;
+  SoftMatchResult b = EmCorrespondenceEngine(s, parallel).Run();
+
+  ASSERT_EQ(a.posterior.data().size(), b.posterior.data().size());
+  EXPECT_TRUE(std::equal(a.posterior.data().begin(), a.posterior.data().end(),
+                         b.posterior.data().begin()))
+      << "posterior differs between serial and parallel runs";
+  EXPECT_EQ(a.map_assignment, b.map_assignment);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.final_delta, b.stats.final_delta);
+}
+
+TEST(EmEngineTest, MapAssignmentIsHungarianOverThePosterior) {
+  SimilarityMatrix s = ClearSurface();
+  SoftMatchResult soft = EmCorrespondenceEngine(s, EmOptions{}).Run();
+  std::vector<std::vector<double>> w(soft.posterior.rows(),
+                                     std::vector<double>(soft.posterior.cols()));
+  for (size_t i = 0; i < soft.posterior.rows(); ++i) {
+    for (size_t j = 0; j < soft.posterior.cols(); ++j) {
+      w[i][j] =
+          soft.posterior.at(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  EXPECT_EQ(soft.map_assignment, MaxWeightAssignment(w));
+}
+
+TEST(EmEngineTest, EmptySurfaceReturnsEmptyConvergedResult) {
+  SimilarityMatrix s(0, 0, 0.0);
+  SoftMatchResult soft = EmCorrespondenceEngine(s, EmOptions{}).Run();
+  EXPECT_TRUE(soft.empty());
+  EXPECT_TRUE(soft.stats.converged);
+  EXPECT_EQ(soft.stats.iterations, 0);
+}
+
+TEST(EmEngineTest, SingleRowBecomesASoftmaxOverColumns) {
+  SimilarityMatrix s(1, 3, 0.1);
+  s.set(0, 1, 0.9);
+  SoftMatchResult soft = EmCorrespondenceEngine(s, EmOptions{}).Run();
+  EXPECT_NEAR(RowSum(soft.posterior, 0), 1.0, 1e-9);
+  EXPECT_EQ(soft.mode[0], 1);
+  EXPECT_EQ(soft.map_assignment[0], 1);
+  EXPECT_GT(soft.Confidence(0, 1), soft.Confidence(0, 0));
+}
+
+TEST(EmEngineTest, FlatSurfaceYieldsUniformRows) {
+  SimilarityMatrix s(3, 4, 0.7);  // zero spread: no signal at all
+  SoftMatchResult soft = EmCorrespondenceEngine(s, EmOptions{}).Run();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(
+          soft.posterior.at(static_cast<NodeId>(i), static_cast<NodeId>(j)),
+          0.25, 1e-9);
+    }
+    EXPECT_NEAR(soft.row_entropy[i], 1.0, 1e-9);
+  }
+}
+
+TEST(EmEngineTest, AmbiguousRowCarriesMoreEntropyThanClearRow) {
+  SimilarityMatrix s = ClearSurface();
+  SoftMatchResult soft = EmCorrespondenceEngine(s, EmOptions{}).Run();
+  // Row 0 has one dominant partner; row 3 is torn between two columns.
+  EXPECT_LT(soft.row_entropy[0], soft.row_entropy[3]);
+}
+
+TEST(EmEngineTest, ComputeSoftMatchDropsArtificialRowAndColumn) {
+  // 4x4 with index 0 artificial on both sides; the engine must see the
+  // 3x3 real submatrix.
+  SimilarityMatrix s(4, 4, 0.05);
+  s.set(0, 0, 1.0);  // artificial-artificial; must not leak into output
+  s.set(1, 1, 0.9);
+  s.set(2, 2, 0.8);
+  s.set(3, 3, 0.7);
+  EmOptions opts;
+  SoftMatchResult soft =
+      ComputeSoftMatch(s, /*drop_row0=*/true, /*drop_col0=*/true, opts);
+  ASSERT_EQ(soft.posterior.rows(), 3u);
+  ASSERT_EQ(soft.posterior.cols(), 3u);
+  EXPECT_EQ(soft.map_assignment, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SoftMatchTest, ConfidenceIsBoundsChecked) {
+  SimilarityMatrix s = ClearSurface();
+  SoftMatchResult soft = EmCorrespondenceEngine(s, EmOptions{}).Run();
+  EXPECT_EQ(soft.Confidence(-1, 0), 0.0);
+  EXPECT_EQ(soft.Confidence(0, -1), 0.0);
+  EXPECT_EQ(soft.Confidence(4, 0), 0.0);
+  EXPECT_EQ(soft.Confidence(0, 4), 0.0);
+}
+
+TEST(SoftMatchTest, SelectFromPosteriorAppliesBothFilters) {
+  SimilarityMatrix s = ClearSurface();
+  EmOptions opts;
+  opts.temperature = 0.05;
+  SoftMatchResult soft = EmCorrespondenceEngine(s, opts).Run();
+  std::vector<std::vector<double>> sim(s.rows(),
+                                       std::vector<double>(s.cols()));
+  for (size_t i = 0; i < s.rows(); ++i) {
+    for (size_t j = 0; j < s.cols(); ++j) {
+      sim[i][j] = s.at(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+
+  // Permissive thresholds keep every MAP pair.
+  std::vector<SoftMatch> all = SelectFromPosterior(soft, sim, 0.0, 0.0);
+  size_t assigned = 0;
+  for (int j : soft.map_assignment) assigned += j >= 0;
+  EXPECT_EQ(all.size(), assigned);
+  for (const SoftMatch& m : all) {
+    EXPECT_EQ(soft.map_assignment[m.row], m.col);
+    EXPECT_DOUBLE_EQ(m.confidence, soft.Confidence(m.row, m.col));
+  }
+
+  // An impossible confidence bar (rows sum to 1) drops everything.
+  EXPECT_TRUE(SelectFromPosterior(soft, sim, 0.0, 1.01).empty());
+
+  // The similarity filter is independent of confidence.
+  std::vector<SoftMatch> sim_only = SelectFromPosterior(soft, sim, 0.6, 0.0);
+  for (const SoftMatch& m : sim_only) EXPECT_GE(m.similarity, 0.6);
+  EXPECT_LT(sim_only.size(), all.size());
+}
+
+}  // namespace
+}  // namespace prob
+}  // namespace ems

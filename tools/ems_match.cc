@@ -36,6 +36,17 @@
 //                                 and, with --composites, for parallel
 //                                 candidate evaluation (default hardware
 //                                 concurrency, 0 = serial)
+//   --prob                        probabilistic matching (src/prob/):
+//                                 EM posterior over the converged
+//                                 similarity, MAP selection with
+//                                 calibrated per-pair confidences
+//   --prob-temp=F                 softmax temperature (default 0.05)
+//   --prob-tol=F                  EM convergence tolerance (default 1e-6)
+//   --prob-iters=N                EM iteration cap (default 50)
+//   --prob-min-confidence=F       drop MAP pairs whose posterior is
+//                                 below F (default 0.02)
+//   --prob-out=PATH               write the full posterior as TSV
+//                                 (row, col, names, posterior, map flag)
 //   --matrix                      also print the similarity matrix
 //   --tsv                         machine-readable tab-separated output
 //   --json                        JSON output (correspondences + stats)
@@ -61,6 +72,7 @@
 #include "obs/report.h"
 #include "serve/log_cache.h"
 #include "store/artifact_store.h"
+#include "store/hashing.h"
 #include "util/json_writer.h"
 #include "util/timer.h"
 
@@ -90,6 +102,12 @@ struct Flags {
   double min_similarity = 0.05;
   double min_edge_frequency = 0.0;
   int threads = -1;  // -1 = unset -> hardware concurrency
+  bool prob = false;
+  double prob_temp = 0.05;
+  double prob_tol = 1e-6;
+  int prob_iters = 50;
+  double prob_min_confidence = 0.02;
+  std::string prob_out;
   bool matrix = false;
   bool tsv = false;
   bool json = false;
@@ -115,7 +133,31 @@ Result<Flags> ParseArgs(int argc, char** argv) {
     std::string arg = argv[i];
     std::string value;
     if (arg == "--composites") flags.composites = true;
-    else if (arg == "--matrix") flags.matrix = true;
+    else if (arg == "--prob") flags.prob = true;
+    else if (ParseFlag(arg, "prob-temp", &value)) {
+      flags.prob_temp = std::atof(value.c_str());
+      if (flags.prob_temp <= 0.0) {
+        return Status::InvalidArgument("--prob-temp must be > 0");
+      }
+    } else if (ParseFlag(arg, "prob-tol", &value)) {
+      flags.prob_tol = std::atof(value.c_str());
+      if (flags.prob_tol <= 0.0) {
+        return Status::InvalidArgument("--prob-tol must be > 0");
+      }
+    } else if (ParseFlag(arg, "prob-iters", &value)) {
+      flags.prob_iters = std::atoi(value.c_str());
+      if (flags.prob_iters < 1) {
+        return Status::InvalidArgument("--prob-iters must be >= 1");
+      }
+    } else if (ParseFlag(arg, "prob-min-confidence", &value)) {
+      flags.prob_min_confidence = std::atof(value.c_str());
+      if (flags.prob_min_confidence < 0.0 || flags.prob_min_confidence > 1.0) {
+        return Status::InvalidArgument(
+            "--prob-min-confidence must be in [0, 1]");
+      }
+    } else if (ParseFlag(arg, "prob-out", &value)) {
+      flags.prob_out = value;
+    } else if (arg == "--matrix") flags.matrix = true;
     else if (arg == "--tsv") flags.tsv = true;
     else if (arg == "--json") flags.json = true;
     else if (ParseFlag(arg, "format", &value)) flags.format = value;
@@ -217,6 +259,11 @@ Result<MatchOptions> ToMatchOptions(const Flags& flags) {
   }
   options.min_match_similarity = flags.min_similarity;
   options.min_edge_frequency = flags.min_edge_frequency;
+  options.prob.enabled = flags.prob;
+  options.prob.temperature = flags.prob_temp;
+  options.prob.rtole = flags.prob_tol;
+  options.prob.max_iterations = flags.prob_iters;
+  options.prob.min_confidence = flags.prob_min_confidence;
   // CLI contract: default = hardware concurrency, 0 = serial. EmsOptions
   // spells those 0 and 1 respectively.
   options.ems.num_threads =
@@ -231,6 +278,49 @@ std::string JoinNames(const std::vector<std::string>& names) {
     out += names[i];
   }
   return out;
+}
+
+// Display name of real-node index `real_index` (composite members joined).
+std::string RealNodeName(const DependencyGraph& g, const EventLog& log,
+                         int real_index) {
+  const NodeId off = g.has_artificial() ? 1 : 0;
+  std::vector<std::string> names;
+  for (EventId e : g.Members(real_index + off)) names.push_back(log.EventName(e));
+  return JoinNames(names);
+}
+
+// Full posterior as TSV: one line per (row, col) cell with the node
+// names, the posterior mass, and whether the MAP assignment picked the
+// pair. scripts/check_posterior.py verifies row-stochasticity on this.
+Status WritePosteriorTsv(const std::string& path, const MatchResult& result,
+                         const EventLog& log1, const EventLog& log2) {
+  const prob::SoftMatchResult& soft = *result.soft;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f, "# rows=%zu cols=%zu iterations=%d converged=%d\n",
+               soft.posterior.rows(), soft.posterior.cols(),
+               soft.stats.iterations, soft.stats.converged ? 1 : 0);
+  std::fprintf(f, "row\tcol\tleft\tright\tposterior\tmap\n");
+  for (size_t i = 0; i < soft.posterior.rows(); ++i) {
+    const std::string left = RealNodeName(result.graph1, log1,
+                                          static_cast<int>(i));
+    for (size_t j = 0; j < soft.posterior.cols(); ++j) {
+      const int map = i < soft.map_assignment.size() &&
+                              soft.map_assignment[i] == static_cast<int>(j)
+                          ? 1
+                          : 0;
+      std::fprintf(f, "%zu\t%zu\t%s\t%s\t%.17g\t%d\n", i, j, left.c_str(),
+                   RealNodeName(result.graph2, log2, static_cast<int>(j))
+                       .c_str(),
+                   soft.posterior.at(static_cast<NodeId>(i),
+                                     static_cast<NodeId>(j)),
+                   map);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
 }
 
 int RunCorpusQuery(const Flags& flags, store::ArtifactStore* store,
@@ -465,13 +555,58 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Posterior side outputs (prob runs only): TSV export for external
+  // tooling, and a kSoftMatch snapshot through the artifact store keyed
+  // like warm seeds — both logs' content hashes + the option fingerprint.
+  if (result->soft.has_value()) {
+    if (!flags.prob_out.empty()) {
+      Status st = WritePosteriorTsv(flags.prob_out, *result, *log1, *log2);
+      if (!st.ok()) {
+        std::fprintf(stderr, "error writing %s: %s\n", flags.prob_out.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (store_ptr != nullptr) {
+      Result<uint64_t> h1 = store::HashFile(flags.positional[0]);
+      Result<uint64_t> h2 = store::HashFile(flags.positional[1]);
+      if (h1.ok() && h2.ok()) {
+        store::FingerprintBuilder fp;
+        fp.Add("labels", flags.labels)
+            .Add("alpha", match_options.ems.alpha)
+            .Add("c", match_options.ems.c)
+            .Add("engine", flags.engine)
+            .Add("composites", flags.composites)
+            .Add("min_similarity", flags.min_similarity)
+            .Add("min_edge_frequency", flags.min_edge_frequency)
+            .Add("prob_temp", flags.prob_temp)
+            .Add("prob_tol", flags.prob_tol)
+            .Add("prob_iters", static_cast<uint64_t>(flags.prob_iters))
+            .Add("prob_min_confidence", flags.prob_min_confidence);
+        store::ArtifactKey key{
+            store::ArtifactKind::kSoftMatch,
+            store::Hash64(store::HashHex(*h1) + ":" + store::HashHex(*h2)),
+            fp.Finish()};
+        store_ptr->Store(key, store::EncodeSoftMatch(*result->soft));
+      }
+    }
+  }
+
   if (flags.json) {
     std::printf("%s\n", MatchResultToJson(*result).c_str());
   } else if (flags.tsv) {
-    std::printf("left\tright\tsimilarity\n");
-    for (const Correspondence& c : result->correspondences) {
-      std::printf("%s\t%s\t%.6f\n", JoinNames(c.events1).c_str(),
-                  JoinNames(c.events2).c_str(), c.similarity);
+    if (result->soft.has_value()) {
+      std::printf("left\tright\tsimilarity\tconfidence\n");
+      for (const Correspondence& c : result->correspondences) {
+        std::printf("%s\t%s\t%.6f\t%.6f\n", JoinNames(c.events1).c_str(),
+                    JoinNames(c.events2).c_str(), c.similarity, c.confidence);
+      }
+    } else {
+      std::printf("left\tright\tsimilarity\n");
+      for (const Correspondence& c : result->correspondences) {
+        std::printf("%s\t%s\t%.6f\n", JoinNames(c.events1).c_str(),
+                    JoinNames(c.events2).c_str(), c.similarity);
+      }
     }
   } else {
     std::printf("%s: %zu events, %zu traces\n", flags.positional[0].c_str(),
@@ -480,14 +615,27 @@ int main(int argc, char** argv) {
                 log2->NumEvents(), log2->NumTraces());
     std::printf("correspondences:\n");
     for (const Correspondence& c : result->correspondences) {
-      std::printf("  %-40s <-> %-40s (%.3f)\n", JoinNames(c.events1).c_str(),
-                  JoinNames(c.events2).c_str(), c.similarity);
+      if (result->soft.has_value()) {
+        std::printf("  %-40s <-> %-40s (%.3f, conf %.3f)\n",
+                    JoinNames(c.events1).c_str(), JoinNames(c.events2).c_str(),
+                    c.similarity, c.confidence);
+      } else {
+        std::printf("  %-40s <-> %-40s (%.3f)\n", JoinNames(c.events1).c_str(),
+                    JoinNames(c.events2).c_str(), c.similarity);
+      }
     }
     std::printf("\n%zu correspondences; EMS: %d iterations, %llu formula "
                 "evaluations\n",
                 result->correspondences.size(), result->ems_stats.iterations,
                 static_cast<unsigned long long>(
                     result->ems_stats.formula_evaluations));
+    if (result->soft.has_value()) {
+      const prob::EmStats& em = result->soft->stats;
+      std::printf("prob: %d EM iterations (%s, final delta %.2e), mean "
+                  "posterior entropy %.3f\n",
+                  em.iterations, em.converged ? "converged" : "iteration cap",
+                  em.final_delta, em.mean_entropy);
+    }
   }
   if (flags.matrix) {
     std::printf("\nsimilarity matrix:\n%s",

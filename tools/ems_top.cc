@@ -226,6 +226,32 @@ void RenderStreamMetrics(const JsonValue& stats) {
                   : 0.0);
 }
 
+// The probabilistic-matching row (docs/PROBABILISTIC.md): how many jobs
+// ran the EM posterior engine, its convergence behavior, and the
+// posterior-entropy distribution (mean from the quantile histogram's
+// sum/count; p90 marks the ambiguous tail). Services that never
+// answered a prob job carry no prob.* counters; render nothing.
+void RenderProbMetrics(const JsonValue& stats) {
+  const double runs = FindCounter(stats, "prob.runs");
+  if (runs <= 0.0) return;
+  const double iters = FindCounter(stats, "prob.iterations");
+  const double converged = FindCounter(stats, "prob.converged_runs");
+  double mean_entropy = 0.0;
+  const Latency entropy = FindLatency(stats, "prob.posterior_entropy");
+  if (const JsonValue* snapshot = stats.Find("snapshot")) {
+    if (const JsonValue* quantiles = snapshot->Find("quantile_histograms")) {
+      if (const JsonValue* h = quantiles->Find("prob.posterior_entropy")) {
+        const double count = h->GetNumber("count", 0.0);
+        if (count > 0.0) mean_entropy = h->GetNumber("sum", 0.0) / count;
+      }
+    }
+  }
+  std::printf("prob        %lld EM runs, %.1f iters/run, %5.1f%% converged, "
+              "posterior entropy mean %.3f p90 %.3f\n",
+              static_cast<long long>(runs), runs > 0.0 ? iters / runs : 0.0,
+              100.0 * converged / runs, mean_entropy, entropy.p90);
+}
+
 // The sharded deployment's breakdown: one row per shard with queue and
 // inflight gauges, plus the routed-job balance spread. Single-service
 // responses carry no "shards" array, so this renders nothing for them.
@@ -331,6 +357,7 @@ bool RenderFrame(const std::string& line, bool clear_screen) {
   }
   RenderIndexMetrics(stats);
   RenderStreamMetrics(stats);
+  RenderProbMetrics(stats);
   RenderShards(stats);
   std::fflush(stdout);
   return true;
